@@ -1,0 +1,104 @@
+"""E14 — ablations of the design choices behind team formation.
+
+Two sweeps that justify the paper's modelling decisions:
+
+* **upper critical mass** — outcome quality as the team grows past the
+  task's critical mass (expected: a peak at/near the UCM, degradation
+  beyond — the reason UCM is a constraint at all, §1);
+* **affinity components** — drop each ingredient of the factor-based
+  affinity (language / region / skill complementarity) and measure the
+  intra-affinity of the teams greedy then forms.
+"""
+
+import statistics
+
+from repro.core.affinity import AffinityWeights, affinity_from_factors
+from repro.core.assignment import AssignmentProblem, GreedyAssigner
+from repro.core.constraints import TeamConstraints
+from repro.core.workers import Worker
+from repro.metrics import format_table
+from repro.sim import OutcomeModel, generate_factors
+
+POOL_SIZE = 18
+CRITICAL_MASS = 4
+
+
+def _workers(seed: int):
+    return tuple(
+        Worker(id=f"w{seed}{i:02d}", name=f"w{i}",
+               factors=generate_factors(seed, i))
+        for i in range(POOL_SIZE)
+    )
+
+
+def test_e14_critical_mass_sweep(benchmark, emit):
+    outcome_model = OutcomeModel(seed=1)
+    rows = []
+    for team_size in range(2, 9):
+        qualities = []
+        for seed in range(8):
+            workers = _workers(seed)
+            affinity = affinity_from_factors(workers)
+            team = sorted(
+                workers,
+                key=lambda w: -w.factors.skill_level("translation"),
+            )[:team_size]
+            qualities.append(outcome_model.quality(
+                workers=team,
+                affinity=affinity,
+                skills=("translation",),
+                critical_mass=CRITICAL_MASS,
+                scheme="sequential",
+            ))
+        rows.append((
+            team_size,
+            "at UCM" if team_size == CRITICAL_MASS else
+            ("beyond" if team_size > CRITICAL_MASS else "below"),
+            round(statistics.mean(qualities), 3),
+        ))
+    benchmark(lambda: outcome_model.quality(
+        list(_workers(0))[:4], affinity_from_factors(_workers(0)),
+        ("translation",), CRITICAL_MASS,
+    ))
+    emit(format_table(
+        ("team size", f"vs critical mass ({CRITICAL_MASS})", "mean quality"),
+        rows,
+        title="E14a — outcome quality across the upper critical mass",
+    ))
+    by_size = {row[0]: row[2] for row in rows}
+    assert by_size[8] < by_size[CRITICAL_MASS]  # degradation beyond UCM
+
+
+def test_e14_affinity_component_ablation(emit, benchmark):
+    variants = [
+        ("full (lang+region+skill)", AffinityWeights()),
+        ("no language", AffinityWeights(language=0)),
+        ("no region", AffinityWeights(region=0)),
+        ("no skill complement", AffinityWeights(skill_complementarity=0)),
+    ]
+    rows = []
+    full_matrices = {
+        seed: affinity_from_factors(_workers(seed)) for seed in range(6)
+    }
+    for name, weights in variants:
+        scores = []
+        for seed in range(6):
+            workers = _workers(seed)
+            ablated = affinity_from_factors(workers, weights)
+            problem = AssignmentProblem(
+                workers=workers,
+                affinity=ablated,
+                constraints=TeamConstraints(min_size=3, critical_mass=4),
+            )
+            result = GreedyAssigner().assign(problem)
+            # Teams are *chosen* with the ablated affinity but *scored*
+            # with the full one: how much does each signal matter?
+            scores.append(full_matrices[seed].intra_affinity(result.team))
+        rows.append((name, round(statistics.mean(scores), 3)))
+    benchmark(lambda: affinity_from_factors(_workers(0)))
+    emit(format_table(
+        ("affinity variant", "team true-affinity"), rows,
+        title="E14b — affinity-component ablation (teams scored on full affinity)",
+    ))
+    full_score = rows[0][1]
+    assert all(full_score >= score - 0.05 for _, score in rows[1:])

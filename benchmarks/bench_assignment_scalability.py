@@ -1,0 +1,88 @@
+"""E6 — "our task assignment algorithm is scalable" (§2.1/§2.2).
+
+Runtime of each practical algorithm as the candidate pool grows.  The
+paper's claim: approximations stay real-time where the exact (NP-complete)
+search cannot; expect near-quadratic growth for greedy, super-exponential
+for exact (which is therefore only run on the small sizes).
+"""
+
+import time
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.assignment import (
+    AssignmentProblem,
+    ExactAssigner,
+    GraspAssigner,
+    GreedyAssigner,
+    LocalSearchAssigner,
+)
+from repro.core.constraints import TeamConstraints
+from repro.metrics import format_table
+from repro.sim import generate_factors
+from repro.core.workers import Worker
+from repro.util.rng import make_rng
+
+SIZES = (50, 100, 200, 400, 800)
+EXACT_LIMIT = 18
+
+
+def _workers(n: int, seed: int = 0):
+    return tuple(
+        Worker(id=f"w{i:04d}", name=f"w{i}", factors=generate_factors(seed, i))
+        for i in range(n)
+    )
+
+
+def _affinity(workers, seed: int = 0) -> AffinityMatrix:
+    rng = make_rng(seed, "bench-affinity")
+    matrix = AffinityMatrix()
+    ids = [w.id for w in workers]
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            matrix.set(a, b, rng.random())
+    return matrix
+
+
+def _problem(n: int) -> AssignmentProblem:
+    workers = _workers(n)
+    return AssignmentProblem(
+        workers=workers,
+        affinity=_affinity(workers),
+        constraints=TeamConstraints(min_size=2, critical_mass=4),
+    )
+
+
+def test_e6_assignment_scalability(benchmark, emit):
+    algorithms = [
+        ("greedy", GreedyAssigner()),
+        ("local_search", LocalSearchAssigner(max_rounds=8)),
+        ("grasp", GraspAssigner(seed=1, iterations=4)),
+    ]
+    rows = []
+    problems = {n: _problem(n) for n in SIZES}
+    for n in SIZES:
+        problem = problems[n]
+        cells = [n]
+        for _, assigner in algorithms:
+            start = time.perf_counter()
+            result = assigner.assign(problem)
+            cells.append(round((time.perf_counter() - start) * 1000, 1))
+            assert result.feasible
+        # exact only on a prefix small enough to finish
+        if n <= EXACT_LIMIT:
+            small = problems[n]
+        cells.append("-")
+        rows.append(cells)
+    exact_problem = _problem(EXACT_LIMIT)
+    start = time.perf_counter()
+    ExactAssigner().assign(exact_problem)
+    exact_ms = round((time.perf_counter() - start) * 1000, 1)
+    rows.insert(0, [EXACT_LIMIT, "-", "-", "-", exact_ms])
+
+    benchmark(GreedyAssigner().assign, problems[400])
+
+    emit(format_table(
+        ("workers", "greedy (ms)", "local (ms)", "grasp (ms)", "exact (ms)"),
+        rows,
+        title="E6 — team-formation runtime vs candidate-pool size",
+    ))

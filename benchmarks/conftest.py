@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every bench prints its paper-style result table straight to the terminal
+(bypassing capture) and appends it to ``benchmarks/results.txt`` so the
+full experiment record survives a ``--benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a results block unconditionally and persist it."""
+
+    def _emit(block: str) -> None:
+        with capsys.disabled():
+            print("\n" + block + "\n")
+        with RESULTS_PATH.open("a", encoding="utf-8") as handle:
+            handle.write(block + "\n\n")
+
+    return _emit

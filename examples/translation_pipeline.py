@@ -1,0 +1,34 @@
+"""Demo scenario 1: video subtitle generation + translation (§2.5).
+
+Sequential collaboration on a simulated crowd: transcribe clips, then
+translate the produced subtitles — the second wave of tasks is demanded
+*dynamically* by the CyLog processor as transcriptions arrive.
+
+Run:  python examples/translation_pipeline.py
+"""
+
+from repro.apps import run_translation_demo
+from repro.metrics import format_table
+
+result = run_translation_demo(n_workers=40, n_clips=6, seed=7)
+
+print(format_table(
+    ("metric", "value"),
+    sorted(result.summary().items()),
+    title="Subtitle translation (sequential collaboration)",
+))
+
+platform = result.platform
+processor = platform.processor(result.project_id)
+
+print("\nSubtitle -> translation chain (first 5):")
+for seg, out in processor.sorted_facts("translated")[:5]:
+    print(f"  {seg!r:40s} -> {out[:60]!r}")
+
+print("\nTeams that finished (id, algorithm, affinity, members):")
+for team in platform.teams.all():
+    if team.status.value == "finished":
+        print(f"  {team.id}  {team.algorithm:8s} {team.affinity_score:6.2f}  "
+              f"{','.join(team.members)}")
+
+print(f"\nLearned skill estimates for {result.extras['skill_estimates']} workers")

@@ -1,0 +1,51 @@
+"""repro — reproduction of *Collaborative Crowdsourcing with Crowd4U*
+(Ikeda et al., PVLDB 9(13), 2016).
+
+Public API tour
+---------------
+
+>>> from repro import Crowd4U, HumanFactors, TeamConstraints
+>>> platform = Crowd4U(seed=7)
+
+The package layout mirrors the paper's architecture (Figure 2):
+
+* :mod:`repro.cylog` — the CyLog language processor (declarative project
+  descriptions with human-evaluated *open* predicates),
+* :mod:`repro.core` — worker manager, affinity matrix, task pool,
+  Eligible/InterestedIn/Undertakes ledger, team-formation algorithms,
+  collaboration schemes and the :class:`~repro.core.platform.Crowd4U`
+  facade,
+* :mod:`repro.forms` — admin / worker / task HTML pages (Figures 3–5) and
+  the spreadsheet→CyLog requester tools,
+* :mod:`repro.sim` — the simulated volunteer crowd,
+* :mod:`repro.apps` — the three demo scenarios (§2.5),
+* :mod:`repro.storage` — the embedded relational engine underneath it all.
+"""
+
+from repro.core import (
+    AffinityMatrix,
+    Crowd4U,
+    HumanFactors,
+    SkillRequirement,
+    TeamConstraints,
+    Worker,
+)
+from repro.core.projects import SchemeKind
+from repro.cylog import CyLogProcessor, parse_program
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffinityMatrix",
+    "Crowd4U",
+    "CyLogProcessor",
+    "HumanFactors",
+    "ReproError",
+    "SchemeKind",
+    "SkillRequirement",
+    "TeamConstraints",
+    "Worker",
+    "__version__",
+    "parse_program",
+]

@@ -1,0 +1,33 @@
+"""The three demonstration scenarios of §2.5, as library applications.
+
+* :mod:`translation` — video subtitle generation and translation
+  (sequential collaboration; workers improve each other's contributions),
+* :mod:`journalism` — citizen journalism (simultaneous collaboration;
+  workers write report sections in parallel),
+* :mod:`surveillance` — surveillance tasks (hybrid collaboration;
+  sequential fact collection with corrections + simultaneous
+  testimonials).
+
+Each module exposes ``build_*_project`` (wire the scenario into an
+existing platform) and ``run_*_demo`` (a full seeded run on a simulated
+crowd returning a metrics dict), which the examples and benches share.
+"""
+
+from repro.apps.journalism import build_journalism_project, run_journalism_demo
+from repro.apps.surveillance import (
+    build_surveillance_project,
+    run_surveillance_demo,
+)
+from repro.apps.translation import (
+    build_translation_project,
+    run_translation_demo,
+)
+
+__all__ = [
+    "build_journalism_project",
+    "build_surveillance_project",
+    "build_translation_project",
+    "run_journalism_demo",
+    "run_surveillance_demo",
+    "run_translation_demo",
+]

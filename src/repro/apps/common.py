@@ -1,0 +1,65 @@
+"""Shared scenario plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import Crowd4U
+from repro.sim import (
+    BehaviorModel,
+    OutcomeModel,
+    PopulationConfig,
+    SimulationDriver,
+    SimulationReport,
+    populate,
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Uniform result envelope every demo run returns."""
+
+    platform: Crowd4U
+    project_id: str
+    report: SimulationReport
+    facts: dict[str, int] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat summary for tables/benches."""
+        return {
+            "steps": self.report.steps,
+            "team_results": self.report.team_results,
+            "micro_completed": self.report.micro_completed,
+            "mean_quality": round(self.report.mean_quality, 4),
+            "quiescent": self.report.quiescent,
+            **self.facts,
+        }
+
+
+def build_crowd(
+    n_workers: int, seed: int, config: PopulationConfig | None = None
+) -> Crowd4U:
+    """A fresh platform with a generated worker population."""
+    platform = Crowd4U(seed=seed)
+    populate(platform, n_workers, seed=seed, config=config)
+    return platform
+
+
+def drive(
+    platform: Crowd4U,
+    seed: int,
+    answer_fn=None,
+    max_steps: int = 300,
+) -> SimulationDriver:
+    """Run a standard simulation driver to quiescence."""
+    driver = SimulationDriver(
+        platform,
+        behavior=BehaviorModel(seed=seed),
+        outcome_model=OutcomeModel(seed=seed),
+        answer_fn=answer_fn,
+        seed=seed,
+    )
+    driver.run(max_steps=max_steps)
+    return driver

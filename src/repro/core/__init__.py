@@ -1,0 +1,40 @@
+"""Crowd4U platform core.
+
+Implements the architecture of Figure 2: worker manager (human factors +
+affinity matrix), task pool, project manager, relationship ledger
+(Eligible / InterestedIn / Undertakes), the task assignment controller with
+its team-formation algorithms, the three worker-collaboration schemes, and
+the :class:`~repro.core.platform.Crowd4U` facade tying them together.
+"""
+
+from repro.core.affinity import AffinityMatrix, AffinityWeights, affinity_from_factors
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from repro.core.human_factors import HumanFactors
+from repro.core.platform import Crowd4U
+from repro.core.projects import Project, ProjectManager
+from repro.core.relationships import RelationshipLedger, RelationshipStatus
+from repro.core.tasks import Task, TaskKind, TaskPool, TaskStatus
+from repro.core.teams import Team, TeamStatus
+from repro.core.workers import Worker, WorkerManager
+
+__all__ = [
+    "AffinityMatrix",
+    "AffinityWeights",
+    "Crowd4U",
+    "HumanFactors",
+    "Project",
+    "ProjectManager",
+    "RelationshipLedger",
+    "RelationshipStatus",
+    "SkillRequirement",
+    "Task",
+    "TaskKind",
+    "TaskPool",
+    "TaskStatus",
+    "Team",
+    "TeamConstraints",
+    "TeamStatus",
+    "Worker",
+    "WorkerManager",
+    "affinity_from_factors",
+]

@@ -1,0 +1,74 @@
+"""Team formation: affinity-maximising clique search under constraints.
+
+[9] (Rahman et al., ICDM 2015) models workers as a complete graph with
+pairwise-affinity edge weights; a team is a clique whose size must not
+exceed the task's upper critical mass, and assignment means finding the
+clique that maximises intra-affinity subject to quality and cost limits.
+They prove the optimisation NP-complete and propose practical
+approximations — reproduced here as:
+
+* :class:`ExactAssigner` — branch-and-bound optimum (small instances; the
+  quality yardstick for bench E7),
+* :class:`GreedyAssigner` — multi-seed greedy clique growth,
+* :class:`LocalSearchAssigner` — greedy + swap/add/drop hill climbing,
+* :class:`GraspAssigner` — randomised construction + local search,
+* baselines (:mod:`repro.core.assignment.baselines`) — random, skill-only
+  (affinity-blind) and individual (micro-task platforms à la PyBossa).
+
+All assigners share the :class:`AssignmentProblem` / `AssignmentResult`
+interface and are looked up through :class:`AssignerRegistry` ("Crowd4U's
+declarative and extensible architecture can easily be leveraged to
+incorporate … other task assignment algorithms", §3).
+"""
+
+from repro.core.assignment.base import (
+    AssignerRegistry,
+    AssignmentProblem,
+    AssignmentResult,
+    TeamAssigner,
+    default_registry,
+)
+from repro.core.assignment.baselines import (
+    IndividualAssigner,
+    RandomAssigner,
+    SkillOnlyAssigner,
+)
+from repro.core.assignment.controller import (
+    AssignmentOutcome,
+    RequesterSuggestion,
+    TaskAssignmentController,
+)
+from repro.core.assignment.decompose import (
+    GridDecomposer,
+    SegmentDecomposer,
+    SubTaskSpec,
+    TopicDecomposer,
+    assign_subgroups,
+)
+from repro.core.assignment.exact import ExactAssigner
+from repro.core.assignment.grasp import GraspAssigner
+from repro.core.assignment.greedy import GreedyAssigner
+from repro.core.assignment.local_search import LocalSearchAssigner
+
+__all__ = [
+    "AssignerRegistry",
+    "AssignmentOutcome",
+    "AssignmentProblem",
+    "AssignmentResult",
+    "ExactAssigner",
+    "GraspAssigner",
+    "GreedyAssigner",
+    "GridDecomposer",
+    "IndividualAssigner",
+    "LocalSearchAssigner",
+    "RandomAssigner",
+    "RequesterSuggestion",
+    "SegmentDecomposer",
+    "SkillOnlyAssigner",
+    "SubTaskSpec",
+    "TaskAssignmentController",
+    "TeamAssigner",
+    "TopicDecomposer",
+    "assign_subgroups",
+    "default_registry",
+]

@@ -1,0 +1,162 @@
+"""Shared interface of every team-formation algorithm."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.constraints import TeamConstraints
+from repro.core.workers import Worker
+from repro.errors import AssignmentError
+
+
+@dataclass(frozen=True)
+class AssignmentProblem:
+    """One team-formation instance.
+
+    ``workers`` are the candidates — on the platform these are the workers
+    who are *Eligible for and InterestedIn* the task (§2.2.1 step 5).
+    ``forbidden_teams`` excludes exact member sets that already failed
+    (dissolved teams must not be re-proposed).
+    """
+
+    workers: tuple[Worker, ...]
+    affinity: AffinityMatrix
+    constraints: TeamConstraints
+    forbidden_teams: frozenset[frozenset[str]] = frozenset()
+
+    def __post_init__(self) -> None:
+        ids = [w.id for w in self.workers]
+        if len(set(ids)) != len(ids):
+            raise AssignmentError("duplicate workers in assignment problem")
+
+    def worker_by_id(self, worker_id: str) -> Worker:
+        for worker in self.workers:
+            if worker.id == worker_id:
+                return worker
+        raise AssignmentError(f"worker {worker_id!r} not in problem")
+
+    def screened_workers(self) -> tuple[Worker, ...]:
+        """Candidates passing the per-member screen (language / region)."""
+        return tuple(
+            w for w in self.workers if self.constraints.member_eligible(w)
+        )
+
+    def is_allowed(self, team: Sequence[str]) -> bool:
+        return frozenset(team) not in self.forbidden_teams
+
+    def score(self, team: Sequence[str]) -> float:
+        """The objective: intra-team affinity (sum over internal pairs)."""
+        return self.affinity.intra_affinity(team)
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Outcome of one assigner run."""
+
+    team: tuple[str, ...]
+    affinity_score: float
+    feasible: bool
+    algorithm: str
+    explored: int = 0  # nodes / candidate teams examined (observability)
+    note: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.team)
+
+
+def infeasible(algorithm: str, explored: int = 0, note: str = "") -> AssignmentResult:
+    return AssignmentResult(
+        team=(), affinity_score=0.0, feasible=False, algorithm=algorithm,
+        explored=explored, note=note,
+    )
+
+
+class TeamAssigner(abc.ABC):
+    """Base class of all team-formation algorithms."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        """Return the best feasible team found (or an infeasible result)."""
+
+    def _feasible(self, problem: AssignmentProblem, team: Sequence[str]) -> bool:
+        if not problem.is_allowed(team):
+            return False
+        workers = [problem.worker_by_id(wid) for wid in team]
+        return problem.constraints.is_satisfied_by(workers)
+
+    def _result(
+        self, problem: AssignmentProblem, team: Sequence[str], explored: int,
+        note: str = "",
+    ) -> AssignmentResult:
+        ordered = tuple(sorted(team))
+        return AssignmentResult(
+            team=ordered,
+            affinity_score=problem.score(ordered),
+            feasible=True,
+            algorithm=self.name,
+            explored=explored,
+            note=note,
+        )
+
+
+@dataclass
+class AssignerRegistry:
+    """Name → assigner factory; the extensibility hook of §3."""
+
+    _factories: dict[str, Callable[[], TeamAssigner]] = field(default_factory=dict)
+
+    def register(self, name: str, factory: Callable[[], TeamAssigner]) -> None:
+        if name in self._factories:
+            raise AssignmentError(f"assigner {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str) -> TeamAssigner:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise AssignmentError(
+                f"unknown assignment algorithm {name!r} (known: {known})"
+            ) from None
+        return factory()
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+def default_registry(seed: int = 0) -> AssignerRegistry:
+    """Registry pre-loaded with every built-in algorithm."""
+    from repro.core.assignment.baselines import (
+        IndividualAssigner,
+        RandomAssigner,
+        SkillOnlyAssigner,
+    )
+    from repro.core.assignment.exact import ExactAssigner
+    from repro.core.assignment.grasp import GraspAssigner
+    from repro.core.assignment.greedy import GreedyAssigner
+    from repro.core.assignment.local_search import LocalSearchAssigner
+
+    registry = AssignerRegistry()
+    registry.register("exact", ExactAssigner)
+    registry.register("greedy", GreedyAssigner)
+    registry.register("local_search", LocalSearchAssigner)
+    registry.register("grasp", lambda: GraspAssigner(seed=seed))
+    registry.register("random", lambda: RandomAssigner(seed=seed))
+    registry.register("skill_only", SkillOnlyAssigner)
+    registry.register("individual", IndividualAssigner)
+    return registry
+
+
+def candidate_sizes(constraints: TeamConstraints) -> Iterable[int]:
+    """Team sizes permitted by the constraints, smallest first."""
+    return range(constraints.min_size, constraints.critical_mass + 1)

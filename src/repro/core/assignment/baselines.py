@@ -1,0 +1,117 @@
+"""Collaboration-unaware baselines.
+
+These exist to measure the paper's central claim — that collaboration-aware
+(affinity-driven) assignment produces better teams than what existing
+micro-task platforms do (bench E8):
+
+* :class:`RandomAssigner` — random feasible team (lower bound),
+* :class:`SkillOnlyAssigner` — pick the top-quality individuals, ignoring
+  affinity entirely (what a skill-filtered micro-task queue yields),
+* :class:`IndividualAssigner` — a single best worker; the PyBossa/Hive
+  fixed-workflow model the paper contrasts with ("micro-tasks … performed
+  by individual workers", §1).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment.base import (
+    AssignmentProblem,
+    AssignmentResult,
+    TeamAssigner,
+    infeasible,
+)
+from repro.util.rng import make_rng
+
+
+class RandomAssigner(TeamAssigner):
+    """Sample random screened teams; keep the first feasible one."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, attempts: int = 200) -> None:
+        self.seed = seed
+        self.attempts = attempts
+
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        candidates = sorted(problem.screened_workers(), key=lambda w: w.id)
+        if not candidates:
+            return infeasible(self.name, note="no screened candidates")
+        rng = make_rng(self.seed, "random-assigner", len(candidates))
+        constraints = problem.constraints
+        explored = 0
+        for _ in range(self.attempts):
+            size = rng.randint(
+                constraints.min_size,
+                min(constraints.critical_mass, len(candidates)),
+            )
+            if size > len(candidates):
+                continue
+            team = [w.id for w in rng.sample(candidates, size)]
+            explored += 1
+            if self._feasible(problem, team):
+                return self._result(problem, team, explored)
+        return infeasible(self.name, explored, note="no feasible random team")
+
+
+class SkillOnlyAssigner(TeamAssigner):
+    """Top-k workers by individual quality; affinity-blind."""
+
+    name = "skill_only"
+
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        candidates = sorted(problem.screened_workers(), key=lambda w: w.id)
+        if not candidates:
+            return infeasible(self.name, note="no screened candidates")
+        constraints = problem.constraints
+        ranked = sorted(
+            candidates,
+            key=lambda w: (-constraints.worker_quality(w), w.factors.cost, w.id),
+        )
+        explored = 0
+        for size in range(constraints.min_size, constraints.critical_mass + 1):
+            if size > len(ranked):
+                break
+            team = [w.id for w in ranked[:size]]
+            explored += 1
+            if self._feasible(problem, team):
+                return self._result(problem, team, explored)
+        # Fall back: search any feasible prefix-based variation.
+        for size in range(constraints.min_size, constraints.critical_mass + 1):
+            for offset in range(1, max(1, len(ranked) - size + 1)):
+                team = [w.id for w in ranked[offset:offset + size]]
+                if len(team) < size:
+                    break
+                explored += 1
+                if self._feasible(problem, team):
+                    return self._result(problem, team, explored)
+        return infeasible(self.name, explored, note="no feasible top-k team")
+
+
+class IndividualAssigner(TeamAssigner):
+    """The micro-task model: one best worker, no team, no collaboration."""
+
+    name = "individual"
+
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        candidates = sorted(problem.screened_workers(), key=lambda w: w.id)
+        constraints = problem.constraints
+        explored = 0
+        ranked = sorted(
+            candidates,
+            key=lambda w: (-constraints.worker_quality(w), w.factors.cost, w.id),
+        )
+        for worker in ranked:
+            explored += 1
+            team = [worker.id]
+            # The individual baseline ignores min_size by design (it models
+            # platforms without teams) but must respect everything else.
+            violations = [
+                v
+                for v in constraints.violations([worker])
+                if "below minimum" not in v
+            ]
+            if not violations and problem.is_allowed(team):
+                return self._result(
+                    problem, team, explored, note="individual micro-task baseline"
+                )
+        return infeasible(self.name, explored, note="no individually feasible worker")

@@ -1,0 +1,209 @@
+"""Task decomposition and sub-group assignment.
+
+"Crowd4U can use any task decomposition algorithm to break a complex task
+into micro-tasks" (§1/§2.1) — decomposers are pluggable objects producing
+:class:`SubTaskSpec` lists.  Three concrete decomposers cover the demo
+scenarios: text segmentation (subtitles), topic sections (journalism) and
+a region × period grid (surveillance).
+
+For parallel tasks, §2.2 prescribes: "we decompose it into a set of
+independent sub-tasks … then identify groups for each sub-task who edit
+simultaneously on their allocated section, with collaboration across the
+sub-groups … to effectively merge the sections".
+:func:`assign_subgroups` implements that: disjoint greedy teams per
+sub-task plus a designated *liaison* per group (the member with the
+highest affinity towards the other groups) for the merge step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.assignment.base import AssignmentProblem, AssignmentResult
+from repro.core.assignment.greedy import GreedyAssigner
+from repro.errors import AssignmentError
+
+
+@dataclass(frozen=True)
+class SubTaskSpec:
+    """One micro-task produced by decomposition."""
+
+    key: str
+    instruction: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class TaskDecomposer(abc.ABC):
+    """Strategy interface: complex task → ordered micro-task specs."""
+
+    @abc.abstractmethod
+    def decompose(self, payload: dict[str, Any]) -> list[SubTaskSpec]:
+        """Split the complex-task payload into sub-task specs."""
+
+
+class SegmentDecomposer(TaskDecomposer):
+    """Split running text into fixed-size segments (subtitle generation).
+
+    ``payload["text"]`` is split into chunks of at most ``segment_words``
+    words, preserving order; each chunk becomes one sub-task.
+    """
+
+    def __init__(self, segment_words: int = 12) -> None:
+        if segment_words < 1:
+            raise AssignmentError("segment_words must be positive")
+        self.segment_words = segment_words
+
+    def decompose(self, payload: dict[str, Any]) -> list[SubTaskSpec]:
+        words = str(payload.get("text", "")).split()
+        if not words:
+            return []
+        chunks = [
+            " ".join(words[i:i + self.segment_words])
+            for i in range(0, len(words), self.segment_words)
+        ]
+        return [
+            SubTaskSpec(
+                key=f"seg{i:03d}",
+                instruction=f"Process segment {i + 1}/{len(chunks)}",
+                payload={"text": chunk, "position": i},
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+
+
+class TopicDecomposer(TaskDecomposer):
+    """One sub-task per topic section (citizen journalism)."""
+
+    def decompose(self, payload: dict[str, Any]) -> list[SubTaskSpec]:
+        topics = list(payload.get("topics", []))
+        return [
+            SubTaskSpec(
+                key=f"topic-{i:02d}",
+                instruction=f"Write the section on {topic!r}",
+                payload={"topic": topic, "position": i},
+            )
+            for i, topic in enumerate(topics)
+        ]
+
+
+class GridDecomposer(TaskDecomposer):
+    """Region × period grid (surveillance fact collection)."""
+
+    def decompose(self, payload: dict[str, Any]) -> list[SubTaskSpec]:
+        regions = list(payload.get("regions", []))
+        periods = list(payload.get("periods", []))
+        specs: list[SubTaskSpec] = []
+        for r_index, region in enumerate(regions):
+            for p_index, period in enumerate(periods):
+                specs.append(
+                    SubTaskSpec(
+                        key=f"cell-{r_index:02d}-{p_index:02d}",
+                        instruction=(
+                            f"Collect facts for region {region!r} "
+                            f"during {period!r}"
+                        ),
+                        payload={"region": region, "period": period},
+                    )
+                )
+        return specs
+
+
+@dataclass(frozen=True)
+class SubGroupAssignment:
+    """Result of partitioning workers over parallel sub-tasks."""
+
+    groups: tuple[tuple[str, ...], ...]     # groups[i] works sub-task i
+    liaisons: tuple[str, ...]               # one member per group (merge step)
+    total_affinity: float
+    leftover: tuple[str, ...]               # unassigned workers
+
+
+def assign_subgroups(
+    problem: AssignmentProblem,
+    n_subtasks: int,
+    group_size: int | None = None,
+) -> SubGroupAssignment:
+    """Partition candidates into ``n_subtasks`` disjoint affinity-dense teams.
+
+    Greedy sequential strategy: form the densest team for sub-task 0 with a
+    :class:`GreedyAssigner`, remove its members from the pool, repeat.  The
+    liaison of each group is the member with the highest summed affinity to
+    all *other* groups' members; liaisons coordinate the merge.
+    """
+    if n_subtasks < 1:
+        raise AssignmentError("n_subtasks must be at least 1")
+    constraints = problem.constraints
+    size = group_size or max(
+        constraints.min_size,
+        min(constraints.critical_mass, len(problem.workers) // n_subtasks or 1),
+    )
+    pool = list(problem.workers)
+    groups: list[tuple[str, ...]] = []
+    total = 0.0
+    greedy = GreedyAssigner()
+    for _ in range(n_subtasks):
+        if not pool:
+            groups.append(())
+            continue
+        sub_problem = AssignmentProblem(
+            workers=tuple(pool),
+            affinity=problem.affinity,
+            constraints=_sized(constraints, min(size, len(pool))),
+            forbidden_teams=problem.forbidden_teams,
+        )
+        result: AssignmentResult = greedy.assign(sub_problem)
+        if not result.feasible:
+            groups.append(())
+            continue
+        groups.append(result.team)
+        total += result.affinity_score
+        taken = set(result.team)
+        pool = [w for w in pool if w.id not in taken]
+    liaisons = _pick_liaisons(problem, groups)
+    return SubGroupAssignment(
+        groups=tuple(groups),
+        liaisons=liaisons,
+        total_affinity=total,
+        leftover=tuple(sorted(w.id for w in pool)),
+    )
+
+
+def _sized(constraints, size: int):
+    from dataclasses import replace
+
+    size = max(1, size)
+    return replace(
+        constraints,
+        min_size=min(constraints.min_size, size),
+        critical_mass=size,
+    )
+
+
+def _pick_liaisons(
+    problem: AssignmentProblem, groups: Sequence[tuple[str, ...]]
+) -> tuple[str, ...]:
+    liaisons: list[str] = []
+    for index, group in enumerate(groups):
+        if not group:
+            liaisons.append("")
+            continue
+        others = [
+            member
+            for other_index, other in enumerate(groups)
+            if other_index != index
+            for member in other
+        ]
+        if not others:
+            liaisons.append(sorted(group)[0])
+            continue
+        liaisons.append(
+            max(
+                sorted(group),
+                key=lambda member: sum(
+                    problem.affinity.get(member, other) for other in others
+                ),
+            )
+        )
+    return tuple(liaisons)

@@ -1,0 +1,100 @@
+"""Exact team formation by branch-and-bound subset search.
+
+[9] proves affinity-maximising team formation NP-complete, so the exact
+algorithm is exponential; it exists as the optimality yardstick for the
+approximation-quality experiment (E7) and for small live instances.  The
+search enumerates subsets of the screened candidates in a fixed order with
+two prunings:
+
+* **bound pruning** — current affinity plus an optimistic bound on the
+  edges still addable cannot beat the incumbent;
+* **budget pruning** — cost is monotone in members, so a partial team over
+  budget is dead (quality and skills are monotone *upwards* and therefore
+  checked at feasibility time, not pruned on).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment.base import (
+    AssignmentProblem,
+    AssignmentResult,
+    TeamAssigner,
+    infeasible,
+)
+from repro.errors import AssignmentError
+
+
+class ExactAssigner(TeamAssigner):
+    """Optimal branch-and-bound clique search."""
+
+    name = "exact"
+
+    def __init__(self, max_candidates: int = 26) -> None:
+        self.max_candidates = max_candidates
+
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        candidates = sorted(problem.screened_workers(), key=lambda w: w.id)
+        if len(candidates) > self.max_candidates:
+            raise AssignmentError(
+                f"exact assigner refuses {len(candidates)} candidates "
+                f"(> {self.max_candidates}); use an approximate algorithm"
+            )
+        constraints = problem.constraints
+        affinity = problem.affinity
+        ids = [w.id for w in candidates]
+        costs = [w.factors.cost for w in candidates]
+        n = len(ids)
+        # Sorted edge weights for the optimistic bound.
+        all_edges = sorted(
+            (
+                affinity.get(ids[i], ids[j])
+                for i in range(n)
+                for j in range(i + 1, n)
+            ),
+            reverse=True,
+        )
+
+        best_team: tuple[str, ...] | None = None
+        best_score = float("-inf")
+        explored = 0
+
+        def optimistic_bound(current_score: float, size: int, start: int) -> float:
+            """Upper bound: add the globally heaviest edges for every pair
+            that could still be formed."""
+            remaining_slots = constraints.critical_mass - size
+            if remaining_slots <= 0:
+                return current_score
+            available = n - start
+            addable = min(remaining_slots, available)
+            # New pairs: among added members + between added and current.
+            new_pairs = addable * (addable - 1) // 2 + addable * size
+            return current_score + sum(all_edges[:new_pairs])
+
+        def visit(start: int, team: list[int], score: float, cost: float) -> None:
+            nonlocal best_team, best_score, explored
+            explored += 1
+            size = len(team)
+            if size >= constraints.min_size:
+                member_ids = [ids[i] for i in team]
+                if problem.is_allowed(member_ids):
+                    workers = [candidates[i] for i in team]
+                    if constraints.is_satisfied_by(workers) and score > best_score:
+                        best_score = score
+                        best_team = tuple(sorted(member_ids))
+            if size >= constraints.critical_mass:
+                return
+            if optimistic_bound(score, size, start) <= best_score:
+                return
+            for index in range(start, n):
+                new_cost = cost + costs[index]
+                if new_cost > constraints.cost_budget + 1e-12:
+                    continue
+                gain = sum(affinity.get(ids[index], ids[m]) for m in team)
+                team.append(index)
+                visit(index + 1, team, score + gain, new_cost)
+                team.pop()
+
+        visit(0, [], 0.0, 0.0)
+        if best_team is None:
+            return infeasible(self.name, explored, note="no feasible team")
+        return self._result(problem, best_team, explored)

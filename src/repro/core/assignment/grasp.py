@@ -1,0 +1,83 @@
+"""GRASP: greedy randomized adaptive search procedure.
+
+Each iteration builds a team by repeatedly sampling the next member from a
+restricted candidate list (the top-α fraction by marginal affinity gain),
+then polishes it with :class:`LocalSearchAssigner`.  Randomisation explores
+parts of the feasible region deterministic greedy never visits, typically
+closing most of the remaining gap to the exact optimum (bench E7).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment.base import (
+    AssignmentProblem,
+    AssignmentResult,
+    TeamAssigner,
+    infeasible,
+)
+from repro.core.assignment.local_search import LocalSearchAssigner
+from repro.util.rng import make_rng
+
+
+class GraspAssigner(TeamAssigner):
+    """Randomised multi-start construction + local search."""
+
+    name = "grasp"
+
+    def __init__(
+        self, seed: int = 0, iterations: int = 12, alpha: float = 0.3
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.seed = seed
+        self.iterations = iterations
+        self.alpha = alpha
+        self._local = LocalSearchAssigner()
+
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        candidates = sorted(problem.screened_workers(), key=lambda w: w.id)
+        if not candidates:
+            return infeasible(self.name, note="no screened candidates")
+        rng = make_rng(self.seed, "grasp", len(candidates))
+        constraints = problem.constraints
+        by_id = {w.id: w for w in candidates}
+        best: tuple[float, tuple[str, ...]] | None = None
+        explored = 0
+        for _ in range(self.iterations):
+            team: list[str] = [rng.choice(candidates).id]
+            cost = by_id[team[0]].factors.cost
+            feasible_snapshot: tuple[str, ...] | None = None
+            while len(team) < constraints.critical_mass:
+                gains = []
+                for candidate in candidates:
+                    if candidate.id in team:
+                        continue
+                    if cost + candidate.factors.cost > constraints.cost_budget + 1e-12:
+                        continue
+                    gains.append(
+                        (problem.affinity.marginal_gain(team, candidate.id),
+                         candidate.id)
+                    )
+                explored += len(gains)
+                if not gains:
+                    break
+                gains.sort(reverse=True)
+                cutoff = max(1, int(len(gains) * self.alpha))
+                _, chosen_id = gains[rng.randrange(cutoff)]
+                team.append(chosen_id)
+                cost += by_id[chosen_id].factors.cost
+                if len(team) >= constraints.min_size and self._feasible(problem, team):
+                    feasible_snapshot = tuple(team)
+            if feasible_snapshot is None:
+                if len(team) >= constraints.min_size and self._feasible(problem, team):
+                    feasible_snapshot = tuple(team)
+                else:
+                    continue
+            polished = self._local.improve_from(problem, list(feasible_snapshot))
+            if polished.feasible:
+                explored += polished.explored
+                if best is None or polished.affinity_score > best[0]:
+                    best = (polished.affinity_score, polished.team)
+        if best is None:
+            return infeasible(self.name, explored, note="no feasible construction")
+        return self._result(problem, best[1], explored)

@@ -1,0 +1,101 @@
+"""Greedy construction followed by hill-climbing local search.
+
+Moves considered in each round, best-improvement order:
+
+* **swap** — replace one member with one outsider,
+* **add** — join an outsider (if below the critical mass),
+* **drop** — remove a member (if above the minimum size).
+
+Every accepted move must keep the team feasible, so the search walks the
+feasible region only.  Terminates at a local optimum or ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment.base import (
+    AssignmentProblem,
+    AssignmentResult,
+    TeamAssigner,
+    infeasible,
+)
+from repro.core.assignment.greedy import GreedyAssigner
+
+
+class LocalSearchAssigner(TeamAssigner):
+    """Hill climbing over feasible teams, seeded by greedy."""
+
+    name = "local_search"
+
+    def __init__(self, max_rounds: int = 64) -> None:
+        self.max_rounds = max_rounds
+
+    def assign(self, problem: AssignmentProblem) -> AssignmentResult:
+        start = GreedyAssigner().assign(problem)
+        if not start.feasible:
+            return infeasible(self.name, start.explored, note=start.note)
+        team, score, explored = self._improve(
+            problem, list(start.team), start.affinity_score, start.explored
+        )
+        return self._result(problem, team, explored)
+
+    def improve_from(
+        self, problem: AssignmentProblem, team: list[str]
+    ) -> AssignmentResult:
+        """Public hook used by GRASP: improve an existing feasible team."""
+        if not self._feasible(problem, team):
+            return infeasible(self.name, note="seed team infeasible")
+        improved, _, explored = self._improve(
+            problem, list(team), problem.score(team), 0
+        )
+        return self._result(problem, improved, explored)
+
+    def _improve(
+        self, problem: AssignmentProblem, team: list[str], score: float, explored: int
+    ) -> tuple[tuple[str, ...], float, int]:
+        candidates = [w.id for w in problem.screened_workers()]
+        for _ in range(self.max_rounds):
+            best_move: list[str] | None = None
+            best_score = score
+            outsiders = [wid for wid in candidates if wid not in team]
+            # Swap moves.
+            for member in team:
+                reduced = [wid for wid in team if wid != member]
+                for outsider in outsiders:
+                    explored += 1
+                    candidate_team = reduced + [outsider]
+                    candidate_score = problem.score(candidate_team)
+                    if candidate_score > best_score + 1e-12 and self._feasible(
+                        problem, candidate_team
+                    ):
+                        best_move = candidate_team
+                        best_score = candidate_score
+            # Add moves.
+            if len(team) < problem.constraints.critical_mass:
+                for outsider in outsiders:
+                    explored += 1
+                    candidate_team = team + [outsider]
+                    candidate_score = problem.score(candidate_team)
+                    if candidate_score > best_score + 1e-12 and self._feasible(
+                        problem, candidate_team
+                    ):
+                        best_move = candidate_team
+                        best_score = candidate_score
+            # Drop moves (affinity can only shrink, but dropping may enable a
+            # later better swap; accept only strict improvements, which can
+            # happen when a member contributes negative marginal utility via
+            # constraints — affinity is non-negative, so drops rarely fire).
+            if len(team) > problem.constraints.min_size:
+                for member in team:
+                    explored += 1
+                    candidate_team = [wid for wid in team if wid != member]
+                    candidate_score = problem.score(candidate_team)
+                    if candidate_score > best_score + 1e-12 and self._feasible(
+                        problem, candidate_team
+                    ):
+                        best_move = candidate_team
+                        best_score = candidate_score
+            if best_move is None:
+                break
+            team = best_move
+            score = best_score
+        return tuple(sorted(team)), score, explored

@@ -1,0 +1,43 @@
+"""Worker collaboration schemes for result coordination (paper §2.3).
+
+Three schemes ensure effective result coordination once a team undertakes
+a task:
+
+* **sequential** — members improve each other's contribution through
+  dynamically generated follow-up tasks (text translation);
+* **simultaneous** — the platform first solicits each member's SNS id,
+  then generates the joint task for all members, who contribute in
+  parallel; one member submits and the result is credited to the team
+  (citizen journalism, Figure 5);
+* **hybrid** — interleaves the two in a complex dataflow (surveillance:
+  sequential fact collection + simultaneous testimonials).
+
+Schemes are pluggable through :class:`SchemeRegistry` (§3's extensibility
+claim).
+"""
+
+from repro.core.collaboration.artifacts import Document, Revision, Section
+from repro.core.collaboration.base import (
+    CollaborationContext,
+    CollaborationScheme,
+    SchemeRegistry,
+    TeamResult,
+    default_scheme_registry,
+)
+from repro.core.collaboration.hybrid import HybridScheme
+from repro.core.collaboration.sequential import SequentialScheme
+from repro.core.collaboration.simultaneous import SimultaneousScheme
+
+__all__ = [
+    "CollaborationContext",
+    "CollaborationScheme",
+    "Document",
+    "HybridScheme",
+    "Revision",
+    "SchemeRegistry",
+    "Section",
+    "SequentialScheme",
+    "SimultaneousScheme",
+    "TeamResult",
+    "default_scheme_registry",
+]

@@ -1,0 +1,132 @@
+"""Shared artefacts produced by collaborating teams.
+
+The paper delegates the communication channel to external tools (Google
+Docs in Figure 5) while Crowd4U controls task generation and result
+recording.  :class:`Document` is the in-library stand-in for that shared
+artefact: ordered sections, full revision history, per-worker
+contribution accounting.  The substitution preserves the control flow the
+demo exercises (who may edit, when the result is submitted, how it is
+credited) — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CollaborationError
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One edit of one section."""
+
+    author: str
+    before: str
+    after: str
+    time: float
+    note: str = ""
+
+
+@dataclass
+class Section:
+    """A keyed part of the shared document."""
+
+    key: str
+    heading: str = ""
+    text: str = ""
+    revisions: list[Revision] = field(default_factory=list)
+
+    @property
+    def last_author(self) -> str | None:
+        return self.revisions[-1].author if self.revisions else None
+
+
+class Document:
+    """An ordered, revision-tracked collaborative document."""
+
+    def __init__(self, doc_id: str, title: str = "") -> None:
+        self.id = doc_id
+        self.title = title
+        self._sections: dict[str, Section] = {}
+        self._order: list[str] = []
+
+    # -- structure ----------------------------------------------------------
+    def add_section(self, key: str, heading: str = "") -> Section:
+        if key in self._sections:
+            raise CollaborationError(f"section {key!r} already exists")
+        section = Section(key=key, heading=heading)
+        self._sections[key] = section
+        self._order.append(key)
+        return section
+
+    def ensure_section(self, key: str, heading: str = "") -> Section:
+        if key in self._sections:
+            return self._sections[key]
+        return self.add_section(key, heading)
+
+    def section(self, key: str) -> Section:
+        try:
+            return self._sections[key]
+        except KeyError:
+            raise CollaborationError(f"no section {key!r} in document {self.id}") from None
+
+    @property
+    def section_keys(self) -> tuple[str, ...]:
+        return tuple(self._order)
+
+    # -- editing -----------------------------------------------------------
+    def edit(
+        self, key: str, author: str, new_text: str, time: float, note: str = ""
+    ) -> Revision:
+        """Replace a section's text, recording the revision."""
+        section = self.section(key)
+        revision = Revision(
+            author=author, before=section.text, after=new_text, time=time, note=note
+        )
+        section.revisions.append(revision)
+        section.text = new_text
+        return revision
+
+    def append_text(
+        self, key: str, author: str, extra_text: str, time: float, note: str = ""
+    ) -> Revision:
+        """Append to a section (simultaneous contributors extend their part)."""
+        section = self.section(key)
+        combined = (section.text + "\n" + extra_text).strip("\n")
+        return self.edit(key, author, combined, time, note)
+
+    # -- accounting ---------------------------------------------------------
+    def merged_text(self) -> str:
+        """The whole document in section order (the merge step of §2.2)."""
+        parts: list[str] = []
+        for key in self._order:
+            section = self._sections[key]
+            if section.heading:
+                parts.append(f"## {section.heading}")
+            if section.text:
+                parts.append(section.text)
+        return "\n\n".join(parts)
+
+    def contributors(self) -> dict[str, int]:
+        """worker id → number of revisions authored."""
+        counts: dict[str, int] = {}
+        for section in self._sections.values():
+            for revision in section.revisions:
+                counts[revision.author] = counts.get(revision.author, 0) + 1
+        return counts
+
+    def revision_count(self) -> int:
+        return sum(len(s.revisions) for s in self._sections.values())
+
+    def history(self) -> list[tuple[str, Revision]]:
+        """All revisions as (section key, revision), in time order."""
+        entries = [
+            (key, revision)
+            for key, section in self._sections.items()
+            for revision in section.revisions
+        ]
+        entries.sort(key=lambda pair: pair[1].time)
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._sections)

@@ -1,0 +1,144 @@
+"""Common machinery of the collaboration schemes."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.collaboration.artifacts import Document
+from repro.core.events import EventBus
+from repro.core.tasks import Task, TaskPool
+from repro.core.teams import Team
+from repro.errors import CollaborationError
+
+
+@dataclass
+class CollaborationContext:
+    """Everything a scheme needs to run one team's collaboration."""
+
+    root_task: Task
+    team: Team
+    pool: TaskPool
+    events: EventBus
+    document: Document
+    #: Extra options from the project (e.g. hybrid stage layout).
+    options: dict[str, Any] = field(default_factory=dict)
+    #: Worker id → human factors lookup for ordering decisions.
+    worker_skill: Callable[[str], float] = lambda worker_id: 0.0
+
+    def refresh_root(self) -> Task:
+        """Re-read the root task (payload may have been updated)."""
+        self.root_task = self.pool.get(self.root_task.id)
+        return self.root_task
+
+
+@dataclass(frozen=True)
+class TeamResult:
+    """The coordinated result of one collaborative task (§2.3): submitted by
+    one member, *recorded as produced by the team*."""
+
+    task_id: str
+    team_id: str
+    payload: dict[str, Any]
+    submitted_by: str
+    time: float
+
+    @property
+    def fill_values(self) -> dict[str, Any] | None:
+        return self.payload.get("fill_values")
+
+
+class CollaborationScheme(abc.ABC):
+    """One result-coordination scheme driving a confirmed team."""
+
+    kind: str = "abstract"
+
+    #: Prefix for root-task payload keys and document section keys.  The
+    #: hybrid scheme sets a distinct prefix per stage so two sub-schemes of
+    #: the same kind never clobber each other's state.
+    payload_prefix: str = ""
+
+    def _key(self, name: str) -> str:
+        return f"{self.payload_prefix}{name}"
+
+    @abc.abstractmethod
+    def start(self, ctx: CollaborationContext, now: float) -> list[Task]:
+        """Generate the initial micro-task(s) for the team."""
+
+    @abc.abstractmethod
+    def on_micro_completed(
+        self, ctx: CollaborationContext, task: Task, result: dict[str, Any], now: float
+    ) -> list[Task]:
+        """React to a completed micro-task; return follow-up micro-tasks
+        ("tasks dynamically generated based on other members' results")."""
+
+    @abc.abstractmethod
+    def is_complete(self, ctx: CollaborationContext) -> bool:
+        """Whether the collaboration produced its final result."""
+
+    @abc.abstractmethod
+    def build_result(
+        self, ctx: CollaborationContext, submitted_by: str, now: float
+    ) -> TeamResult:
+        """Assemble the team result after :meth:`is_complete` turns true."""
+
+    # -- shared helpers ------------------------------------------------------
+    def _fill_values_from_answer(
+        self, ctx: CollaborationContext, answer: Any, text: str
+    ) -> dict[str, Any] | None:
+        """Map the final artefact onto the root task's open-predicate fill
+        columns: an explicit typed ``answer`` wins; otherwise the document
+        text fills a single text column."""
+        columns = ctx.root_task.fill_columns
+        if not columns:
+            return None
+        if isinstance(answer, dict):
+            return dict(answer)
+        if answer is not None and len(columns) == 1:
+            return {columns[0]: answer}
+        if len(columns) == 1:
+            return {columns[0]: text}
+        raise CollaborationError(
+            f"cannot map result onto fill columns {columns!r}; supply an "
+            "'answer' dict in the final micro-task result"
+        )
+
+
+class SchemeRegistry:
+    """Name → scheme factory (the §3 extensibility hook)."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], CollaborationScheme]] = {}
+
+    def register(self, name: str, factory: Callable[[], CollaborationScheme]) -> None:
+        if name in self._factories:
+            raise CollaborationError(f"scheme {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str) -> CollaborationScheme:
+        try:
+            return self._factories[name]()
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise CollaborationError(
+                f"unknown collaboration scheme {name!r} (known: {known})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+def default_scheme_registry() -> SchemeRegistry:
+    from repro.core.collaboration.hybrid import HybridScheme
+    from repro.core.collaboration.sequential import SequentialScheme
+    from repro.core.collaboration.simultaneous import SimultaneousScheme
+
+    registry = SchemeRegistry()
+    registry.register("sequential", SequentialScheme)
+    registry.register("simultaneous", SimultaneousScheme)
+    registry.register("hybrid", HybridScheme)
+    return registry

@@ -1,0 +1,231 @@
+"""Hybrid collaboration (§2.3): interleaving sequential and simultaneous.
+
+"Crowd4U allows to interleave the two result coordination schemes in a
+complex data flow.  For example, surveillance and correction tasks are
+executed as a sequential collaboration while the testimonials are provided
+simultaneously."
+
+The hybrid scheme splits the confirmed team into named *stages*, each
+running its own sub-scheme over its sub-team concurrently.  Stage layout
+comes from the project options::
+
+    options = {"stages": [
+        {"name": "facts", "scheme": "sequential", "fraction": 0.5},
+        {"name": "testimonials", "scheme": "simultaneous", "fraction": 0.5},
+    ]}
+
+The hybrid result merges every stage's artefact; it completes when all
+stages complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.core.collaboration.base import (
+    CollaborationContext,
+    CollaborationScheme,
+    TeamResult,
+)
+from repro.core.collaboration.sequential import SequentialScheme
+from repro.core.collaboration.simultaneous import SimultaneousScheme
+from repro.core.tasks import Task
+from repro.errors import CollaborationError
+
+_DEFAULT_STAGES = [
+    {"name": "facts", "scheme": "sequential", "fraction": 0.5},
+    {"name": "testimonials", "scheme": "simultaneous", "fraction": 0.5},
+]
+
+
+class HybridScheme(CollaborationScheme):
+    kind = "hybrid"
+
+    def __init__(self) -> None:
+        self._sub_schemes: dict[str, CollaborationScheme] = {}
+        self._sub_contexts: dict[str, CollaborationContext] = {}
+
+    # -- team partitioning ----------------------------------------------------
+    def _stages(self, ctx: CollaborationContext) -> list[dict[str, Any]]:
+        stages = ctx.options.get("stages") or _DEFAULT_STAGES
+        if len(stages) < 1:
+            raise CollaborationError("hybrid scheme needs at least one stage")
+        return stages
+
+    def _split_team(
+        self, ctx: CollaborationContext, stages: list[dict[str, Any]]
+    ) -> dict[str, tuple[str, ...]]:
+        """Deterministically split members across stages by declared
+        fractions (every stage gets at least one member when possible)."""
+        members = sorted(ctx.team.members, key=lambda wid: -ctx.worker_skill(wid))
+        total = len(members)
+        allocation: dict[str, tuple[str, ...]] = {}
+        cursor = 0
+        for index, stage in enumerate(stages):
+            if index == len(stages) - 1:
+                share = total - cursor  # remainder to the last stage
+            else:
+                fraction = float(stage.get("fraction", 1.0 / len(stages)))
+                share = max(1, round(total * fraction)) if total - cursor > 0 else 0
+                share = min(share, total - cursor - (len(stages) - index - 1))
+                share = max(share, 0)
+            allocation[stage["name"]] = tuple(members[cursor:cursor + share])
+            cursor += share
+        return allocation
+
+    def _sub_context(
+        self, ctx: CollaborationContext, stage_name: str, sub_members: tuple[str, ...]
+    ) -> CollaborationContext:
+        sub_team = replace(
+            ctx.team,
+            id=f"{ctx.team.id}:{stage_name}",
+            members=sub_members,
+            confirmed=frozenset(sub_members),
+        )
+        return CollaborationContext(
+            root_task=ctx.root_task,
+            team=sub_team,
+            pool=ctx.pool,
+            events=ctx.events,
+            document=ctx.document,
+            options=ctx.options,
+            worker_skill=ctx.worker_skill,
+        )
+
+    # -- scheme interface -----------------------------------------------------
+    def start(self, ctx: CollaborationContext, now: float) -> list[Task]:
+        stages = self._stages(ctx)
+        allocation = self._split_team(ctx, stages)
+        ctx.pool.update_payload(
+            ctx.root_task.id,
+            scheme=self.kind,
+            stage_allocation={k: list(v) for k, v in allocation.items()},
+            stage_done={stage["name"]: False for stage in stages},
+        )
+        tasks: list[Task] = []
+        for stage in stages:
+            name = stage["name"]
+            members = allocation[name]
+            if not members:
+                self._mark_stage_done(ctx, name, now)
+                continue
+            sub_scheme = self._make_sub_scheme(stage)
+            sub_ctx = self._sub_context(ctx, name, members)
+            self._sub_schemes[name] = sub_scheme
+            self._sub_contexts[name] = sub_ctx
+            for task in sub_scheme.start(sub_ctx, now):
+                tasks.append(self._tag(ctx, task, name))
+        ctx.events.publish(
+            "scheme.hybrid.started", now,
+            task_id=ctx.root_task.id,
+            stages={name: list(members) for name, members in allocation.items()},
+        )
+        return tasks
+
+    def _make_sub_scheme(self, stage: dict[str, Any]) -> CollaborationScheme:
+        scheme_name = stage.get("scheme", "sequential")
+        if scheme_name == "sequential":
+            sub_scheme: CollaborationScheme = SequentialScheme(
+                passes=int(stage.get("passes", 1))
+            )
+        elif scheme_name == "simultaneous":
+            sub_scheme = SimultaneousScheme()
+        else:
+            raise CollaborationError(
+                f"hybrid stage {stage.get('name')!r}: unknown sub-scheme "
+                f"{scheme_name!r}"
+            )
+        # Namespace the sub-scheme's payload/document keys by stage so two
+        # stages of the same kind never collide.
+        sub_scheme.payload_prefix = f"{stage['name']}."
+        return sub_scheme
+
+    def _tag(self, ctx: CollaborationContext, task: Task, stage_name: str) -> Task:
+        return ctx.pool.update_payload(task.id, hybrid_stage=stage_name)
+
+    def on_micro_completed(
+        self, ctx: CollaborationContext, task: Task, result: dict[str, Any], now: float
+    ) -> list[Task]:
+        stage_name = task.payload.get("hybrid_stage")
+        if stage_name is None or stage_name not in self._sub_schemes:
+            raise CollaborationError(
+                f"micro-task {task.id} carries no known hybrid stage"
+            )
+        sub_scheme = self._sub_schemes[stage_name]
+        sub_ctx = self._sub_contexts[stage_name]
+        follow_ups = [
+            self._tag(ctx, follow_up, stage_name)
+            for follow_up in sub_scheme.on_micro_completed(sub_ctx, task, result, now)
+        ]
+        if not follow_ups and self._stage_is_complete(stage_name):
+            self._mark_stage_done(ctx, stage_name, now)
+        return follow_ups
+
+    def _stage_is_complete(self, stage_name: str) -> bool:
+        sub_scheme = self._sub_schemes.get(stage_name)
+        sub_ctx = self._sub_contexts.get(stage_name)
+        if sub_scheme is None or sub_ctx is None:
+            return True
+        return sub_scheme.is_complete(sub_ctx)
+
+    def _mark_stage_done(
+        self, ctx: CollaborationContext, stage_name: str, now: float
+    ) -> None:
+        root = ctx.refresh_root()
+        stage_done = dict(root.payload.get("stage_done", {}))
+        stage_done[stage_name] = True
+        ctx.pool.update_payload(root.id, stage_done=stage_done)
+        ctx.events.publish(
+            "scheme.hybrid.stage_done", now,
+            task_id=root.id, stage=stage_name,
+        )
+
+    def contribute(
+        self, ctx: CollaborationContext, worker_id: str, content: str, now: float
+    ) -> None:
+        """Route a parallel contribution to the member's simultaneous stage."""
+        for stage_name, sub_ctx in self._sub_contexts.items():
+            sub_scheme = self._sub_schemes[stage_name]
+            if worker_id in sub_ctx.team.members and isinstance(
+                sub_scheme, SimultaneousScheme
+            ):
+                sub_scheme.contribute(sub_ctx, worker_id, content, now)
+                return
+        raise CollaborationError(
+            f"worker {worker_id} has no simultaneous stage to contribute to"
+        )
+
+    def is_complete(self, ctx: CollaborationContext) -> bool:
+        root = ctx.refresh_root()
+        stage_done = root.payload.get("stage_done")
+        if not stage_done:
+            return False
+        return all(stage_done.values())
+
+    def build_result(
+        self, ctx: CollaborationContext, submitted_by: str, now: float
+    ) -> TeamResult:
+        root = ctx.refresh_root()
+        stage_payloads: dict[str, Any] = {}
+        for stage_name, sub_scheme in self._sub_schemes.items():
+            sub_ctx = self._sub_contexts[stage_name]
+            stage_result = sub_scheme.build_result(sub_ctx, submitted_by, now)
+            stage_payloads[stage_name] = stage_result.payload
+        text = ctx.document.merged_text()
+        payload: dict[str, Any] = {
+            "text": text,
+            "stages": stage_payloads,
+            "contributors": ctx.document.contributors(),
+            "revisions": ctx.document.revision_count(),
+        }
+        fill = self._fill_values_from_answer(ctx, root.payload.get("answer"), text)
+        if fill is not None:
+            payload["fill_values"] = fill
+        return TeamResult(
+            task_id=root.id,
+            team_id=ctx.team.id,
+            payload=payload,
+            submitted_by=submitted_by,
+            time=now,
+        )

@@ -1,0 +1,141 @@
+"""Sequential collaboration (§2.3): an improvement chain.
+
+"The team members collaborate with each other through the tasks
+dynamically generated based on other members' task results.  For example,
+after a worker translates a sentence into another language, a task for
+checking the result is dynamically generated, and the result is sent to
+another team member."
+
+Implementation: members are ordered by task-relevant skill (strongest
+drafts first); member 1 receives a DRAFT micro-task, every later member
+receives a REVIEW micro-task carrying the predecessor's output.  Each
+review may *improve* the text (its result replaces the draft).  After the
+last member, the chain result becomes the team result.  Multiple passes
+are supported via the ``passes`` option.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.collaboration.base import (
+    CollaborationContext,
+    CollaborationScheme,
+    TeamResult,
+)
+from repro.core.tasks import Task, TaskKind
+from repro.errors import CollaborationError
+
+
+class SequentialScheme(CollaborationScheme):
+    kind = "sequential"
+
+    def __init__(self, passes: int = 1) -> None:
+        if passes < 1:
+            raise CollaborationError("passes must be >= 1")
+        self.passes = passes
+
+    # -- ordering -------------------------------------------------------------
+    def _chain(self, ctx: CollaborationContext) -> list[str]:
+        members = list(ctx.team.members)
+        members.sort(key=lambda wid: (-ctx.worker_skill(wid), wid))
+        return members * self.passes
+
+    # -- scheme interface ------------------------------------------------------
+    def start(self, ctx: CollaborationContext, now: float) -> list[Task]:
+        chain = self._chain(ctx)
+        ctx.pool.update_payload(
+            ctx.root_task.id,
+            **{
+                self._key("chain"): chain,
+                self._key("chain_position"): 0,
+                self._key("scheme"): self.kind,
+            },
+        )
+        ctx.document.ensure_section(self._key("body"), heading=ctx.root_task.instruction)
+        first = ctx.pool.create(
+            project_id=ctx.root_task.project_id,
+            kind=TaskKind.DRAFT,
+            instruction=ctx.root_task.instruction,
+            assignee=chain[0],
+            team_id=ctx.team.id,
+            parent_task_id=ctx.root_task.id,
+            payload={"step": 0, "previous_text": ""},
+            created_at=now,
+            choices=ctx.root_task.choices,
+        )
+        ctx.events.publish(
+            "scheme.sequential.started", now,
+            task_id=ctx.root_task.id, chain=chain,
+        )
+        return [first]
+
+    def on_micro_completed(
+        self, ctx: CollaborationContext, task: Task, result: dict[str, Any], now: float
+    ) -> list[Task]:
+        root = ctx.refresh_root()
+        chain: list[str] = list(root.payload[self._key("chain")])
+        position = int(root.payload[self._key("chain_position")])
+        text = str(result.get("text", ""))
+        answer = result.get("answer")
+        ctx.document.edit(
+            self._key("body"),
+            author=task.assignee or "unknown",
+            new_text=text,
+            time=now,
+            note=f"step {position}",
+        )
+        updates: dict[str, Any] = {self._key("chain_position"): position + 1}
+        if answer is not None:
+            updates[self._key("answer")] = answer
+        ctx.pool.update_payload(root.id, **updates)
+        next_position = position + 1
+        if next_position >= len(chain):
+            return []  # chain finished; platform will collect the result
+        follow_up = ctx.pool.create(
+            project_id=root.project_id,
+            kind=TaskKind.REVIEW,
+            instruction=(
+                f"Check and improve the previous contribution for: "
+                f"{root.instruction}"
+            ),
+            assignee=chain[next_position],
+            team_id=ctx.team.id,
+            parent_task_id=root.id,
+            payload={"step": next_position, "previous_text": text},
+            created_at=now,
+            choices=root.choices,
+        )
+        ctx.events.publish(
+            "scheme.sequential.follow_up", now,
+            task_id=root.id, step=next_position, assignee=chain[next_position],
+        )
+        return [follow_up]
+
+    def is_complete(self, ctx: CollaborationContext) -> bool:
+        root = ctx.refresh_root()
+        chain = root.payload.get(self._key("chain"))
+        if chain is None:
+            return False
+        return int(root.payload.get(self._key("chain_position"), 0)) >= len(chain)
+
+    def build_result(
+        self, ctx: CollaborationContext, submitted_by: str, now: float
+    ) -> TeamResult:
+        root = ctx.refresh_root()
+        text = ctx.document.section(self._key("body")).text
+        payload: dict[str, Any] = {
+            "text": text,
+            "revisions": ctx.document.revision_count(),
+            "contributors": ctx.document.contributors(),
+        }
+        fill = self._fill_values_from_answer(ctx, root.payload.get(self._key("answer")), text)
+        if fill is not None:
+            payload["fill_values"] = fill
+        return TeamResult(
+            task_id=root.id,
+            team_id=ctx.team.id,
+            payload=payload,
+            submitted_by=submitted_by,
+            time=now,
+        )

@@ -1,0 +1,175 @@
+"""Simultaneous collaboration (§2.3, Figure 5).
+
+"Crowd4U first assigns the task to solicit her SNS ID (e.g., Google
+account) to communicate with other members in the team.  After all the
+members are in the 'undertakes' status, the collaborative task is
+generated and assigned to all the members with the list of obtained IDs.
+The members work together with any collaboration tool (e.g., Google docs).
+The result of the collaborative task is submitted by one of the team
+members, but recorded as the result produced by the team."
+
+Stage 1 creates one SOLICIT_SNS micro-task per member; stage 2 creates a
+single JOINT task addressed to the whole team carrying the collected SNS
+ids.  Members contribute in parallel to their own section of the shared
+document; any member's submission finalises the team result.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.collaboration.base import (
+    CollaborationContext,
+    CollaborationScheme,
+    TeamResult,
+)
+from repro.core.tasks import Task, TaskKind
+from repro.errors import CollaborationError
+
+
+class SimultaneousScheme(CollaborationScheme):
+    kind = "simultaneous"
+
+    # -- scheme interface -----------------------------------------------------
+    def start(self, ctx: CollaborationContext, now: float) -> list[Task]:
+        ctx.pool.update_payload(
+            ctx.root_task.id,
+            **{
+                self._key("scheme"): self.kind,
+                self._key("sns_ids"): {},
+                self._key("joint_task_id"): None,
+                self._key("submitted"): False,
+            },
+        )
+        tasks = []
+        for member in ctx.team.members:
+            tasks.append(
+                ctx.pool.create(
+                    project_id=ctx.root_task.project_id,
+                    kind=TaskKind.SOLICIT_SNS,
+                    instruction=(
+                        "Provide your SNS account id so your team can "
+                        "communicate (e.g. a Google account)"
+                    ),
+                    assignee=member,
+                    team_id=ctx.team.id,
+                    parent_task_id=ctx.root_task.id,
+                    payload={},
+                    created_at=now,
+                )
+            )
+        ctx.events.publish(
+            "scheme.simultaneous.started", now,
+            task_id=ctx.root_task.id, members=list(ctx.team.members),
+        )
+        return tasks
+
+    def on_micro_completed(
+        self, ctx: CollaborationContext, task: Task, result: dict[str, Any], now: float
+    ) -> list[Task]:
+        root = ctx.refresh_root()
+        if task.kind is TaskKind.SOLICIT_SNS:
+            sns_ids = dict(root.payload.get(self._key("sns_ids"), {}))
+            sns_ids[task.assignee or "unknown"] = str(
+                result.get("sns_id", f"{task.assignee}@example.org")
+            )
+            ctx.pool.update_payload(root.id, **{self._key("sns_ids"): sns_ids})
+            if set(sns_ids) == set(ctx.team.members):
+                return [self._create_joint_task(ctx, sns_ids, now)]
+            return []
+        if task.kind is TaskKind.JOINT:
+            # The submitting member completed the joint task on behalf of the
+            # team (contributions were recorded through ``contribute``).
+            ctx.pool.update_payload(
+                root.id,
+                **{
+                    self._key("submitted"): True,
+                    self._key("submitted_by"): task.assignee,
+                },
+            )
+            return []
+        raise CollaborationError(
+            f"simultaneous scheme cannot handle micro-task kind {task.kind}"
+        )
+
+    def _create_joint_task(
+        self, ctx: CollaborationContext, sns_ids: dict[str, str], now: float
+    ) -> Task:
+        root = ctx.refresh_root()
+        for member in ctx.team.members:
+            ctx.document.ensure_section(
+                self._key(f"part-{member}"), heading=f"Contribution of {member}"
+            )
+        joint = ctx.pool.create(
+            project_id=root.project_id,
+            kind=TaskKind.JOINT,
+            instruction=root.instruction,
+            # The joint task is addressed to every member; whoever submits
+            # becomes its formal assignee at completion time.
+            assignee=None,
+            team_id=ctx.team.id,
+            parent_task_id=root.id,
+            payload={
+                "addressed_to": list(ctx.team.members),
+                "sns_ids": dict(sorted(sns_ids.items())),
+            },
+            created_at=now,
+            choices=root.choices,
+        )
+        ctx.pool.update_payload(root.id, **{self._key("joint_task_id"): joint.id})
+        ctx.events.publish(
+            "scheme.simultaneous.joint_created", now,
+            task_id=root.id, joint_task_id=joint.id,
+            sns_ids=dict(sorted(sns_ids.items())),
+        )
+        return joint
+
+    # -- parallel contributions ---------------------------------------------
+    def contribute(
+        self,
+        ctx: CollaborationContext,
+        worker_id: str,
+        content: str,
+        now: float,
+    ) -> None:
+        """One member writes into her section of the shared document."""
+        if worker_id not in ctx.team.members:
+            raise CollaborationError(
+                f"worker {worker_id} is not on team {ctx.team.id}"
+            )
+        root = ctx.refresh_root()
+        if root.payload.get(self._key("joint_task_id")) is None:
+            raise CollaborationError(
+                "joint task not yet created; SNS solicitation still running"
+            )
+        ctx.document.append_text(self._key(f"part-{worker_id}"), worker_id, content, now)
+        ctx.events.publish(
+            "scheme.simultaneous.contribution", now,
+            task_id=root.id, worker_id=worker_id, length=len(content),
+        )
+
+    def is_complete(self, ctx: CollaborationContext) -> bool:
+        root = ctx.refresh_root()
+        return bool(root.payload.get(self._key("submitted")))
+
+    def build_result(
+        self, ctx: CollaborationContext, submitted_by: str, now: float
+    ) -> TeamResult:
+        root = ctx.refresh_root()
+        text = ctx.document.merged_text()
+        payload: dict[str, Any] = {
+            "text": text,
+            "sns_ids": root.payload.get(self._key("sns_ids"), {}),
+            "contributors": ctx.document.contributors(),
+            "revisions": ctx.document.revision_count(),
+        }
+        fill = self._fill_values_from_answer(ctx, root.payload.get(self._key("answer")), text)
+        if fill is not None:
+            payload["fill_values"] = fill
+        return TeamResult(
+            task_id=root.id,
+            team_id=ctx.team.id,
+            payload=payload,
+            submitted_by=submitted_by,
+            time=now,
+        )

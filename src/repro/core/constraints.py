@@ -1,0 +1,259 @@
+"""Desired human factors for collaborative task assignment (Figure 3).
+
+A requester fills the constraint entry form on the project administration
+page with the *desired human factors* for team formation; this module is
+the typed model behind that form.  The constraint set follows [9]: skill
+minimums, a team quality threshold, a cost budget and the **upper critical
+mass** — "a constraint on the group size beyond which the collaboration
+effectiveness diminishes" (§1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.workers import Worker
+from repro.errors import PlatformError
+
+_AGGREGATORS = ("max", "sum", "noisy_or")
+
+
+@dataclass(frozen=True)
+class SkillRequirement:
+    """Minimum aggregated team level for one skill.
+
+    ``aggregator`` decides how members combine: ``max`` (one expert
+    suffices), ``sum`` (effort accumulates; threshold may exceed 1) or
+    ``noisy_or`` (probability at least one member succeeds).
+    """
+
+    skill: str
+    min_level: float
+    aggregator: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.aggregator not in _AGGREGATORS:
+            raise PlatformError(
+                f"unknown aggregator {self.aggregator!r}; "
+                f"expected one of {_AGGREGATORS}"
+            )
+        if self.min_level < 0:
+            raise PlatformError("min_level must be non-negative")
+
+    def team_level(self, workers: Sequence[Worker]) -> float:
+        levels = [w.factors.skill_level(self.skill) for w in workers]
+        if not levels:
+            return 0.0
+        if self.aggregator == "max":
+            return max(levels)
+        if self.aggregator == "sum":
+            return sum(levels)
+        return 1.0 - math.prod(1.0 - level for level in levels)
+
+    def satisfied_by(self, workers: Sequence[Worker]) -> bool:
+        return self.team_level(workers) >= self.min_level - 1e-12
+
+
+@dataclass(frozen=True)
+class TeamConstraints:
+    """The requester's desired human factors for one collaborative task."""
+
+    #: Minimum team size (the controller waits for at least this many
+    #: interested workers before forming a team).
+    min_size: int = 1
+    #: Upper critical mass: hard cap on team size ([9], §1).
+    critical_mass: int = 5
+    #: Per-skill minimums.
+    skills: tuple[SkillRequirement, ...] = ()
+    #: Languages every member must speak (at ``language_proficiency``).
+    required_languages: frozenset[str] = frozenset()
+    language_proficiency: float = 0.3
+    #: Team quality threshold: noisy-or of member quality (reliability ×
+    #: mean required-skill level, or plain reliability without skills).
+    quality_threshold: float = 0.0
+    #: Total cost budget (sum of member costs); volunteers cost 0.
+    cost_budget: float = math.inf
+    #: Restrict members to one region (surveillance-style tasks).
+    region: str | None = None
+    #: Recruitment deadline in platform time units (None = no deadline).
+    recruitment_deadline: float | None = None
+    #: Confirmation window: proposed members must undertake within this.
+    confirmation_window: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.min_size < 1:
+            raise PlatformError("min_size must be at least 1")
+        if self.critical_mass < self.min_size:
+            raise PlatformError(
+                f"critical mass ({self.critical_mass}) below min size "
+                f"({self.min_size})"
+            )
+        if not 0.0 <= self.quality_threshold <= 1.0:
+            raise PlatformError("quality_threshold must be within [0, 1]")
+        if self.cost_budget < 0:
+            raise PlatformError("cost_budget must be non-negative")
+
+    # -- member-level screening (used for eligibility) -------------------------
+    def member_eligible(self, worker: Worker) -> bool:
+        """Per-worker screen: languages and region.
+
+        Skills are deliberately *not* screened per worker — a team
+        aggregates skills, so a low-skill worker may still join a team that
+        an expert anchors ("skills are used to filter out unqualified
+        workers" applies at the team level and through CyLog rules).
+        """
+        for language in self.required_languages:
+            if not worker.factors.speaks(language, self.language_proficiency):
+                return False
+        if self.region is not None and worker.factors.region != self.region:
+            return False
+        return True
+
+    # -- team-level checks ---------------------------------------------------
+    def worker_quality(self, worker: Worker) -> float:
+        """One member's success probability for this task."""
+        if not self.skills:
+            return worker.factors.reliability
+        mean_skill = worker.factors.mean_skill(tuple(r.skill for r in self.skills))
+        return worker.factors.reliability * mean_skill
+
+    def team_quality(self, workers: Sequence[Worker]) -> float:
+        """Noisy-or team quality: P(at least one member succeeds)."""
+        if not workers:
+            return 0.0
+        return 1.0 - math.prod(1.0 - self.worker_quality(w) for w in workers)
+
+    def team_cost(self, workers: Sequence[Worker]) -> float:
+        return sum(w.factors.cost for w in workers)
+
+    def violations(self, workers: Sequence[Worker]) -> list[str]:
+        """Human-readable list of violated constraints (empty = feasible)."""
+        problems: list[str] = []
+        size = len(workers)
+        if size < self.min_size:
+            problems.append(f"team size {size} below minimum {self.min_size}")
+        if size > self.critical_mass:
+            problems.append(
+                f"team size {size} exceeds upper critical mass {self.critical_mass}"
+            )
+        for worker in workers:
+            if not self.member_eligible(worker):
+                problems.append(f"worker {worker.id} fails language/region screen")
+        for requirement in self.skills:
+            if not requirement.satisfied_by(workers):
+                problems.append(
+                    f"skill {requirement.skill!r} team level "
+                    f"{requirement.team_level(workers):.3f} below "
+                    f"{requirement.min_level:.3f}"
+                )
+        quality = self.team_quality(workers)
+        if quality < self.quality_threshold - 1e-12:
+            problems.append(
+                f"team quality {quality:.3f} below threshold "
+                f"{self.quality_threshold:.3f}"
+            )
+        cost = self.team_cost(workers)
+        if cost > self.cost_budget + 1e-12:
+            problems.append(
+                f"team cost {cost:.2f} exceeds budget {self.cost_budget:.2f}"
+            )
+        return problems
+
+    def is_satisfied_by(self, workers: Sequence[Worker]) -> bool:
+        return not self.violations(workers)
+
+    # -- relaxation (requester suggestions, §2.2.1) -----------------------------
+    def relax_dimension(self, dimension: str) -> "TeamConstraints | None":
+        """One relaxation step along ``dimension``; None when exhausted.
+
+        Dimensions: ``quality``, ``critical_mass``, ``min_size``, ``skill``,
+        ``budget``, ``region``, ``language``.
+        """
+        if dimension == "quality":
+            if self.quality_threshold <= 0:
+                return None
+            return replace(
+                self, quality_threshold=max(0.0, self.quality_threshold - 0.1)
+            )
+        if dimension == "critical_mass":
+            if self.critical_mass >= 12:
+                return None  # beyond any sensible collaboration size
+            return replace(self, critical_mass=self.critical_mass + 1)
+        if dimension == "min_size":
+            if self.min_size <= 1:
+                return None
+            return replace(self, min_size=self.min_size - 1)
+        if dimension == "skill":
+            positive = [r for r in self.skills if r.min_level > 0]
+            if not positive:
+                return None
+            weakest = min(positive, key=lambda r: r.min_level)
+            reduced = tuple(
+                replace(r, min_level=max(0.0, r.min_level - 0.1))
+                if r is weakest
+                else r
+                for r in self.skills
+            )
+            return replace(self, skills=reduced)
+        if dimension == "budget":
+            if self.cost_budget == math.inf:
+                return None
+            return replace(self, cost_budget=self.cost_budget * 1.25)
+        if dimension == "region":
+            if self.region is None:
+                return None
+            return replace(self, region=None)
+        if dimension == "language":
+            if not self.required_languages:
+                return None
+            dropped = sorted(self.required_languages)[-1]
+            return replace(
+                self, required_languages=self.required_languages - {dropped}
+            )
+        raise PlatformError(f"unknown relaxation dimension {dimension!r}")
+
+    RELAXATION_DIMENSIONS = (
+        "quality", "critical_mass", "min_size", "skill", "budget",
+        "region", "language",
+    )
+
+    def describe_difference(self, relaxed: "TeamConstraints") -> str:
+        """Human-readable description of how ``relaxed`` differs from self."""
+        changes: list[str] = []
+        if relaxed.quality_threshold != self.quality_threshold:
+            changes.append(
+                f"lower quality threshold to {relaxed.quality_threshold:.2f}"
+            )
+        if relaxed.critical_mass != self.critical_mass:
+            changes.append(f"raise upper critical mass to {relaxed.critical_mass}")
+        if relaxed.min_size != self.min_size:
+            changes.append(f"lower minimum team size to {relaxed.min_size}")
+        for old, new in zip(self.skills, relaxed.skills):
+            if old.min_level != new.min_level:
+                changes.append(
+                    f"lower required level of skill {old.skill!r} to "
+                    f"{new.min_level:.2f}"
+                )
+        if relaxed.cost_budget != self.cost_budget:
+            changes.append(f"increase cost budget to {relaxed.cost_budget:.2f}")
+        if relaxed.region != self.region:
+            changes.append("drop the region restriction")
+        if relaxed.required_languages != self.required_languages:
+            dropped = sorted(self.required_languages - relaxed.required_languages)
+            changes.append(f"drop required language(s) {dropped}")
+        return "; ".join(changes) or "no change"
+
+    def relaxations(self) -> list[tuple[str, "TeamConstraints"]]:
+        """Candidate single-step relaxations (one per dimension).
+
+        Used when no feasible team exists: "Crowd4U suggests to the
+        requester to update her input."
+        """
+        candidates: list[tuple[str, TeamConstraints]] = []
+        for dimension in self.RELAXATION_DIMENSIONS:
+            relaxed = self.relax_dimension(dimension)
+            if relaxed is not None:
+                candidates.append((self.describe_difference(relaxed), relaxed))
+        return candidates

@@ -1,0 +1,63 @@
+"""Platform event bus and audit trail.
+
+Every notable platform action (task generated, interest declared, team
+proposed, collaboration finished, …) is published as an :class:`Event`.
+Subscribers power the monitor, the benches' observability and the tests'
+assertions about *when* things happened.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    seq: int
+    time: float
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+Listener = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous pub/sub with a bounded in-memory audit log."""
+
+    def __init__(self, max_log: int = 100_000) -> None:
+        self._seq = itertools.count()
+        self._listeners: dict[str | None, list[Listener]] = {}
+        self._log: list[Event] = []
+        self.max_log = max_log
+
+    def subscribe(self, kind: str | None, listener: Listener) -> None:
+        """Subscribe to one event kind, or to everything with ``kind=None``."""
+        self._listeners.setdefault(kind, []).append(listener)
+
+    def publish(self, kind: str, time: float, **payload: Any) -> Event:
+        event = Event(seq=next(self._seq), time=time, kind=kind, payload=payload)
+        if len(self._log) < self.max_log:
+            self._log.append(event)
+        for listener in self._listeners.get(kind, ()):
+            listener(event)
+        for listener in self._listeners.get(None, ()):
+            listener(event)
+        return event
+
+    def log(self, kind: str | None = None) -> list[Event]:
+        """The audit trail, optionally filtered by kind."""
+        if kind is None:
+            return list(self._log)
+        return [event for event in self._log if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self._log if event.kind == kind)
+
+    def clear(self) -> None:
+        self._log.clear()

@@ -1,0 +1,124 @@
+"""Worker human factors (paper §2.2, Figure 4).
+
+Human factors combine *declared* attributes (native languages, location —
+entered when creating a Crowd4U account) with *computed* ones (skill levels
+learned from previously performed tasks, reliability).  They feed three
+mechanisms:
+
+* eligibility rules evaluated by the CyLog processor,
+* the worker affinity matrix (e.g. same-region workers get higher affinity
+  for surveillance tasks),
+* team-formation constraints (skill minimums, quality, cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import PlatformError
+
+
+def _check_unit(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise PlatformError(f"{name} must be within [0, 1], got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class HumanFactors:
+    """Immutable snapshot of one worker's human factors.
+
+    ``languages`` maps language code to proficiency in [0, 1]; native
+    languages are automatically included at proficiency 1.0.  ``skills``
+    maps skill name (e.g. ``"translation-fr"``, ``"reporting"``) to a level
+    in [0, 1].  ``cost`` is the (possibly zero — Crowd4U is volunteer-based)
+    cost of engaging the worker for one task.  ``extras`` carries
+    application-specific factors, exposed to CyLog eligibility rules.
+    """
+
+    native_languages: frozenset[str] = frozenset()
+    languages: Mapping[str, float] = field(default_factory=dict)
+    region: str = ""
+    coordinates: tuple[float, float] | None = None
+    skills: Mapping[str, float] = field(default_factory=dict)
+    reliability: float = 1.0
+    cost: float = 0.0
+    sns_id: str | None = None
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        merged = {lang: _check_unit(f"languages[{lang}]", prof)
+                  for lang, prof in dict(self.languages).items()}
+        for native in self.native_languages:
+            merged[native] = 1.0
+        object.__setattr__(self, "languages", dict(merged))
+        object.__setattr__(
+            self,
+            "skills",
+            {name: _check_unit(f"skills[{name}]", level)
+             for name, level in dict(self.skills).items()},
+        )
+        _check_unit("reliability", self.reliability)
+        if self.cost < 0:
+            raise PlatformError(f"cost must be non-negative, got {self.cost!r}")
+        object.__setattr__(self, "extras", dict(self.extras))
+
+    # -- queries ----------------------------------------------------------
+    def speaks(self, language: str, min_proficiency: float = 0.0) -> bool:
+        """Whether the worker speaks ``language`` at the given level."""
+        return self.languages.get(language, 0.0) >= max(min_proficiency, 1e-9)
+
+    def is_native(self, language: str) -> bool:
+        return language in self.native_languages
+
+    def skill_level(self, skill: str) -> float:
+        """Declared/learned level for ``skill`` (0.0 when unknown)."""
+        return self.skills.get(skill, 0.0)
+
+    def mean_skill(self, skills: tuple[str, ...]) -> float:
+        """Mean level over ``skills`` (0.0 for an empty tuple)."""
+        if not skills:
+            return 0.0
+        return sum(self.skill_level(s) for s in skills) / len(skills)
+
+    # -- evolution ----------------------------------------------------------
+    def with_skill(self, skill: str, level: float) -> "HumanFactors":
+        """Return a copy with one skill updated (used by skill estimation)."""
+        skills = dict(self.skills)
+        skills[skill] = _check_unit(f"skills[{skill}]", level)
+        return replace(self, skills=skills)
+
+    def with_reliability(self, reliability: float) -> "HumanFactors":
+        return replace(self, reliability=_check_unit("reliability", reliability))
+
+    def with_sns_id(self, sns_id: str) -> "HumanFactors":
+        return replace(self, sns_id=sns_id)
+
+    def as_fact_rows(self, worker_id: str) -> dict[str, list[tuple]]:
+        """Render the factors as CyLog fact rows, keyed by predicate.
+
+        These are the facts the platform injects so that project
+        descriptions can express eligibility declaratively::
+
+            eligible(W) :- worker_native(W, "en").
+        """
+        rows: dict[str, list[tuple]] = {
+            "worker": [(worker_id,)],
+            "worker_region": [(worker_id, self.region)],
+            "worker_reliability": [(worker_id, self.reliability)],
+        }
+        rows["worker_language"] = [
+            (worker_id, language, proficiency)
+            for language, proficiency in sorted(self.languages.items())
+        ]
+        rows["worker_native"] = [
+            (worker_id, language) for language in sorted(self.native_languages)
+        ]
+        rows["worker_skill"] = [
+            (worker_id, skill, level) for skill, level in sorted(self.skills.items())
+        ]
+        rows["worker_extra"] = [
+            (worker_id, key, str(value)) for key, value in sorted(self.extras.items())
+        ]
+        return rows

@@ -1,0 +1,500 @@
+"""The Crowd4U facade: every component of Figure 2 wired together.
+
+The platform exposes the two personas of the demo:
+
+**Requesters** register projects (a CyLog project description + desired
+human factors + collaboration scheme), watch suggestions when no feasible
+team exists, and read results.
+
+**Workers** see the tasks they are eligible for on their user page,
+declare interest, undertake (confirm) proposed team memberships, perform
+micro-tasks, contribute to joint documents and submit team results.
+
+Time advances through :meth:`step`, which performs one platform round:
+CyLog re-evaluation → dynamic task generation → eligibility computation →
+team formation attempts → deadline monitoring.
+
+>>> from repro.core import Crowd4U, HumanFactors, TeamConstraints
+>>> platform = Crowd4U(seed=1)
+>>> worker = platform.register_worker(
+...     "ann", HumanFactors(native_languages=frozenset({"en"})))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.affinity import (
+    AffinityMatrix,
+    AffinityWeights,
+    language_overlap,
+    region_proximity,
+    skill_complementarity,
+)
+from repro.core.assignment.controller import (
+    AssignmentOutcome,
+    RequesterSuggestion,
+    TaskAssignmentController,
+)
+from repro.core.assignment.base import AssignerRegistry, default_registry
+from repro.core.collaboration.base import (
+    CollaborationContext,
+    CollaborationScheme,
+    SchemeRegistry,
+    TeamResult,
+    default_scheme_registry,
+)
+from repro.core.collaboration.artifacts import Document
+from repro.core.collaboration.coordination import ResultCoordinator
+from repro.core.constraints import TeamConstraints
+from repro.core.events import Event, EventBus
+from repro.core.human_factors import HumanFactors
+from repro.core.monitor import CollaborationMonitor
+from repro.core.projects import Project, ProjectManager, SchemeKind
+from repro.core.relationships import RelationshipLedger
+from repro.core.tasks import Task, TaskKind, TaskPool, TaskStatus
+from repro.core.teams import TeamRegistry
+from repro.core.workers import Worker, WorkerManager
+from repro.cylog import CyLogProcessor, TaskRequest
+from repro.errors import CollaborationError, PlatformError
+from repro.storage import Database
+from repro.util import IdFactory
+
+
+class Crowd4U:
+    """One in-process Crowd4U deployment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        db: Database | None = None,
+        affinity_weights: AffinityWeights | None = None,
+    ) -> None:
+        self.seed = seed
+        self.now = 0.0
+        self.db = db or Database()
+        self.events = EventBus()
+        self.workers = WorkerManager(self.db)
+        self.affinity = AffinityMatrix()
+        self.affinity_weights = affinity_weights or AffinityWeights()
+        self.pool = TaskPool(self.db)
+        self.ledger = RelationshipLedger(self.db)
+        self.teams = TeamRegistry(self.db)
+        self.projects = ProjectManager(self.db)
+        self.assigners: AssignerRegistry = default_registry(seed)
+        self.schemes: SchemeRegistry = default_scheme_registry()
+        self.controller = TaskAssignmentController(
+            workers=self.workers,
+            ledger=self.ledger,
+            affinity=self.affinity,
+            pool=self.pool,
+            teams=self.teams,
+            events=self.events,
+            registry=self.assigners,
+        )
+        self.coordinator = ResultCoordinator(
+            db=self.db,
+            pool=self.pool,
+            teams=self.teams,
+            ledger=self.ledger,
+            affinity=self.affinity,
+            events=self.events,
+        )
+        self.monitor = CollaborationMonitor(
+            pool=self.pool, teams=self.teams, controller=self.controller,
+            events=self.events,
+        )
+        self._processors: dict[str, CyLogProcessor] = {}
+        self._active_schemes: dict[str, tuple[CollaborationScheme, CollaborationContext]] = {}
+        self._suggestions: dict[str, list[RequesterSuggestion]] = {}
+        self._doc_ids = IdFactory("doc", width=5)
+        self.events.subscribe("task.active", self._on_task_active)
+
+    # ------------------------------------------------------------------
+    # Worker-side API (user pages)
+    # ------------------------------------------------------------------
+    def register_worker(self, name: str, factors: HumanFactors) -> Worker:
+        """Create a worker account; factors flow into every project's CyLog
+        processor and the affinity matrix is extended incrementally."""
+        worker = self.workers.register(name, factors, joined_at=self.now)
+        self._extend_affinity(worker)
+        for processor in self._processors.values():
+            for predicate, rows in factors.as_fact_rows(worker.id).items():
+                processor.add_facts(predicate, rows)
+        self.events.publish("worker.registered", self.now, worker_id=worker.id)
+        return worker
+
+    def update_worker_factors(self, worker_id: str, factors: HumanFactors) -> Worker:
+        """Apply the worker page's human-factor edits (Figure 4)."""
+        worker = self.workers.update_factors(worker_id, factors)
+        # Re-inject facts; CyLog fact stores are additive, so eligibility
+        # rules see the union of old and new declarations.
+        for processor in self._processors.values():
+            for predicate, rows in factors.as_fact_rows(worker.id).items():
+                processor.add_facts(predicate, rows)
+        self.events.publish("worker.updated", self.now, worker_id=worker_id)
+        return worker
+
+    def eligible_tasks(self, worker_id: str) -> list[Task]:
+        """The user page's task list: pending root tasks the worker is
+        eligible for (§2.2.1 step 3)."""
+        self.workers.get(worker_id)
+        tasks = []
+        for task in self.pool.pending_root_tasks():
+            if worker_id in self.ledger.eligible_workers(task.id):
+                tasks.append(task)
+        return tasks
+
+    def declare_interest(self, worker_id: str, task_id: str) -> None:
+        """Record InterestedIn (requires eligibility)."""
+        self.ledger.declare_interest(worker_id, task_id, self.now)
+        self.events.publish(
+            "worker.interested", self.now, worker_id=worker_id, task_id=task_id
+        )
+
+    def confirm_membership(self, worker_id: str, task_id: str) -> None:
+        """A proposed member undertakes the collaborative task."""
+        task = self.pool.get(task_id)
+        if task.team_id is None:
+            raise PlatformError(f"task {task_id} has no proposed team")
+        self.controller.confirm_member(task.team_id, worker_id, self.now)
+
+    def decline_membership(self, worker_id: str, task_id: str) -> None:
+        task = self.pool.get(task_id)
+        if task.team_id is None:
+            raise PlatformError(f"task {task_id} has no proposed team")
+        self.controller.decline_member(task.team_id, worker_id, self.now)
+
+    def tasks_for_worker(self, worker_id: str) -> list[Task]:
+        """Open micro-tasks addressed to the worker, including JOINT tasks
+        addressed to her team."""
+        addressed = self.pool.micro_tasks_for(worker_id)
+        for task in self.pool.by_status(TaskStatus.PENDING):
+            if task.kind is TaskKind.JOINT and worker_id in task.payload.get(
+                "addressed_to", ()
+            ):
+                addressed.append(task)
+        return sorted(addressed, key=lambda t: t.id)
+
+    def submit_micro_result(
+        self, task_id: str, worker_id: str, result: dict[str, Any]
+    ) -> None:
+        """Complete one micro-task; the scheme may generate follow-ups and
+        the whole collaboration may finish."""
+        task = self.pool.get(task_id)
+        if task.kind is TaskKind.JOINT:
+            if worker_id not in task.payload.get("addressed_to", ()):
+                raise PlatformError(
+                    f"worker {worker_id} is not addressed by joint task {task_id}"
+                )
+            task = self.pool.set_assignee(task_id, worker_id)
+        elif task.assignee != worker_id:
+            raise PlatformError(
+                f"task {task_id} is addressed to {task.assignee!r}, "
+                f"not {worker_id!r}"
+            )
+        if task.parent_task_id is None:
+            raise PlatformError(f"task {task_id} is not a scheme micro-task")
+        completed = self.pool.complete(task_id, result)
+        self.events.publish(
+            "micro.completed", self.now,
+            task_id=task_id, worker_id=worker_id, task_kind=task.kind.value,
+        )
+        entry = self._active_schemes.get(task.parent_task_id)
+        if entry is None:
+            return  # scheme already finished (e.g. duplicate submission path)
+        scheme, ctx = entry
+        scheme.on_micro_completed(ctx, completed, result, self.now)
+        if scheme.is_complete(ctx):
+            team_result = scheme.build_result(ctx, submitted_by=worker_id, now=self.now)
+            self._finish_collaboration(ctx.root_task, team_result, result)
+
+    def contribute(self, root_task_id: str, worker_id: str, content: str) -> None:
+        """Write into the shared document of a simultaneous/hybrid task."""
+        entry = self._active_schemes.get(root_task_id)
+        if entry is None:
+            raise CollaborationError(f"task {root_task_id} has no active scheme")
+        scheme, ctx = entry
+        contribute = getattr(scheme, "contribute", None)
+        if contribute is None:
+            raise CollaborationError(
+                f"scheme {scheme.kind!r} does not accept parallel contributions"
+            )
+        contribute(ctx, worker_id, content, self.now)
+
+    # ------------------------------------------------------------------
+    # Requester-side API (admin pages)
+    # ------------------------------------------------------------------
+    def register_project(
+        self,
+        name: str,
+        requester: str,
+        cylog_source: str,
+        scheme: SchemeKind = SchemeKind.SEQUENTIAL,
+        constraints: TeamConstraints | None = None,
+        assignment_algorithm: str = "greedy",
+        options: dict[str, Any] | None = None,
+    ) -> Project:
+        """Register a project: parse the CyLog description, inject worker
+        facts and start generating tasks (Figure 2, arrow 'register')."""
+        constraints = constraints or TeamConstraints()
+        project = self.projects.register(
+            name=name,
+            requester=requester,
+            cylog_source=cylog_source,
+            scheme=scheme,
+            constraints=constraints,
+            assignment_algorithm=assignment_algorithm,
+            created_at=self.now,
+            options=options,
+        )
+        processor = CyLogProcessor(cylog_source)
+        for predicate, rows in self.workers.fact_rows().items():
+            processor.add_facts(predicate, rows)
+        processor.add_demand_listener(
+            lambda requests, pid=project.id: self._materialise_requests(pid, requests)
+        )
+        self._processors[project.id] = processor
+        processor.run()
+        self.events.publish(
+            "project.registered", self.now, project_id=project.id, name=name
+        )
+        return project
+
+    def post_task(
+        self,
+        project_id: str,
+        instruction: str,
+        kind: TaskKind = TaskKind.CUSTOM,
+        payload: dict[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> Task:
+        """Post a root collaborative task directly (outside CyLog)."""
+        project = self.projects.get(project_id)
+        if deadline is None and project.constraints.recruitment_deadline is not None:
+            deadline = self.now + project.constraints.recruitment_deadline
+        task = self.pool.create(
+            project_id=project_id,
+            kind=kind,
+            instruction=instruction,
+            payload=dict(payload or {}),
+            created_at=self.now,
+            deadline=deadline,
+        )
+        self.events.publish(
+            "task.posted", self.now, task_id=task.id, project_id=project_id
+        )
+        return task
+
+    def update_constraints(
+        self, project_id: str, constraints: TeamConstraints
+    ) -> Project:
+        """Admin form submission: new desired human factors (Figure 3)."""
+        project = self.projects.update_constraints(project_id, constraints)
+        self._suggestions.pop(project_id, None)
+        self.events.publish(
+            "project.constraints_updated", self.now, project_id=project_id
+        )
+        return project
+
+    def suggestions_for(self, project_id: str) -> list[RequesterSuggestion]:
+        """Pending requester feedback (no feasible team situations)."""
+        return list(self._suggestions.get(project_id, ()))
+
+    def processor(self, project_id: str) -> CyLogProcessor:
+        try:
+            return self._processors[project_id]
+        except KeyError:
+            raise PlatformError(
+                f"project {project_id!r} has no CyLog processor"
+            ) from None
+
+    def results_for(self, project_id: str) -> list[dict]:
+        return self.coordinator.results_for_project(project_id)
+
+    # ------------------------------------------------------------------
+    # The platform round
+    # ------------------------------------------------------------------
+    def step(self, dt: float = 1.0) -> dict[str, int]:
+        """Advance time and run one platform round."""
+        self.now += dt
+        generated_before = len(self.pool)
+        for processor in self._processors.values():
+            processor.run()
+        for task in self.pool.pending_root_tasks():
+            self._ensure_eligibility(task)
+        attempts = 0
+        proposals = 0
+        for project in self.projects.active():
+            for task in self.pool.pending_root_tasks(project.id):
+                outcome = self._attempt_assignment(project, task)
+                attempts += 1
+                if outcome.proposed:
+                    proposals += 1
+        monitor_counts = self.monitor.tick(self.now)
+        return {
+            "time": int(self.now),
+            "tasks_generated": len(self.pool) - generated_before,
+            "assignment_attempts": attempts,
+            "teams_proposed": proposals,
+            **monitor_counts,
+        }
+
+    def run_until_quiet(self, max_steps: int = 1000, dt: float = 1.0) -> int:
+        """Step until no open root tasks remain (or the step budget ends);
+        returns the number of steps taken."""
+        for steps in range(1, max_steps + 1):
+            self.step(dt)
+            if not any(t.is_root for t in self.pool.open_tasks()):
+                return steps
+        return max_steps
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _extend_affinity(self, new_worker: Worker) -> None:
+        weights = self.affinity_weights
+        total = weights.language + weights.region + weights.skill_complementarity
+        for other in self.workers.all():
+            if other.id == new_worker.id:
+                continue
+            score = (
+                weights.language * language_overlap(new_worker, other)
+                + weights.region * region_proximity(new_worker, other, weights.geo_scale_km)
+                + weights.skill_complementarity * skill_complementarity(new_worker, other)
+            ) / total
+            if score > 0.0:
+                self.affinity.set(new_worker.id, other.id, score)
+
+    def _materialise_requests(
+        self, project_id: str, requests: list[TaskRequest]
+    ) -> None:
+        """Demand listener: open-predicate demand → tasks in the pool."""
+        project = self.projects.get(project_id)
+        deadline = None
+        if project.constraints.recruitment_deadline is not None:
+            deadline = self.now + project.constraints.recruitment_deadline
+        for request in requests:
+            task = self.pool.create(
+                project_id=project_id,
+                kind=TaskKind.OPEN_FILL,
+                instruction=request.instruction,
+                predicate=request.predicate,
+                key_values=request.key_values,
+                fill_columns=request.fill_columns,
+                choices=request.choices,
+                created_at=self.now,
+                deadline=deadline,
+            )
+            self.events.publish(
+                "task.generated", self.now,
+                task_id=task.id, project_id=project_id,
+                predicate=request.predicate,
+                key=list(request.key_values),
+            )
+
+    def _ensure_eligibility(self, task: Task) -> None:
+        """Compute Eligible for one pending root task (idempotent)."""
+        project = self.projects.get(task.project_id)
+        processor = self._processors.get(task.project_id)
+        eligible_ids = self._eligible_worker_ids(project, processor, task)
+        for worker_id in eligible_ids:
+            self.ledger.mark_eligible(worker_id, task.id, self.now)
+
+    def _eligible_worker_ids(
+        self,
+        project: Project,
+        processor: CyLogProcessor | None,
+        task: Task,
+    ) -> list[str]:
+        """CyLog-driven eligibility: ``eligible_<predicate>/1`` wins over
+        ``eligible/1``; otherwise the constraint screen applies."""
+        if processor is not None:
+            idb = processor.compiled.program.idb_predicates()
+            for name in (f"eligible_{task.predicate}", "eligible"):
+                if name in idb:
+                    known = set(self.workers.ids())
+                    return sorted(
+                        value[0]
+                        for value in processor.facts(name)
+                        if value and value[0] in known
+                    )
+        return [
+            worker.id
+            for worker in self.workers.all()
+            if project.constraints.member_eligible(worker)
+        ]
+
+    def _attempt_assignment(self, project: Project, task: Task) -> AssignmentOutcome:
+        outcome = self.controller.try_assign(
+            task, project.constraints, project.assignment_algorithm, self.now
+        )
+        if outcome.suggestion is not None:
+            existing = self._suggestions.setdefault(project.id, [])
+            if not any(s.task_id == task.id for s in existing):
+                existing.append(outcome.suggestion)
+        return outcome
+
+    def _on_task_active(self, event: Event) -> None:
+        """Every member undertook the task: start the collaboration scheme."""
+        task = self.pool.get(event["task_id"])
+        project = self.projects.get(task.project_id)
+        team = self.teams.get(event["team_id"])
+        scheme = self.schemes.create(project.scheme.value)
+        document = Document(self._doc_ids.next(), title=task.instruction)
+        required_skills = tuple(r.skill for r in project.constraints.skills)
+
+        def worker_skill(worker_id: str) -> float:
+            factors = self.workers.get(worker_id).factors
+            if required_skills:
+                return factors.mean_skill(required_skills)
+            return factors.reliability
+
+        ctx = CollaborationContext(
+            root_task=task,
+            team=team,
+            pool=self.pool,
+            events=self.events,
+            document=document,
+            options=dict(project.options),
+            worker_skill=worker_skill,
+        )
+        self._active_schemes[task.id] = (scheme, ctx)
+        scheme.start(ctx, self.now)
+
+    def _finish_collaboration(
+        self, root_task: Task, team_result: TeamResult, last_micro_result: dict
+    ) -> None:
+        root_task = self.pool.get(root_task.id)
+        quality = float(
+            last_micro_result.get("quality", team_result.payload.get("quality", 1.0))
+        )
+        if root_task.predicate is not None:
+            processor = self.processor(root_task.project_id)
+            fill_values = team_result.fill_values
+            if fill_values is None:
+                raise CollaborationError(
+                    f"task {root_task.id} fills predicate "
+                    f"{root_task.predicate!r} but produced no fill values"
+                )
+            decl = processor.compiled.open_decls[root_task.predicate]
+            key_mapping = dict(zip(decl.key, root_task.key_values))
+            processor.supply_fact(root_task.predicate, key_mapping, fill_values)
+        self.coordinator.record(team_result, quality, self.now)
+        del self._active_schemes[root_task.id]
+        if root_task.predicate is not None:
+            # New facts may demand new tasks immediately.
+            self.processor(root_task.project_id).run()
+
+    # -- observability ------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Cheap structural summary used by pages, examples and benches."""
+        return {
+            "time": self.now,
+            "workers": len(self.workers),
+            "projects": len(self.projects),
+            "tasks": self.pool.counts(),
+            "teams": len(self.teams),
+            "relationships": len(self.ledger),
+            "affinity_pairs": len(self.affinity),
+        }

@@ -1,0 +1,90 @@
+"""CyLog: the Datalog-like language that drives Crowd4U.
+
+The paper (§2.1) describes CyLog as "a Datalog-like language designed for
+crowdsourcing applications with complex data flows" in which *humans can
+evaluate predicates*.  A requester writes a project description as CyLog
+rules; the CyLog processor interprets them, **dynamically generates tasks
+into the task pool**, and folds completed task results back in as facts,
+which may trigger further task generation — the engine of the paper's
+sequential / hybrid collaboration dataflows.
+
+This package implements the full pipeline:
+
+``lexer`` → ``parser`` → ``safety`` (range restriction, task-safety,
+stratification) → ``engine`` (naive and semi-naive bottom-up evaluation
+with negation and aggregates) → ``processor`` (incremental re-evaluation
+plus open-predicate task demand).
+
+Language summary
+----------------
+
+::
+
+    % worker facts are injected by the platform
+    open translate(seg: text, out: text) key (seg)
+        asking "Translate segment {seg} into French".
+
+    segment("s01"). segment("s02").
+    needs_translation(S) :- segment(S).
+    translated(S, T) :- needs_translation(S), translate(S, T).
+    done(count<S>) :- translated(S, T).
+
+* Predicates are ``lowercase`` identifiers; variables start with an
+  uppercase letter or ``_``; constants are numbers, booleans
+  (``true``/``false``), double-quoted strings or ``lowercase`` symbols.
+* ``open`` declares a *human-evaluated* predicate: the ``key`` columns are
+  bound by the engine (they identify a task) and the remaining columns are
+  filled in by crowd workers.
+* Rule bodies are conjunctions of atoms, ``not`` atoms, comparisons
+  (``<  <=  >  >=  ==  !=``) and assignments ``V = expr``.
+* Head terms may be aggregates ``count<X>``, ``sum<X>``, ``min<X>``,
+  ``max<X>``, ``avg<X>`` grouped by the remaining head variables.
+"""
+
+from repro.cylog.ast import (
+    AggregateTerm,
+    Atom,
+    Comparison,
+    Const,
+    Fact,
+    Negation,
+    OpenDecl,
+    Program,
+    Rule,
+    Var,
+)
+from repro.cylog.engine import EvaluationResult, SemiNaiveEngine, naive_evaluate
+from repro.cylog.errors import (
+    CyLogParseError,
+    CyLogSafetyError,
+    CyLogTypeError,
+    StratificationError,
+)
+from repro.cylog.open_predicates import TaskRequest
+from repro.cylog.parser import parse_program
+from repro.cylog.pretty import program_to_source
+from repro.cylog.processor import CyLogProcessor
+
+__all__ = [
+    "AggregateTerm",
+    "Atom",
+    "Comparison",
+    "Const",
+    "CyLogParseError",
+    "CyLogProcessor",
+    "CyLogSafetyError",
+    "CyLogTypeError",
+    "EvaluationResult",
+    "Fact",
+    "Negation",
+    "OpenDecl",
+    "Program",
+    "Rule",
+    "SemiNaiveEngine",
+    "StratificationError",
+    "TaskRequest",
+    "Var",
+    "naive_evaluate",
+    "parse_program",
+    "program_to_source",
+]

@@ -1,0 +1,300 @@
+"""Abstract syntax tree for CyLog programs.
+
+All nodes are immutable dataclasses; structural equality makes parser and
+pretty-printer round-trip tests straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.cylog.errors import CyLogTypeError
+
+# ---------------------------------------------------------------------------
+# Terms and arithmetic expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable (``X``, ``Worker``, ``_``).  ``_`` is anonymous:
+    every occurrence is distinct and never binds."""
+
+    name: str
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.name == "_"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant: string, symbol, int, float or bool.
+
+    ``symbol`` records whether the constant was written bare (``en``) rather
+    than quoted (``"en"``); both compare equal as values but the
+    pretty-printer preserves the original spelling.
+    """
+
+    value: Union[str, int, float, bool]
+    symbol: bool = False
+
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class BinArith:
+    """Arithmetic expression node: ``left op right`` with op in + - * /."""
+
+    op: str
+    left: "ArithExpr"
+    right: "ArithExpr"
+
+
+ArithExpr = Union[Var, Const, BinArith]
+
+
+def expr_variables(expr: ArithExpr) -> Iterator[Var]:
+    """Yield every variable occurring in an arithmetic expression."""
+    if isinstance(expr, Var):
+        if not expr.is_anonymous:
+            yield expr
+    elif isinstance(expr, BinArith):
+        yield from expr_variables(expr.left)
+        yield from expr_variables(expr.right)
+
+
+# ---------------------------------------------------------------------------
+# Literals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms: ``speaks(W, "en")``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Var]:
+        for term in self.terms:
+            if isinstance(term, Var) and not term.is_anonymous:
+                yield term
+
+    def is_ground(self) -> bool:
+        return all(isinstance(term, Const) for term in self.terms)
+
+
+@dataclass(frozen=True)
+class Negation:
+    """Negated atom: ``not blocked(W)``.  Requires stratification."""
+
+    atom: Atom
+
+    def variables(self) -> Iterator[Var]:
+        return self.atom.variables()
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Comparison between arithmetic expressions: ``Age >= 18``."""
+
+    op: str  # one of < <= > >= == !=
+    left: ArithExpr
+    right: ArithExpr
+
+    def variables(self) -> Iterator[Var]:
+        yield from expr_variables(self.left)
+        yield from expr_variables(self.right)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Binding literal ``V = expr``.
+
+    If ``V`` is already bound when the literal is reached it degenerates to
+    an equality test, matching Datalog convention.
+    """
+
+    var: Var
+    expr: ArithExpr
+
+    def variables(self) -> Iterator[Var]:
+        yield self.var
+        yield from expr_variables(self.expr)
+
+
+BodyLiteral = Union[Atom, Negation, Comparison, Assignment]
+
+
+# ---------------------------------------------------------------------------
+# Heads, rules, facts, declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """Aggregate head term such as ``count<X>`` or ``sum<Amount>``."""
+
+    func: str  # count / sum / min / max / avg
+    var: Var
+
+
+HeadTerm = Union[Var, Const, AggregateTerm]
+
+
+@dataclass(frozen=True)
+class Head:
+    """Rule head: predicate over head terms (vars, consts, aggregates)."""
+
+    predicate: str
+    terms: tuple[HeadTerm, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(term, AggregateTerm) for term in self.terms)
+
+    def group_by_vars(self) -> tuple[Var, ...]:
+        """Head variables outside aggregates — the grouping key."""
+        return tuple(t for t in self.terms if isinstance(t, Var) and not t.is_anonymous)
+
+    def aggregate_terms(self) -> tuple[AggregateTerm, ...]:
+        return tuple(t for t in self.terms if isinstance(t, AggregateTerm))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``"""
+
+    head: Head
+    body: tuple[BodyLiteral, ...]
+
+    def body_atoms(self) -> Iterator[Atom]:
+        for literal in self.body:
+            if isinstance(literal, Atom):
+                yield literal
+            elif isinstance(literal, Negation):
+                yield literal.atom
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground unit clause: ``segment("s01").``"""
+
+    atom: Atom
+
+
+@dataclass(frozen=True)
+class Param:
+    """One column of an open predicate: ``seg: text``."""
+
+    name: str
+    type: str  # text / int / float / bool
+
+    VALID_TYPES = ("text", "int", "float", "bool")
+
+    def __post_init__(self) -> None:
+        if self.type not in self.VALID_TYPES:
+            raise CyLogTypeError(
+                f"unknown parameter type {self.type!r} for {self.name!r} "
+                f"(expected one of {', '.join(self.VALID_TYPES)})"
+            )
+
+
+@dataclass(frozen=True)
+class OpenDecl:
+    """Declaration of a human-evaluated predicate.
+
+    ``key`` columns are bound by the engine and identify a task; all other
+    columns are *fill* columns answered by workers.  ``asking`` is an
+    instruction template with ``{column}`` placeholders; ``choices``
+    restricts the (single) fill column to an enumerated answer set.
+    """
+
+    name: str
+    params: tuple[Param, ...]
+    key: tuple[str, ...]
+    asking: str | None = None
+    choices: tuple[Const, ...] = ()
+
+    def __post_init__(self) -> None:
+        param_names = [p.name for p in self.params]
+        if len(set(param_names)) != len(param_names):
+            raise CyLogTypeError(f"duplicate parameter names in open {self.name!r}")
+        for key_col in self.key:
+            if key_col not in param_names:
+                raise CyLogTypeError(
+                    f"open {self.name!r}: key column {key_col!r} is not a parameter"
+                )
+        if not self.fill_columns:
+            raise CyLogTypeError(
+                f"open {self.name!r}: every column is a key column; "
+                "nothing is left for workers to fill"
+            )
+        if self.choices and len(self.fill_columns) != 1:
+            raise CyLogTypeError(
+                f"open {self.name!r}: choices require exactly one fill column"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    @property
+    def fill_columns(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params if p.name not in self.key)
+
+    @property
+    def key_positions(self) -> tuple[int, ...]:
+        return tuple(i for i, p in enumerate(self.params) if p.name in self.key)
+
+    @property
+    def fill_positions(self) -> tuple[int, ...]:
+        return tuple(i for i, p in enumerate(self.params) if p.name not in self.key)
+
+    def render_instruction(self, key_values: dict[str, object]) -> str:
+        """Fill the ``asking`` template (or a generic default) with values."""
+        template = self.asking or (
+            f"Please provide {', '.join(self.fill_columns)} for {self.name}"
+            + (" ({})".format(", ".join("{%s}" % k for k in self.key)) if self.key else "")
+        )
+        rendered = template
+        for column, value in key_values.items():
+            rendered = rendered.replace("{%s}" % column, str(value))
+        return rendered
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed CyLog program."""
+
+    opens: tuple[OpenDecl, ...] = ()
+    facts: tuple[Fact, ...] = ()
+    rules: tuple[Rule, ...] = ()
+    source: str = field(default="", compare=False)
+
+    def open_by_name(self) -> dict[str, OpenDecl]:
+        return {decl.name: decl for decl in self.opens}
+
+    def predicates(self) -> set[str]:
+        """Every predicate mentioned anywhere in the program."""
+        names = {decl.name for decl in self.opens}
+        names.update(fact.atom.predicate for fact in self.facts)
+        for rule in self.rules:
+            names.add(rule.head.predicate)
+            names.update(atom.predicate for atom in rule.body_atoms())
+        return names
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by at least one rule head."""
+        return {rule.head.predicate for rule in self.rules}

@@ -1,0 +1,95 @@
+"""Runtime evaluation of arithmetic expressions and comparisons.
+
+Semantics (documented for rule authors):
+
+* Arithmetic (``+ - * /``) requires numbers, except ``+`` which also
+  concatenates two strings.  Anything else raises :class:`CyLogTypeError`.
+* ``==`` / ``!=`` compare any two values (cross-type values are unequal).
+* Ordering comparisons (``< <= > >=``) are defined within a type family
+  (numbers with numbers, strings with strings); across families they are
+  simply *false*, so heterogeneous data filters out instead of crashing a
+  running crowdsourcing project.
+* Booleans are not numbers in CyLog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.cylog.ast import ArithExpr, BinArith, Const, Var
+from repro.cylog.errors import CyLogTypeError
+
+Value = Any  # str | int | float | bool
+
+
+def _is_number(value: Value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def eval_expr(expr: ArithExpr, bindings: Mapping[str, Value]) -> Value:
+    """Evaluate an arithmetic expression under variable ``bindings``."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return bindings[expr.name]
+        except KeyError:
+            raise CyLogTypeError(
+                f"variable {expr.name} is unbound during arithmetic evaluation"
+            ) from None
+    if isinstance(expr, BinArith):
+        left = eval_expr(expr.left, bindings)
+        right = eval_expr(expr.right, bindings)
+        return apply_arith(expr.op, left, right)
+    raise CyLogTypeError(f"not an expression: {expr!r}")
+
+
+def apply_arith(op: str, left: Value, right: Value) -> Value:
+    """Apply one arithmetic operator with CyLog's typing rules."""
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if not (_is_number(left) and _is_number(right)):
+        raise CyLogTypeError(
+            f"arithmetic {op!r} needs numbers, got {left!r} and {right!r}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise CyLogTypeError("division by zero")
+        return left / right
+    raise CyLogTypeError(f"unknown arithmetic operator {op!r}")
+
+
+def apply_comparison(op: str, left: Value, right: Value) -> bool:
+    """Apply one comparison operator with CyLog's typing rules."""
+    if op == "==":
+        return _values_equal(left, right)
+    if op == "!=":
+        return not _values_equal(left, right)
+    if _is_number(left) and _is_number(right):
+        pass  # comparable
+    elif isinstance(left, str) and isinstance(right, str):
+        pass  # comparable
+    else:
+        return False  # cross-family ordering is false, never an error
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise CyLogTypeError(f"unknown comparison operator {op!r}")
+
+
+def _values_equal(left: Value, right: Value) -> bool:
+    """Equality with bool/number separation (``true != 1`` in CyLog)."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    return left == right

@@ -1,0 +1,548 @@
+"""Bottom-up evaluation: naive reference engine and semi-naive engine.
+
+Both engines implement the same semantics — stratified Datalog with
+negation, aggregation, comparisons and assignments — over tuple stores with
+lazily built hash indexes.  :func:`naive_evaluate` exists as an oracle for
+differential testing and as the baseline for the E10 bench;
+:class:`SemiNaiveEngine` is what the CyLog processor uses, including
+incremental continuation for monotone programs when new (human-produced)
+facts arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.cylog.ast import (
+    AggregateTerm,
+    Assignment,
+    Atom,
+    Comparison,
+    Const,
+    Negation,
+    Program,
+    Var,
+)
+from repro.cylog.builtins import apply_comparison, eval_expr
+from repro.cylog.errors import CyLogTypeError
+from repro.cylog.safety import CompiledProgram, CompiledRule, compile_program
+
+Tuple_ = tuple[Any, ...]
+Bindings = dict[str, Any]
+
+
+class Relation:
+    """A set of same-arity tuples with lazily maintained hash indexes."""
+
+    __slots__ = ("arity", "_tuples", "_indexes")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self._tuples: set[Tuple_] = set()
+        self._indexes: dict[tuple[int, ...], dict[Tuple_, list[Tuple_]]] = {}
+
+    def add(self, row: Tuple_) -> bool:
+        """Insert ``row``; returns True when it was new."""
+        if row in self._tuples:
+            return False
+        self._tuples.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_many(self, rows: Iterable[Tuple_]) -> set[Tuple_]:
+        """Insert many rows, returning the subset that was new."""
+        added = set()
+        for row in rows:
+            if self.add(row):
+                added.add(row)
+        return added
+
+    def match(self, pattern: Sequence[Any]) -> Iterable[Tuple_]:
+        """Rows matching ``pattern`` (``None`` entries are wildcards)."""
+        positions = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not positions:
+            return self._tuples
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[positions] = index
+        return index.get(tuple(pattern[p] for p in positions), ())
+
+    def __contains__(self, row: Tuple_) -> bool:
+        return row in self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self._tuples)
+
+    def snapshot(self) -> frozenset:
+        return frozenset(self._tuples)
+
+
+class RelationStore:
+    """Predicate name -> :class:`Relation`, creating on first use."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def get(self, predicate: str, arity: int) -> Relation:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = Relation(arity)
+            self._relations[predicate] = relation
+        elif relation.arity != arity:
+            raise CyLogTypeError(
+                f"predicate {predicate!r} used with arity {arity}, "
+                f"stored with arity {relation.arity}"
+            )
+        return relation
+
+    def maybe(self, predicate: str) -> Relation | None:
+        return self._relations.get(predicate)
+
+    def predicates(self) -> list[str]:
+        return sorted(self._relations)
+
+    def snapshot(self) -> dict[str, frozenset]:
+        return {name: rel.snapshot() for name, rel in self._relations.items()}
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Immutable snapshot of every relation after evaluation."""
+
+    relations: Mapping[str, frozenset]
+
+    def facts(self, predicate: str) -> frozenset:
+        """All tuples of ``predicate`` (empty when unknown)."""
+        return self.relations.get(predicate, frozenset())
+
+    def sorted_facts(self, predicate: str) -> list[Tuple_]:
+        return sorted(self.facts(predicate), key=repr)
+
+    def count(self, predicate: str) -> int:
+        return len(self.facts(predicate))
+
+
+# ---------------------------------------------------------------------------
+# Joining one rule body
+# ---------------------------------------------------------------------------
+
+
+def _atom_pattern(atom: Atom, bindings: Bindings) -> list[Any]:
+    pattern: list[Any] = []
+    for term in atom.terms:
+        if isinstance(term, Const):
+            pattern.append(term.value)
+        elif term.is_anonymous or term.name not in bindings:
+            pattern.append(None)
+        else:
+            pattern.append(bindings[term.name])
+    return pattern
+
+
+def _bind_atom(atom: Atom, row: Tuple_, bindings: Bindings) -> Bindings | None:
+    """Extend ``bindings`` with the atom's fresh variables from ``row``.
+
+    Returns ``None`` when a repeated variable disagrees; constants and bound
+    variables were already enforced by the index pattern.
+    """
+    extended: Bindings | None = None
+    for position, term in enumerate(atom.terms):
+        if not isinstance(term, Var) or term.is_anonymous:
+            continue
+        value = row[position]
+        current = bindings if extended is None else extended
+        if term.name in current:
+            if current[term.name] != value or (
+                isinstance(current[term.name], bool) != isinstance(value, bool)
+            ):
+                return None
+            continue
+        if extended is None:
+            extended = dict(bindings)
+        extended[term.name] = value
+    return extended if extended is not None else dict(bindings)
+
+
+def solutions(
+    plan: Sequence,
+    store: RelationStore,
+    initial: Bindings | None = None,
+    delta_position: int | None = None,
+    delta_relation: Relation | None = None,
+) -> Iterator[Bindings]:
+    """Yield every binding satisfying ``plan`` (ordered body literals).
+
+    ``delta_position``/``delta_relation`` implement the semi-naive rewrite:
+    the positive atom at that plan position reads from the delta relation
+    instead of the full store.
+    """
+
+    def recurse(position: int, bindings: Bindings) -> Iterator[Bindings]:
+        if position == len(plan):
+            yield bindings
+            return
+        literal = plan[position]
+        if isinstance(literal, Atom):
+            if position == delta_position and delta_relation is not None:
+                relation: Relation | None = delta_relation
+            else:
+                relation = store.maybe(literal.predicate)
+            if relation is None or relation.arity != literal.arity:
+                return  # no facts yet for this predicate
+            pattern = _atom_pattern(literal, bindings)
+            for row in relation.match(pattern):
+                extended = _bind_atom(literal, row, bindings)
+                if extended is not None:
+                    yield from recurse(position + 1, extended)
+            return
+        if isinstance(literal, Negation):
+            relation = store.maybe(literal.atom.predicate)
+            if relation is not None and relation.arity == literal.atom.arity:
+                pattern = _atom_pattern(literal.atom, bindings)
+                for _ in relation.match(pattern):
+                    return  # a match defeats the negation
+            yield from recurse(position + 1, bindings)
+            return
+        if isinstance(literal, Comparison):
+            left = eval_expr(literal.left, bindings)
+            right = eval_expr(literal.right, bindings)
+            if apply_comparison(literal.op, left, right):
+                yield from recurse(position + 1, bindings)
+            return
+        if isinstance(literal, Assignment):
+            value = eval_expr(literal.expr, bindings)
+            name = literal.var.name
+            if literal.var.is_anonymous:
+                yield from recurse(position + 1, bindings)
+                return
+            if name in bindings:
+                if apply_comparison("==", bindings[name], value):
+                    yield from recurse(position + 1, bindings)
+                return
+            extended = dict(bindings)
+            extended[name] = value
+            yield from recurse(position + 1, extended)
+            return
+        raise CyLogTypeError(f"unknown literal in plan: {literal!r}")
+
+    yield from recurse(0, dict(initial or {}))
+
+
+def _head_tuple(rule: CompiledRule, bindings: Bindings) -> Tuple_:
+    values: list[Any] = []
+    for term in rule.rule.head.terms:
+        if isinstance(term, Const):
+            values.append(term.value)
+        elif isinstance(term, Var):
+            values.append(bindings[term.name])
+        else:  # pragma: no cover - aggregates handled separately
+            raise CyLogTypeError("aggregate rule evaluated as plain rule")
+    return tuple(values)
+
+
+_AGG_FUNCS = {
+    "count": lambda values: len(values),
+    "sum": lambda values: sum(values),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+def _evaluate_aggregate_rule(rule: CompiledRule, store: RelationStore) -> set[Tuple_]:
+    """Group body solutions and fold aggregates (set semantics: the
+    aggregated variable is collected as a *set* per group)."""
+    head = rule.rule.head
+    groups: dict[Tuple_, dict[str, set]] = {}
+    aggregates = head.aggregate_terms()
+    group_vars = head.group_by_vars()
+    for bindings in solutions(rule.plan, store):
+        key = tuple(bindings[v.name] for v in group_vars)
+        per_agg = groups.setdefault(key, {a.var.name: set() for a in aggregates})
+        for aggregate in aggregates:
+            per_agg[aggregate.var.name].add(bindings[aggregate.var.name])
+    derived: set[Tuple_] = set()
+    for key, per_agg in groups.items():
+        key_iter = iter(key)
+        values: list[Any] = []
+        for term in head.terms:
+            if isinstance(term, AggregateTerm):
+                collected = sorted(per_agg[term.var.name], key=repr)
+                if term.func != "count" and any(
+                    isinstance(v, bool) or not isinstance(v, (int, float))
+                    for v in collected
+                ):
+                    raise CyLogTypeError(
+                        f"aggregate {term.func}<{term.var.name}> over "
+                        "non-numeric values"
+                    )
+                values.append(_AGG_FUNCS[term.func](collected))
+            elif isinstance(term, Const):
+                values.append(term.value)
+            else:
+                values.append(next(key_iter))
+        derived.add(tuple(values))
+    return derived
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+
+
+def _load_base_facts(
+    compiled: CompiledProgram,
+    store: RelationStore,
+    extra_facts: Mapping[str, Iterable[Tuple_]] | None,
+) -> None:
+    for fact in compiled.program.facts:
+        store.get(fact.atom.predicate, fact.atom.arity).add(
+            tuple(t.value for t in fact.atom.terms)  # type: ignore[union-attr]
+        )
+    if extra_facts:
+        for predicate, rows in extra_facts.items():
+            rows = [tuple(r) for r in rows]
+            if not rows:
+                continue
+            arity = len(rows[0])
+            relation = store.get(predicate, arity)
+            for row in rows:
+                if len(row) != arity:
+                    raise CyLogTypeError(
+                        f"mixed arity facts supplied for {predicate!r}"
+                    )
+                relation.add(row)
+
+
+def naive_evaluate(
+    program: Program | CompiledProgram,
+    extra_facts: Mapping[str, Iterable[Tuple_]] | None = None,
+) -> EvaluationResult:
+    """Reference naive evaluation: recompute every rule until fixpoint.
+
+    Exponentially slower than semi-naive on recursive programs but obviously
+    correct; used as the differential-testing oracle.
+    """
+    compiled = (
+        program if isinstance(program, CompiledProgram) else compile_program(program)
+    )
+    store = RelationStore()
+    _load_base_facts(compiled, store, extra_facts)
+    for stratum in range(compiled.strata_count):
+        stratum_rules = [r for r in compiled.rules if r.stratum == stratum]
+        aggregate_rules = [r for r in stratum_rules if r.rule.head.has_aggregates]
+        plain_rules = [r for r in stratum_rules if not r.rule.head.has_aggregates]
+        for rule in aggregate_rules:
+            relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
+            for row in _evaluate_aggregate_rule(rule, store):
+                relation.add(row)
+        changed = True
+        while changed:
+            changed = False
+            for rule in plain_rules:
+                relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
+                derived = [
+                    _head_tuple(rule, bindings)
+                    for bindings in solutions(rule.plan, store)
+                ]
+                for row in derived:
+                    if relation.add(row):
+                        changed = True
+    return EvaluationResult(store.snapshot())
+
+
+class SemiNaiveEngine:
+    """Stratified semi-naive engine with incremental fact arrival.
+
+    For monotone programs (no negation, no aggregates) newly added facts are
+    propagated by continuing the semi-naive iteration from the new deltas;
+    otherwise the engine re-runs from base facts, which is always sound.
+    """
+
+    def __init__(self, program: Program | CompiledProgram) -> None:
+        self.compiled = (
+            program
+            if isinstance(program, CompiledProgram)
+            else compile_program(program)
+        )
+        self._base_facts: dict[str, set[Tuple_]] = {}
+        for fact in self.compiled.program.facts:
+            row = tuple(t.value for t in fact.atom.terms)  # type: ignore[union-attr]
+            self._base_facts.setdefault(fact.atom.predicate, set()).add(row)
+        self._store: RelationStore | None = None
+        self._pending: dict[str, set[Tuple_]] = {}
+        self.runs = 0  # full evaluations performed (observability for benches)
+
+    # -- fact management ---------------------------------------------------
+    def add_facts(self, predicate: str, rows: Iterable[Tuple_]) -> int:
+        """Queue base facts for ``predicate``; returns how many were new.
+
+        Rule-head (IDB) predicates cannot receive base facts.
+        """
+        if predicate in self.compiled.program.idb_predicates():
+            raise CyLogTypeError(
+                f"cannot add base facts to derived predicate {predicate!r}"
+            )
+        target = self._base_facts.setdefault(predicate, set())
+        pending = self._pending.setdefault(predicate, set())
+        added = 0
+        for row in rows:
+            row = tuple(row)
+            if row not in target:
+                target.add(row)
+                pending.add(row)
+                added += 1
+        return added
+
+    # -- evaluation -----------------------------------------------------------
+    def run(self) -> EvaluationResult:
+        """Evaluate to fixpoint, incrementally when possible."""
+        if (
+            self._store is not None
+            and self.compiled.is_monotone
+        ):
+            if self._pending:
+                self._continue_monotone()
+            return EvaluationResult(self._store.snapshot())
+        self._full_run()
+        return EvaluationResult(self._store.snapshot())  # type: ignore[union-attr]
+
+    def facts(self, predicate: str) -> frozenset:
+        """Current tuples of ``predicate`` (after the last :meth:`run`)."""
+        if self._store is None:
+            self.run()
+        relation = self._store.maybe(predicate)  # type: ignore[union-attr]
+        return relation.snapshot() if relation is not None else frozenset()
+
+    @property
+    def store(self) -> RelationStore:
+        if self._store is None:
+            self.run()
+        return self._store  # type: ignore[return-value]
+
+    def _full_run(self) -> None:
+        self.runs += 1
+        self._pending.clear()
+        store = RelationStore()
+        _load_base_facts(
+            self.compiled,
+            store,
+            {pred: rows for pred, rows in self._base_facts.items()},
+        )
+        for stratum in range(self.compiled.strata_count):
+            self._run_stratum(store, stratum)
+        self._store = store
+
+    def _run_stratum(self, store: RelationStore, stratum: int) -> None:
+        stratum_rules = [r for r in self.compiled.rules if r.stratum == stratum]
+        if not stratum_rules:
+            return
+        for rule in stratum_rules:
+            if rule.rule.head.has_aggregates:
+                relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
+                for row in _evaluate_aggregate_rule(rule, store):
+                    relation.add(row)
+        plain_rules = [r for r in stratum_rules if not r.rule.head.has_aggregates]
+        recursive_preds = {
+            r.rule.head.predicate
+            for r in plain_rules
+        }
+        # Round 0: full evaluation of each rule.  Solutions are materialised
+        # before insertion because recursive rules scan the very relation
+        # they derive into.
+        delta: dict[str, set[Tuple_]] = {}
+        for rule in plain_rules:
+            relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
+            rows = [
+                _head_tuple(rule, bindings)
+                for bindings in solutions(rule.plan, store)
+            ]
+            for row in rows:
+                if relation.add(row):
+                    delta.setdefault(rule.rule.head.predicate, set()).add(row)
+        # Semi-naive rounds.
+        self._semi_naive_rounds(store, plain_rules, recursive_preds, delta)
+
+    def _semi_naive_rounds(
+        self,
+        store: RelationStore,
+        plain_rules: list[CompiledRule],
+        recursive_preds: set[str],
+        delta: dict[str, set[Tuple_]],
+    ) -> None:
+        while delta:
+            delta_relations = {
+                predicate: _relation_from(rows, store.maybe(predicate))
+                for predicate, rows in delta.items()
+            }
+            next_delta: dict[str, set[Tuple_]] = {}
+            for rule in plain_rules:
+                head_pred = rule.rule.head.predicate
+                relation = store.get(head_pred, rule.rule.head.arity)
+                for position, literal in enumerate(rule.plan):
+                    if not isinstance(literal, Atom):
+                        continue
+                    if literal.predicate not in delta_relations:
+                        continue
+                    if literal.predicate not in recursive_preds:
+                        continue
+                    delta_rel = delta_relations[literal.predicate]
+                    rows = [
+                        _head_tuple(rule, bindings)
+                        for bindings in solutions(
+                            rule.plan,
+                            store,
+                            delta_position=position,
+                            delta_relation=delta_rel,
+                        )
+                    ]
+                    for row in rows:
+                        if relation.add(row):
+                            next_delta.setdefault(head_pred, set()).add(row)
+            delta = next_delta
+
+    def _continue_monotone(self) -> None:
+        """Propagate pending base facts without recomputing from scratch."""
+        store = self._store
+        assert store is not None
+        delta: dict[str, set[Tuple_]] = {}
+        for predicate, rows in self._pending.items():
+            if not rows:
+                continue
+            arity = len(next(iter(rows)))
+            relation = store.get(predicate, arity)
+            new_rows = relation.add_many(rows)
+            if new_rows:
+                delta[predicate] = new_rows
+        self._pending.clear()
+        if not delta:
+            return
+        plain_rules = [
+            r for r in self.compiled.rules if not r.rule.head.has_aggregates
+        ]
+        # In the monotone continuation every predicate behaves as recursive:
+        # any rule touching a delta predicate must refire.
+        all_preds = set(delta)
+        for rule in plain_rules:
+            all_preds.add(rule.rule.head.predicate)
+            for atom in rule.rule.body_atoms():
+                all_preds.add(atom.predicate)
+        self._semi_naive_rounds(store, plain_rules, all_preds, delta)
+
+
+def _relation_from(rows: set[Tuple_], template: Relation | None) -> Relation:
+    arity = template.arity if template is not None else len(next(iter(rows)))
+    relation = Relation(arity)
+    for row in rows:
+        relation.add(row)
+    return relation

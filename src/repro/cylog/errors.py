@@ -1,0 +1,27 @@
+"""CyLog error types, all carrying source positions where available."""
+
+from __future__ import annotations
+
+from repro.errors import CyLogError
+
+
+class CyLogParseError(CyLogError):
+    """Lexical or syntactic error in a CyLog program."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CyLogSafetyError(CyLogError):
+    """A rule violates range restriction or open-predicate task-safety."""
+
+
+class StratificationError(CyLogError):
+    """Negation or aggregation occurs inside a recursive cycle."""
+
+
+class CyLogTypeError(CyLogError):
+    """Inconsistent predicate arity or open-predicate schema mismatch."""

@@ -1,0 +1,141 @@
+"""Hand-written lexer for CyLog source text.
+
+Comments run from ``%`` or ``//`` to end of line.  Strings use double
+quotes with ``\\"``, ``\\\\``, ``\\n`` and ``\\t`` escapes.
+"""
+
+from __future__ import annotations
+
+from repro.cylog.errors import CyLogParseError
+from repro.cylog.tokens import KEYWORDS, PUNCTUATION, Token, TokenType
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert CyLog source into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if position < length and source[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = source[position]
+        # -- whitespace -------------------------------------------------------
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        # -- comments ---------------------------------------------------------
+        if char == "%" or source.startswith("//", position):
+            while position < length and source[position] != "\n":
+                advance(1)
+            continue
+        token_line, token_column = line, column
+        # -- strings ----------------------------------------------------------
+        if char == '"':
+            advance(1)
+            chunks: list[str] = []
+            while True:
+                if position >= length:
+                    raise CyLogParseError(
+                        "unterminated string literal", token_line, token_column
+                    )
+                current = source[position]
+                if current == '"':
+                    advance(1)
+                    break
+                if current == "\\":
+                    if position + 1 >= length:
+                        raise CyLogParseError(
+                            "dangling escape in string", line, column
+                        )
+                    escape = source[position + 1]
+                    if escape not in _ESCAPES:
+                        raise CyLogParseError(
+                            f"unknown escape \\{escape}", line, column
+                        )
+                    chunks.append(_ESCAPES[escape])
+                    advance(2)
+                    continue
+                if current == "\n":
+                    raise CyLogParseError(
+                        "newline inside string literal", token_line, token_column
+                    )
+                chunks.append(current)
+                advance(1)
+            tokens.append(
+                Token(TokenType.STRING, "".join(chunks), token_line, token_column)
+            )
+            continue
+        # -- numbers ----------------------------------------------------------
+        if char.isdigit() or (
+            char == "-"
+            and position + 1 < length
+            and source[position + 1].isdigit()
+            and _minus_starts_number(tokens)
+        ):
+            end = position + 1
+            seen_dot = False
+            while end < length and (source[end].isdigit() or source[end] == "."):
+                if source[end] == ".":
+                    # A trailing period ends the statement, not the number.
+                    if seen_dot or end + 1 >= length or not source[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            text = source[position:end]
+            value = float(text) if "." in text else int(text)
+            tokens.append(Token(TokenType.NUMBER, value, token_line, token_column))
+            advance(end - position)
+            continue
+        # -- identifiers / variables / keywords ---------------------------------
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[position:end]
+            if word in KEYWORDS:
+                token_type = TokenType.KEYWORD
+            elif word[0].isupper() or word[0] == "_":
+                token_type = TokenType.VARIABLE
+            else:
+                token_type = TokenType.IDENT
+            tokens.append(Token(token_type, word, token_line, token_column))
+            advance(end - position)
+            continue
+        # -- punctuation ---------------------------------------------------------
+        for punct in PUNCTUATION:
+            if source.startswith(punct, position):
+                tokens.append(Token(TokenType.PUNCT, punct, token_line, token_column))
+                advance(len(punct))
+                break
+        else:
+            raise CyLogParseError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens
+
+
+def _minus_starts_number(tokens: list[Token]) -> bool:
+    """Heuristic: ``-`` begins a negative literal unless the previous token
+    could end an operand (then it is binary subtraction)."""
+    if not tokens:
+        return True
+    previous = tokens[-1]
+    if previous.type in (TokenType.NUMBER, TokenType.STRING, TokenType.VARIABLE,
+                         TokenType.IDENT):
+        return False
+    if previous.type is TokenType.PUNCT and previous.value == ")":
+        return False
+    return True

@@ -1,0 +1,157 @@
+"""Open predicates: the bridge between rules and human workers.
+
+An *open* predicate's facts are produced by people.  The processor computes
+the **demand set** of every open predicate — the key bindings required by
+some rule body but not yet answered — and materialises each as a
+:class:`TaskRequest`.  When an answer arrives the corresponding fact enters
+the engine and evaluation continues, possibly demanding further tasks
+(this is the paper's "dynamically generates and registers tasks into the
+task pool").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cylog.ast import Const, OpenDecl, Var
+from repro.cylog.engine import RelationStore, solutions
+from repro.cylog.errors import CyLogTypeError
+from repro.cylog.safety import CompiledProgram
+
+Tuple_ = tuple[Any, ...]
+
+_PY_TYPES = {
+    "text": str,
+    "int": int,
+    "float": (int, float),
+    "bool": bool,
+}
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """A concrete unit of human work demanded by the current database state."""
+
+    predicate: str
+    key_values: tuple[Any, ...]
+    decl: OpenDecl = field(compare=False)
+
+    @property
+    def key_mapping(self) -> dict[str, Any]:
+        return dict(zip(self.decl.key, self.key_values))
+
+    @property
+    def fill_columns(self) -> tuple[str, ...]:
+        return self.decl.fill_columns
+
+    @property
+    def choices(self) -> tuple[Any, ...]:
+        return tuple(c.value for c in self.decl.choices)
+
+    @property
+    def instruction(self) -> str:
+        return self.decl.render_instruction(self.key_mapping)
+
+    def build_fact(self, fill_values: Mapping[str, Any]) -> Tuple_:
+        """Assemble the full predicate tuple from key + validated answers."""
+        return build_open_fact(self.decl, self.key_mapping, fill_values)
+
+
+def validate_fill_values(decl: OpenDecl, fill_values: Mapping[str, Any]) -> dict:
+    """Type-check a worker's answers against the open declaration."""
+    missing = set(decl.fill_columns) - set(fill_values)
+    if missing:
+        raise CyLogTypeError(
+            f"answer for {decl.name!r} missing column(s): {sorted(missing)}"
+        )
+    extra = set(fill_values) - set(decl.fill_columns)
+    if extra:
+        raise CyLogTypeError(
+            f"answer for {decl.name!r} has unexpected column(s): {sorted(extra)}"
+        )
+    validated: dict[str, Any] = {}
+    by_name = {p.name: p for p in decl.params}
+    for column, value in fill_values.items():
+        expected = _PY_TYPES[by_name[column].type]
+        if isinstance(value, bool) and by_name[column].type != "bool":
+            raise CyLogTypeError(
+                f"{decl.name}.{column}: expected {by_name[column].type}, got bool"
+            )
+        if not isinstance(value, expected):
+            raise CyLogTypeError(
+                f"{decl.name}.{column}: expected {by_name[column].type}, "
+                f"got {value!r}"
+            )
+        if by_name[column].type == "float":
+            value = float(value)
+        validated[column] = value
+    if decl.choices:
+        answer_column = decl.fill_columns[0]
+        allowed = {c.value for c in decl.choices}
+        if validated[answer_column] not in allowed:
+            raise CyLogTypeError(
+                f"{decl.name}.{answer_column}: {validated[answer_column]!r} "
+                f"is not one of the declared choices {sorted(allowed, key=repr)}"
+            )
+    return validated
+
+
+def build_open_fact(
+    decl: OpenDecl, key_values: Mapping[str, Any], fill_values: Mapping[str, Any]
+) -> Tuple_:
+    """Build the stored tuple in declaration order."""
+    validated = validate_fill_values(decl, fill_values)
+    row: list[Any] = []
+    for param in decl.params:
+        if param.name in decl.key:
+            row.append(key_values[param.name])
+        else:
+            row.append(validated[param.name])
+    return tuple(row)
+
+
+def compute_demands(
+    compiled: CompiledProgram, store: RelationStore
+) -> set[TaskRequest]:
+    """Compute the demand set of every open predicate occurrence.
+
+    For each rule and each open atom in it, the seed plan (rest of the body,
+    evaluated best-effort) yields candidate bindings; projecting them onto
+    the atom's key positions gives the task keys the rule *needs*.  Keys
+    already answered (present among the open predicate's facts) are dropped.
+    """
+    demands: set[TaskRequest] = set()
+    for rule in compiled.rules:
+        for seed in rule.seed_plans:
+            decl = seed.decl
+            answered = _answered_keys(decl, store)
+            for bindings in solutions(seed.plan, store):
+                key = _project_key(seed.open_atom, decl, bindings)
+                if key is None or key in answered:
+                    continue
+                demands.add(
+                    TaskRequest(predicate=decl.name, key_values=key, decl=decl)
+                )
+    return demands
+
+
+def _answered_keys(decl: OpenDecl, store: RelationStore) -> set[Tuple_]:
+    relation = store.maybe(decl.name)
+    if relation is None:
+        return set()
+    positions = decl.key_positions
+    return {tuple(row[p] for p in positions) for row in relation}
+
+
+def _project_key(atom, decl: OpenDecl, bindings: Mapping[str, Any]):
+    key: list[Any] = []
+    for position in decl.key_positions:
+        term = atom.terms[position]
+        if isinstance(term, Const):
+            key.append(term.value)
+        elif isinstance(term, Var) and term.name in bindings:
+            key.append(bindings[term.name])
+        else:
+            return None  # unbound key (cannot happen for task-safe rules)
+    return tuple(key)

@@ -1,0 +1,362 @@
+"""Recursive-descent parser producing :class:`repro.cylog.ast.Program`."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cylog.ast import (
+    AggregateTerm,
+    Assignment,
+    Atom,
+    BinArith,
+    BodyLiteral,
+    Comparison,
+    Const,
+    Fact,
+    Head,
+    HeadTerm,
+    Negation,
+    OpenDecl,
+    Param,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+from repro.cylog.errors import CyLogParseError, CyLogTypeError
+from repro.cylog.lexer import tokenize
+from repro.cylog.tokens import AGGREGATE_FUNCS, Token, TokenType
+
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.source = source
+
+    # -- token plumbing ---------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.current
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise CyLogParseError(
+                f"expected {value!r}, found {token.describe()}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_type(self, token_type: TokenType, what: str) -> Token:
+        token = self.current
+        if token.type is not token_type:
+            raise CyLogParseError(
+                f"expected {what}, found {token.describe()}", token.line, token.column
+            )
+        return self.advance()
+
+    def at_punct(self, *values: str) -> bool:
+        return self.current.type is TokenType.PUNCT and self.current.value in values
+
+    def at_keyword(self, value: str) -> bool:
+        return self.current.type is TokenType.KEYWORD and self.current.value == value
+
+    # -- grammar ------------------------------------------------------------------
+    def parse(self) -> Program:
+        opens: list[OpenDecl] = []
+        facts: list[Fact] = []
+        rules: list[Rule] = []
+        while self.current.type is not TokenType.EOF:
+            if self.at_keyword("open"):
+                opens.append(self.parse_open_decl())
+            else:
+                statement = self.parse_clause()
+                if isinstance(statement, Fact):
+                    facts.append(statement)
+                else:
+                    rules.append(statement)
+        program = Program(
+            opens=tuple(opens), facts=tuple(facts), rules=tuple(rules),
+            source=self.source,
+        )
+        _check_consistent_arities(program)
+        return program
+
+    def parse_open_decl(self) -> OpenDecl:
+        self.advance()  # 'open'
+        name = self.expect_type(TokenType.IDENT, "predicate name").value
+        self.expect_punct("(")
+        params: list[Param] = []
+        while True:
+            param_name = self.expect_type(TokenType.IDENT, "parameter name").value
+            self.expect_punct(":")
+            type_token = self.expect_type(TokenType.IDENT, "parameter type")
+            try:
+                params.append(Param(param_name, type_token.value))
+            except CyLogTypeError as exc:
+                raise CyLogParseError(str(exc), type_token.line, type_token.column)
+            if self.at_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct(")")
+        key: list[str] = []
+        if self.at_keyword("key"):
+            self.advance()
+            self.expect_punct("(")
+            while True:
+                key.append(self.expect_type(TokenType.IDENT, "key column").value)
+                if self.at_punct(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_punct(")")
+        asking: str | None = None
+        if self.at_keyword("asking"):
+            self.advance()
+            asking = self.expect_type(TokenType.STRING, "instruction string").value
+        choices: list[Const] = []
+        if self.at_keyword("choices"):
+            self.advance()
+            self.expect_punct("(")
+            while True:
+                choices.append(self.parse_constant())
+                if self.at_punct(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_punct(")")
+        token = self.current
+        self.expect_punct(".")
+        try:
+            return OpenDecl(
+                name=name,
+                params=tuple(params),
+                key=tuple(key),
+                asking=asking,
+                choices=tuple(choices),
+            )
+        except CyLogTypeError as exc:
+            raise CyLogParseError(str(exc), token.line, token.column)
+
+    def parse_clause(self) -> Fact | Rule:
+        head = self.parse_head()
+        if self.at_punct(":-"):
+            self.advance()
+            body: list[BodyLiteral] = [self.parse_body_literal()]
+            while self.at_punct(","):
+                self.advance()
+                body.append(self.parse_body_literal())
+            self.expect_punct(".")
+            return Rule(head=head, body=tuple(body))
+        token = self.current
+        self.expect_punct(".")
+        if head.has_aggregates:
+            raise CyLogParseError(
+                "facts cannot contain aggregates", token.line, token.column
+            )
+        terms: list[Const] = []
+        for term in head.terms:
+            if not isinstance(term, Const):
+                raise CyLogParseError(
+                    f"facts must be ground; {head.predicate!r} has a variable",
+                    token.line,
+                    token.column,
+                )
+            terms.append(term)
+        return Fact(Atom(head.predicate, tuple(terms)))
+
+    def parse_head(self) -> Head:
+        name = self.expect_type(TokenType.IDENT, "predicate name").value
+        terms: list[HeadTerm] = []
+        if self.at_punct("("):
+            self.advance()
+            if not self.at_punct(")"):
+                terms.append(self.parse_head_term())
+                while self.at_punct(","):
+                    self.advance()
+                    terms.append(self.parse_head_term())
+            self.expect_punct(")")
+        return Head(predicate=name, terms=tuple(terms))
+
+    def parse_head_term(self) -> HeadTerm:
+        token = self.current
+        if (
+            token.type is TokenType.IDENT
+            and token.value in AGGREGATE_FUNCS
+            and self.peek().type is TokenType.PUNCT
+            and self.peek().value == "<"
+        ):
+            self.advance()  # function name
+            self.advance()  # '<'
+            var_token = self.expect_type(TokenType.VARIABLE, "aggregate variable")
+            self.expect_punct(">")
+            return AggregateTerm(func=token.value, var=Var(var_token.value))
+        return self.parse_term()
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.type is TokenType.VARIABLE:
+            self.advance()
+            return Var(token.value)
+        return self.parse_constant()
+
+    def parse_constant(self) -> Const:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Const(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Const(token.value)
+        if token.type is TokenType.KEYWORD and token.value in ("true", "false"):
+            self.advance()
+            return Const(token.value == "true")
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return Const(token.value, symbol=True)
+        raise CyLogParseError(
+            f"expected a constant, found {token.describe()}",
+            token.line,
+            token.column,
+        )
+
+    def parse_body_literal(self) -> BodyLiteral:
+        if self.at_keyword("not"):
+            self.advance()
+            atom = self.parse_body_atom()
+            return Negation(atom)
+        # Atom if IDENT '(' and not followed by comparison; otherwise expression.
+        if (
+            self.current.type is TokenType.IDENT
+            and self.peek().type is TokenType.PUNCT
+            and self.peek().value == "("
+        ):
+            return self.parse_body_atom()
+        # Assignment: VARIABLE '=' expr
+        if (
+            self.current.type is TokenType.VARIABLE
+            and self.peek().type is TokenType.PUNCT
+            and self.peek().value == "="
+        ):
+            var_token = self.advance()
+            self.advance()  # '='
+            expr = self.parse_arith_expr()
+            return Assignment(var=Var(var_token.value), expr=expr)
+        left = self.parse_arith_expr()
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value in _COMPARISON_OPS:
+            self.advance()
+            right = self.parse_arith_expr()
+            return Comparison(op=token.value, left=left, right=right)
+        if token.type is TokenType.PUNCT and token.value == "=":
+            raise CyLogParseError(
+                "'=' requires a variable on the left; use '==' for equality",
+                token.line,
+                token.column,
+            )
+        raise CyLogParseError(
+            f"expected a comparison operator, found {token.describe()}",
+            token.line,
+            token.column,
+        )
+
+    def parse_body_atom(self) -> Atom:
+        name = self.expect_type(TokenType.IDENT, "predicate name").value
+        terms: list[Term] = []
+        self.expect_punct("(")
+        if not self.at_punct(")"):
+            terms.append(self.parse_term())
+            while self.at_punct(","):
+                self.advance()
+                terms.append(self.parse_term())
+        self.expect_punct(")")
+        return Atom(predicate=name, terms=tuple(terms))
+
+    # -- arithmetic expressions -----------------------------------------------
+    def parse_arith_expr(self):
+        node = self.parse_arith_term()
+        while self.at_punct("+", "-"):
+            op = self.advance().value
+            right = self.parse_arith_term()
+            node = BinArith(op=op, left=node, right=right)
+        return node
+
+    def parse_arith_term(self):
+        node = self.parse_arith_factor()
+        while self.at_punct("*", "/"):
+            op = self.advance().value
+            right = self.parse_arith_factor()
+            node = BinArith(op=op, left=node, right=right)
+        return node
+
+    def parse_arith_factor(self):
+        if self.at_punct("("):
+            self.advance()
+            node = self.parse_arith_expr()
+            self.expect_punct(")")
+            return node
+        token = self.current
+        if token.type is TokenType.VARIABLE:
+            self.advance()
+            return Var(token.value)
+        return self.parse_constant()
+
+
+def parse_program(source: str) -> Program:
+    """Parse CyLog ``source`` into a :class:`Program`.
+
+    Raises :class:`CyLogParseError` with line/column on malformed input and
+    :class:`CyLogTypeError` on inconsistent predicate arities.
+    """
+    return _Parser(source).parse()
+
+
+def _check_consistent_arities(program: Program) -> None:
+    """Every predicate must be used with a single arity; open predicates must
+    match their declared schema everywhere they appear."""
+    arities: dict[str, int] = {decl.name: decl.arity for decl in program.opens}
+
+    def check(predicate: str, arity: int, where: str) -> None:
+        known = arities.get(predicate)
+        if known is None:
+            arities[predicate] = arity
+        elif known != arity:
+            raise CyLogTypeError(
+                f"predicate {predicate!r} used with arity {arity} in {where} "
+                f"but previously with arity {known}"
+            )
+
+    for fact in program.facts:
+        check(fact.atom.predicate, fact.atom.arity, "a fact")
+    for rule in program.rules:
+        check(rule.head.predicate, rule.head.arity, "a rule head")
+        for atom in rule.body_atoms():
+            check(atom.predicate, atom.arity, "a rule body")
+    open_names = {decl.name for decl in program.opens}
+    for rule in program.rules:
+        if rule.head.predicate in open_names:
+            raise CyLogTypeError(
+                f"open predicate {rule.head.predicate!r} cannot be a rule head; "
+                "its facts come from workers"
+            )
+    for fact in program.facts:
+        if fact.atom.predicate in open_names:
+            raise CyLogTypeError(
+                f"open predicate {fact.atom.predicate!r} cannot be asserted "
+                "as a program fact"
+            )

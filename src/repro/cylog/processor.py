@@ -1,0 +1,166 @@
+"""The CyLog processor: program lifecycle + dynamic task generation.
+
+This is the component labelled "CyLog Processor" in Figure 2 of the paper:
+it stores the declarative project description, evaluates it against the
+current fact base, emits task requests for unanswered open-predicate keys,
+and folds worker answers back in — re-deriving and re-demanding until the
+project reaches quiescence.
+
+>>> from repro.cylog import CyLogProcessor
+>>> source = '''
+... open translate(seg: text, out: text) key (seg) asking "Translate {seg}".
+... segment("s1"). segment("s2").
+... translated(S, T) :- segment(S), translate(S, T).
+... '''
+>>> processor = CyLogProcessor(source)
+>>> sorted(r.key_values for r in processor.pending_requests())
+[('s1',), ('s2',)]
+>>> request = processor.request_for("translate", ("s1",))
+>>> _ = processor.supply_answer(request, {"out": "S1-FR"})
+>>> processor.facts("translated")
+frozenset({('s1', 'S1-FR')})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.cylog.ast import Program
+from repro.cylog.engine import EvaluationResult, SemiNaiveEngine
+from repro.cylog.errors import CyLogTypeError
+from repro.cylog.open_predicates import (
+    TaskRequest,
+    build_open_fact,
+    compute_demands,
+)
+from repro.cylog.parser import parse_program
+from repro.cylog.safety import compile_program
+
+Tuple_ = tuple[Any, ...]
+
+#: Called with the batch of newly demanded task requests after each re-run.
+DemandListener = Callable[[list[TaskRequest]], None]
+
+
+class CyLogProcessor:
+    """Interprets one CyLog project description (paper §2.1)."""
+
+    def __init__(self, source: str | Program) -> None:
+        program = parse_program(source) if isinstance(source, str) else source
+        self.compiled = compile_program(program)
+        self.engine = SemiNaiveEngine(self.compiled)
+        self._answered: set[tuple[str, Tuple_]] = set()
+        self._seen_requests: dict[tuple[str, Tuple_], TaskRequest] = {}
+        self._listeners: list[DemandListener] = []
+        self._dirty = True
+
+    @property
+    def program(self) -> Program:
+        return self.compiled.program
+
+    # -- observers -----------------------------------------------------------
+    def add_demand_listener(self, listener: DemandListener) -> None:
+        """Register a callback receiving each batch of *new* task requests."""
+        self._listeners.append(listener)
+
+    # -- fact input ------------------------------------------------------------
+    def add_facts(self, predicate: str, rows: Iterable[Tuple_]) -> int:
+        """Add extensional facts (e.g. worker profiles injected by the
+        platform); marks the processor dirty for re-evaluation."""
+        added = self.engine.add_facts(predicate, rows)
+        if added:
+            self._dirty = True
+        return added
+
+    def supply_answer(
+        self, request: TaskRequest, fill_values: Mapping[str, Any]
+    ) -> Tuple_:
+        """Record a worker answer for ``request`` and re-evaluate.
+
+        Returns the stored fact tuple.  Multiple answers for the same key
+        are allowed (different workers may contribute different tuples);
+        the *demand* disappears after the first answer.
+        """
+        fact = request.build_fact(fill_values)
+        self.engine.add_facts(request.predicate, [fact])
+        self._answered.add((request.predicate, request.key_values))
+        self._dirty = True
+        return fact
+
+    def supply_fact(
+        self,
+        predicate: str,
+        key_values: Mapping[str, Any],
+        fill_values: Mapping[str, Any],
+    ) -> Tuple_:
+        """Like :meth:`supply_answer` without a request object in hand."""
+        decl = self.compiled.open_decls.get(predicate)
+        if decl is None:
+            raise CyLogTypeError(f"{predicate!r} is not an open predicate")
+        fact = build_open_fact(decl, dict(key_values), fill_values)
+        self.engine.add_facts(predicate, [fact])
+        key = tuple(key_values[k] for k in decl.key)
+        self._answered.add((predicate, key))
+        self._dirty = True
+        return fact
+
+    # -- evaluation & demand ------------------------------------------------------
+    def run(self) -> EvaluationResult:
+        """Re-evaluate if dirty; returns the current result snapshot."""
+        result = self.engine.run()
+        if self._dirty:
+            self._dirty = False
+            new_requests = self._refresh_demands()
+            if new_requests:
+                for listener in self._listeners:
+                    listener(new_requests)
+        return result
+
+    def _refresh_demands(self) -> list[TaskRequest]:
+        demands = compute_demands(self.compiled, self.engine.store)
+        fresh: list[TaskRequest] = []
+        for request in sorted(demands, key=lambda r: (r.predicate, repr(r.key_values))):
+            identity = (request.predicate, request.key_values)
+            if identity not in self._seen_requests:
+                self._seen_requests[identity] = request
+                fresh.append(request)
+        return fresh
+
+    def pending_requests(self) -> list[TaskRequest]:
+        """Task requests demanded now and not yet answered (sorted)."""
+        self.run()
+        pending = [
+            request
+            for identity, request in self._seen_requests.items()
+            if identity not in self._answered
+        ]
+        pending.sort(key=lambda r: (r.predicate, repr(r.key_values)))
+        return pending
+
+    def request_for(self, predicate: str, key_values: Tuple_) -> TaskRequest:
+        """Look up a pending request by predicate and key tuple."""
+        self.run()
+        request = self._seen_requests.get((predicate, tuple(key_values)))
+        if request is None:
+            raise CyLogTypeError(
+                f"no task request for {predicate!r} with key {tuple(key_values)!r}"
+            )
+        return request
+
+    def is_quiescent(self) -> bool:
+        """True when no human input is currently demanded."""
+        return not self.pending_requests()
+
+    # -- inspection ---------------------------------------------------------------
+    def facts(self, predicate: str) -> frozenset:
+        """Current facts of ``predicate`` after (re-)evaluation."""
+        self.run()
+        return self.engine.facts(predicate)
+
+    def sorted_facts(self, predicate: str) -> list[Tuple_]:
+        return sorted(self.facts(predicate), key=repr)
+
+    def relation_sizes(self) -> dict[str, int]:
+        self.run()
+        store = self.engine.store
+        return {name: len(store.maybe(name) or ()) for name in store.predicates()}

@@ -1,0 +1,356 @@
+"""Static analysis: rule compilation, safety and stratification.
+
+Three properties are established before a program may run:
+
+**Range restriction (safety).**  Every rule body must admit an evaluation
+order in which each negation, comparison and arithmetic operand is fully
+bound when reached, and every head variable is bound by the body.
+
+**Task-safety.**  For every *open* (human-evaluated) atom in a rule body,
+the variables in its key positions must be derivable from the rest of the
+body without consulting the open atom itself — otherwise the processor
+could not know which tasks to generate.  The derivation may go through
+*other* open predicates, which is exactly how sequential dataflows chain
+human steps (translate → verify).
+
+**Stratification.**  Negation and aggregation must not occur inside a
+recursive cycle.  Each predicate is assigned a stratum; rules are evaluated
+stratum by stratum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cylog.ast import (
+    Assignment,
+    Atom,
+    BodyLiteral,
+    Comparison,
+    Const,
+    Negation,
+    OpenDecl,
+    Program,
+    Rule,
+    Var,
+    expr_variables,
+)
+from repro.cylog.errors import CyLogSafetyError, StratificationError
+from repro.cylog.pretty import rule_to_source
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """How to compute task demand for one open atom occurrence.
+
+    ``plan`` is the ordered sub-body to evaluate; the resulting bindings are
+    projected onto the open atom's key positions.
+    """
+
+    open_atom: Atom
+    decl: OpenDecl
+    plan: tuple[BodyLiteral, ...]
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule with its evaluation order, stratum and open-atom seed plans."""
+
+    rule: Rule
+    plan: tuple[BodyLiteral, ...]
+    stratum: int
+    seed_plans: tuple[SeedPlan, ...]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """Statically validated program ready for evaluation."""
+
+    program: Program
+    rules: tuple[CompiledRule, ...]
+    strata_count: int
+    predicate_strata: dict[str, int] = field(compare=False)
+    is_monotone: bool = True
+
+    @property
+    def open_decls(self) -> dict[str, OpenDecl]:
+        return self.program.open_by_name()
+
+
+# ---------------------------------------------------------------------------
+# Plan construction (greedy sideways-information-passing order)
+# ---------------------------------------------------------------------------
+
+
+def _literal_binds(literal: BodyLiteral) -> set[str]:
+    """Variables a literal *can* bind once executed."""
+    if isinstance(literal, Atom):
+        return {v.name for v in literal.variables()}
+    if isinstance(literal, Assignment):
+        return {literal.var.name} if not literal.var.is_anonymous else set()
+    return set()
+
+
+def _literal_needs(literal: BodyLiteral) -> set[str]:
+    """Variables that must already be bound for the literal to be ready."""
+    if isinstance(literal, Atom):
+        return set()  # positive atoms generate bindings
+    if isinstance(literal, Negation):
+        return {v.name for v in literal.variables()}
+    if isinstance(literal, Comparison):
+        return {v.name for v in literal.variables()}
+    if isinstance(literal, Assignment):
+        return {v.name for v in expr_variables(literal.expr)}
+    raise TypeError(f"not a body literal: {literal!r}")
+
+
+def _atom_bound_score(atom: Atom, bound: set[str]) -> tuple[int, int]:
+    """Order heuristic: prefer atoms with more bound terms (selective joins)
+    and fewer fresh variables."""
+    bound_terms = 0
+    fresh = 0
+    for term in atom.terms:
+        if isinstance(term, Const):
+            bound_terms += 1
+        elif isinstance(term, Var) and term.name in bound:
+            bound_terms += 1
+        else:
+            fresh += 1
+    return (-bound_terms, fresh)
+
+
+def build_plan(
+    literals: Iterable[BodyLiteral],
+    exclude: BodyLiteral | None = None,
+    best_effort: bool = False,
+) -> tuple[tuple[BodyLiteral, ...], set[str]]:
+    """Greedily order ``literals`` so every literal is ready when reached.
+
+    Returns ``(plan, bound_variables)``.  With ``best_effort=True`` the
+    builder stops silently when nothing more is ready (used for seed plans);
+    otherwise unplaceable literals raise :class:`CyLogSafetyError`.
+    """
+    remaining = [lit for lit in literals if lit is not exclude]
+    plan: list[BodyLiteral] = []
+    bound: set[str] = set()
+    while remaining:
+        ready_filters = [
+            lit
+            for lit in remaining
+            if not isinstance(lit, Atom) and _literal_needs(lit) <= bound
+        ]
+        if ready_filters:
+            chosen = ready_filters[0]  # cheap filters as early as possible
+        else:
+            atoms = [lit for lit in remaining if isinstance(lit, Atom)]
+            if not atoms:
+                if best_effort:
+                    break
+                stuck = ", ".join(sorted(_literal_needs(remaining[0]) - bound))
+                raise CyLogSafetyError(
+                    f"unsafe rule: variable(s) {stuck} are never bound by a "
+                    "positive literal"
+                )
+            chosen = min(
+                atoms,
+                key=lambda atom: (
+                    _atom_bound_score(atom, bound),
+                    remaining.index(atom),
+                ),
+            )
+        plan.append(chosen)
+        remaining.remove(chosen)
+        bound |= _literal_binds(chosen)
+    return tuple(plan), bound
+
+
+# ---------------------------------------------------------------------------
+# Stratification
+# ---------------------------------------------------------------------------
+
+
+def _dependency_edges(program: Program) -> list[tuple[str, str, bool]]:
+    """Edges ``(body_pred, head_pred, is_negative)``; aggregates make every
+    body dependency negative (the head stratum must strictly exceed them)."""
+    edges: list[tuple[str, str, bool]] = []
+    for rule in program.rules:
+        aggregated = rule.head.has_aggregates
+        for literal in rule.body:
+            if isinstance(literal, Atom):
+                edges.append((literal.predicate, rule.head.predicate, aggregated))
+            elif isinstance(literal, Negation):
+                edges.append((literal.atom.predicate, rule.head.predicate, True))
+    return edges
+
+
+def stratify(program: Program) -> tuple[dict[str, int], int]:
+    """Assign a stratum to every predicate.
+
+    Returns ``(predicate -> stratum, number_of_strata)``; raises
+    :class:`StratificationError` when negation/aggregation is recursive.
+    """
+    predicates = sorted(program.predicates())
+    edges = _dependency_edges(program)
+    sccs = _tarjan_sccs(predicates, edges)
+    component_of = {
+        pred: index for index, component in enumerate(sccs) for pred in component
+    }
+    # Negative edge inside one SCC => unstratifiable.
+    for source, target, negative in edges:
+        if negative and component_of[source] == component_of[target]:
+            raise StratificationError(
+                f"negation/aggregation through recursion between "
+                f"{source!r} and {target!r}"
+            )
+    # Longest path over the condensation: negative edges add one stratum.
+    strata = [0] * len(sccs)
+    # SCCs from Tarjan come out in reverse topological order.
+    for component_index in range(len(sccs) - 1, -1, -1):
+        for source, target, negative in edges:
+            if component_of[target] != component_index:
+                continue
+            source_component = component_of[source]
+            if source_component == component_index:
+                continue
+            candidate = strata[source_component] + (1 if negative else 0)
+            if candidate > strata[component_index]:
+                strata[component_index] = candidate
+    predicate_strata = {
+        pred: strata[component_of[pred]] for pred in predicates
+    }
+    strata_count = max(strata) + 1 if strata else 1
+    return predicate_strata, strata_count
+
+
+def _tarjan_sccs(
+    nodes: list[str], edges: list[tuple[str, str, bool]]
+) -> list[list[str]]:
+    """Iterative Tarjan; returns SCCs in reverse topological order."""
+    adjacency: dict[str, list[str]] = {node: [] for node in nodes}
+    for source, target, _ in edges:
+        adjacency[source].append(target)
+    index_counter = 0
+    indexes: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+
+    for root in nodes:
+        if root in indexes:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        indexes[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in indexes:
+                    indexes[neighbour] = lowlinks[neighbour] = index_counter
+                    index_counter += 1
+                    stack.append(neighbour)
+                    on_stack.add(neighbour)
+                    work.append((neighbour, iter(adjacency[neighbour])))
+                    advanced = True
+                    break
+                if neighbour in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indexes[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indexes[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Whole-program compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Validate and compile ``program`` for evaluation."""
+    predicate_strata, strata_count = stratify(program)
+    opens = program.open_by_name()
+    compiled_rules: list[CompiledRule] = []
+    monotone = True
+    for rule in program.rules:
+        if rule.head.has_aggregates:
+            monotone = False
+        plan, bound = build_plan(rule.body)
+        _check_head_bound(rule, bound)
+        seed_plans: list[SeedPlan] = []
+        for literal in rule.body:
+            if isinstance(literal, Negation):
+                monotone = False
+            if not isinstance(literal, Atom) or literal.predicate not in opens:
+                continue
+            decl = opens[literal.predicate]
+            seed_plan, seed_bound = build_plan(
+                rule.body, exclude=literal, best_effort=True
+            )
+            missing = _unbound_key_vars(literal, decl, seed_bound)
+            if missing:
+                raise CyLogSafetyError(
+                    f"task-unsafe rule {rule_to_source(rule)!r}: key variable(s) "
+                    f"{', '.join(sorted(missing))} of open predicate "
+                    f"{decl.name!r} cannot be bound without the open atom itself"
+                )
+            seed_plans.append(
+                SeedPlan(open_atom=literal, decl=decl, plan=seed_plan)
+            )
+        compiled_rules.append(
+            CompiledRule(
+                rule=rule,
+                plan=plan,
+                stratum=predicate_strata[rule.head.predicate],
+                seed_plans=tuple(seed_plans),
+            )
+        )
+    return CompiledProgram(
+        program=program,
+        rules=tuple(compiled_rules),
+        strata_count=strata_count,
+        predicate_strata=predicate_strata,
+        is_monotone=monotone,
+    )
+
+
+def _check_head_bound(rule: Rule, bound: set[str]) -> None:
+    head_vars: set[str] = set()
+    for term in rule.head.terms:
+        if isinstance(term, Var) and not term.is_anonymous:
+            head_vars.add(term.name)
+    for aggregate in rule.head.aggregate_terms():
+        head_vars.add(aggregate.var.name)
+    unbound = head_vars - bound
+    if unbound:
+        raise CyLogSafetyError(
+            f"unsafe rule {rule_to_source(rule)!r}: head variable(s) "
+            f"{', '.join(sorted(unbound))} not bound by the body"
+        )
+
+
+def _unbound_key_vars(atom: Atom, decl: OpenDecl, bound: set[str]) -> set[str]:
+    missing: set[str] = set()
+    for position in decl.key_positions:
+        term = atom.terms[position]
+        if isinstance(term, Var) and not term.is_anonymous and term.name not in bound:
+            missing.add(term.name)
+        if isinstance(term, Var) and term.is_anonymous:
+            missing.add("_")
+    return missing

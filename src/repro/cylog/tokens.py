@@ -1,0 +1,43 @@
+"""Token definitions shared by the lexer and parser."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"          # lowercase-leading identifier (predicate / symbol)
+    VARIABLE = "variable"    # uppercase- or underscore-leading identifier
+    NUMBER = "number"        # int or float literal
+    STRING = "string"        # double-quoted
+    PUNCT = "punct"          # one of the fixed punctuation/operator strings
+    KEYWORD = "keyword"      # open / key / asking / choices / not / true / false
+    EOF = "eof"
+
+
+#: Multi-character operators must precede their prefixes.
+PUNCTUATION = (
+    ":-", "<=", ">=", "==", "!=", "(", ")", ",", ".", "=", "<", ">",
+    "+", "-", "*", "/", ":",
+)
+
+KEYWORDS = frozenset({"open", "key", "asking", "choices", "not", "true", "false"})
+
+AGGREGATE_FUNCS = frozenset({"count", "sum", "min", "max", "avg"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.type is TokenType.EOF:
+            return "end of input"
+        return repr(str(self.value))

@@ -1,0 +1,44 @@
+"""Top-level exception hierarchy for the Crowd4U reproduction.
+
+Every package raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class StorageError(ReproError):
+    """Raised by the embedded relational engine (``repro.storage``)."""
+
+
+class CyLogError(ReproError):
+    """Raised by the CyLog language processor (``repro.cylog``)."""
+
+
+class PlatformError(ReproError):
+    """Raised by the Crowd4U platform core (``repro.core``)."""
+
+
+class AssignmentError(PlatformError):
+    """Raised when team formation fails or is misconfigured."""
+
+
+class CollaborationError(PlatformError):
+    """Raised by the worker-collaboration schemes."""
+
+
+class RelationshipError(PlatformError):
+    """Raised on illegal Eligible/InterestedIn/Undertakes transitions."""
+
+
+class FormError(ReproError):
+    """Raised by the form-based UI layer (``repro.forms``)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the simulated-crowd substrate (``repro.sim``)."""

@@ -1,0 +1,48 @@
+"""Form-based UIs (paper §2.1, §2.4, Figures 3–5).
+
+Crowd4U "provides an easy-to-use form-based task UI" and "tools to help
+requesters generate CyLog rules by allowing them to define tasks with a
+form-based user interface and spreadsheets".  This package reproduces:
+
+* the generic form model + dependency-free HTML renderer,
+* the project administration page with its constraint entry form
+  (Figure 3),
+* the worker page showing editable human factors and the eligible-task
+  list (Figure 4),
+* task UIs, including the simultaneous-collaboration screen with team
+  SNS ids, the shared document and the submit box (Figure 5),
+* the spreadsheet/form → CyLog generators.
+"""
+
+from repro.forms.admin import (
+    build_constraint_form,
+    parse_constraint_form,
+    render_admin_page,
+)
+from repro.forms.model import FormField, FormModel, ValidationReport
+from repro.forms.render import html_escape, render_form, render_page
+from repro.forms.spreadsheet import (
+    FormTaskSpec,
+    cylog_from_form_spec,
+    cylog_from_spreadsheet,
+)
+from repro.forms.task_ui import render_task_ui
+from repro.forms.worker_page import build_factors_form, render_worker_page
+
+__all__ = [
+    "FormField",
+    "FormModel",
+    "FormTaskSpec",
+    "ValidationReport",
+    "build_constraint_form",
+    "build_factors_form",
+    "cylog_from_form_spec",
+    "cylog_from_spreadsheet",
+    "html_escape",
+    "parse_constraint_form",
+    "render_admin_page",
+    "render_form",
+    "render_page",
+    "render_task_ui",
+    "render_worker_page",
+]

@@ -1,0 +1,184 @@
+"""The project administration page (Figure 3).
+
+"A requester specifies the desired human factors for task assignment.
+The requester also specifies an expiration time for worker recruitment."
+
+:func:`build_constraint_form` produces the constraint entry form from the
+project's current constraints; :func:`parse_constraint_form` converts a
+submission back into :class:`TeamConstraints` (the reverse direction the
+admin page's POST handler needs); :func:`render_admin_page` assembles the
+whole page, including task status and pending requester suggestions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from repro.errors import FormError
+from repro.forms.model import FormField, FormModel, ValidationReport
+from repro.forms.render import html_escape, render_form, render_page, render_table
+
+
+def build_constraint_form(constraints: TeamConstraints) -> FormModel:
+    """The Figure-3 constraint entry form, pre-filled from ``constraints``."""
+    skills_text = "; ".join(
+        f"{r.skill}:{r.min_level:g}:{r.aggregator}" for r in constraints.skills
+    )
+    fields = (
+        FormField(
+            "min_size", "Minimum team size", widget="integer",
+            default=constraints.min_size, min_value=1, required=True,
+            help_text="The controller waits for at least this many interested workers",
+        ),
+        FormField(
+            "critical_mass", "Upper critical mass", widget="integer",
+            default=constraints.critical_mass, min_value=1, required=True,
+            help_text="Group size beyond which collaboration effectiveness diminishes",
+        ),
+        FormField(
+            "skills", "Required skills", widget="text", default=skills_text,
+            help_text="skill:min_level[:aggregator] entries separated by ';'",
+        ),
+        FormField(
+            "required_languages", "Required languages", widget="text",
+            default=",".join(sorted(constraints.required_languages)),
+            help_text="comma-separated language codes every member must speak",
+        ),
+        FormField(
+            "language_proficiency", "Minimum language proficiency",
+            widget="number", default=constraints.language_proficiency,
+            min_value=0.0, max_value=1.0,
+        ),
+        FormField(
+            "quality_threshold", "Team quality threshold", widget="number",
+            default=constraints.quality_threshold, min_value=0.0, max_value=1.0,
+        ),
+        FormField(
+            "cost_budget", "Cost budget", widget="number",
+            default=(
+                None
+                if constraints.cost_budget == math.inf
+                else constraints.cost_budget
+            ),
+            min_value=0.0, help_text="Leave empty for unlimited (volunteers)",
+        ),
+        FormField(
+            "region", "Restrict to region", widget="text",
+            default=constraints.region or "",
+            help_text="e.g. for surveillance tasks in one geographic area",
+        ),
+        FormField(
+            "recruitment_deadline", "Recruitment expiration (time units)",
+            widget="number", default=constraints.recruitment_deadline,
+            min_value=0.0,
+        ),
+        FormField(
+            "confirmation_window", "Confirmation window (time units)",
+            widget="number", default=constraints.confirmation_window,
+            min_value=0.0,
+        ),
+    )
+    return FormModel(
+        form_id="constraint-entry",
+        title="Desired human factors for collaborative task assignment",
+        fields=fields,
+        action="/admin/constraints",
+        submit_label="Apply to task assignment",
+    )
+
+
+def _parse_skills(text: str) -> tuple[SkillRequirement, ...]:
+    requirements = []
+    for chunk in (text or "").split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = [p.strip() for p in chunk.split(":")]
+        if len(parts) < 2:
+            raise FormError(
+                f"skill entry {chunk!r} must look like name:min_level[:aggregator]"
+            )
+        try:
+            level = float(parts[1])
+        except ValueError as exc:
+            raise FormError(f"bad skill level in {chunk!r}") from exc
+        aggregator = parts[2] if len(parts) > 2 else "max"
+        requirements.append(
+            SkillRequirement(skill=parts[0], min_level=level, aggregator=aggregator)
+        )
+    return tuple(requirements)
+
+
+def parse_constraint_form(submission: dict[str, Any]) -> TeamConstraints:
+    """Validate a Figure-3 form submission into :class:`TeamConstraints`."""
+    form = build_constraint_form(TeamConstraints())
+    report: ValidationReport = form.validate(submission)
+    if not report.ok:
+        problems = "; ".join(f"{k}: {v}" for k, v in sorted(report.errors.items()))
+        raise FormError(f"invalid constraint form: {problems}")
+    values = report.values
+    languages = frozenset(
+        part.strip()
+        for part in (values.get("required_languages") or "").split(",")
+        if part.strip()
+    )
+    return TeamConstraints(
+        min_size=int(values["min_size"]),
+        critical_mass=int(values["critical_mass"]),
+        skills=_parse_skills(values.get("skills") or ""),
+        required_languages=languages,
+        language_proficiency=float(values.get("language_proficiency") or 0.3),
+        quality_threshold=float(values.get("quality_threshold") or 0.0),
+        cost_budget=(
+            math.inf
+            if values.get("cost_budget") in (None, "")
+            else float(values["cost_budget"])
+        ),
+        region=(values.get("region") or None),
+        recruitment_deadline=values.get("recruitment_deadline"),
+        confirmation_window=float(values.get("confirmation_window") or 50.0),
+    )
+
+
+def render_admin_page(platform, project_id: str) -> str:
+    """The full project administration page for ``project_id``."""
+    project = platform.projects.get(project_id)
+    form_html = render_form(build_constraint_form(project.constraints))
+    tasks = [
+        (task.id, task.kind.value, task.status.value,
+         task.predicate or "-", task.instruction[:60])
+        for task in platform.pool.all()
+        if task.project_id == project_id and task.parent_task_id is None
+    ]
+    tasks_html = render_table(
+        ("task", "kind", "status", "predicate", "instruction"), tasks
+    )
+    suggestions = platform.suggestions_for(project_id)
+    if suggestions:
+        items = "".join(
+            "<li>task {}: {} — try: {}</li>".format(
+                html_escape(s.task_id),
+                html_escape(s.reason),
+                html_escape("; ".join(s.relaxations) or "no single relaxation helps"),
+            )
+            for s in suggestions
+        )
+        suggestions_html = (
+            f'<section class="suggestions"><h2>Suggestions</h2><ul>{items}</ul>'
+            "</section>"
+        )
+    else:
+        suggestions_html = '<section class="suggestions">No suggestions.</section>'
+    source_html = (
+        "<section><h2>Project description (CyLog)</h2>"
+        f"<pre>{html_escape(project.cylog_source)}</pre></section>"
+    )
+    return render_page(
+        f"Project administration — {project.name}",
+        form_html,
+        suggestions_html,
+        f"<section><h2>Tasks</h2>{tasks_html}</section>",
+        source_html,
+    )

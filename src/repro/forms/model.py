@@ -1,0 +1,149 @@
+"""Typed form model with validation.
+
+A :class:`FormModel` is a declarative description of one HTML form; it can
+render itself (via :mod:`repro.forms.render`) and validate a submission
+dict, converting values to their declared Python types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import FormError
+
+#: Supported widgets and the Python type their value converts to.
+_WIDGET_TYPES: dict[str, type] = {
+    "text": str,
+    "textarea": str,
+    "number": float,
+    "integer": int,
+    "checkbox": bool,
+    "select": str,
+    "multiselect": list,
+}
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One input of a form."""
+
+    name: str
+    label: str
+    widget: str = "text"
+    required: bool = False
+    default: Any = None
+    options: tuple[str, ...] = ()          # for select / multiselect
+    help_text: str = ""
+    min_value: float | None = None
+    max_value: float | None = None
+    validator: Callable[[Any], str | None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.widget not in _WIDGET_TYPES:
+            raise FormError(
+                f"unknown widget {self.widget!r} for field {self.name!r}"
+            )
+        if self.widget in ("select", "multiselect") and not self.options:
+            raise FormError(f"field {self.name!r}: {self.widget} needs options")
+
+    def convert(self, raw: Any) -> Any:
+        """Convert a raw submission value to the field's Python type."""
+        target = _WIDGET_TYPES[self.widget]
+        if raw is None:
+            return None
+        if target is bool:
+            if isinstance(raw, bool):
+                return raw
+            return str(raw).lower() in ("1", "true", "yes", "on")
+        if target is list:
+            if isinstance(raw, (list, tuple)):
+                return [str(v) for v in raw]
+            return [part.strip() for part in str(raw).split(",") if part.strip()]
+        try:
+            if target is int and isinstance(raw, str):
+                return int(raw.strip())
+            if target is float and isinstance(raw, str):
+                return float(raw.strip())
+            return target(raw)
+        except (TypeError, ValueError) as exc:
+            raise FormError(
+                f"field {self.name!r}: cannot convert {raw!r} to {target.__name__}"
+            ) from exc
+
+    def check(self, value: Any) -> str | None:
+        """Return an error message, or None when the value is acceptable."""
+        if value is None or (isinstance(value, str) and not value.strip()):
+            return f"{self.label} is required" if self.required else None
+        if self.widget in ("select",) and str(value) not in self.options:
+            return f"{self.label}: {value!r} is not one of {list(self.options)}"
+        if self.widget == "multiselect":
+            bad = [v for v in value if v not in self.options]
+            if bad:
+                return f"{self.label}: invalid options {bad}"
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if self.min_value is not None and value < self.min_value:
+                return f"{self.label} must be ≥ {self.min_value}"
+            if self.max_value is not None and value > self.max_value:
+                return f"{self.label} must be ≤ {self.max_value}"
+        if self.validator is not None:
+            return self.validator(value)
+        return None
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one submission."""
+
+    values: dict[str, Any] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass(frozen=True)
+class FormModel:
+    """A declarative form: id, title and ordered fields."""
+
+    form_id: str
+    title: str
+    fields: tuple[FormField, ...]
+    action: str = "#"
+    submit_label: str = "Save"
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise FormError(f"duplicate field names in form {self.form_id!r}")
+
+    def field(self, name: str) -> FormField:
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise FormError(f"form {self.form_id!r} has no field {name!r}")
+
+    def validate(self, submission: dict[str, Any]) -> ValidationReport:
+        """Convert and validate a submission; unknown keys are rejected."""
+        report = ValidationReport()
+        known = {f.name for f in self.fields}
+        unknown = set(submission) - known
+        for name in sorted(unknown):
+            report.errors[name] = f"unknown field {name!r}"
+        for form_field in self.fields:
+            raw = submission.get(form_field.name, form_field.default)
+            try:
+                value = form_field.convert(raw)
+            except FormError as exc:
+                report.errors[form_field.name] = str(exc)
+                continue
+            problem = form_field.check(value)
+            if problem is not None:
+                report.errors[form_field.name] = problem
+            else:
+                report.values[form_field.name] = value
+        return report
+
+    def defaults(self) -> dict[str, Any]:
+        return {f.name: f.default for f in self.fields}

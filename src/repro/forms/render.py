@@ -1,0 +1,106 @@
+"""Dependency-free HTML rendering for forms and pages.
+
+The real Crowd4U serves these pages from a web framework; here the
+renderers emit plain HTML strings from live platform state, which is what
+the demo's screenshots (Figures 3–5) show.  Output is deterministic so
+tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.forms.model import FormField, FormModel
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;", "'": "&#x27;"}
+
+
+def html_escape(text: Any) -> str:
+    """Escape text for safe inclusion in HTML."""
+    out = str(text)
+    for char, entity in _ESCAPES.items():
+        out = out.replace(char, entity)
+    return out
+
+
+def render_field(field: FormField, value: Any = None) -> str:
+    """Render one field with its label, control and help text."""
+    current = value if value is not None else field.default
+    control: str
+    name = html_escape(field.name)
+    if field.widget == "textarea":
+        control = (
+            f'<textarea name="{name}" rows="4">'
+            f"{html_escape(current or '')}</textarea>"
+        )
+    elif field.widget == "checkbox":
+        checked = " checked" if current else ""
+        control = f'<input type="checkbox" name="{name}"{checked} />'
+    elif field.widget == "select":
+        options = "".join(
+            f'<option value="{html_escape(o)}"'
+            f'{" selected" if o == current else ""}>{html_escape(o)}</option>'
+            for o in field.options
+        )
+        control = f'<select name="{name}">{options}</select>'
+    elif field.widget == "multiselect":
+        selected = set(current or ())
+        options = "".join(
+            f'<option value="{html_escape(o)}"'
+            f'{" selected" if o in selected else ""}>{html_escape(o)}</option>'
+            for o in field.options
+        )
+        control = f'<select name="{name}" multiple>{options}</select>'
+    else:
+        input_type = "number" if field.widget in ("number", "integer") else "text"
+        shown = "" if current is None else html_escape(current)
+        control = f'<input type="{input_type}" name="{name}" value="{shown}" />'
+    required = ' <span class="required">*</span>' if field.required else ""
+    help_html = (
+        f'<div class="help">{html_escape(field.help_text)}</div>'
+        if field.help_text
+        else ""
+    )
+    return (
+        f'<div class="field" id="field-{name}">'
+        f"<label>{html_escape(field.label)}{required}</label>"
+        f"{control}{help_html}</div>"
+    )
+
+
+def render_form(form: FormModel, values: dict[str, Any] | None = None) -> str:
+    """Render a whole form."""
+    values = values or {}
+    rows = "".join(
+        render_field(field, values.get(field.name)) for field in form.fields
+    )
+    return (
+        f'<form id="{html_escape(form.form_id)}" action="{html_escape(form.action)}" '
+        f'method="post"><h2>{html_escape(form.title)}</h2>{rows}'
+        f'<button type="submit">{html_escape(form.submit_label)}</button></form>'
+    )
+
+
+def render_table(headers: Iterable[str], rows: Iterable[Iterable[Any]]) -> str:
+    """Render a simple data table."""
+    head = "".join(f"<th>{html_escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html_escape(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_page(title: str, *body_parts: str) -> str:
+    """Wrap body fragments in the standard Crowd4U page chrome."""
+    body = "\n".join(body_parts)
+    return (
+        "<!DOCTYPE html>\n"
+        f"<html><head><meta charset=\"utf-8\"><title>{html_escape(title)}"
+        "</title></head>\n"
+        f"<body><header><h1>{html_escape(title)}</h1>"
+        "<nav>Crowd4U — an open crowdsourcing platform</nav></header>\n"
+        f"<main>{body}</main>\n"
+        "<footer>Crowd4U reproduction — PVLDB 9(13), 2016</footer>"
+        "</body></html>"
+    )

@@ -1,0 +1,54 @@
+"""Counters, timers and series with a dict-like summary."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Collector:
+    """Aggregates counters, wall-clock timers and value series."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, list[float]] = field(default_factory=dict)
+    series: dict[str, list[Any]] = field(default_factory=dict)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    @contextlib.contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers.setdefault(name, []).append(time.perf_counter() - start)
+
+    def record(self, name: str, value: Any) -> None:
+        self.series.setdefault(name, []).append(value)
+
+    def timer_total(self, name: str) -> float:
+        return sum(self.timers.get(name, ()))
+
+    def timer_mean(self, name: str) -> float:
+        samples = self.timers.get(name, ())
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def series_mean(self, name: str) -> float:
+        values = [v for v in self.series.get(name, ()) if isinstance(v, (int, float))]
+        return sum(values) / len(values) if values else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = dict(self.counters)
+        for name in self.timers:
+            out[f"{name}_total_s"] = round(self.timer_total(name), 6)
+            out[f"{name}_mean_s"] = round(self.timer_mean(name), 6)
+        for name, values in self.series.items():
+            out[f"{name}_n"] = len(values)
+            mean = self.series_mean(name)
+            if mean:
+                out[f"{name}_mean"] = round(mean, 6)
+        return out

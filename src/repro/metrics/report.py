@@ -1,0 +1,47 @@
+"""Plain-text tables: the benches print paper-style result rows."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _format_cell(value: Any, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int], float_digits: int = 3) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = _format_cell(cell, float_digits)
+        parts.append(text.rjust(width) if _is_numeric(cell) else text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_digits: int = 3,
+    title: str | None = None,
+) -> str:
+    """Align ``rows`` under ``headers``; returns a printable block."""
+    materialised = [list(row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(_format_cell(cell, float_digits)))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(headers, widths, float_digits))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(format_row(row, widths, float_digits) for row in materialised)
+    return "\n".join(lines)

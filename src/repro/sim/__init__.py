@@ -1,0 +1,41 @@
+"""Simulated crowd: the substitute for crowd4u.org's live volunteers.
+
+The paper demonstrates Crowd4U with real workers; offline we drive the
+*same public platform API* with a seeded, discrete-event crowd:
+
+* :mod:`population` — generate worker profiles from configurable
+  language / region / skill distributions,
+* :mod:`behavior` — per-worker stochastic behaviour: interest, acceptance,
+  response latency, answer production and quality,
+* :mod:`outcomes` — the collaboration outcome model (affinity synergy,
+  upper-critical-mass degradation) following [9]'s modelling assumptions,
+* :mod:`skill_estimation` — Beta-posterior worker skill learning from
+  team outcomes, following [10],
+* :mod:`driver` — the event loop that makes simulated workers browse
+  their user pages, declare interest, confirm memberships, perform
+  micro-tasks and submit team results until the platform is quiescent.
+
+Every component derives its randomness from one base seed, so experiment
+runs are exactly reproducible.
+"""
+
+from repro.sim.behavior import BehaviorConfig, BehaviorModel
+from repro.sim.clock import VirtualClock
+from repro.sim.driver import SimulationDriver, SimulationReport
+from repro.sim.outcomes import OutcomeModel, OutcomeConfig
+from repro.sim.population import PopulationConfig, generate_factors, populate
+from repro.sim.skill_estimation import BetaSkillEstimator
+
+__all__ = [
+    "BehaviorConfig",
+    "BehaviorModel",
+    "BetaSkillEstimator",
+    "OutcomeConfig",
+    "OutcomeModel",
+    "PopulationConfig",
+    "SimulationDriver",
+    "SimulationReport",
+    "VirtualClock",
+    "generate_factors",
+    "populate",
+]

@@ -1,0 +1,105 @@
+"""Per-worker behaviour models.
+
+Every decision a live volunteer makes on the platform — *shall I declare
+interest? shall I accept the proposed team? how long until I respond?
+what do I answer?* — gets a seeded stochastic counterpart here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.tasks import Task, TaskKind
+from repro.core.workers import Worker
+from repro.util.rng import make_rng
+from repro.util.text import clamp
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Crowd-level behaviour knobs."""
+
+    #: Base probability of declaring interest in an eligible task per visit.
+    base_interest: float = 0.55
+    #: Extra interest when the task matches the worker's best skill.
+    skill_interest_boost: float = 0.3
+    #: Probability of confirming a proposed membership (scaled by reliability).
+    accept_rate: float = 0.9
+    #: Mean simulated steps before a worker acts on a micro-task.
+    mean_latency: float = 1.5
+    #: Probability a worker improves (rather than rubber-stamps) in reviews.
+    improve_rate: float = 0.8
+
+
+class BehaviorModel:
+    """Seeded behaviour: all draws derive from (seed, worker, task, kind)."""
+
+    def __init__(self, config: BehaviorConfig | None = None, seed: int = 0) -> None:
+        self.config = config or BehaviorConfig()
+        self.seed = seed
+
+    # -- recruitment decisions ---------------------------------------------
+    def wants_task(self, worker: Worker, task: Task, visit: int = 0) -> bool:
+        """Does the worker declare interest when she sees the task?
+
+        ``visit`` distinguishes repeated visits to the user page: a worker
+        who passed on a task earlier may pick it up on a later visit.
+        """
+        probability = self.config.base_interest
+        best_skill = max(worker.factors.skills.values(), default=0.0)
+        probability += self.config.skill_interest_boost * best_skill
+        rng = make_rng(self.seed, "interest", worker.id, task.id, visit)
+        return rng.random() < clamp(probability, 0.0, 1.0)
+
+    def accepts_membership(self, worker: Worker, task: Task) -> bool:
+        """Does a proposed member undertake the task?"""
+        probability = self.config.accept_rate * worker.factors.reliability
+        rng = make_rng(self.seed, "accept", worker.id, task.id)
+        return rng.random() < clamp(probability, 0.0, 1.0)
+
+    def response_delay(self, worker: Worker, task: Task) -> float:
+        """Steps before the worker acts on an addressed micro-task."""
+        rng = make_rng(self.seed, "latency", worker.id, task.id)
+        return rng.expovariate(1.0 / max(self.config.mean_latency, 1e-9))
+
+    # -- task answers -----------------------------------------------------------
+    def answer_quality(self, worker: Worker, skill: str | None) -> float:
+        """The worker's personal contribution quality for one micro-task."""
+        level = (
+            worker.factors.skill_level(skill)
+            if skill
+            else worker.factors.reliability
+        )
+        rng = make_rng(self.seed, "quality", worker.id, skill or "-")
+        return clamp(rng.gauss(level, 0.08), 0.0, 1.0)
+
+    def produce_result(
+        self, worker: Worker, task: Task, skill: str | None = None
+    ) -> dict[str, Any]:
+        """Generate a generic micro-task result payload.
+
+        Scenario drivers may override per-kind answer functions; this
+        default produces plausible text/choice answers with a quality
+        signal derived from the worker's skill.
+        """
+        rng = make_rng(self.seed, "answer", worker.id, task.id)
+        quality = self.answer_quality(worker, skill)
+        if task.kind is TaskKind.SOLICIT_SNS:
+            return {"sns_id": worker.factors.sns_id or f"{worker.id}@sns"}
+        if task.choices:
+            # Pick the "first" choice with probability = quality (models a
+            # correct yes/accept judgement), else a random other choice.
+            if rng.random() < quality or len(task.choices) == 1:
+                answer = task.choices[0]
+            else:
+                answer = rng.choice(task.choices[1:])
+            return {"answer": answer, "quality": quality}
+        previous = str(task.payload.get("previous_text", ""))
+        if previous and rng.random() < self.config.improve_rate:
+            text = f"{previous} [improved by {worker.id}]"
+        elif previous:
+            text = previous
+        else:
+            text = f"[{worker.id}] work on: {task.instruction[:40]}"
+        return {"text": text, "quality": quality}

@@ -1,0 +1,26 @@
+"""A trivially simple virtual clock for discrete-event simulation."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonically advancing simulated time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float = 1.0) -> float:
+        """Move time forward by ``dt`` (must be positive)."""
+        if dt <= 0:
+            raise SimulationError(f"clock can only move forward, got dt={dt!r}")
+        self._now += dt
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<VirtualClock now={self._now:.2f}>"

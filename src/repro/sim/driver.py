@@ -1,0 +1,260 @@
+"""The simulation event loop.
+
+The driver plays every worker of the platform through the *public* worker
+API — the same calls a browser session would make — until the platform is
+quiescent:
+
+1. browse the user page: declare interest in eligible tasks,
+2. react to proposed team memberships: undertake or decline,
+3. perform addressed micro-tasks after a personal response latency,
+4. on JOINT tasks: every member contributes, then one member submits on
+   behalf of the team (Figure 5's flow),
+5. optionally auto-apply the platform's requester suggestions when team
+   formation is infeasible (so unattended experiments converge).
+
+Final micro-task results carry a team-level ``quality`` computed by the
+:class:`~repro.sim.outcomes.OutcomeModel`, which then drives affinity
+reinforcement and skill estimation — closing the paper's learning loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.tasks import Task, TaskKind, TaskStatus
+from repro.core.teams import TeamStatus
+from repro.sim.behavior import BehaviorModel
+from repro.sim.outcomes import OutcomeModel
+from repro.sim.skill_estimation import BetaSkillEstimator
+
+#: Optional scenario hook: (worker, task) -> result dict or None for default.
+AnswerFn = Callable[[Any, Task], dict[str, Any] | None]
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome of one simulation run."""
+
+    steps: int = 0
+    interest_declared: int = 0
+    confirmations: int = 0
+    declines: int = 0
+    micro_completed: int = 0
+    contributions: int = 0
+    team_results: int = 0
+    tasks_expired: int = 0
+    relaxations_applied: int = 0
+    quiescent: bool = False
+    qualities: list[float] = field(default_factory=list)
+
+    @property
+    def mean_quality(self) -> float:
+        if not self.qualities:
+            return 0.0
+        return sum(self.qualities) / len(self.qualities)
+
+
+class SimulationDriver:
+    """Drives one platform instance with simulated workers."""
+
+    def __init__(
+        self,
+        platform,
+        behavior: BehaviorModel | None = None,
+        outcome_model: OutcomeModel | None = None,
+        skill_estimator: BetaSkillEstimator | None = None,
+        answer_fn: AnswerFn | None = None,
+        auto_relax: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.behavior = behavior or BehaviorModel(seed=seed)
+        self.outcomes = outcome_model or OutcomeModel(seed=seed)
+        self.skills = skill_estimator or BetaSkillEstimator()
+        self.answer_fn = answer_fn
+        self.auto_relax = auto_relax
+        self.report = SimulationReport()
+        self._ready_at: dict[tuple[str, str], float] = {}
+        self._joint_contributed: dict[str, set[str]] = {}
+        self._interest_rolled: set[tuple[str, str]] = set()
+        self._confirm_rolled: set[tuple[str, str]] = set()
+        platform.events.subscribe("task.completed", self._on_completed)
+        platform.events.subscribe("task.expired", self._on_expired)
+
+    # -- event hooks ----------------------------------------------------------
+    def _on_completed(self, event) -> None:
+        self.report.team_results += 1
+        quality = float(event.payload.get("quality", 1.0))
+        self.report.qualities.append(quality)
+        team = self.platform.teams.get(event["team_id"])
+        project = self.platform.projects.get(event["project_id"])
+        skills = tuple(r.skill for r in project.constraints.skills) or ("general",)
+        task = self.platform.pool.get(event["task_id"])
+        contributions = (task.result or {}).get("contributors")
+        for skill in skills:
+            self.skills.observe_team_outcome(
+                team.members, skill, quality, contributions
+            )
+
+    def _on_expired(self, event) -> None:
+        self.report.tasks_expired += 1
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, max_steps: int = 300, dt: float = 1.0) -> SimulationReport:
+        """Run until quiescence or the step budget is exhausted."""
+        for _ in range(max_steps):
+            self.platform.step(dt)
+            self._declare_interests()
+            self._answer_membership_proposals()
+            self._perform_micro_tasks()
+            if self.auto_relax:
+                self._apply_suggestions()
+            self.report.steps += 1
+            if self._quiet():
+                self.report.quiescent = True
+                break
+        return self.report
+
+    def _quiet(self) -> bool:
+        return not self.platform.pool.open_tasks()
+
+    # -- phase 1: interest ------------------------------------------------------
+    #: Steps between repeated visits to the user page (a worker who passed
+    #: on a task earlier may pick it up on a later visit).
+    revisit_period: float = 8.0
+
+    def _declare_interests(self) -> None:
+        from repro.core.relationships import RelationshipStatus
+
+        visit = int(self.platform.now // self.revisit_period)
+        for task in self.platform.pool.pending_root_tasks():
+            candidates = set(self.platform.ledger.eligible_workers(task.id))
+            if visit > 0:
+                # Declined workers may change their mind on a later visit.
+                candidates.update(
+                    self.platform.ledger.workers_with_status(
+                        task.id, RelationshipStatus.DECLINED
+                    )
+                )
+            for worker_id in sorted(candidates):
+                status = self.platform.ledger.status(worker_id, task.id)
+                if status in (
+                    RelationshipStatus.INTERESTED,
+                    RelationshipStatus.UNDERTAKES,
+                    RelationshipStatus.COMPLETED,
+                ):
+                    continue
+                roll_key = (worker_id, task.id, visit)
+                if roll_key in self._interest_rolled:
+                    continue
+                self._interest_rolled.add(roll_key)
+                worker = self.platform.workers.get(worker_id)
+                if self.behavior.wants_task(worker, task, visit):
+                    self.platform.declare_interest(worker_id, task.id)
+                    self.report.interest_declared += 1
+
+    # -- phase 2: confirmations -------------------------------------------------
+    def _answer_membership_proposals(self) -> None:
+        for task in self.platform.pool.by_status(TaskStatus.PROPOSED):
+            if task.team_id is None:
+                continue
+            team = self.platform.teams.get(task.team_id)
+            if team.status is not TeamStatus.PROPOSED:
+                continue
+            for member in team.members:
+                roll_key = (member, team.id)
+                if member in team.confirmed or roll_key in self._confirm_rolled:
+                    continue
+                self._confirm_rolled.add(roll_key)
+                worker = self.platform.workers.get(member)
+                if self.behavior.accepts_membership(worker, task):
+                    self.platform.confirm_membership(member, task.id)
+                    self.report.confirmations += 1
+                else:
+                    self.platform.decline_membership(member, task.id)
+                    self.report.declines += 1
+                    break  # the team dissolved; stop processing it
+
+    # -- phase 3: micro-tasks ---------------------------------------------------
+    def _perform_micro_tasks(self) -> None:
+        now = self.platform.now
+        for worker in self.platform.workers.all():
+            for task in self.platform.tasks_for_worker(worker.id):
+                ready_key = (worker.id, task.id)
+                if ready_key not in self._ready_at:
+                    delay = self.behavior.response_delay(worker, task)
+                    self._ready_at[ready_key] = task.created_at + delay
+                if now < self._ready_at[ready_key]:
+                    continue
+                if task.kind is TaskKind.JOINT:
+                    self._handle_joint(worker, task)
+                else:
+                    self._submit_micro(worker, task)
+
+    def _submit_micro(self, worker, task: Task) -> None:
+        result = None
+        if self.answer_fn is not None:
+            result = self.answer_fn(worker, task)
+        if result is None:
+            skill = self._project_skill(task)
+            result = self.behavior.produce_result(worker, task, skill)
+        if task.kind in (TaskKind.DRAFT, TaskKind.REVIEW, TaskKind.JOINT):
+            result.setdefault("quality", self._team_quality(task))
+        self.platform.submit_micro_result(task.id, worker.id, result)
+        self.report.micro_completed += 1
+
+    def _handle_joint(self, worker, task: Task) -> None:
+        members = list(task.payload.get("addressed_to", ()))
+        contributed = self._joint_contributed.setdefault(task.id, set())
+        if worker.id not in contributed:
+            content = None
+            if self.answer_fn is not None:
+                answer = self.answer_fn(worker, task)
+                if answer is not None:
+                    content = str(answer.get("text", ""))
+            if content is None:
+                content = f"[{worker.id}] joint contribution"
+            self.platform.contribute(task.parent_task_id, worker.id, content)
+            contributed.add(worker.id)
+            self.report.contributions += 1
+        if set(members) <= contributed:
+            # Most reliable member submits on behalf of the team.
+            submitter = max(
+                members,
+                key=lambda wid: self.platform.workers.get(wid).factors.reliability,
+            )
+            result: dict[str, Any] = {"quality": self._team_quality(task)}
+            self.platform.submit_micro_result(task.id, submitter, result)
+            self.report.micro_completed += 1
+
+    def _project_skill(self, task: Task) -> str | None:
+        project = self.platform.projects.get(task.project_id)
+        skills = project.constraints.skills
+        return skills[0].skill if skills else None
+
+    def _team_quality(self, task: Task) -> float:
+        """Team outcome quality from the outcome model."""
+        if task.team_id is None:
+            return 0.5
+        team = self.platform.teams.get(task.team_id.split(":")[0])
+        project = self.platform.projects.get(task.project_id)
+        workers = [self.platform.workers.get(wid) for wid in team.members]
+        return self.outcomes.quality(
+            workers=workers,
+            affinity=self.platform.affinity,
+            skills=tuple(r.skill for r in project.constraints.skills),
+            critical_mass=project.constraints.critical_mass,
+            scheme=project.scheme.value,
+        )
+
+    # -- phase 4: requester auto-relaxation ---------------------------------------
+    def _apply_suggestions(self) -> None:
+        for project in self.platform.projects.active():
+            suggestions = self.platform.suggestions_for(project.id)
+            for suggestion in suggestions:
+                constraints = suggestion.best_constraints()
+                if constraints is not None:
+                    self.platform.update_constraints(project.id, constraints)
+                    self.report.relaxations_applied += 1
+                    break

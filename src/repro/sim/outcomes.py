@@ -1,0 +1,115 @@
+"""Collaboration outcome model.
+
+Quantifies "the synergistic effect caused by worker collaboration and of
+other human factors affecting collaboration effectiveness and outcome
+quality" (§1), following the modelling ingredients of [9]:
+
+* **base competence** — noisy-or aggregation of member skill (one member
+  succeeding suffices to carry the artefact),
+* **affinity synergy** — teams with high internal affinity coordinate
+  better; synergy scales with mean pairwise affinity,
+* **upper critical mass** — beyond the task's critical mass every extra
+  member *reduces* effectiveness (coordination overhead), which is what
+  makes the UCM constraint meaningful (ablation E14),
+* **scheme fit** — sequential chains benefit from review depth,
+  simultaneous teams from parallel coverage; the hybrid averages both.
+
+The model is deterministic given its inputs except for a small seeded
+noise term, so benches can average a handful of repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.workers import Worker
+from repro.util.rng import make_rng
+from repro.util.text import clamp
+
+
+@dataclass(frozen=True)
+class OutcomeConfig:
+    """Weights of the outcome model."""
+
+    #: Maximum relative boost from perfect internal affinity.
+    synergy_gain: float = 0.35
+    #: Relative penalty per member beyond the upper critical mass.
+    overload_penalty: float = 0.15
+    #: Relative gain per review step in sequential chains (diminishing).
+    review_gain: float = 0.10
+    #: Standard deviation of the noise term.
+    noise: float = 0.03
+
+
+class OutcomeModel:
+    """Computes outcome quality in [0, 1] for one finished collaboration."""
+
+    def __init__(self, config: OutcomeConfig | None = None, seed: int = 0) -> None:
+        self.config = config or OutcomeConfig()
+        self.seed = seed
+
+    # -- components ----------------------------------------------------------
+    def base_competence(
+        self, workers: Sequence[Worker], skills: Sequence[str]
+    ) -> float:
+        """Noisy-or of member competence over the task's skills."""
+        if not workers:
+            return 0.0
+        failure = 1.0
+        for worker in workers:
+            if skills:
+                level = worker.factors.mean_skill(tuple(skills))
+            else:
+                level = worker.factors.reliability
+            failure *= 1.0 - clamp(level * worker.factors.reliability, 0.0, 1.0)
+        return 1.0 - failure
+
+    def synergy(self, team: Sequence[str], affinity: AffinityMatrix) -> float:
+        """Multiplier ≥ 1 growing with internal affinity density."""
+        density = affinity.density(team)
+        return 1.0 + self.config.synergy_gain * density
+
+    def overload(self, team_size: int, critical_mass: int) -> float:
+        """Multiplier ≤ 1 punishing teams beyond the critical mass."""
+        excess = max(0, team_size - critical_mass)
+        return (1.0 - self.config.overload_penalty) ** excess
+
+    def scheme_factor(self, scheme: str, team_size: int) -> float:
+        """Scheme-specific shape: review depth vs parallel coverage."""
+        if scheme == "sequential":
+            reviews = max(0, team_size - 1)
+            return 1.0 + self.config.review_gain * math.log1p(reviews)
+        if scheme == "simultaneous":
+            return 1.0 + 0.05 * math.log1p(team_size)
+        if scheme == "hybrid":
+            return (
+                self.scheme_factor("sequential", team_size // 2 or 1)
+                + self.scheme_factor("simultaneous", team_size - (team_size // 2))
+            ) / 2.0
+        return 1.0
+
+    # -- the model ------------------------------------------------------------
+    def quality(
+        self,
+        workers: Sequence[Worker],
+        affinity: AffinityMatrix,
+        skills: Sequence[str],
+        critical_mass: int,
+        scheme: str = "sequential",
+        trial: int = 0,
+    ) -> float:
+        """Outcome quality in [0, 1] for one collaboration instance."""
+        team_ids = [w.id for w in workers]
+        base = self.base_competence(workers, skills)
+        value = (
+            base
+            * self.synergy(team_ids, affinity)
+            * self.overload(len(workers), critical_mass)
+            * self.scheme_factor(scheme, len(workers))
+        )
+        rng = make_rng(self.seed, "outcome", tuple(sorted(team_ids)), trial)
+        value += rng.gauss(0.0, self.config.noise)
+        return clamp(value, 0.0, 1.0)

@@ -1,0 +1,105 @@
+"""Worker population generation.
+
+Profiles mirror the human factors the real platform records (Figure 4):
+native language, other languages with proficiencies, region (with
+coordinates for geo affinity), per-skill levels, reliability, and an SNS
+id.  Distributions are configurable; defaults give a plausibly diverse
+multilingual volunteer crowd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.human_factors import HumanFactors
+from repro.core.workers import Worker
+from repro.util.rng import make_rng
+from repro.util.text import clamp
+
+#: region name -> (latitude, longitude)
+_DEFAULT_REGIONS: dict[str, tuple[float, float]] = {
+    "tsukuba": (36.08, 140.11),
+    "tokyo": (35.68, 139.69),
+    "paris": (48.86, 2.35),
+    "grenoble": (45.19, 5.72),
+    "dallas": (32.78, -96.80),
+    "newark": (40.74, -74.17),
+    "doha": (25.29, 51.53),
+}
+
+_DEFAULT_LANGUAGES = ("en", "ja", "fr", "ar", "es")
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs for the generated crowd."""
+
+    languages: tuple[str, ...] = _DEFAULT_LANGUAGES
+    regions: dict[str, tuple[float, float]] = field(
+        default_factory=lambda: dict(_DEFAULT_REGIONS)
+    )
+    skills: tuple[str, ...] = ("translation", "reporting", "observation")
+    #: Beta distribution parameters for skill levels.
+    skill_alpha: float = 2.0
+    skill_beta: float = 2.0
+    #: Mean number of non-native languages per worker.
+    extra_languages: float = 1.2
+    min_reliability: float = 0.55
+    #: Probability a worker volunteers for free (cost 0).
+    volunteer_fraction: float = 0.8
+    max_cost: float = 2.0
+
+
+def generate_factors(
+    seed: int, index: int, config: PopulationConfig | None = None
+) -> HumanFactors:
+    """Deterministically generate one worker's human factors."""
+    config = config or PopulationConfig()
+    rng = make_rng(seed, "population", index)
+    native = rng.choice(config.languages)
+    languages: dict[str, float] = {}
+    n_extra = min(
+        len(config.languages) - 1,
+        max(0, int(rng.expovariate(1.0 / max(config.extra_languages, 1e-9)))),
+    )
+    others = [lang for lang in config.languages if lang != native]
+    for lang in rng.sample(others, n_extra):
+        languages[lang] = round(clamp(rng.betavariate(2.0, 3.0), 0.05, 1.0), 3)
+    region = rng.choice(sorted(config.regions))
+    coordinates = config.regions[region]
+    skills = {
+        skill: round(
+            clamp(rng.betavariate(config.skill_alpha, config.skill_beta), 0.0, 1.0), 3
+        )
+        for skill in config.skills
+    }
+    reliability = round(rng.uniform(config.min_reliability, 1.0), 3)
+    cost = 0.0
+    if rng.random() > config.volunteer_fraction:
+        cost = round(rng.uniform(0.1, config.max_cost), 2)
+    return HumanFactors(
+        native_languages=frozenset({native}),
+        languages=languages,
+        region=region,
+        coordinates=coordinates,
+        skills=skills,
+        reliability=reliability,
+        cost=cost,
+        sns_id=f"worker{index}@crowd4u.example",
+    )
+
+
+def populate(
+    platform,
+    count: int,
+    seed: int = 0,
+    config: PopulationConfig | None = None,
+    name_prefix: str = "worker",
+) -> list[Worker]:
+    """Register ``count`` generated workers on the platform."""
+    return [
+        platform.register_worker(
+            f"{name_prefix}{index:04d}", generate_factors(seed, index, config)
+        )
+        for index in range(count)
+    ]

@@ -1,0 +1,100 @@
+"""Worker skill estimation from team-based task outcomes (after [10]).
+
+The platform only observes *team* outcomes, yet needs per-worker skill
+estimates for future eligibility and assignment ("computed by the system
+based on previously performed tasks", §2.4).  Following the spirit of
+Rahman et al., PVLDB 2015 [10], we maintain a Beta posterior per
+(worker, skill) and distribute each team outcome to members weighted by
+their observed contribution share (revision counts), so free-riders gain
+less credit than active contributors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.util.text import clamp
+
+
+@dataclass
+class _Posterior:
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    @property
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def observations(self) -> float:
+        return self.alpha + self.beta - 2.0
+
+
+@dataclass
+class BetaSkillEstimator:
+    """Beta-posterior skill tracker over team outcomes."""
+
+    #: Pseudo-count weight of one fully-credited observation.
+    observation_weight: float = 2.0
+    _posteriors: dict[tuple[str, str], _Posterior] = field(default_factory=dict)
+
+    def _posterior(self, worker_id: str, skill: str) -> _Posterior:
+        return self._posteriors.setdefault((worker_id, skill), _Posterior())
+
+    # -- updates -----------------------------------------------------------
+    def observe_team_outcome(
+        self,
+        members: Sequence[str],
+        skill: str,
+        quality: float,
+        contributions: Mapping[str, int] | None = None,
+    ) -> None:
+        """Credit one team outcome to its members.
+
+        ``quality`` in [0, 1] is the observed outcome; each member's
+        posterior shifts towards it with strength proportional to her
+        contribution share (uniform when no accounting is available).
+        """
+        quality = clamp(quality, 0.0, 1.0)
+        members = list(members)
+        if not members:
+            return
+        if contributions:
+            total = sum(max(0, contributions.get(m, 0)) for m in members)
+        else:
+            total = 0
+        for member in members:
+            if total > 0:
+                share = max(0, (contributions or {}).get(member, 0)) / total
+            else:
+                share = 1.0 / len(members)
+            weight = self.observation_weight * share * len(members)
+            posterior = self._posterior(member, skill)
+            posterior.alpha += weight * quality
+            posterior.beta += weight * (1.0 - quality)
+
+    def observe_individual(
+        self, worker_id: str, skill: str, quality: float
+    ) -> None:
+        """Credit one individually-performed task (e.g. qualification test)."""
+        quality = clamp(quality, 0.0, 1.0)
+        posterior = self._posterior(worker_id, skill)
+        posterior.alpha += self.observation_weight * quality
+        posterior.beta += self.observation_weight * (1.0 - quality)
+
+    # -- queries ------------------------------------------------------------
+    def estimate(self, worker_id: str, skill: str) -> float:
+        """Posterior mean skill (0.5 prior when unobserved)."""
+        return self._posterior(worker_id, skill).mean
+
+    def confidence(self, worker_id: str, skill: str) -> float:
+        """How many weighted observations back the estimate."""
+        return self._posterior(worker_id, skill).observations
+
+    def known_workers(self) -> set[str]:
+        return {worker_id for worker_id, _ in self._posteriors}
+
+    def snapshot(self) -> dict[tuple[str, str], float]:
+        """(worker, skill) → posterior mean for every tracked pair."""
+        return {key: p.mean for key, p in self._posteriors.items()}

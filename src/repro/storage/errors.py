@@ -1,0 +1,42 @@
+"""Exception types raised by the storage engine."""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+
+class SchemaError(StorageError):
+    """A table schema is malformed (bad column, key, or constraint)."""
+
+
+class UnknownTableError(StorageError):
+    """A statement referenced a table that does not exist."""
+
+
+class UnknownColumnError(StorageError):
+    """A statement referenced a column that does not exist."""
+
+
+class ConstraintViolation(StorageError):
+    """Base class for integrity-constraint failures."""
+
+
+class DuplicateKeyError(ConstraintViolation):
+    """A primary-key or unique-constraint collision."""
+
+
+class NotNullViolation(ConstraintViolation):
+    """A NULL was written into a non-nullable column."""
+
+
+class ForeignKeyError(ConstraintViolation):
+    """A foreign-key reference points at a missing row, or a referenced
+    row was deleted while still referenced."""
+
+
+class TypeMismatchError(ConstraintViolation):
+    """A value could not be coerced to its column's declared type."""
+
+
+class TransactionError(StorageError):
+    """Transaction misuse (commit/rollback without begin, etc.)."""

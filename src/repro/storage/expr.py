@@ -1,0 +1,232 @@
+"""Row-expression AST used for selections and computed projections.
+
+Expressions are built with the :func:`col` / :func:`lit` helpers and the
+usual Python operators, then evaluated against row dictionaries:
+
+>>> e = (col("skill") >= 0.5) & col("active")
+>>> e.evaluate({"skill": 0.7, "active": True})
+True
+
+The AST is deliberately tiny — columns, literals, arithmetic, comparisons,
+boolean connectives, ``is_null`` and ``in_``.  The CyLog engine compiles its
+comparison builtins down to these nodes when it scans storage-backed
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.storage.errors import UnknownColumnError
+
+
+class Expr:
+    """Base class for all expression nodes.
+
+    Operator overloads build larger expressions; ``__eq__`` is repurposed for
+    expression construction, so nodes are identity-hashed.
+    """
+
+    __hash__ = object.__hash__
+
+    # -- construction helpers -------------------------------------------------
+    def __eq__(self, other: Any) -> "BinOp":  # type: ignore[override]
+        return BinOp("==", self, wrap(other))
+
+    def __ne__(self, other: Any) -> "BinOp":  # type: ignore[override]
+        return BinOp("!=", self, wrap(other))
+
+    def __lt__(self, other: Any) -> "BinOp":
+        return BinOp("<", self, wrap(other))
+
+    def __le__(self, other: Any) -> "BinOp":
+        return BinOp("<=", self, wrap(other))
+
+    def __gt__(self, other: Any) -> "BinOp":
+        return BinOp(">", self, wrap(other))
+
+    def __ge__(self, other: Any) -> "BinOp":
+        return BinOp(">=", self, wrap(other))
+
+    def __add__(self, other: Any) -> "BinOp":
+        return BinOp("+", self, wrap(other))
+
+    def __sub__(self, other: Any) -> "BinOp":
+        return BinOp("-", self, wrap(other))
+
+    def __mul__(self, other: Any) -> "BinOp":
+        return BinOp("*", self, wrap(other))
+
+    def __truediv__(self, other: Any) -> "BinOp":
+        return BinOp("/", self, wrap(other))
+
+    def __and__(self, other: Any) -> "BinOp":
+        return BinOp("and", self, wrap(other))
+
+    def __or__(self, other: Any) -> "BinOp":
+        return BinOp("or", self, wrap(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self)
+
+    def in_(self, values: Iterable[Any]) -> "In":
+        return In(self, tuple(values))
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(self, row: dict[str, Any]) -> Any:
+        """Evaluate the expression against a row mapping."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Return the set of column names the expression references."""
+        raise NotImplementedError
+
+
+class Col(Expr):
+    """Reference to a column of the current row."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row: dict[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise UnknownColumnError(f"row has no column {self.name!r}") from None
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, row: dict[str, Any]) -> Any:
+        return self.value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class BinOp(Expr):
+    """Binary operation; ``and`` / ``or`` short-circuit like Python."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINARY_OPS and op not in ("and", "or"):
+            raise ValueError(f"unsupported operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: dict[str, Any]) -> Any:
+        if self.op == "and":
+            return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+        if self.op == "or":
+            return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+        return _BINARY_OPS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Not(Expr):
+    """Boolean negation."""
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+class IsNull(Expr):
+    """True when the operand evaluates to ``None``."""
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        return self.operand.evaluate(row) is None
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}.is_null()"
+
+
+class In(Expr):
+    """Membership test against a fixed collection of values."""
+
+    def __init__(self, operand: Expr, values: Sequence[Any]) -> None:
+        self.operand = operand
+        self.values = tuple(values)
+        try:
+            self._value_set: set[Any] | None = set(self.values)
+        except TypeError:
+            self._value_set = None  # unhashable values: fall back to linear scan
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if self._value_set is not None:
+            try:
+                return value in self._value_set
+            except TypeError:
+                return False
+        return value in self.values
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}.in_({list(self.values)!r})"
+
+
+def col(name: str) -> Col:
+    """Build a column reference."""
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    """Build a literal node."""
+    return Lit(value)
+
+
+def wrap(value: Any) -> Expr:
+    """Return ``value`` unchanged if it is an :class:`Expr`, else wrap in Lit."""
+    return value if isinstance(value, Expr) else Lit(value)

@@ -1,0 +1,135 @@
+"""Secondary indexes: hash indexes for equality, sorted indexes for ranges.
+
+Indexes map tuples of column values to the set of primary keys of matching
+rows.  They are maintained eagerly by :class:`repro.storage.table.Table` on
+every mutation, so lookups never need revalidation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.storage.errors import DuplicateKeyError
+
+PkTuple = tuple[Any, ...]
+ValueTuple = tuple[Any, ...]
+
+
+class HashIndex:
+    """Equality index over one or more columns.
+
+    With ``unique=True`` the index doubles as a uniqueness constraint:
+    inserting a second row with the same value tuple raises
+    :class:`DuplicateKeyError`.  ``None`` values are indexed like any other
+    value but never trigger uniqueness conflicts (SQL-style NULL semantics).
+    """
+
+    def __init__(self, columns: Iterable[str], unique: bool = False) -> None:
+        self.columns = tuple(columns)
+        self.unique = unique
+        self._buckets: dict[ValueTuple, set[PkTuple]] = {}
+
+    def key_for(self, row: dict[str, Any]) -> ValueTuple:
+        return tuple(row[c] for c in self.columns)
+
+    def add(self, row: dict[str, Any], pk: PkTuple) -> None:
+        key = self.key_for(row)
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket and None not in key:
+            raise DuplicateKeyError(
+                f"unique index on {self.columns} violated by {key!r}"
+            )
+        bucket.add(pk)
+
+    def remove(self, row: dict[str, Any], pk: PkTuple) -> None:
+        key = self.key_for(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(pk)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, *values: Any) -> set[PkTuple]:
+        """Return the primary keys of rows whose indexed columns equal
+        ``values`` (a copy; safe to mutate)."""
+        return set(self._buckets.get(tuple(values), ()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "unique hash" if self.unique else "hash"
+        return f"<{kind} index on {self.columns} ({len(self._buckets)} keys)>"
+
+
+class SortedIndex:
+    """Ordered index over a single column supporting range scans.
+
+    Backed by a sorted list of ``(value, pk)`` pairs.  ``None`` values are
+    excluded from the ordering (they can never match a range predicate).
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._entries: list[tuple[Any, PkTuple]] = []
+
+    def add(self, row: dict[str, Any], pk: PkTuple) -> None:
+        value = row[self.column]
+        if value is None:
+            return
+        bisect.insort(self._entries, (value, pk))
+
+    def remove(self, row: dict[str, Any], pk: PkTuple) -> None:
+        value = row[self.column]
+        if value is None:
+            return
+        position = bisect.bisect_left(self._entries, (value, pk))
+        if position < len(self._entries) and self._entries[position] == (value, pk):
+            del self._entries[position]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[PkTuple]:
+        """Yield primary keys with indexed value in the requested interval.
+
+        ``None`` bounds are open-ended.  Results come out in ascending value
+        order, which :meth:`Query.order_by` exploits when possible.
+        """
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._entries, (low,))
+        else:
+            start = bisect.bisect_right(self._entries, (low, _AFTER_ALL))
+        for value, pk in self._entries[start:]:
+            if high is not None:
+                if include_high and value > high:
+                    break
+                if not include_high and value >= high:
+                    break
+            yield pk
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<sorted index on {self.column!r} ({len(self._entries)} entries)>"
+
+
+class _AfterAll:
+    """Sentinel comparing greater than every primary-key tuple."""
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+
+_AFTER_ALL = _AfterAll()

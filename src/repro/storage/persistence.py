@@ -1,0 +1,171 @@
+"""Durable snapshots: JSON catalogue plus JSON-lines row files.
+
+Layout of a saved database directory::
+
+    <dir>/catalog.json          # schemas of every table
+    <dir>/<table>.jsonl         # one JSON object per row
+
+The format is line-oriented so large task pools stream without building one
+giant document, and diff-friendly for experiment artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.storage.database import Database
+from repro.storage.errors import SchemaError, StorageError
+from repro.storage.schema import NO_DEFAULT, Column, ForeignKey, TableSchema
+from repro.storage.types import ColumnType
+
+_FORMAT_VERSION = 1
+
+
+def _schema_to_dict(schema: TableSchema) -> dict[str, Any]:
+    columns = []
+    for column in schema.columns:
+        entry: dict[str, Any] = {
+            "name": column.name,
+            "type": column.type.value,
+            "nullable": column.nullable,
+        }
+        if column.has_default and not callable(column.default):
+            entry["default"] = column.default
+        columns.append(entry)
+    return {
+        "name": schema.name,
+        "columns": columns,
+        "primary_key": list(schema.primary_key),
+        "unique": [list(u) for u in schema.unique],
+        "foreign_keys": [
+            {
+                "columns": list(fk.columns),
+                "ref_table": fk.ref_table,
+                "ref_columns": list(fk.ref_columns),
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _schema_from_dict(payload: dict[str, Any]) -> TableSchema:
+    columns = [
+        Column(
+            name=entry["name"],
+            type=ColumnType(entry["type"]),
+            nullable=entry.get("nullable", False),
+            default=entry.get("default", NO_DEFAULT),
+        )
+        for entry in payload["columns"]
+    ]
+    foreign_keys = [
+        ForeignKey(
+            columns=tuple(fk["columns"]),
+            ref_table=fk["ref_table"],
+            ref_columns=tuple(fk["ref_columns"]),
+        )
+        for fk in payload.get("foreign_keys", [])
+    ]
+    return TableSchema(
+        payload["name"],
+        columns,
+        primary_key=tuple(payload["primary_key"]),
+        unique=[tuple(u) for u in payload.get("unique", [])],
+        foreign_keys=foreign_keys,
+    )
+
+
+def save_database(db: Database, directory: str | Path) -> Path:
+    """Write ``db`` under ``directory`` (created if needed); returns the path."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    catalog = {
+        "format_version": _FORMAT_VERSION,
+        "tables": [_schema_to_dict(db.table(name).schema) for name in db.table_names],
+    }
+    (root / "catalog.json").write_text(json.dumps(catalog, indent=2, sort_keys=True))
+    for name in db.table_names:
+        table = db.table(name)
+        with (root / f"{name}.jsonl").open("w", encoding="utf-8") as handle:
+            for row in table.rows():
+                handle.write(json.dumps(row, sort_keys=True))
+                handle.write("\n")
+    return root
+
+
+def load_database(directory: str | Path) -> Database:
+    """Load a database previously written by :func:`save_database`.
+
+    Tables are created in an order that satisfies foreign-key dependencies;
+    cyclic FK graphs are rejected.
+    """
+    root = Path(directory)
+    catalog_path = root / "catalog.json"
+    if not catalog_path.exists():
+        raise StorageError(f"no catalog.json under {root}")
+    catalog = json.loads(catalog_path.read_text())
+    if catalog.get("format_version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot version: {catalog.get('format_version')!r}"
+        )
+    schemas = [_schema_from_dict(entry) for entry in catalog["tables"]]
+    ordered = _topological_order(schemas)
+    db = Database()
+    for schema in ordered:
+        db.create_table(schema)
+    for schema in ordered:
+        rows_path = root / f"{schema.name}.jsonl"
+        if not rows_path.exists():
+            continue
+        with rows_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    db.insert(schema.name, json.loads(line))
+    return db
+
+
+def _topological_order(schemas: list[TableSchema]) -> list[TableSchema]:
+    """Order schemas so every FK target precedes its referrer."""
+    by_name = {schema.name: schema for schema in schemas}
+    ordered: list[TableSchema] = []
+    state: dict[str, str] = {}  # name -> "visiting" | "done"
+
+    def visit(name: str) -> None:
+        status = state.get(name)
+        if status == "done":
+            return
+        if status == "visiting":
+            raise SchemaError(f"cyclic foreign keys involving table {name!r}")
+        state[name] = "visiting"
+        for fk in by_name[name].foreign_keys:
+            if fk.ref_table in by_name and fk.ref_table != name:
+                visit(fk.ref_table)
+        state[name] = "done"
+        ordered.append(by_name[name])
+
+    for schema in schemas:
+        visit(schema.name)
+    return ordered
+
+
+def export_table_csv(db: Database, table_name: str, path: str | Path) -> Path:
+    """Export one table to CSV (JSON-encoded cells for complex values)."""
+    import csv
+
+    table = db.table(table_name)
+    target = Path(path)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        names = table.schema.column_names
+        writer.writerow(names)
+        for row in table.rows():
+            writer.writerow(
+                [
+                    json.dumps(row[c]) if isinstance(row[c], (dict, list)) else row[c]
+                    for c in names
+                ]
+            )
+    return target

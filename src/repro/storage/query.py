@@ -1,0 +1,285 @@
+"""Relational-algebra query builder.
+
+A :class:`Query` is an immutable pipeline description; ``execute`` runs it
+and returns a list of row dicts.  Supported operators: scan, where
+(selection), project (with computed columns), inner/left hash joins,
+group-by with aggregates, order-by, distinct, limit/offset.
+
+>>> from repro.storage import Database, TableSchema, Column, ColumnType, col
+>>> # Query.scan(db, "worker").where(col("skill") > 0.5).order_by("id").execute()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.storage.database import Database
+from repro.storage.errors import StorageError, UnknownColumnError
+from repro.storage.expr import Expr
+
+Row = dict[str, Any]
+
+#: name -> (needs_column, fold over values)
+_AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values) if values else None,
+    "first": lambda values: values[0] if values else None,
+    "collect": list,
+}
+
+
+class Query:
+    """An immutable chain of relational operators."""
+
+    def __init__(self, source: Callable[[], Iterable[Row]]) -> None:
+        self._source = source
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def scan(cls, db: Database, table_name: str) -> "Query":
+        """Full scan of a table (rows are not copied until projection)."""
+        table = db.table(table_name)
+
+        def source() -> Iterable[Row]:
+            return table._iter_internal()
+
+        return cls(source)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row]) -> "Query":
+        """Query over an in-memory list of row dicts."""
+        materialised = list(rows)
+        return cls(lambda: materialised)
+
+    # -- operators --------------------------------------------------------------
+    def where(self, predicate: Expr | Callable[[Row], bool]) -> "Query":
+        """Keep rows satisfying ``predicate`` (an Expr or a plain callable)."""
+        test = predicate.evaluate if isinstance(predicate, Expr) else predicate
+        parent = self._source
+        return Query(lambda: (row for row in parent() if test(row)))
+
+    def project(self, *columns: str, **computed: Expr | Callable[[Row], Any]) -> "Query":
+        """Project to ``columns`` plus ``computed`` alias=expression pairs."""
+        parent = self._source
+        evaluators = {
+            alias: (value.evaluate if isinstance(value, Expr) else value)
+            for alias, value in computed.items()
+        }
+
+        def source() -> Iterable[Row]:
+            for row in parent():
+                try:
+                    out = {name: row[name] for name in columns}
+                except KeyError as exc:
+                    raise UnknownColumnError(
+                        f"projection references missing column {exc.args[0]!r}"
+                    ) from None
+                for alias, evaluate in evaluators.items():
+                    out[alias] = evaluate(row)
+                yield out
+
+        return Query(source)
+
+    def rename(self, **mapping: str) -> "Query":
+        """Rename columns: ``rename(new=old)``; unlisted columns pass through."""
+        parent = self._source
+        inverse = {old: new for new, old in mapping.items()}
+
+        def source() -> Iterable[Row]:
+            for row in parent():
+                yield {inverse.get(name, name): value for name, value in row.items()}
+
+        return Query(source)
+
+    def prefix(self, prefix: str) -> "Query":
+        """Prefix every column name (used to disambiguate join sides)."""
+        parent = self._source
+
+        def source() -> Iterable[Row]:
+            for row in parent():
+                yield {f"{prefix}{name}": value for name, value in row.items()}
+
+        return Query(source)
+
+    def join(
+        self,
+        other: "Query",
+        on: Sequence[tuple[str, str]],
+        how: str = "inner",
+    ) -> "Query":
+        """Hash join with ``other``; ``on`` is (left_column, right_column) pairs.
+
+        ``how`` is ``"inner"`` or ``"left"``.  On a left join, unmatched left
+        rows get ``None`` for every right column.  Name collisions are an
+        error — disambiguate with :meth:`prefix` or :meth:`rename` first.
+        """
+        if how not in ("inner", "left"):
+            raise StorageError(f"unsupported join type: {how!r}")
+        if not on:
+            raise StorageError("join requires at least one column pair")
+        left_cols = [pair[0] for pair in on]
+        right_cols = [pair[1] for pair in on]
+        parent = self._source
+        other_source = other._source
+
+        def source() -> Iterable[Row]:
+            table: dict[tuple, list[Row]] = {}
+            right_columns: list[str] = []
+            for row in other_source():
+                if not right_columns:
+                    right_columns = list(row.keys())
+                key = tuple(row[c] for c in right_cols)
+                table.setdefault(key, []).append(row)
+            for row in parent():
+                key = tuple(row[c] for c in left_cols)
+                matches = table.get(key, ())
+                if matches:
+                    for match in matches:
+                        merged = dict(row)
+                        for name, value in match.items():
+                            if name in merged and name not in right_cols:
+                                raise StorageError(
+                                    f"join column collision on {name!r}; "
+                                    "use .prefix() to disambiguate"
+                                )
+                            if name not in left_cols or name not in merged:
+                                merged[name] = value
+                        yield merged
+                elif how == "left":
+                    merged = dict(row)
+                    for name in right_columns:
+                        merged.setdefault(name, None)
+                    yield merged
+
+        return Query(source)
+
+    def group_by(self, *keys: str) -> "GroupedQuery":
+        """Group rows by ``keys`` in preparation for :meth:`GroupedQuery.aggregate`."""
+        return GroupedQuery(self._source, keys)
+
+    def order_by(self, *columns: str, desc: bool = False) -> "Query":
+        """Sort by ``columns``; ``None`` sorts first (ascending)."""
+        parent = self._source
+
+        def sort_key(row: Row) -> tuple:
+            key = []
+            for name in columns:
+                value = row[name]
+                key.append((value is not None, value) if not desc else (value is None, value))
+            return tuple(key)
+
+        def source() -> Iterable[Row]:
+            try:
+                return sorted(parent(), key=sort_key, reverse=desc)
+            except TypeError as exc:
+                raise StorageError(f"order_by on incomparable values: {exc}") from exc
+
+        return Query(source)
+
+    def distinct(self) -> "Query":
+        """Drop duplicate rows (all columns considered)."""
+        parent = self._source
+
+        def source() -> Iterable[Row]:
+            seen: set[tuple] = set()
+            for row in parent():
+                key = tuple(sorted((k, _freeze(v)) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+
+        return Query(source)
+
+    def limit(self, count: int, offset: int = 0) -> "Query":
+        """Keep ``count`` rows after skipping ``offset``."""
+        if count < 0 or offset < 0:
+            raise StorageError("limit/offset must be non-negative")
+        parent = self._source
+
+        def source() -> Iterable[Row]:
+            for position, row in enumerate(parent()):
+                if position < offset:
+                    continue
+                if position >= offset + count:
+                    break
+                yield row
+
+        return Query(source)
+
+    # -- execution ---------------------------------------------------------------
+    def execute(self) -> list[Row]:
+        """Run the pipeline, returning fresh row dicts."""
+        return [dict(row) for row in self._source()]
+
+    def count(self) -> int:
+        """Number of result rows (no materialisation of dict copies)."""
+        return sum(1 for _ in self._source())
+
+    def first(self) -> Row | None:
+        """First result row or ``None``."""
+        for row in self._source():
+            return dict(row)
+        return None
+
+    def scalars(self, column: str) -> list[Any]:
+        """The values of one column, in pipeline order."""
+        return [row[column] for row in self._source()]
+
+
+class GroupedQuery:
+    """Intermediate produced by :meth:`Query.group_by`."""
+
+    def __init__(self, source: Callable[[], Iterable[Row]], keys: tuple[str, ...]) -> None:
+        self._source = source
+        self._keys = keys
+
+    def aggregate(self, **specs: tuple[str, str | None]) -> Query:
+        """Aggregate each group.
+
+        Each keyword maps an output alias to ``(function, column)`` where
+        function is one of count/sum/min/max/avg/first/collect and column may
+        be ``None`` only for ``count``.
+
+        >>> # q.group_by("team").aggregate(n=("count", None), best=("max", "skill"))
+        """
+        for alias, (func, column) in specs.items():
+            if func not in _AGGREGATES:
+                raise StorageError(f"unknown aggregate {func!r} for {alias!r}")
+            if column is None and func != "count":
+                raise StorageError(f"aggregate {func!r} needs a column")
+        parent = self._source
+        keys = self._keys
+
+        def source() -> Iterable[Row]:
+            groups: dict[tuple, list[Row]] = {}
+            for row in parent():
+                groups.setdefault(tuple(row[k] for k in keys), []).append(row)
+            for key_values, members in groups.items():
+                out: Row = dict(zip(keys, key_values))
+                for alias, (func, column) in specs.items():
+                    values = (
+                        members
+                        if column is None
+                        else [m[column] for m in members if m[column] is not None]
+                    )
+                    if column is None:
+                        out[alias] = len(members)
+                    elif not values and func in ("min", "max", "sum"):
+                        out[alias] = None if func != "sum" else 0
+                    else:
+                        out[alias] = _AGGREGATES[func](values)
+                yield out
+
+        return Query(source)
+
+
+def _freeze(value: Any) -> Any:
+    """Make a value hashable for DISTINCT (lists/dicts become tuples)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, set)):
+        return tuple(_freeze(v) for v in value)
+    return value

@@ -1,0 +1,259 @@
+"""In-memory table with integrity enforcement and secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.storage.errors import (
+    DuplicateKeyError,
+    NotNullViolation,
+    StorageError,
+    UnknownColumnError,
+)
+from repro.storage.index import HashIndex, PkTuple, SortedIndex
+from repro.storage.schema import TableSchema
+from repro.storage.types import coerce_value
+
+UndoSink = Callable[[Callable[[], None]], None]
+
+
+class Table:
+    """Rows of one relation, keyed by primary key.
+
+    All reads hand out *copies* of stored rows so callers can never corrupt
+    the table by mutating results; the query layer uses the internal
+    iterator for speed and is trusted not to mutate.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[PkTuple, dict[str, Any]] = {}
+        self._unique_indexes: list[HashIndex] = [
+            HashIndex(constraint, unique=True) for constraint in schema.unique
+        ]
+        self._hash_indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+        #: Installed by the owning Database while a transaction is active.
+        self.undo_sink: UndoSink | None = None
+
+    # -- row normalisation ----------------------------------------------------
+    def _normalise(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate ``values`` into a complete, typed row dict."""
+        unknown = set(values) - set(self.schema.column_map)
+        if unknown:
+            raise UnknownColumnError(
+                f"table {self.schema.name!r} has no columns {sorted(unknown)}"
+            )
+        row: dict[str, Any] = {}
+        for column in self.schema.columns:
+            if column.name in values:
+                value = values[column.name]
+            elif column.has_default:
+                value = column.resolve_default()
+            else:
+                value = None
+            value = coerce_value(value, column.type)
+            if value is None and not column.nullable:
+                raise NotNullViolation(
+                    f"column {self.schema.name}.{column.name} is not nullable"
+                )
+            row[column.name] = value
+        return row
+
+    # -- mutations --------------------------------------------------------------
+    def insert(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Insert a row; returns a copy of what was stored."""
+        row = self._normalise(values)
+        pk = self.schema.pk_tuple(row)
+        if pk in self._rows:
+            raise DuplicateKeyError(
+                f"duplicate primary key {pk!r} in table {self.schema.name!r}"
+            )
+        self._index_add(row, pk)
+        self._rows[pk] = row
+        if self.undo_sink is not None:
+            self.undo_sink(lambda: self._raw_delete(pk))
+        return dict(row)
+
+    def update(self, pk: Sequence[Any], changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply ``changes`` to the row with primary key ``pk``."""
+        pk = tuple(pk)
+        old = self._rows.get(pk)
+        if old is None:
+            raise StorageError(
+                f"no row with primary key {pk!r} in table {self.schema.name!r}"
+            )
+        merged = dict(old)
+        merged.update(changes)
+        new_row = self._normalise(merged)
+        new_pk = self.schema.pk_tuple(new_row)
+        if new_pk != pk and new_pk in self._rows:
+            raise DuplicateKeyError(
+                f"update would duplicate primary key {new_pk!r} "
+                f"in table {self.schema.name!r}"
+            )
+        self._index_remove(old, pk)
+        try:
+            self._index_add(new_row, new_pk)
+        except DuplicateKeyError:
+            self._index_add(old, pk)  # roll the index state back
+            raise
+        del self._rows[pk]
+        self._rows[new_pk] = new_row
+        if self.undo_sink is not None:
+            old_copy = dict(old)
+            self.undo_sink(lambda: self._raw_replace(new_pk, pk, old_copy))
+        return dict(new_row)
+
+    def delete(self, pk: Sequence[Any]) -> dict[str, Any]:
+        """Delete and return (a copy of) the row with primary key ``pk``."""
+        pk = tuple(pk)
+        row = self._rows.get(pk)
+        if row is None:
+            raise StorageError(
+                f"no row with primary key {pk!r} in table {self.schema.name!r}"
+            )
+        self._index_remove(row, pk)
+        del self._rows[pk]
+        if self.undo_sink is not None:
+            row_copy = dict(row)
+            self.undo_sink(lambda: self._raw_insert(row_copy))
+        return dict(row)
+
+    def truncate(self) -> int:
+        """Remove every row; returns how many were removed."""
+        removed = len(self._rows)
+        if self.undo_sink is not None:
+            rows_copy = [dict(r) for r in self._rows.values()]
+
+            def undo() -> None:
+                for row in rows_copy:
+                    self._raw_insert(row)
+
+            self.undo_sink(undo)
+        self._rows.clear()
+        for index in self._all_indexes():
+            if isinstance(index, HashIndex):
+                index._buckets.clear()
+            else:
+                index._entries.clear()
+        return removed
+
+    # -- raw (no undo, no validation) ops used by the undo log -----------------
+    def _raw_insert(self, row: dict[str, Any]) -> None:
+        pk = self.schema.pk_tuple(row)
+        self._index_add(row, pk)
+        self._rows[pk] = row
+
+    def _raw_delete(self, pk: PkTuple) -> None:
+        row = self._rows.pop(pk)
+        self._index_remove(row, pk)
+
+    def _raw_replace(self, current_pk: PkTuple, old_pk: PkTuple, old_row: dict) -> None:
+        current = self._rows.pop(current_pk)
+        self._index_remove(current, current_pk)
+        self._index_add(old_row, old_pk)
+        self._rows[old_pk] = old_row
+
+    # -- reads ------------------------------------------------------------------
+    def get(self, pk: Sequence[Any]) -> dict[str, Any] | None:
+        """Return a copy of the row with primary key ``pk``, or ``None``."""
+        row = self._rows.get(tuple(pk))
+        return dict(row) if row is not None else None
+
+    def contains(self, pk: Sequence[Any]) -> bool:
+        return tuple(pk) in self._rows
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Yield a copy of every row (insertion order)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def _iter_internal(self) -> Iterator[dict[str, Any]]:
+        """Yield stored row dicts without copying.  Callers must not mutate."""
+        return iter(self._rows.values())
+
+    def pks(self) -> Iterator[PkTuple]:
+        return iter(self._rows.keys())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- secondary indexes --------------------------------------------------------
+    def create_index(self, columns: Sequence[str]) -> HashIndex:
+        """Create (or return an existing) hash index over ``columns``."""
+        key = tuple(columns)
+        self.schema._check_columns_exist(key)
+        existing = self._hash_indexes.get(key)
+        if existing is not None:
+            return existing
+        index = HashIndex(key)
+        for pk, row in self._rows.items():
+            index.add(row, pk)
+        self._hash_indexes[key] = index
+        return index
+
+    def create_sorted_index(self, column: str) -> SortedIndex:
+        """Create (or return an existing) sorted index over ``column``."""
+        self.schema._check_columns_exist((column,))
+        existing = self._sorted_indexes.get(column)
+        if existing is not None:
+            return existing
+        index = SortedIndex(column)
+        for pk, row in self._rows.items():
+            index.add(row, pk)
+        self._sorted_indexes[column] = index
+        return index
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> list[dict]:
+        """Equality lookup via an index when available, else a scan.
+
+        Returns copies of matching rows.
+        """
+        key = tuple(columns)
+        index = self._hash_indexes.get(key)
+        if index is None:
+            for unique_index in self._unique_indexes:
+                if unique_index.columns == key:
+                    index = unique_index
+                    break
+        if index is not None:
+            return [dict(self._rows[pk]) for pk in sorted_pks(index.lookup(*values))]
+        wanted = tuple(values)
+        return [
+            dict(row)
+            for row in self._rows.values()
+            if tuple(row[c] for c in key) == wanted
+        ]
+
+    def _all_indexes(self):
+        yield from self._unique_indexes
+        yield from self._hash_indexes.values()
+        yield from self._sorted_indexes.values()
+
+    def _index_add(self, row: dict[str, Any], pk: PkTuple) -> None:
+        added: list = []
+        try:
+            for index in self._all_indexes():
+                index.add(row, pk)
+                added.append(index)
+        except DuplicateKeyError:
+            for index in added:
+                index.remove(row, pk)
+            raise
+
+    def _index_remove(self, row: dict[str, Any], pk: PkTuple) -> None:
+        for index in self._all_indexes():
+            index.remove(row, pk)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Table {self.schema.name!r} ({len(self)} rows)>"
+
+
+def sorted_pks(pks: set[PkTuple]) -> list[PkTuple]:
+    """Sort primary keys for deterministic lookup output, tolerating mixed
+    types by falling back to repr ordering."""
+    try:
+        return sorted(pks)
+    except TypeError:
+        return sorted(pks, key=repr)

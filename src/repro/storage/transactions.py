@@ -1,0 +1,31 @@
+"""Context-manager sugar over the database's undo-log transactions.
+
+>>> from repro.storage import Database
+>>> from repro.storage.transactions import transaction
+>>> db = Database()
+>>> # within ``with transaction(db): ...`` an exception rolls everything back
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.storage.database import Database
+
+
+@contextlib.contextmanager
+def transaction(db: Database) -> Iterator[Database]:
+    """Run a block atomically: commit on success, roll back on any exception.
+
+    Transactions nest; an inner commit is still undone if an outer block
+    fails, because undo entries fold into the parent log.
+    """
+    db.begin()
+    try:
+        yield db
+    except BaseException:
+        db.rollback()
+        raise
+    else:
+        db.commit()

@@ -1,0 +1,14 @@
+"""Small shared utilities: seeded RNG helpers, identifiers, text tools."""
+
+from repro.util.ids import IdFactory
+from repro.util.rng import derive_seed, make_rng
+from repro.util.text import clamp, slugify, word_wrap
+
+__all__ = [
+    "IdFactory",
+    "clamp",
+    "derive_seed",
+    "make_rng",
+    "slugify",
+    "word_wrap",
+]

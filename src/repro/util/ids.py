@@ -1,0 +1,40 @@
+"""Monotonic, prefixed identifier generation.
+
+Entities across the platform (workers, tasks, teams, projects, documents)
+carry short human-readable ids such as ``w0042`` or ``task00107``.  Using a
+factory per entity type keeps ids dense and deterministic, which matters for
+reproducible experiment output.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdFactory:
+    """Produce ids ``<prefix><counter>`` with zero-padded counters.
+
+    >>> f = IdFactory("w", width=4)
+    >>> f.next(), f.next()
+    ('w0000', 'w0001')
+    """
+
+    def __init__(self, prefix: str, width: int = 5, start: int = 0) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.prefix = prefix
+        self.width = width
+        self._counter = itertools.count(start)
+
+    def next(self) -> str:
+        """Return the next identifier in the sequence."""
+        return f"{self.prefix}{next(self._counter):0{self.width}d}"
+
+    def peek_count(self) -> int:
+        """Return how many ids have been handed out so far.
+
+        Implemented by copying the underlying counter; the factory itself is
+        not advanced.
+        """
+        self._counter, probe = itertools.tee(self._counter)
+        return next(probe)

@@ -1,0 +1,34 @@
+"""Deterministic random-number helpers.
+
+All stochastic behaviour in the library (simulated workers, randomized
+assignment algorithms) flows through explicitly seeded generators so that
+every experiment is exactly reproducible.  We standardise on
+:class:`random.Random` for control flow and provide stable derived seeds so
+that independent subsystems do not perturb each other's streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Return a stable 63-bit seed derived from ``base_seed`` and labels.
+
+    The derivation uses SHA-256 over the repr of the inputs, so adding a new
+    consumer with a fresh label never changes the streams of existing ones.
+
+    >>> derive_seed(7, "population") == derive_seed(7, "population")
+    True
+    >>> derive_seed(7, "population") != derive_seed(7, "behavior")
+    True
+    """
+    payload = repr((base_seed,) + labels).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def make_rng(base_seed: int, *labels: object) -> random.Random:
+    """Return a :class:`random.Random` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(base_seed, *labels))

@@ -1,0 +1,53 @@
+"""Text helpers used by the form renderers and demo applications."""
+
+from __future__ import annotations
+
+import re
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Lower-case ``text`` and collapse non-alphanumerics to single dashes.
+
+    >>> slugify("Citizen Journalism: Report #3")
+    'citizen-journalism-report-3'
+    """
+    collapsed = _SLUG_RE.sub("-", text.lower())
+    return collapsed.strip("-")
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``.
+
+    >>> clamp(1.4, 0.0, 1.0)
+    1.0
+    """
+    if low > high:
+        raise ValueError(f"empty interval: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def word_wrap(text: str, width: int = 72) -> list[str]:
+    """Greedy word wrap returning the list of lines.
+
+    Unlike :mod:`textwrap` this never splits words longer than ``width``;
+    such words get a line of their own, which is the behaviour the plain-text
+    page renderers want.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines: list[str] = []
+    current: list[str] = []
+    used = 0
+    for word in text.split():
+        needed = len(word) if not current else used + 1 + len(word)
+        if current and needed > width:
+            lines.append(" ".join(current))
+            current, used = [word], len(word)
+        else:
+            current.append(word)
+            used = needed
+    if current:
+        lines.append(" ".join(current))
+    return lines

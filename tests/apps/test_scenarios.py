@@ -1,0 +1,121 @@
+"""End-to-end demo scenarios on the simulated crowd (§2.5)."""
+
+import pytest
+
+from repro.apps import (
+    run_journalism_demo,
+    run_surveillance_demo,
+    run_translation_demo,
+)
+from repro.apps.translation import translation_cylog
+from repro.cylog import parse_program
+
+
+@pytest.fixture(scope="module")
+def translation():
+    return run_translation_demo(n_workers=24, n_clips=3, seed=1, max_steps=250)
+
+
+@pytest.fixture(scope="module")
+def journalism():
+    return run_journalism_demo(
+        n_workers=24, topics=["storm", "festival"], seed=1, max_steps=250
+    )
+
+
+@pytest.fixture(scope="module")
+def surveillance():
+    return run_surveillance_demo(
+        n_workers=40, regions=["tsukuba", "paris"], periods=["am", "pm"],
+        seed=1, max_steps=400,
+    )
+
+
+class TestTranslation:
+    def test_reaches_quiescence(self, translation):
+        assert translation.report.quiescent
+
+    def test_every_clip_transcribed_and_translated(self, translation):
+        assert translation.facts["transcribed"] == 3
+        assert translation.facts["translated"] == 3
+
+    def test_second_stage_demanded_dynamically(self, translation):
+        # translate tasks are keyed by subtitles, which exist only after
+        # transcription: strictly more task generations than clips.
+        platform = translation.platform
+        generated = platform.events.count("task.generated")
+        assert generated == 6  # 3 transcribe + 3 translate
+
+    def test_sequential_chain_produced_reviews(self, translation):
+        platform = translation.platform
+        kinds = [t.kind.value for t in platform.pool.all()]
+        assert "draft" in kinds and "review" in kinds
+
+    def test_results_credited_to_teams(self, translation):
+        results = translation.platform.results_for(translation.project_id)
+        assert len(results) == 6
+        assert all(r["team_id"].startswith("team") for r in results)
+
+    def test_skill_estimates_learned(self, translation):
+        assert translation.extras["skill_estimates"] > 0
+
+    def test_cylog_source_parses(self):
+        program = parse_program(translation_cylog(["c1"], "German"))
+        assert {d.name for d in program.opens} == {"transcribe", "translate"}
+
+    def test_deterministic_given_seed(self):
+        first = run_translation_demo(n_workers=18, n_clips=2, seed=5,
+                                     max_steps=200)
+        second = run_translation_demo(n_workers=18, n_clips=2, seed=5,
+                                      max_steps=200)
+        assert first.summary() == second.summary()
+
+
+class TestJournalism:
+    def test_reaches_quiescence(self, journalism):
+        assert journalism.report.quiescent
+
+    def test_all_topics_published(self, journalism):
+        assert journalism.facts["published"] == 2
+
+    def test_simultaneous_flow_used(self, journalism):
+        platform = journalism.platform
+        kinds = {t.kind.value for t in platform.pool.all()}
+        assert "solicit_sns" in kinds and "joint" in kinds
+
+    def test_articles_merge_member_sections(self, journalism):
+        processor = journalism.platform.processor(journalism.project_id)
+        for _, article in processor.facts("published"):
+            assert "Contribution of" in article
+
+    def test_contributions_from_multiple_members(self, journalism):
+        assert journalism.report.contributions >= 4
+
+
+class TestSurveillance:
+    def test_reaches_quiescence(self, surveillance):
+        assert surveillance.report.quiescent
+
+    def test_grid_fully_covered(self, surveillance):
+        assert surveillance.facts["dossiers"] == surveillance.facts["cells"] == 4
+
+    def test_hybrid_stages_ran(self, surveillance):
+        platform = surveillance.platform
+        kinds = {t.kind.value for t in platform.pool.all()}
+        # sequential facts stage and simultaneous testimonials stage
+        assert {"draft", "solicit_sns", "joint"} <= kinds
+
+    def test_dossier_contains_both_stages(self, surveillance):
+        processor = surveillance.platform.processor(surveillance.project_id)
+        for _, _, dossier in processor.facts("dossier"):
+            assert "observation" in dossier or "corrected" in dossier
+            assert "testimonial" in dossier
+
+    def test_region_eligibility_respected(self, surveillance):
+        platform = surveillance.platform
+        for team in platform.teams.all():
+            if team.status.value != "finished":
+                continue
+            for member in team.members:
+                region = platform.workers.get(member).factors.region
+                assert region in ("tsukuba", "paris")

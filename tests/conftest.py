@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.human_factors import HumanFactors
+from repro.core.workers import Worker, WorkerManager
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def worker_table_schema() -> TableSchema:
+    return TableSchema(
+        "people",
+        [
+            Column("id", ColumnType.TEXT),
+            Column("age", ColumnType.INT),
+            Column("score", ColumnType.FLOAT, nullable=True),
+            Column("active", ColumnType.BOOL, default=True),
+        ],
+        primary_key=("id",),
+    )
+
+
+def make_worker(
+    worker_id: str,
+    skill: float = 0.5,
+    region: str = "tsukuba",
+    languages: dict[str, float] | None = None,
+    cost: float = 0.0,
+    reliability: float = 0.9,
+    skill_name: str = "translation",
+) -> Worker:
+    """Convenience constructor used across core tests."""
+    return Worker(
+        id=worker_id,
+        name=f"name-{worker_id}",
+        factors=HumanFactors(
+            native_languages=frozenset({"en"}),
+            languages=languages or {"fr": 0.5},
+            region=region,
+            skills={skill_name: skill},
+            reliability=reliability,
+            cost=cost,
+        ),
+    )
+
+
+@pytest.fixture
+def five_workers() -> list[Worker]:
+    return [
+        make_worker("w1", skill=0.9, region="tsukuba"),
+        make_worker("w2", skill=0.8, region="tsukuba"),
+        make_worker("w3", skill=0.7, region="paris"),
+        make_worker("w4", skill=0.4, region="paris"),
+        make_worker("w5", skill=0.2, region="dallas"),
+    ]
+
+
+@pytest.fixture
+def uniform_affinity(five_workers) -> AffinityMatrix:
+    """Affinity favouring same-region pairs: 0.9 same region, 0.1 otherwise."""
+    matrix = AffinityMatrix()
+    for i, a in enumerate(five_workers):
+        for b in five_workers[i + 1:]:
+            same = a.factors.region == b.factors.region
+            matrix.set(a.id, b.id, 0.9 if same else 0.1)
+    return matrix
+
+
+@pytest.fixture
+def worker_manager(db) -> WorkerManager:
+    return WorkerManager(db)

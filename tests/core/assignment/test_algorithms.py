@@ -1,0 +1,215 @@
+"""Team-formation algorithms: correctness on hand-built instances."""
+
+import pytest
+
+from repro.core.assignment import (
+    AssignmentProblem,
+    ExactAssigner,
+    GraspAssigner,
+    GreedyAssigner,
+    IndividualAssigner,
+    LocalSearchAssigner,
+    RandomAssigner,
+    SkillOnlyAssigner,
+    default_registry,
+)
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from repro.errors import AssignmentError
+from tests.conftest import make_worker
+
+ALL_ASSIGNERS = [
+    ExactAssigner(),
+    GreedyAssigner(),
+    LocalSearchAssigner(),
+    GraspAssigner(seed=3),
+    RandomAssigner(seed=3),
+    SkillOnlyAssigner(),
+]
+
+
+def _problem(five_workers, uniform_affinity, **constraint_kwargs):
+    base = dict(min_size=2, critical_mass=3)
+    base.update(constraint_kwargs)
+    return AssignmentProblem(
+        workers=tuple(five_workers),
+        affinity=uniform_affinity,
+        constraints=TeamConstraints(**base),
+    )
+
+
+class TestExactOptimality:
+    def test_picks_highest_affinity_clique(self, five_workers, uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity)
+        result = ExactAssigner().assign(problem)
+        # w1,w2 (tsukuba, 0.9) plus any third member beats mixed teams.
+        assert result.feasible
+        assert set(result.team) >= {"w1", "w2"} or set(result.team) >= {"w3", "w4"}
+        assert result.affinity_score == pytest.approx(
+            max(
+                uniform_affinity.intra_affinity(t)
+                for t in (["w1", "w2", "w3"], ["w1", "w2", "w4"],
+                          ["w1", "w2", "w5"], ["w3", "w4", "w1"],
+                          ["w1", "w2"], ["w3", "w4"])
+            )
+        )
+
+    def test_respects_cost_budget(self, uniform_affinity):
+        workers = [
+            make_worker("w1", cost=5.0, region="tsukuba"),
+            make_worker("w2", cost=5.0, region="tsukuba"),
+            make_worker("w3", cost=0.1, region="paris"),
+            make_worker("w4", cost=0.1, region="paris"),
+        ]
+        problem = AssignmentProblem(
+            workers=tuple(workers),
+            affinity=uniform_affinity,
+            constraints=TeamConstraints(min_size=2, critical_mass=3,
+                                        cost_budget=1.0),
+        )
+        result = ExactAssigner().assign(problem)
+        assert result.feasible and set(result.team) == {"w3", "w4"}
+
+    def test_infeasible_reported(self, five_workers, uniform_affinity):
+        problem = _problem(
+            five_workers, uniform_affinity,
+            skills=(SkillRequirement("translation", 5.0, aggregator="sum"),),
+        )
+        result = ExactAssigner().assign(problem)
+        assert not result.feasible and result.team == ()
+
+    def test_candidate_cap_enforced(self, uniform_affinity):
+        workers = tuple(make_worker(f"w{i:03d}") for i in range(30))
+        problem = AssignmentProblem(
+            workers=workers, affinity=uniform_affinity,
+            constraints=TeamConstraints(min_size=2, critical_mass=3),
+        )
+        with pytest.raises(AssignmentError, match="refuses"):
+            ExactAssigner(max_candidates=26).assign(problem)
+
+    def test_min_size_one_allows_singleton(self, five_workers, uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity, min_size=1,
+                           critical_mass=1)
+        result = ExactAssigner().assign(problem)
+        assert result.feasible and result.size == 1
+
+
+class TestApproximations:
+    @pytest.mark.parametrize("assigner", ALL_ASSIGNERS, ids=lambda a: a.name)
+    def test_feasible_on_easy_instance(self, assigner, five_workers,
+                                       uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity)
+        result = assigner.assign(problem)
+        assert result.feasible
+        workers = [problem.worker_by_id(w) for w in result.team]
+        assert problem.constraints.is_satisfied_by(workers)
+
+    def test_greedy_matches_exact_on_clear_structure(self, five_workers,
+                                                     uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity)
+        exact = ExactAssigner().assign(problem)
+        greedy = GreedyAssigner().assign(problem)
+        assert greedy.affinity_score <= exact.affinity_score + 1e-9
+        assert greedy.affinity_score >= 0.5 * exact.affinity_score
+
+    def test_local_search_never_worse_than_greedy(self, five_workers,
+                                                  uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity)
+        greedy = GreedyAssigner().assign(problem)
+        local = LocalSearchAssigner().assign(problem)
+        assert local.affinity_score >= greedy.affinity_score - 1e-9
+
+    def test_forbidden_team_avoided(self, five_workers, uniform_affinity):
+        best = ExactAssigner().assign(_problem(five_workers, uniform_affinity))
+        problem = AssignmentProblem(
+            workers=tuple(five_workers),
+            affinity=uniform_affinity,
+            constraints=TeamConstraints(min_size=2, critical_mass=3),
+            forbidden_teams=frozenset({frozenset(best.team)}),
+        )
+        for assigner in ALL_ASSIGNERS:
+            result = assigner.assign(problem)
+            if result.feasible:
+                assert frozenset(result.team) != frozenset(best.team), assigner.name
+
+    def test_random_deterministic_per_seed(self, five_workers, uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity)
+        first = RandomAssigner(seed=5).assign(problem)
+        second = RandomAssigner(seed=5).assign(problem)
+        assert first.team == second.team
+
+    def test_empty_candidates(self, uniform_affinity):
+        problem = AssignmentProblem(
+            workers=(), affinity=uniform_affinity,
+            constraints=TeamConstraints(min_size=1, critical_mass=2),
+        )
+        for assigner in ALL_ASSIGNERS[1:]:  # exact also fine but trivial
+            assert not assigner.assign(problem).feasible
+
+
+class TestBaselineCharacter:
+    def test_skill_only_ignores_affinity(self, uniform_affinity):
+        # Highest-skill pair lives in different regions (affinity 0.1);
+        # skill-only must pick them anyway.
+        workers = [
+            make_worker("w1", skill=0.99, region="tsukuba"),
+            make_worker("w2", skill=0.98, region="dallas"),
+            make_worker("w3", skill=0.2, region="tsukuba"),
+            make_worker("w4", skill=0.1, region="tsukuba"),
+        ]
+        affinity = uniform_affinity
+        problem = AssignmentProblem(
+            workers=tuple(workers), affinity=affinity,
+            constraints=TeamConstraints(
+                min_size=2, critical_mass=2,
+                skills=(SkillRequirement("translation", 0.5),),
+            ),
+        )
+        result = SkillOnlyAssigner().assign(problem)
+        assert set(result.team) == {"w1", "w2"}
+
+    def test_individual_returns_single_worker(self, five_workers,
+                                              uniform_affinity):
+        problem = _problem(five_workers, uniform_affinity, min_size=2)
+        result = IndividualAssigner().assign(problem)
+        assert result.feasible and result.size == 1
+        assert result.affinity_score == 0.0
+
+    def test_individual_picks_best_quality(self, five_workers, uniform_affinity):
+        problem = _problem(
+            five_workers, uniform_affinity,
+            skills=(SkillRequirement("translation", 0.0),),
+        )
+        result = IndividualAssigner().assign(problem)
+        assert result.team == ("w1",)  # highest skill × reliability
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        assert set(registry.names()) == {
+            "exact", "greedy", "local_search", "grasp", "random",
+            "skill_only", "individual",
+        }
+
+    def test_create_unknown(self):
+        with pytest.raises(AssignmentError, match="unknown"):
+            default_registry().create("magic")
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(AssignmentError, match="already"):
+            registry.register("greedy", GreedyAssigner)
+
+    def test_custom_registration(self):
+        registry = default_registry()
+        registry.register("mine", GreedyAssigner)
+        assert "mine" in registry
+        assert isinstance(registry.create("mine"), GreedyAssigner)
+
+    def test_duplicate_workers_rejected(self, five_workers, uniform_affinity):
+        with pytest.raises(AssignmentError, match="duplicate"):
+            AssignmentProblem(
+                workers=tuple(five_workers) + (five_workers[0],),
+                affinity=uniform_affinity,
+                constraints=TeamConstraints(),
+            )

@@ -1,0 +1,119 @@
+"""Property-based assignment invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.assignment import (
+    AssignmentProblem,
+    ExactAssigner,
+    GraspAssigner,
+    GreedyAssigner,
+    LocalSearchAssigner,
+    RandomAssigner,
+    SkillOnlyAssigner,
+)
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from tests.conftest import make_worker
+
+
+@st.composite
+def random_problem(draw) -> AssignmentProblem:
+    n = draw(st.integers(min_value=2, max_value=9))
+    regions = ["tsukuba", "paris"]
+    workers = tuple(
+        make_worker(
+            f"w{i}",
+            skill=draw(st.floats(min_value=0.0, max_value=1.0)),
+            region=draw(st.sampled_from(regions)),
+            cost=draw(st.floats(min_value=0.0, max_value=2.0)),
+            reliability=draw(st.floats(min_value=0.5, max_value=1.0)),
+        )
+        for i in range(n)
+    )
+    affinity = AffinityMatrix()
+    for i in range(n):
+        for j in range(i + 1, n):
+            affinity.set(
+                workers[i].id, workers[j].id,
+                draw(st.floats(min_value=0.0, max_value=1.0)),
+            )
+    min_size = draw(st.integers(min_value=1, max_value=min(3, n)))
+    constraints = TeamConstraints(
+        min_size=min_size,
+        critical_mass=draw(st.integers(min_value=min_size,
+                                       max_value=min(5, n))),
+        skills=(SkillRequirement(
+            "translation",
+            draw(st.floats(min_value=0.0, max_value=0.8)),
+        ),),
+        quality_threshold=draw(st.floats(min_value=0.0, max_value=0.5)),
+        cost_budget=draw(st.floats(min_value=0.5, max_value=10.0)),
+    )
+    return AssignmentProblem(
+        workers=workers, affinity=affinity, constraints=constraints
+    )
+
+
+_APPROXIMATE = [
+    GreedyAssigner(),
+    LocalSearchAssigner(),
+    GraspAssigner(seed=1, iterations=6),
+    RandomAssigner(seed=1),
+    SkillOnlyAssigner(),
+]
+
+
+@given(random_problem())
+@settings(max_examples=50, deadline=None)
+def test_feasible_results_satisfy_all_constraints(problem):
+    """Whatever any assigner returns as feasible *is* feasible."""
+    for assigner in _APPROXIMATE + [ExactAssigner()]:
+        result = assigner.assign(problem)
+        if result.feasible:
+            team = [problem.worker_by_id(wid) for wid in result.team]
+            assert problem.constraints.is_satisfied_by(team), assigner.name
+            assert result.affinity_score == \
+                problem.affinity.intra_affinity(result.team)
+
+
+@given(random_problem())
+@settings(max_examples=40, deadline=None)
+def test_exact_dominates_approximations(problem):
+    """No approximation can beat the exact optimum; and whenever an
+    approximation finds a team, so does exact."""
+    exact = ExactAssigner().assign(problem)
+    for assigner in _APPROXIMATE:
+        result = assigner.assign(problem)
+        if result.feasible:
+            assert exact.feasible, assigner.name
+            assert result.affinity_score <= exact.affinity_score + 1e-9, (
+                assigner.name
+            )
+
+
+@given(random_problem())
+@settings(max_examples=40, deadline=None)
+def test_local_search_at_least_greedy(problem):
+    greedy = GreedyAssigner().assign(problem)
+    local = LocalSearchAssigner().assign(problem)
+    if greedy.feasible:
+        assert local.feasible
+        assert local.affinity_score >= greedy.affinity_score - 1e-9
+
+
+@given(random_problem())
+@settings(max_examples=30, deadline=None)
+def test_assigners_deterministic(problem):
+    """Same problem, same seed → identical output (reproducibility)."""
+    for assigner_factory in (
+        lambda: GreedyAssigner(),
+        lambda: GraspAssigner(seed=9, iterations=4),
+        lambda: RandomAssigner(seed=9),
+    ):
+        first = assigner_factory().assign(problem)
+        second = assigner_factory().assign(problem)
+        assert first.team == second.team
+        assert first.affinity_score == second.affinity_score

@@ -1,0 +1,181 @@
+"""The task assignment controller: the §2.2.1 workflow."""
+
+import pytest
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.assignment import TaskAssignmentController, default_registry
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from repro.core.events import EventBus
+from repro.core.human_factors import HumanFactors
+from repro.core.relationships import RelationshipLedger, RelationshipStatus
+from repro.core.tasks import TaskKind, TaskPool, TaskStatus
+from repro.core.teams import TeamRegistry, TeamStatus
+from repro.core.workers import WorkerManager
+from repro.storage import Database
+
+
+@pytest.fixture
+def rig(db):
+    """A controller wired to fresh components plus six workers."""
+    workers = WorkerManager(db)
+    for i, region in enumerate(
+        ["tsukuba", "tsukuba", "tsukuba", "paris", "paris", "dallas"]
+    ):
+        workers.register(
+            f"worker{i}",
+            HumanFactors(
+                native_languages=frozenset({"en"}),
+                region=region,
+                skills={"translation": 0.9 - i * 0.1},
+                reliability=0.95,
+            ),
+        )
+    affinity = AffinityMatrix()
+    ids = workers.ids()
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            same = workers.get(a).factors.region == workers.get(b).factors.region
+            affinity.set(a, b, 0.8 if same else 0.1)
+    pool = TaskPool(db)
+    teams = TeamRegistry(db)
+    events = EventBus()
+    ledger = RelationshipLedger(db)
+    controller = TaskAssignmentController(
+        workers=workers, ledger=ledger, affinity=affinity, pool=pool,
+        teams=teams, events=events, registry=default_registry(0),
+    )
+    task = pool.create("p1", TaskKind.OPEN_FILL, "translate stuff")
+    return controller, task
+
+
+CONSTRAINTS = TeamConstraints(
+    min_size=2, critical_mass=3,
+    skills=(SkillRequirement("translation", 0.5),),
+    confirmation_window=10.0,
+)
+
+
+def _interest(controller, task, worker_ids):
+    for worker_id in worker_ids:
+        controller.ledger.mark_eligible(worker_id, task.id)
+        controller.ledger.declare_interest(worker_id, task.id)
+
+
+class TestWorkflow:
+    def test_waits_for_sufficient_interest(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        assert outcome.waiting and not outcome.proposed
+
+    def test_proposes_team_from_interested(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001", "w00002", "w00003"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        assert outcome.proposed
+        team = outcome.team
+        assert set(team.members) <= {"w00000", "w00001", "w00002", "w00003"}
+        assert controller.pool.get(task.id).status is TaskStatus.PROPOSED
+        assert team.confirm_by == 11.0
+
+    def test_only_interested_workers_are_candidates(self, rig):
+        controller, task = rig
+        # eligible but NOT interested workers must never be drafted
+        for worker_id in controller.workers.ids():
+            controller.ledger.mark_eligible(worker_id, task.id)
+        _interest(controller, task, ["w00003", "w00004"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        assert outcome.proposed
+        assert set(outcome.team.members) == {"w00003", "w00004"}
+
+    def test_all_confirm_activates_task(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001", "w00002"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        for member in outcome.team.members:
+            controller.confirm_member(outcome.team.id, member, now=2.0)
+        assert controller.pool.get(task.id).status is TaskStatus.ACTIVE
+        assert controller.teams.get(outcome.team.id).status is TeamStatus.CONFIRMED
+        for member in outcome.team.members:
+            assert (
+                controller.ledger.status(member, task.id)
+                is RelationshipStatus.UNDERTAKES
+            )
+
+    def test_decline_dissolves_and_requeues(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001", "w00002"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        members = outcome.team.members
+        controller.confirm_member(outcome.team.id, members[0], now=2.0)
+        controller.decline_member(outcome.team.id, members[1], now=3.0)
+        assert controller.teams.get(outcome.team.id).status is TeamStatus.DISSOLVED
+        assert controller.pool.get(task.id).status is TaskStatus.PENDING
+        # the confirmed member reverted to Interested (still a candidate)
+        assert (
+            controller.ledger.status(members[0], task.id)
+            is RelationshipStatus.INTERESTED
+        )
+
+    def test_reassignment_avoids_dissolved_team(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001", "w00002", "w00003"])
+        first = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        controller.decline_member(first.team.id, first.team.members[0], now=2.0)
+        # the decliner is out; remaining interested workers form a new team
+        second = controller.try_assign(task, CONSTRAINTS, "greedy", now=3.0)
+        assert second.proposed
+        assert frozenset(second.team.members) != frozenset(first.team.members)
+
+    def test_confirmation_deadline_dissolves(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        assert controller.check_confirmation_deadline(outcome.team.id, now=5.0) is None
+        dissolved = controller.check_confirmation_deadline(outcome.team.id, now=12.0)
+        assert dissolved is not None
+        assert dissolved.status is TeamStatus.DISSOLVED
+
+    def test_undertake_requires_eligibility_even_via_controller(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001"])
+        outcome = controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        from repro.errors import RelationshipError
+
+        with pytest.raises(RelationshipError):
+            controller.confirm_member(outcome.team.id, "w00005", now=2.0)
+
+
+class TestSuggestions:
+    def test_infeasible_produces_suggestion(self, rig):
+        controller, task = rig
+        impossible = TeamConstraints(
+            min_size=2, critical_mass=3,
+            skills=(SkillRequirement("translation", 0.95),),
+        )
+        _interest(controller, task, ["w00003", "w00004"])  # low skills
+        outcome = controller.try_assign(task, impossible, "greedy", now=1.0)
+        assert outcome.suggestion is not None
+        assert not outcome.proposed
+        assert outcome.suggestion.relaxations  # at least one workable fix
+        assert outcome.suggestion.best_constraints() is not None
+
+    def test_suggested_relaxation_actually_works(self, rig):
+        controller, task = rig
+        impossible = TeamConstraints(
+            min_size=2, critical_mass=3,
+            skills=(SkillRequirement("translation", 0.95),),
+        )
+        _interest(controller, task, ["w00003", "w00004"])
+        outcome = controller.try_assign(task, impossible, "greedy", now=1.0)
+        relaxed = outcome.suggestion.best_constraints()
+        retry = controller.try_assign(task, relaxed, "greedy", now=2.0)
+        # either proposes or at least doesn't claim infeasibility again with
+        # the same relaxation set
+        assert retry.proposed or retry.suggestion is None
+
+    def test_events_published(self, rig):
+        controller, task = rig
+        _interest(controller, task, ["w00000", "w00001"])
+        controller.try_assign(task, CONSTRAINTS, "greedy", now=1.0)
+        assert controller.events.count("team.proposed") == 1

@@ -1,0 +1,91 @@
+"""Task decomposition and sub-group assignment."""
+
+import pytest
+
+from repro.core.assignment import (
+    AssignmentProblem,
+    GridDecomposer,
+    SegmentDecomposer,
+    TopicDecomposer,
+    assign_subgroups,
+)
+from repro.core.constraints import TeamConstraints
+from repro.errors import AssignmentError
+from tests.conftest import make_worker
+
+
+class TestDecomposers:
+    def test_segment_decomposer_splits_words(self):
+        specs = SegmentDecomposer(segment_words=3).decompose(
+            {"text": "one two three four five six seven"}
+        )
+        assert [s.payload["text"] for s in specs] == [
+            "one two three", "four five six", "seven",
+        ]
+        assert [s.key for s in specs] == ["seg000", "seg001", "seg002"]
+
+    def test_segment_decomposer_empty_text(self):
+        assert SegmentDecomposer().decompose({"text": "  "}) == []
+
+    def test_segment_words_positive(self):
+        with pytest.raises(AssignmentError):
+            SegmentDecomposer(segment_words=0)
+
+    def test_topic_decomposer(self):
+        specs = TopicDecomposer().decompose({"topics": ["a", "b"]})
+        assert len(specs) == 2
+        assert specs[1].payload == {"topic": "b", "position": 1}
+
+    def test_grid_decomposer_cross_product(self):
+        specs = GridDecomposer().decompose(
+            {"regions": ["r1", "r2"], "periods": ["p1", "p2", "p3"]}
+        )
+        assert len(specs) == 6
+        assert specs[0].payload == {"region": "r1", "period": "p1"}
+
+
+class TestSubGroupAssignment:
+    def _problem(self, workers, affinity):
+        return AssignmentProblem(
+            workers=tuple(workers),
+            affinity=affinity,
+            constraints=TeamConstraints(min_size=2, critical_mass=2),
+        )
+
+    def test_groups_are_disjoint(self, five_workers, uniform_affinity):
+        problem = self._problem(five_workers, uniform_affinity)
+        result = assign_subgroups(problem, n_subtasks=2, group_size=2)
+        members = [m for group in result.groups for m in group]
+        assert len(members) == len(set(members))
+
+    def test_affinity_dense_groups_first(self, five_workers, uniform_affinity):
+        problem = self._problem(five_workers, uniform_affinity)
+        result = assign_subgroups(problem, n_subtasks=2, group_size=2)
+        # the two same-region pairs should be found
+        assert {frozenset(g) for g in result.groups if g} == {
+            frozenset({"w1", "w2"}), frozenset({"w3", "w4"}),
+        }
+        assert result.leftover == ("w5",)
+
+    def test_liaisons_are_members(self, five_workers, uniform_affinity):
+        problem = self._problem(five_workers, uniform_affinity)
+        result = assign_subgroups(problem, n_subtasks=2, group_size=2)
+        for group, liaison in zip(result.groups, result.liaisons):
+            if group:
+                assert liaison in group
+
+    def test_more_subtasks_than_workers(self, five_workers, uniform_affinity):
+        problem = self._problem(five_workers, uniform_affinity)
+        result = assign_subgroups(problem, n_subtasks=4, group_size=2)
+        non_empty = [g for g in result.groups if g]
+        assert len(non_empty) >= 2  # at least the two dense pairs
+
+    def test_zero_subtasks_rejected(self, five_workers, uniform_affinity):
+        problem = self._problem(five_workers, uniform_affinity)
+        with pytest.raises(AssignmentError):
+            assign_subgroups(problem, n_subtasks=0)
+
+    def test_total_affinity_accumulates(self, five_workers, uniform_affinity):
+        problem = self._problem(five_workers, uniform_affinity)
+        result = assign_subgroups(problem, n_subtasks=2, group_size=2)
+        assert result.total_affinity == pytest.approx(1.8)  # 0.9 + 0.9

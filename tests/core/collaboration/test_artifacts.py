@@ -1,0 +1,77 @@
+"""Shared document artefacts."""
+
+import pytest
+
+from repro.core.collaboration.artifacts import Document
+from repro.errors import CollaborationError
+
+
+@pytest.fixture
+def document():
+    return Document("doc1", title="report")
+
+
+class TestStructure:
+    def test_sections_keep_order(self, document):
+        document.add_section("b", heading="B")
+        document.add_section("a", heading="A")
+        assert document.section_keys == ("b", "a")
+
+    def test_duplicate_section_rejected(self, document):
+        document.add_section("x")
+        with pytest.raises(CollaborationError):
+            document.add_section("x")
+
+    def test_ensure_section_idempotent(self, document):
+        first = document.ensure_section("x")
+        second = document.ensure_section("x")
+        assert first is second
+
+    def test_missing_section(self, document):
+        with pytest.raises(CollaborationError):
+            document.section("ghost")
+
+
+class TestEditing:
+    def test_edit_records_revision(self, document):
+        document.add_section("body")
+        revision = document.edit("body", "ann", "first draft", time=1.0)
+        assert revision.before == "" and revision.after == "first draft"
+        assert document.section("body").text == "first draft"
+        assert document.section("body").last_author == "ann"
+
+    def test_append_accumulates(self, document):
+        document.add_section("part")
+        document.append_text("part", "ann", "one", time=1.0)
+        document.append_text("part", "bob", "two", time=2.0)
+        assert document.section("part").text == "one\ntwo"
+
+    def test_history_in_time_order(self, document):
+        document.add_section("a")
+        document.add_section("b")
+        document.edit("b", "x", "later", time=5.0)
+        document.edit("a", "y", "earlier", time=1.0)
+        history = document.history()
+        assert [rev.author for _, rev in history] == ["y", "x"]
+
+    def test_contributors_counted(self, document):
+        document.add_section("a")
+        document.edit("a", "ann", "1", time=1.0)
+        document.edit("a", "ann", "2", time=2.0)
+        document.edit("a", "bob", "3", time=3.0)
+        assert document.contributors() == {"ann": 2, "bob": 1}
+        assert document.revision_count() == 3
+
+
+class TestMerging:
+    def test_merged_text_includes_headings(self, document):
+        document.add_section("s1", heading="Intro")
+        document.edit("s1", "a", "hello", time=1.0)
+        document.add_section("s2", heading="Body")
+        document.edit("s2", "b", "world", time=2.0)
+        merged = document.merged_text()
+        assert merged == "## Intro\n\nhello\n\n## Body\n\nworld"
+
+    def test_empty_sections_skipped_in_text(self, document):
+        document.add_section("s1")
+        assert document.merged_text() == ""

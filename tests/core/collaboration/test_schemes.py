@@ -1,0 +1,224 @@
+"""Collaboration schemes driven directly (without the full platform)."""
+
+import pytest
+
+from repro.core.collaboration import (
+    CollaborationContext,
+    Document,
+    HybridScheme,
+    SequentialScheme,
+    SimultaneousScheme,
+    default_scheme_registry,
+)
+from repro.core.events import EventBus
+from repro.core.tasks import TaskKind, TaskPool, TaskStatus
+from repro.core.teams import Team, TeamStatus
+from repro.errors import CollaborationError
+from repro.storage import Database
+
+
+def make_context(members=("w1", "w2", "w3"), options=None, skills=None):
+    pool = TaskPool(Database())
+    root = pool.create("p1", TaskKind.OPEN_FILL, "write the thing",
+                       predicate="report", key_values=("k",),
+                       fill_columns=("article",))
+    team = Team(
+        id="team1", task_id=root.id, members=tuple(members),
+        status=TeamStatus.CONFIRMED, confirmed=frozenset(members),
+    )
+    skills = skills or {m: 0.5 for m in members}
+    ctx = CollaborationContext(
+        root_task=root,
+        team=team,
+        pool=pool,
+        events=EventBus(),
+        document=Document("doc1"),
+        options=options or {},
+        worker_skill=lambda wid: skills.get(wid, 0.0),
+    )
+    return ctx
+
+
+class TestSequential:
+    def test_chain_ordered_by_skill(self):
+        ctx = make_context(skills={"w1": 0.2, "w2": 0.9, "w3": 0.5})
+        scheme = SequentialScheme()
+        first_tasks = scheme.start(ctx, now=0.0)
+        assert len(first_tasks) == 1
+        assert first_tasks[0].assignee == "w2"  # strongest drafts first
+        assert first_tasks[0].kind is TaskKind.DRAFT
+
+    def test_follow_ups_generated_dynamically(self):
+        ctx = make_context()
+        scheme = SequentialScheme()
+        task = scheme.start(ctx, now=0.0)[0]
+        chain = ctx.pool.get(ctx.root_task.id).payload["chain"]
+        completed = ctx.pool.complete(task.id, {"text": "draft"})
+        follow = scheme.on_micro_completed(ctx, completed, {"text": "draft"}, 1.0)
+        assert len(follow) == 1
+        assert follow[0].kind is TaskKind.REVIEW
+        assert follow[0].assignee == chain[1]
+        assert follow[0].payload["previous_text"] == "draft"
+
+    def test_completion_after_full_chain(self):
+        ctx = make_context(members=("w1", "w2"))
+        scheme = SequentialScheme()
+        tasks = scheme.start(ctx, now=0.0)
+        step = 0
+        while tasks:
+            task = tasks[0]
+            completed = ctx.pool.complete(task.id, {"text": f"v{step}"})
+            tasks = scheme.on_micro_completed(
+                ctx, completed, {"text": f"v{step}"}, float(step)
+            )
+            step += 1
+        assert scheme.is_complete(ctx)
+        result = scheme.build_result(ctx, submitted_by="w1", now=9.0)
+        assert result.payload["text"] == "v1"           # last improvement wins
+        assert result.payload["fill_values"] == {"article": "v1"}
+        assert result.team_id == "team1"
+
+    def test_multiple_passes_lengthen_chain(self):
+        ctx = make_context(members=("w1", "w2"))
+        SequentialScheme(passes=2).start(ctx, now=0.0)
+        assert len(ctx.pool.get(ctx.root_task.id).payload["chain"]) == 4
+
+    def test_invalid_passes(self):
+        with pytest.raises(CollaborationError):
+            SequentialScheme(passes=0)
+
+
+class TestSimultaneous:
+    def test_solicits_sns_from_every_member(self):
+        ctx = make_context()
+        scheme = SimultaneousScheme()
+        tasks = scheme.start(ctx, now=0.0)
+        assert len(tasks) == 3
+        assert all(t.kind is TaskKind.SOLICIT_SNS for t in tasks)
+        assert {t.assignee for t in tasks} == {"w1", "w2", "w3"}
+
+    def _solicit_all(self, ctx, scheme):
+        tasks = scheme.start(ctx, now=0.0)
+        joint = None
+        for task in tasks:
+            completed = ctx.pool.complete(task.id, {"sns_id": f"{task.assignee}@g"})
+            out = scheme.on_micro_completed(
+                ctx, completed, {"sns_id": f"{task.assignee}@g"}, 1.0
+            )
+            if out:
+                joint = out[0]
+        return joint
+
+    def test_joint_task_after_all_sns(self):
+        ctx = make_context()
+        scheme = SimultaneousScheme()
+        joint = self._solicit_all(ctx, scheme)
+        assert joint is not None and joint.kind is TaskKind.JOINT
+        assert joint.payload["sns_ids"] == {
+            "w1": "w1@g", "w2": "w2@g", "w3": "w3@g",
+        }
+        assert joint.payload["addressed_to"] == ["w1", "w2", "w3"]
+
+    def test_contribute_before_joint_rejected(self):
+        ctx = make_context()
+        scheme = SimultaneousScheme()
+        scheme.start(ctx, now=0.0)
+        with pytest.raises(CollaborationError, match="not yet created"):
+            scheme.contribute(ctx, "w1", "early", now=0.5)
+
+    def test_contributions_and_single_submission(self):
+        ctx = make_context()
+        scheme = SimultaneousScheme()
+        joint = self._solicit_all(ctx, scheme)
+        scheme.contribute(ctx, "w1", "part one", now=2.0)
+        scheme.contribute(ctx, "w2", "part two", now=2.1)
+        outsider_error = None
+        try:
+            scheme.contribute(ctx, "outsider", "spam", now=2.2)
+        except CollaborationError as exc:
+            outsider_error = exc
+        assert outsider_error is not None
+        assert not scheme.is_complete(ctx)
+        ctx.pool.set_assignee(joint.id, "w1")
+        completed = ctx.pool.complete(joint.id, {})
+        scheme.on_micro_completed(ctx, completed, {}, 3.0)
+        assert scheme.is_complete(ctx)
+        result = scheme.build_result(ctx, submitted_by="w1", now=4.0)
+        assert "part one" in result.payload["text"]
+        assert "part two" in result.payload["text"]
+        assert result.payload["contributors"] == {"w1": 1, "w2": 1}
+
+
+class TestHybrid:
+    def test_default_stages_split_team(self):
+        ctx = make_context(members=("w1", "w2", "w3", "w4"))
+        scheme = HybridScheme()
+        tasks = scheme.start(ctx, now=0.0)
+        allocation = ctx.pool.get(ctx.root_task.id).payload["stage_allocation"]
+        assert set(allocation) == {"facts", "testimonials"}
+        assert len(allocation["facts"]) + len(allocation["testimonials"]) == 4
+        assert all(len(v) >= 1 for v in allocation.values())
+        # facts stage starts a DRAFT; testimonials stage solicits SNS ids
+        kinds = {t.kind for t in tasks}
+        assert TaskKind.DRAFT in kinds and TaskKind.SOLICIT_SNS in kinds
+
+    def test_runs_to_completion(self):
+        ctx = make_context(members=("w1", "w2", "w3", "w4"))
+        scheme = HybridScheme()
+        open_tasks = list(scheme.start(ctx, now=0.0))
+        guard = 0
+        while open_tasks and guard < 50:
+            guard += 1
+            task = open_tasks.pop(0)
+            if task.kind is TaskKind.JOINT:
+                for member in task.payload["addressed_to"]:
+                    scheme.contribute(ctx, member, f"testimony {member}", 5.0)
+                ctx.pool.set_assignee(task.id, task.payload["addressed_to"][0])
+                result_payload = {}
+            elif task.kind is TaskKind.SOLICIT_SNS:
+                result_payload = {"sns_id": f"{task.assignee}@g"}
+            else:
+                result_payload = {"text": f"obs by {task.assignee}"}
+            completed = ctx.pool.complete(task.id, result_payload)
+            open_tasks.extend(
+                scheme.on_micro_completed(ctx, completed, result_payload, 6.0)
+            )
+        assert scheme.is_complete(ctx)
+        result = scheme.build_result(ctx, submitted_by="w1", now=9.0)
+        assert set(result.payload["stages"]) == {"facts", "testimonials"}
+        assert result.payload["fill_values"]["article"]  # merged text mapped
+
+    def test_custom_stage_layout(self):
+        options = {"stages": [
+            {"name": "alpha", "scheme": "sequential", "fraction": 0.5},
+            {"name": "beta", "scheme": "sequential", "fraction": 0.5},
+        ]}
+        ctx = make_context(members=("w1", "w2"), options=options)
+        scheme = HybridScheme()
+        tasks = scheme.start(ctx, now=0.0)
+        assert len(tasks) == 2  # one DRAFT per sequential stage
+        # namespaced payload keys keep two sequential stages apart
+        payload = ctx.pool.get(ctx.root_task.id).payload
+        assert "alpha.chain" in payload and "beta.chain" in payload
+
+    def test_unknown_sub_scheme_rejected(self):
+        options = {"stages": [{"name": "x", "scheme": "quantum"}]}
+        ctx = make_context(options=options)
+        with pytest.raises(CollaborationError, match="unknown sub-scheme"):
+            HybridScheme().start(ctx, now=0.0)
+
+
+class TestRegistry:
+    def test_default_registry(self):
+        registry = default_scheme_registry()
+        assert set(registry.names()) == {"sequential", "simultaneous", "hybrid"}
+        assert isinstance(registry.create("hybrid"), HybridScheme)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(CollaborationError, match="unknown"):
+            default_scheme_registry().create("psychic")
+
+    def test_custom_scheme_registration(self):
+        registry = default_scheme_registry()
+        registry.register("mine", SequentialScheme)
+        assert "mine" in registry

@@ -1,0 +1,133 @@
+"""Desired-human-factor constraints and relaxations."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from repro.errors import PlatformError
+from tests.conftest import make_worker
+
+
+class TestSkillRequirement:
+    def test_max_aggregator(self):
+        requirement = SkillRequirement("translation", 0.8)
+        team = [make_worker("a", skill=0.9), make_worker("b", skill=0.1)]
+        assert requirement.satisfied_by(team)
+
+    def test_sum_aggregator(self):
+        requirement = SkillRequirement("translation", 1.0, aggregator="sum")
+        team = [make_worker("a", skill=0.6), make_worker("b", skill=0.5)]
+        assert requirement.satisfied_by(team)
+        assert not requirement.satisfied_by(team[:1])
+
+    def test_noisy_or_aggregator(self):
+        requirement = SkillRequirement("translation", 0.74, aggregator="noisy_or")
+        team = [make_worker("a", skill=0.5), make_worker("b", skill=0.5)]
+        assert requirement.team_level(team) == pytest.approx(0.75)
+        assert requirement.satisfied_by(team)
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(PlatformError):
+            SkillRequirement("x", 0.5, aggregator="median")
+
+    def test_empty_team_level(self):
+        assert SkillRequirement("x", 0.5).team_level([]) == 0.0
+
+
+class TestTeamConstraints:
+    def test_size_bounds_validated(self):
+        with pytest.raises(PlatformError):
+            TeamConstraints(min_size=0)
+        with pytest.raises(PlatformError):
+            TeamConstraints(min_size=4, critical_mass=3)
+
+    def test_member_screen_language(self):
+        constraints = TeamConstraints(required_languages=frozenset({"fr"}),
+                                      language_proficiency=0.5)
+        speaks = make_worker("a", languages={"fr": 0.6})
+        mute = make_worker("b", languages={"fr": 0.2})
+        assert constraints.member_eligible(speaks)
+        assert not constraints.member_eligible(mute)
+
+    def test_member_screen_region(self):
+        constraints = TeamConstraints(region="paris")
+        assert constraints.member_eligible(make_worker("a", region="paris"))
+        assert not constraints.member_eligible(make_worker("b", region="dallas"))
+
+    def test_team_quality_noisy_or(self):
+        constraints = TeamConstraints(
+            skills=(SkillRequirement("translation", 0.0),)
+        )
+        team = [make_worker("a", skill=0.5, reliability=1.0),
+                make_worker("b", skill=0.5, reliability=1.0)]
+        assert constraints.team_quality(team) == pytest.approx(0.75)
+
+    def test_quality_without_skills_uses_reliability(self):
+        constraints = TeamConstraints()
+        team = [make_worker("a", reliability=0.8)]
+        assert constraints.team_quality(team) == pytest.approx(0.8)
+
+    def test_cost_budget_violation_message(self):
+        constraints = TeamConstraints(cost_budget=1.0)
+        team = [make_worker("a", cost=0.7), make_worker("b", cost=0.6)]
+        violations = constraints.violations(team)
+        assert any("exceeds budget" in v for v in violations)
+
+    def test_critical_mass_violation(self):
+        constraints = TeamConstraints(min_size=1, critical_mass=2)
+        team = [make_worker(f"w{i}") for i in range(3)]
+        assert any("critical mass" in v for v in constraints.violations(team))
+
+    def test_min_size_violation(self):
+        constraints = TeamConstraints(min_size=2, critical_mass=4)
+        assert any("below minimum" in v
+                   for v in constraints.violations([make_worker("a")]))
+
+    def test_feasible_team_no_violations(self):
+        constraints = TeamConstraints(
+            min_size=2, critical_mass=3,
+            skills=(SkillRequirement("translation", 0.6),),
+            quality_threshold=0.3,
+        )
+        team = [make_worker("a", skill=0.9), make_worker("b", skill=0.4)]
+        assert constraints.is_satisfied_by(team)
+
+    def test_skill_violation_includes_level(self):
+        constraints = TeamConstraints(skills=(SkillRequirement("translation", 0.9),))
+        violations = constraints.violations([make_worker("a", skill=0.3)])
+        assert any("translation" in v and "0.300" in v for v in violations)
+
+
+class TestRelaxations:
+    def test_every_relaxation_is_single_step(self):
+        constraints = TeamConstraints(
+            min_size=2,
+            critical_mass=3,
+            skills=(SkillRequirement("x", 0.5),),
+            required_languages=frozenset({"fr"}),
+            quality_threshold=0.5,
+            cost_budget=2.0,
+            region="paris",
+        )
+        relaxations = constraints.relaxations()
+        descriptions = [d for d, _ in relaxations]
+        assert any("quality" in d for d in descriptions)
+        assert any("critical mass" in d for d in descriptions)
+        assert any("minimum team size" in d for d in descriptions)
+        assert any("skill" in d for d in descriptions)
+        assert any("budget" in d for d in descriptions)
+        assert any("region" in d for d in descriptions)
+        assert any("language" in d for d in descriptions)
+
+    def test_relaxed_objects_differ_in_one_dimension(self):
+        constraints = TeamConstraints(quality_threshold=0.5)
+        description, relaxed = constraints.relaxations()[0]
+        assert "quality" in description
+        assert relaxed.quality_threshold == pytest.approx(0.4)
+        assert relaxed.critical_mass == constraints.critical_mass
+
+    def test_unbounded_budget_not_relaxed(self):
+        constraints = TeamConstraints()
+        assert constraints.cost_budget == math.inf
+        assert not any("budget" in d for d, _ in constraints.relaxations())

@@ -1,0 +1,52 @@
+"""Event bus semantics."""
+
+from repro.core.events import EventBus
+
+
+class TestEventBus:
+    def test_publish_returns_event(self):
+        bus = EventBus()
+        event = bus.publish("x", 1.0, a=1)
+        assert event.kind == "x" and event["a"] == 1
+
+    def test_sequence_monotonic(self):
+        bus = EventBus()
+        first = bus.publish("x", 0.0)
+        second = bus.publish("y", 0.0)
+        assert second.seq == first.seq + 1
+
+    def test_kind_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("x", seen.append)
+        bus.publish("x", 0.0)
+        bus.publish("y", 0.0)
+        assert [e.kind for e in seen] == ["x"]
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(None, seen.append)
+        bus.publish("x", 0.0)
+        bus.publish("y", 0.0)
+        assert len(seen) == 2
+
+    def test_log_filter_and_count(self):
+        bus = EventBus()
+        bus.publish("x", 0.0)
+        bus.publish("x", 1.0)
+        bus.publish("y", 2.0)
+        assert bus.count("x") == 2
+        assert [e.time for e in bus.log("x")] == [0.0, 1.0]
+
+    def test_log_bounded(self):
+        bus = EventBus(max_log=2)
+        for i in range(5):
+            bus.publish("x", float(i))
+        assert len(bus.log()) == 2  # keeps the earliest entries
+
+    def test_clear(self):
+        bus = EventBus()
+        bus.publish("x", 0.0)
+        bus.clear()
+        assert bus.log() == []

@@ -1,0 +1,95 @@
+"""Human factors: validation, queries, fact-row export."""
+
+import pytest
+
+from repro.core.human_factors import HumanFactors
+from repro.errors import PlatformError
+
+
+class TestValidation:
+    def test_native_languages_get_full_proficiency(self):
+        factors = HumanFactors(native_languages=frozenset({"ja"}),
+                               languages={"en": 0.4})
+        assert factors.languages["ja"] == 1.0
+        assert factors.languages["en"] == 0.4
+
+    def test_proficiency_out_of_range(self):
+        with pytest.raises(PlatformError):
+            HumanFactors(languages={"en": 1.5})
+
+    def test_skill_out_of_range(self):
+        with pytest.raises(PlatformError):
+            HumanFactors(skills={"x": -0.1})
+
+    def test_reliability_out_of_range(self):
+        with pytest.raises(PlatformError):
+            HumanFactors(reliability=2.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PlatformError):
+            HumanFactors(cost=-1)
+
+
+class TestQueries:
+    def test_speaks_threshold(self):
+        factors = HumanFactors(languages={"fr": 0.5})
+        assert factors.speaks("fr", 0.5)
+        assert not factors.speaks("fr", 0.6)
+        assert not factors.speaks("de")
+
+    def test_zero_proficiency_is_not_speaking(self):
+        factors = HumanFactors(languages={"fr": 0.0})
+        assert not factors.speaks("fr")
+
+    def test_is_native(self):
+        factors = HumanFactors(native_languages=frozenset({"ja"}))
+        assert factors.is_native("ja") and not factors.is_native("en")
+
+    def test_skill_level_default_zero(self):
+        assert HumanFactors().skill_level("anything") == 0.0
+
+    def test_mean_skill(self):
+        factors = HumanFactors(skills={"a": 0.4, "b": 0.8})
+        assert factors.mean_skill(("a", "b")) == pytest.approx(0.6)
+        assert factors.mean_skill(("a", "missing")) == pytest.approx(0.2)
+        assert factors.mean_skill(()) == 0.0
+
+
+class TestEvolution:
+    def test_with_skill_returns_new_object(self):
+        before = HumanFactors(skills={"x": 0.2})
+        after = before.with_skill("x", 0.9)
+        assert before.skill_level("x") == 0.2
+        assert after.skill_level("x") == 0.9
+
+    def test_with_reliability(self):
+        assert HumanFactors().with_reliability(0.4).reliability == 0.4
+
+    def test_with_sns_id(self):
+        assert HumanFactors().with_sns_id("me@x").sns_id == "me@x"
+
+
+class TestFactRows:
+    def test_fact_rows_cover_all_factors(self):
+        factors = HumanFactors(
+            native_languages=frozenset({"en"}),
+            languages={"fr": 0.5},
+            region="paris",
+            skills={"translation": 0.7},
+            reliability=0.9,
+            extras={"team_player": True},
+        )
+        rows = factors.as_fact_rows("w1")
+        assert rows["worker"] == [("w1",)]
+        assert ("w1", "en") in rows["worker_native"]
+        assert ("w1", "fr", 0.5) in rows["worker_language"]
+        assert ("w1", "en", 1.0) in rows["worker_language"]
+        assert rows["worker_region"] == [("w1", "paris")]
+        assert rows["worker_skill"] == [("w1", "translation", 0.7)]
+        assert rows["worker_extra"] == [("w1", "team_player", "True")]
+
+    def test_fact_rows_deterministic_order(self):
+        factors = HumanFactors(languages={"b": 0.1, "a": 0.2})
+        rows = factors.as_fact_rows("w")
+        langs = [r[1] for r in rows["worker_language"]]
+        assert langs == sorted(langs)

@@ -1,0 +1,139 @@
+"""Deadline monitoring and result-coordination bookkeeping."""
+
+import pytest
+
+from repro.core import Crowd4U, HumanFactors, TeamConstraints
+from repro.core.collaboration.base import TeamResult
+from repro.core.relationships import RelationshipStatus
+from repro.core.tasks import TaskKind, TaskStatus
+from repro.core.teams import TeamStatus
+
+
+@pytest.fixture
+def platform():
+    crowd = Crowd4U(seed=8)
+    for i in range(5):
+        crowd.register_worker(
+            f"w{i}",
+            HumanFactors(
+                native_languages=frozenset({"en"}),
+                region="tsukuba",
+                skills={"general": 0.8},
+                reliability=0.9,
+            ),
+        )
+    return crowd
+
+
+SOURCE = (
+    'open f(k: text, v: text) key (k).\nseed("x").\n'
+    "out(K, V) :- seed(K), f(K, V)."
+)
+
+
+class TestMonitor:
+    def test_confirmation_timeout_dissolves_team(self, platform):
+        project = platform.register_project(
+            "p", "req", SOURCE,
+            constraints=TeamConstraints(min_size=2, critical_mass=3,
+                                        confirmation_window=3.0),
+        )
+        platform.step()
+        task = platform.pool.pending_root_tasks(project.id)[0]
+        for worker_id in platform.ledger.eligible_workers(task.id)[:2]:
+            platform.declare_interest(worker_id, task.id)
+        platform.step()
+        team_id = platform.pool.get(task.id).team_id
+        assert team_id is not None
+        # nobody confirms; let the window elapse
+        for _ in range(5):
+            platform.step()
+        assert platform.teams.get(team_id).status is TeamStatus.DISSOLVED
+        # the task went back to the pool and a NEW team was proposed
+        reloaded = platform.pool.get(task.id)
+        assert reloaded.status in (TaskStatus.PENDING, TaskStatus.PROPOSED)
+        assert platform.events.count("team.dissolved") >= 1
+
+    def test_monitor_counters(self, platform):
+        project = platform.register_project(
+            "p", "req", SOURCE,
+            constraints=TeamConstraints(min_size=4, critical_mass=5,
+                                        recruitment_deadline=1.0),
+        )
+        platform.step()
+        platform.step()
+        counters = platform.monitor.tick(platform.now + 10)
+        total_expired = counters["tasks_expired"] + platform.events.count(
+            "task.expired"
+        )
+        assert total_expired >= 1
+        assert platform.pool.by_status(TaskStatus.EXPIRED, project.id)
+
+
+class TestCoordinator:
+    def _finished_team(self, platform):
+        project = platform.register_project(
+            "p", "req", SOURCE,
+            constraints=TeamConstraints(min_size=2, critical_mass=3),
+        )
+        platform.step()
+        task = platform.pool.pending_root_tasks(project.id)[0]
+        for worker_id in platform.ledger.eligible_workers(task.id)[:2]:
+            platform.declare_interest(worker_id, task.id)
+        platform.step()
+        task = platform.pool.get(task.id)
+        team = platform.teams.get(task.team_id)
+        for member in team.members:
+            platform.confirm_membership(member, task.id)
+        return project, platform.pool.get(task.id), team
+
+    def test_record_updates_everything(self, platform):
+        project, task, team = self._finished_team(platform)
+        result = TeamResult(
+            task_id=task.id, team_id=team.id,
+            payload={"text": "done", "fill_values": {"v": "done"}},
+            submitted_by=team.members[0], time=platform.now,
+        )
+        before_affinity = platform.affinity.get(*team.members[:2])
+        row_id = platform.coordinator.record(result, quality=0.9,
+                                             now=platform.now)
+        assert row_id.startswith("res")
+        assert platform.pool.get(task.id).status is TaskStatus.COMPLETED
+        assert platform.teams.get(team.id).status is TeamStatus.FINISHED
+        for member in team.members:
+            assert (
+                platform.ledger.status(member, task.id)
+                is RelationshipStatus.COMPLETED
+            )
+        assert platform.affinity.get(*team.members[:2]) != before_affinity
+        stored = platform.coordinator.results_for_project(project.id)
+        assert len(stored) == 1 and stored[0]["quality"] == 0.9
+
+    def test_results_filtered_by_project(self, platform):
+        project, task, team = self._finished_team(platform)
+        result = TeamResult(
+            task_id=task.id, team_id=team.id, payload={"text": "x"},
+            submitted_by=team.members[0], time=platform.now,
+        )
+        platform.coordinator.record(result, quality=1.0, now=platform.now)
+        assert platform.coordinator.results_for_project("other") == []
+
+
+class TestScenarioMicroKinds:
+    def test_micro_task_kind_lifecycle_events(self, platform):
+        project, task, team = TestCoordinator()._finished_team(platform)
+        # the sequential scheme created a DRAFT for the stronger member
+        drafts = [
+            t for t in platform.pool.children_of(task.id)
+            if t.kind is TaskKind.DRAFT
+        ]
+        assert len(drafts) == 1
+        platform.submit_micro_result(
+            drafts[0].id, drafts[0].assignee, {"text": "v0", "quality": 0.8}
+        )
+        assert platform.events.count("micro.completed") == 1
+        reviews = [
+            t for t in platform.pool.children_of(task.id)
+            if t.kind is TaskKind.REVIEW
+        ]
+        assert len(reviews) == 1  # dynamically generated follow-up

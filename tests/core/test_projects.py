@@ -1,0 +1,105 @@
+"""Project manager and constraint serialisation."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import SkillRequirement, TeamConstraints
+from repro.core.projects import (
+    ProjectManager,
+    ProjectStatus,
+    SchemeKind,
+    constraints_from_dict,
+    constraints_to_dict,
+)
+from repro.errors import PlatformError
+
+
+@pytest.fixture
+def manager(db):
+    return ProjectManager(db)
+
+
+def _register(manager, **kwargs):
+    base = dict(
+        name="proj",
+        requester="req",
+        cylog_source="p(1).",
+        scheme=SchemeKind.SEQUENTIAL,
+        constraints=TeamConstraints(min_size=2, critical_mass=4),
+    )
+    base.update(kwargs)
+    return manager.register(**base)
+
+
+class TestManager:
+    def test_register_and_get(self, manager):
+        project = _register(manager)
+        assert manager.get(project.id).name == "proj"
+
+    def test_unknown_project(self, manager):
+        with pytest.raises(PlatformError):
+            manager.get("nope")
+
+    def test_update_constraints(self, manager):
+        project = _register(manager)
+        updated = manager.update_constraints(
+            project.id, TeamConstraints(min_size=1, critical_mass=2)
+        )
+        assert updated.constraints.critical_mass == 2
+        assert manager.get(project.id).constraints.critical_mass == 2
+
+    def test_status_transitions(self, manager):
+        project = _register(manager)
+        manager.set_status(project.id, ProjectStatus.PAUSED)
+        assert manager.active() == []
+        manager.set_status(project.id, ProjectStatus.ACTIVE)
+        assert len(manager.active()) == 1
+
+    def test_rehydration(self, db):
+        manager = ProjectManager(db)
+        project = _register(
+            manager,
+            constraints=TeamConstraints(
+                min_size=2, critical_mass=3,
+                skills=(SkillRequirement("x", 0.4, aggregator="sum"),),
+                required_languages=frozenset({"fr"}),
+                cost_budget=5.0,
+                region="paris",
+            ),
+            scheme=SchemeKind.HYBRID,
+            options={"stages": [{"name": "s1"}]},
+        )
+        fresh = ProjectManager(db)
+        loaded = fresh.get(project.id)
+        assert loaded.scheme is SchemeKind.HYBRID
+        assert loaded.constraints.skills[0].aggregator == "sum"
+        assert loaded.constraints.region == "paris"
+        assert loaded.options == {"stages": [{"name": "s1"}]}
+
+
+class TestConstraintSerialisation:
+    def test_roundtrip_preserves_everything(self):
+        constraints = TeamConstraints(
+            min_size=2, critical_mass=5,
+            skills=(SkillRequirement("a", 0.3), SkillRequirement("b", 0.9, "noisy_or")),
+            required_languages=frozenset({"en", "ja"}),
+            language_proficiency=0.4,
+            quality_threshold=0.6,
+            cost_budget=12.5,
+            region="tsukuba",
+            recruitment_deadline=100.0,
+            confirmation_window=25.0,
+        )
+        assert constraints_from_dict(constraints_to_dict(constraints)) == constraints
+
+    def test_infinite_budget_round_trips_as_null(self):
+        constraints = TeamConstraints()
+        payload = constraints_to_dict(constraints)
+        assert payload["cost_budget"] is None
+        assert constraints_from_dict(payload).cost_budget == math.inf
+
+    def test_from_empty_dict_gives_defaults(self):
+        constraints = constraints_from_dict({})
+        assert constraints.min_size == 1
+        assert constraints.critical_mass == 5

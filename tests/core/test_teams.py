@@ -1,0 +1,79 @@
+"""Team registry: proposal, confirmation, dissolution bookkeeping."""
+
+import pytest
+
+from repro.core.teams import TeamRegistry, TeamStatus
+from repro.errors import PlatformError
+
+
+@pytest.fixture
+def registry(db):
+    return TeamRegistry(db)
+
+
+def _propose(registry, members=("a", "b"), task="t1", **kwargs):
+    base = dict(
+        task_id=task,
+        members=tuple(members),
+        affinity_score=0.8,
+        algorithm="greedy",
+        proposed_at=1.0,
+        confirm_by=10.0,
+    )
+    base.update(kwargs)
+    return registry.propose(**base)
+
+
+class TestProposal:
+    def test_empty_team_rejected(self, registry):
+        with pytest.raises(PlatformError):
+            _propose(registry, members=())
+
+    def test_persisted(self, registry, db):
+        team = _propose(registry)
+        row = db.table("team").get((team.id,))
+        assert row["members"] == ["a", "b"]
+        assert row["status"] == "proposed"
+
+    def test_confirmations_accumulate(self, registry):
+        team = _propose(registry)
+        team = registry.confirm_member(team.id, "a")
+        assert team.status is TeamStatus.PROPOSED
+        team = registry.confirm_member(team.id, "b")
+        assert team.status is TeamStatus.CONFIRMED
+        assert team.all_confirmed
+
+    def test_non_member_confirmation_rejected(self, registry):
+        team = _propose(registry)
+        with pytest.raises(PlatformError, match="not a member"):
+            registry.confirm_member(team.id, "zzz")
+
+    def test_unknown_team(self, registry):
+        with pytest.raises(PlatformError, match="unknown team"):
+            registry.get("nope")
+
+
+class TestQueries:
+    def test_for_task(self, registry):
+        _propose(registry, task="t1")
+        _propose(registry, task="t2")
+        assert len(registry.for_task("t1")) == 1
+
+    def test_dissolved_member_sets(self, registry):
+        team_a = _propose(registry, members=("a", "b"))
+        team_b = _propose(registry, members=("c", "d"))
+        registry.set_status(team_a.id, TeamStatus.DISSOLVED)
+        assert registry.previously_dissolved_members("t1") == {
+            frozenset({"a", "b"})
+        }
+        registry.set_status(team_b.id, TeamStatus.DISSOLVED)
+        assert len(registry.previously_dissolved_members("t1")) == 2
+
+    def test_rehydration(self, db):
+        registry = TeamRegistry(db)
+        team = _propose(registry)
+        registry.confirm_member(team.id, "a")
+        fresh = TeamRegistry(db)
+        loaded = fresh.get(team.id)
+        assert loaded.confirmed == frozenset({"a"})
+        assert loaded.confirm_by == 10.0

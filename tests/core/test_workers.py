@@ -1,0 +1,93 @@
+"""Worker manager: registration, persistence, queries."""
+
+import pytest
+
+from repro.core.human_factors import HumanFactors
+from repro.core.workers import WorkerManager
+from repro.errors import PlatformError
+from repro.storage import Database
+
+
+@pytest.fixture
+def manager(db):
+    return WorkerManager(db)
+
+
+def _factors(**kwargs):
+    base = dict(
+        native_languages=frozenset({"en"}),
+        languages={"fr": 0.4},
+        region="tsukuba",
+        skills={"translation": 0.7},
+        reliability=0.9,
+        cost=0.5,
+        coordinates=(36.0, 140.1),
+    )
+    base.update(kwargs)
+    return HumanFactors(**base)
+
+
+class TestRegistration:
+    def test_ids_are_sequential(self, manager):
+        w0 = manager.register("ann", _factors())
+        w1 = manager.register("bob", _factors())
+        assert (w0.id, w1.id) == ("w00000", "w00001")
+
+    def test_profile_persisted(self, manager, db):
+        worker = manager.register("ann", _factors())
+        row = db.table("worker_profile").get((worker.id,))
+        assert row["region"] == "tsukuba"
+        assert row["skills"] == {"translation": 0.7}
+
+    def test_rehydration_from_database(self, db):
+        first = WorkerManager(db)
+        worker = first.register("ann", _factors())
+        second = WorkerManager(db)  # fresh manager, same database
+        loaded = second.get(worker.id)
+        assert loaded.name == "ann"
+        assert loaded.factors.coordinates == (36.0, 140.1)
+        assert loaded.factors.speaks("fr", 0.4)
+
+    def test_update_factors(self, manager, db):
+        worker = manager.register("ann", _factors())
+        manager.update_factors(worker.id, _factors(region="paris"))
+        assert manager.get(worker.id).factors.region == "paris"
+        assert db.table("worker_profile").get((worker.id,))["region"] == "paris"
+
+    def test_remove(self, manager):
+        worker = manager.register("ann", _factors())
+        manager.remove(worker.id)
+        with pytest.raises(PlatformError):
+            manager.get(worker.id)
+        assert len(manager) == 0
+
+    def test_unknown_worker(self, manager):
+        with pytest.raises(PlatformError, match="unknown worker"):
+            manager.get("nope")
+        assert manager.maybe("nope") is None
+
+
+class TestQueries:
+    def test_all_sorted_by_id(self, manager):
+        manager.register("c", _factors())
+        manager.register("a", _factors())
+        ids = [w.id for w in manager.all()]
+        assert ids == sorted(ids)
+
+    def test_with_language(self, manager):
+        manager.register("ann", _factors(languages={"fr": 0.8}))
+        manager.register("bob", _factors(languages={}))
+        assert len(manager.with_language("fr", 0.5)) == 1
+        assert len(manager.with_language("en")) == 2  # native for both
+
+    def test_in_region(self, manager):
+        manager.register("ann", _factors(region="paris"))
+        manager.register("bob", _factors())
+        assert [w.name for w in manager.in_region("paris")] == ["ann"]
+
+    def test_fact_rows_merged(self, manager):
+        manager.register("ann", _factors())
+        manager.register("bob", _factors())
+        rows = manager.fact_rows()
+        assert len(rows["worker"]) == 2
+        assert len(rows["worker_region"]) == 2

@@ -1,0 +1,62 @@
+"""Runtime arithmetic/comparison semantics."""
+
+import pytest
+
+from repro.cylog.ast import BinArith, Const, Var
+from repro.cylog.builtins import apply_arith, apply_comparison, eval_expr
+from repro.cylog.errors import CyLogTypeError
+
+
+class TestArithmetic:
+    def test_numeric_ops(self):
+        assert apply_arith("+", 2, 3) == 5
+        assert apply_arith("-", 2, 3) == -1
+        assert apply_arith("*", 2.5, 4) == 10.0
+        assert apply_arith("/", 7, 2) == 3.5
+
+    def test_string_concat(self):
+        assert apply_arith("+", "ab", "cd") == "abcd"
+
+    def test_string_minus_rejected(self):
+        with pytest.raises(CyLogTypeError):
+            apply_arith("-", "ab", "cd")
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(CyLogTypeError):
+            apply_arith("+", True, 1)
+
+    def test_division_by_zero(self):
+        with pytest.raises(CyLogTypeError, match="zero"):
+            apply_arith("/", 1, 0)
+
+    def test_eval_expr_nested(self):
+        expr = BinArith("+", Var("X"), BinArith("*", Const(2), Var("Y")))
+        assert eval_expr(expr, {"X": 1, "Y": 10}) == 21
+
+    def test_eval_expr_unbound(self):
+        with pytest.raises(CyLogTypeError, match="unbound"):
+            eval_expr(Var("Z"), {})
+
+
+class TestComparisons:
+    def test_equality_cross_type_false(self):
+        assert apply_comparison("==", 1, "1") is False
+        assert apply_comparison("!=", 1, "1") is True
+
+    def test_bool_not_equal_to_int(self):
+        assert apply_comparison("==", True, 1) is False
+        assert apply_comparison("==", False, 0) is False
+
+    def test_numeric_ordering(self):
+        assert apply_comparison("<", 1, 2)
+        assert apply_comparison(">=", 2.0, 2)
+
+    def test_string_ordering(self):
+        assert apply_comparison("<", "abc", "abd")
+
+    def test_cross_family_ordering_is_false(self):
+        assert apply_comparison("<", 1, "abc") is False
+        assert apply_comparison(">", "abc", 1) is False
+
+    def test_int_float_equal(self):
+        assert apply_comparison("==", 2, 2.0) is True

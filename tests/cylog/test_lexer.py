@@ -1,0 +1,101 @@
+"""Lexer behaviour: tokens, positions, errors."""
+
+import pytest
+
+from repro.cylog.errors import CyLogParseError
+from repro.cylog.lexer import tokenize
+from repro.cylog.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_identifier_vs_variable(self):
+        assert kinds("worker Worker _x") == [
+            TokenType.IDENT, TokenType.VARIABLE, TokenType.VARIABLE,
+        ]
+
+    def test_keywords_recognised(self):
+        assert kinds("open key asking choices not true false") == [
+            TokenType.KEYWORD
+        ] * 7
+
+    def test_numbers(self):
+        assert values("42 3.14") == [42, 3.14]
+        assert isinstance(values("42")[0], int)
+        assert isinstance(values("3.14")[0], float)
+
+    def test_negative_number_literal(self):
+        assert values("p(-3)")[2] == -3
+
+    def test_minus_after_operand_is_subtraction(self):
+        out = values("X - 3")
+        assert out == ["X", "-", 3]
+
+    def test_trailing_period_not_part_of_number(self):
+        out = values("p(42).")
+        assert out == ["p", "(", 42, ")", "."]
+
+    def test_multi_char_operators(self):
+        assert values(":- <= >= == !=") == [":-", "<=", ">=", "==", "!="]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  bcd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values('"hello world"') == ["hello world"]
+
+    def test_escapes(self):
+        assert values(r'"a\"b\\c\nd\te"') == ['a"b\\c\nd\te']
+
+    def test_unterminated_string(self):
+        with pytest.raises(CyLogParseError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(CyLogParseError, match="newline"):
+            tokenize('"a\nb"')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(CyLogParseError, match="unknown escape"):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_percent_comment(self):
+        assert kinds("% a comment\nfact(1).")[0] is TokenType.IDENT
+
+    def test_double_slash_comment(self):
+        assert values("// note\np(1).")[0] == "p"
+
+    def test_comment_to_end_of_line_only(self):
+        out = values("p(1). % trailing\nq(2).")
+        assert "q" in out
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(CyLogParseError, match="unexpected character"):
+            tokenize("p(1) @ q(2)")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc\n   @")
+        except CyLogParseError as exc:
+            assert exc.line == 2 and exc.column == 4
+        else:  # pragma: no cover
+            raise AssertionError("expected a parse error")

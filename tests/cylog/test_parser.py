@@ -1,0 +1,176 @@
+"""Parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.cylog.ast import (
+    AggregateTerm,
+    Assignment,
+    Atom,
+    Comparison,
+    Const,
+    Negation,
+    Var,
+)
+from repro.cylog.errors import CyLogParseError, CyLogTypeError
+from repro.cylog.parser import parse_program
+
+
+class TestFacts:
+    def test_simple_fact(self):
+        program = parse_program('worker("ann").')
+        assert program.facts[0].atom == Atom("worker", (Const("ann"),))
+
+    def test_typed_constants(self):
+        program = parse_program("p(1, 2.5, true, sym).")
+        values = [t.value for t in program.facts[0].atom.terms]
+        assert values == [1, 2.5, True, "sym"]
+
+    def test_symbol_flag_preserved(self):
+        program = parse_program('p(sym, "str").')
+        terms = program.facts[0].atom.terms
+        assert terms[0].symbol and not terms[1].symbol
+
+    def test_zero_arity_fact(self):
+        program = parse_program("flag().")
+        assert program.facts[0].atom.arity == 0
+
+    def test_fact_with_variable_rejected(self):
+        with pytest.raises(CyLogParseError, match="ground"):
+            parse_program("p(X).")
+
+    def test_fact_with_aggregate_rejected(self):
+        with pytest.raises(CyLogParseError, match="aggregate"):
+            parse_program("p(count<X>).")
+
+
+class TestRules:
+    def test_simple_rule(self):
+        program = parse_program("a(X) :- b(X).")
+        rule = program.rules[0]
+        assert rule.head.predicate == "a"
+        assert rule.body == (Atom("b", (Var("X"),)),)
+
+    def test_negation(self):
+        program = parse_program("a(X) :- b(X), not c(X).")
+        assert isinstance(program.rules[0].body[1], Negation)
+
+    def test_comparisons(self):
+        program = parse_program("a(X) :- b(X, Y), Y >= 3, X != Y.")
+        body = program.rules[0].body
+        assert isinstance(body[1], Comparison) and body[1].op == ">="
+        assert isinstance(body[2], Comparison) and body[2].op == "!="
+
+    def test_assignment(self):
+        program = parse_program("a(X, Z) :- b(X, Y), Z = Y * 2 + 1.")
+        assignment = program.rules[0].body[1]
+        assert isinstance(assignment, Assignment)
+        assert assignment.var == Var("Z")
+
+    def test_arith_precedence(self):
+        program = parse_program("a(Z) :- b(X, Y), Z = X + Y * 2.")
+        expr = program.rules[0].body[1].expr
+        assert expr.op == "+"           # * binds tighter
+        assert expr.right.op == "*"
+
+    def test_parenthesised_arith(self):
+        program = parse_program("a(Z) :- b(X, Y), Z = (X + Y) * 2.")
+        expr = program.rules[0].body[1].expr
+        assert expr.op == "*"
+
+    def test_aggregate_head(self):
+        program = parse_program("n(G, count<X>) :- member(G, X).")
+        head = program.rules[0].head
+        assert head.has_aggregates
+        assert head.terms[1] == AggregateTerm("count", Var("X"))
+        assert head.group_by_vars() == (Var("G"),)
+
+    def test_equality_without_variable_rejected(self):
+        with pytest.raises(CyLogParseError, match="=="):
+            parse_program("a(X) :- b(X), 3 = 4.")
+
+    def test_anonymous_variable(self):
+        program = parse_program("a(X) :- b(X, _).")
+        assert program.rules[0].body[0].terms[1] == Var("_")
+
+    def test_missing_period(self):
+        with pytest.raises(CyLogParseError):
+            parse_program("a(X) :- b(X)")
+
+    def test_error_position_reported(self):
+        try:
+            parse_program("a(X) :- b(X) c(X).")
+        except CyLogParseError as exc:
+            assert exc.line == 1 and exc.column is not None
+        else:  # pragma: no cover
+            raise AssertionError("expected a parse error")
+
+
+class TestOpenDecls:
+    SOURCE = (
+        'open verify(seg: text, cand: text, ok: bool) key (seg, cand) '
+        'asking "Check {seg} vs {cand}" choices (true, false).'
+    )
+
+    def test_full_declaration(self):
+        decl = parse_program(self.SOURCE).opens[0]
+        assert decl.name == "verify"
+        assert [p.type for p in decl.params] == ["text", "text", "bool"]
+        assert decl.key == ("seg", "cand")
+        assert decl.fill_columns == ("ok",)
+        assert decl.choices[0].value is True
+
+    def test_key_positions(self):
+        decl = parse_program(self.SOURCE).opens[0]
+        assert decl.key_positions == (0, 1)
+        assert decl.fill_positions == (2,)
+
+    def test_instruction_rendering(self):
+        decl = parse_program(self.SOURCE).opens[0]
+        out = decl.render_instruction({"seg": "s1", "cand": "c1"})
+        assert out == "Check s1 vs c1"
+
+    def test_default_instruction_without_asking(self):
+        decl = parse_program("open rate(item: text, score: int) key (item).").opens[0]
+        out = decl.render_instruction({"item": "p1"})
+        assert "score" in out and "p1" in out
+
+    def test_all_key_columns_rejected(self):
+        with pytest.raises(CyLogParseError, match="fill"):
+            parse_program("open p(a: text) key (a).")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CyLogParseError, match="type"):
+            parse_program("open p(a: blob) key (a).")
+
+    def test_choices_need_single_fill(self):
+        with pytest.raises(CyLogParseError, match="choices"):
+            parse_program(
+                'open p(a: text, b: text, c: text) key (a) choices ("x").'
+            )
+
+    def test_open_cannot_be_rule_head(self):
+        with pytest.raises(CyLogTypeError, match="rule head"):
+            parse_program(
+                "open p(a: text, b: text) key (a).\np(X, Y) :- q(X, Y)."
+            )
+
+    def test_open_cannot_be_fact(self):
+        with pytest.raises(CyLogTypeError, match="fact"):
+            parse_program('open p(a: text, b: text) key (a).\np("x", "y").')
+
+
+class TestArityChecks:
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(CyLogTypeError, match="arity"):
+            parse_program("p(1). q(X) :- p(X, Y).")
+
+    def test_open_arity_enforced(self):
+        with pytest.raises(CyLogTypeError, match="arity"):
+            parse_program(
+                "open p(a: text, b: text) key (a).\nq(X) :- p(X)."
+            )
+
+    def test_program_predicates_listing(self):
+        program = parse_program("p(1). q(X) :- p(X), not r(X).")
+        assert program.predicates() == {"p", "q", "r"}
+        assert program.idb_predicates() == {"q"}

@@ -1,0 +1,159 @@
+"""Crowdsourcing design patterns expressed in CyLog.
+
+The paper's introduction cites the Find-Fix-Verify pattern of Soylent [1]
+as the canonical crowd-powered dataflow; §2.2 describes eligibility driven
+by qualification and human factors.  These tests show both patterns are
+directly expressible in this CyLog implementation — evidence for the
+"declarative, generic and collaboration-aware" claim.
+"""
+
+import pytest
+
+from repro.cylog import CyLogProcessor
+
+FIND_FIX_VERIFY = """
+    % Find: workers flag problematic spans in each paragraph.
+    open find(para: text, span: text) key (para)
+        asking "Find a problematic span in {para}".
+    % Fix: other workers propose a replacement for each flagged span.
+    open fix(para: text, span: text, patch: text) key (para, span)
+        asking "Rewrite the span {span}".
+    % Verify: a third crowd accepts or rejects each patch.
+    open verify(para: text, patch: text, ok: bool) key (para, patch)
+        asking "Is {patch} an improvement?" choices (true, false).
+
+    paragraph("p1"). paragraph("p2").
+
+    flagged(P, S) :- paragraph(P), find(P, S).
+    patched(P, S, F) :- flagged(P, S), fix(P, S, F).
+    accepted(P, F) :- patched(P, S, F), verify(P, F, true).
+    rejected(P, F) :- patched(P, S, F), verify(P, F, false).
+    n_accepted(count<F>) :- accepted(P, F).
+"""
+
+
+class TestFindFixVerify:
+    def test_stages_demanded_in_order(self):
+        processor = CyLogProcessor(FIND_FIX_VERIFY)
+        # Stage 1: only 'find' tasks exist at first.
+        kinds = {r.predicate for r in processor.pending_requests()}
+        assert kinds == {"find"}
+
+        # Stage 2: a find answer demands exactly one fix task.
+        processor.supply_answer(
+            processor.request_for("find", ("p1",)), {"span": "teh typo"}
+        )
+        kinds = {r.predicate for r in processor.pending_requests()}
+        assert "fix" in kinds
+        assert ("p1", "teh typo") == processor.request_for(
+            "fix", ("p1", "teh typo")
+        ).key_values
+
+        # Stage 3: a fix answer demands verification of the patch.
+        processor.supply_answer(
+            processor.request_for("fix", ("p1", "teh typo")),
+            {"patch": "the typo"},
+        )
+        verify = processor.request_for("verify", ("p1", "the typo"))
+        assert verify.choices == (True, False)
+
+        # Accepting the patch lands it in the accepted relation.
+        processor.supply_answer(verify, {"ok": True})
+        assert processor.facts("accepted") == {("p1", "the typo")}
+        assert processor.facts("rejected") == frozenset()
+
+    def test_rejected_patch_recorded_separately(self):
+        processor = CyLogProcessor(FIND_FIX_VERIFY)
+        processor.supply_fact("find", {"para": "p2"}, {"span": "bad"})
+        processor.supply_fact(
+            "fix", {"para": "p2", "span": "bad"}, {"patch": "worse"}
+        )
+        processor.supply_fact(
+            "verify", {"para": "p2", "patch": "worse"}, {"ok": False}
+        )
+        assert processor.facts("rejected") == {("p2", "worse")}
+        assert processor.facts("n_accepted") == frozenset()
+
+    def test_full_run_counts_accepted(self):
+        processor = CyLogProcessor(FIND_FIX_VERIFY)
+        for para in ("p1", "p2"):
+            processor.supply_fact("find", {"para": para}, {"span": f"s-{para}"})
+            processor.supply_fact(
+                "fix", {"para": para, "span": f"s-{para}"},
+                {"patch": f"f-{para}"},
+            )
+            processor.supply_fact(
+                "verify", {"para": para, "patch": f"f-{para}"}, {"ok": True}
+            )
+        assert processor.facts("n_accepted") == {(2,)}
+        assert processor.is_quiescent()
+
+
+QUALIFICATION = """
+    % Only workers who pass a qualification test join the real task —
+    % and the test itself is a crowdsourced task.
+    open quiz(worker: text, answer: int) key (worker)
+        asking "Qualification question for {worker}".
+    open work(item: text, label: text) key (item)
+        asking "Label {item}".
+
+    candidate("w1"). candidate("w2"). candidate("w3").
+    item("x").
+
+    qualified(W) :- candidate(W), quiz(W, A), A == 42.
+    eligible(W) :- qualified(W).
+    labelled(I, L) :- item(I), work(I, L).
+"""
+
+
+class TestQualificationPattern:
+    def test_eligibility_computed_from_quiz_answers(self):
+        processor = CyLogProcessor(QUALIFICATION)
+        assert {r.predicate for r in processor.pending_requests()} == {
+            "quiz", "work",
+        }
+        processor.supply_fact("quiz", {"worker": "w1"}, {"answer": 42})
+        processor.supply_fact("quiz", {"worker": "w2"}, {"answer": 7})
+        processor.supply_fact("quiz", {"worker": "w3"}, {"answer": 42})
+        assert processor.facts("eligible") == {("w1",), ("w3",)}
+
+    def test_negation_over_open_predicate(self):
+        source = QUALIFICATION + (
+            "unqualified(W) :- candidate(W), quiz(W, A), not qualified(W).\n"
+        )
+        processor = CyLogProcessor(source)
+        processor.supply_fact("quiz", {"worker": "w2"}, {"answer": 7})
+        assert processor.facts("unqualified") == {("w2",)}
+
+
+COLLABORATIVE_AGGREGATION = """
+    % Majority voting over redundant crowd answers — aggregation + arithmetic.
+    open vote(item: text, voter: text, yes: bool) key (item, voter).
+    item("a"). item("b").
+    voter("v1"). voter("v2"). voter("v3").
+    ballot(I, V) :- item(I), voter(V).
+    cast(I, V, B) :- ballot(I, V), vote(I, V, B).
+    yes_votes(I, count<V>) :- cast(I, V, true).
+    all_votes(I, count<V>) :- cast(I, V, B).
+    approved(I) :- yes_votes(I, Y), all_votes(I, N), Y * 2 > N.
+"""
+
+
+class TestMajorityVoting:
+    def test_redundant_tasks_demanded_per_voter(self):
+        processor = CyLogProcessor(COLLABORATIVE_AGGREGATION)
+        pending = processor.pending_requests()
+        assert len(pending) == 6  # 2 items × 3 voters
+
+    def test_majority_decision(self):
+        processor = CyLogProcessor(COLLABORATIVE_AGGREGATION)
+        votes = {
+            ("a", "v1"): True, ("a", "v2"): True, ("a", "v3"): False,
+            ("b", "v1"): False, ("b", "v2"): False, ("b", "v3"): True,
+        }
+        for (item, voter), yes in votes.items():
+            processor.supply_fact(
+                "vote", {"item": item, "voter": voter}, {"yes": yes}
+            )
+        assert processor.facts("approved") == {("a",)}
+        assert processor.is_quiescent()

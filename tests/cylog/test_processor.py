@@ -1,0 +1,147 @@
+"""The CyLog processor: demand-driven task generation and answer feedback."""
+
+import pytest
+
+from repro.cylog import CyLogProcessor
+from repro.cylog.errors import CyLogTypeError
+
+CHAIN = """
+    open translate(seg: text, out: text) key (seg) asking "Translate {seg}".
+    open verify(seg: text, cand: text, ok: bool) key (seg, cand)
+        asking "Is {cand} ok for {seg}?" choices (true, false).
+    segment("s1"). segment("s2").
+    translated(S, T) :- segment(S), translate(S, T).
+    approved(S, T) :- translated(S, T), verify(S, T, true).
+    n_approved(count<S>) :- approved(S, T).
+"""
+
+
+@pytest.fixture
+def processor():
+    return CyLogProcessor(CHAIN)
+
+
+class TestDemand:
+    def test_initial_demand_only_first_stage(self, processor):
+        pending = processor.pending_requests()
+        assert {(r.predicate, r.key_values) for r in pending} == {
+            ("translate", ("s1",)), ("translate", ("s2",)),
+        }
+
+    def test_request_instruction_rendered(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        assert request.instruction == "Translate s1"
+
+    def test_chained_demand_appears_after_answer(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        processor.supply_answer(request, {"out": "S1-FR"})
+        pending = {(r.predicate, r.key_values) for r in processor.pending_requests()}
+        assert ("verify", ("s1", "S1-FR")) in pending
+        assert ("translate", ("s1",)) not in pending
+
+    def test_choices_exposed(self, processor):
+        processor.supply_answer(
+            processor.request_for("translate", ("s1",)), {"out": "X"}
+        )
+        verify = processor.request_for("verify", ("s1", "X"))
+        assert verify.choices == (True, False)
+
+    def test_quiescence_after_all_answers(self, processor):
+        for segment in ("s1", "s2"):
+            processor.supply_answer(
+                processor.request_for("translate", (segment,)),
+                {"out": f"{segment}-fr"},
+            )
+            processor.supply_answer(
+                processor.request_for("verify", (segment, f"{segment}-fr")),
+                {"ok": True},
+            )
+        assert processor.is_quiescent()
+        assert processor.facts("n_approved") == {(2,)}
+
+    def test_unknown_request_lookup(self, processor):
+        with pytest.raises(CyLogTypeError, match="no task request"):
+            processor.request_for("translate", ("zzz",))
+
+    def test_new_facts_create_new_demand(self, processor):
+        processor.add_facts("segment", [("s3",)])
+        pending = {r.key_values for r in processor.pending_requests()
+                   if r.predicate == "translate"}
+        assert ("s3",) in pending
+
+    def test_demand_listener_sees_batches(self):
+        batches = []
+        processor = CyLogProcessor(CHAIN)
+        processor.add_demand_listener(batches.append)
+        processor.run()
+        assert len(batches) == 1 and len(batches[0]) == 2
+        processor.supply_answer(
+            processor.request_for("translate", ("s1",)), {"out": "x"}
+        )
+        processor.run()
+        assert len(batches) == 2
+        assert batches[1][0].predicate == "verify"
+
+
+class TestAnswers:
+    def test_answer_type_checked(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        with pytest.raises(CyLogTypeError, match="expected text"):
+            processor.supply_answer(request, {"out": 42})
+
+    def test_missing_column_rejected(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        with pytest.raises(CyLogTypeError, match="missing"):
+            processor.supply_answer(request, {})
+
+    def test_extra_column_rejected(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        with pytest.raises(CyLogTypeError, match="unexpected"):
+            processor.supply_answer(request, {"out": "x", "bogus": 1})
+
+    def test_choice_answer_type_checked_first(self, processor):
+        processor.supply_answer(
+            processor.request_for("translate", ("s1",)), {"out": "X"}
+        )
+        verify = processor.request_for("verify", ("s1", "X"))
+        with pytest.raises(CyLogTypeError, match="expected bool"):
+            processor.supply_answer(verify, {"ok": "maybe"})  # type: ignore
+
+    def test_choice_answer_outside_choice_set_rejected(self):
+        processor = CyLogProcessor(
+            'open pick(item: text, colour: text) key (item) '
+            'choices ("red", "blue").\n'
+            'item("p").\npicked(I, C) :- item(I), pick(I, C).'
+        )
+        request = processor.request_for("pick", ("p",))
+        with pytest.raises(CyLogTypeError, match="choices"):
+            processor.supply_answer(request, {"colour": "green"})
+
+    def test_supply_fact_without_request(self, processor):
+        processor.supply_fact("translate", {"seg": "s1"}, {"out": "direct"})
+        assert ("s1", "direct") in processor.facts("translate")
+
+    def test_supply_fact_non_open_rejected(self, processor):
+        with pytest.raises(CyLogTypeError, match="not an open predicate"):
+            processor.supply_fact("segment", {"seg": "s9"}, {})
+
+    def test_multiple_answers_same_key_kept(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        processor.supply_answer(request, {"out": "v1"})
+        processor.supply_fact("translate", {"seg": "s1"}, {"out": "v2"})
+        outs = {t[1] for t in processor.facts("translate") if t[0] == "s1"}
+        assert outs == {"v1", "v2"}
+
+    def test_float_answer_coerced(self):
+        processor = CyLogProcessor(
+            "open rate(item: text, score: float) key (item).\n"
+            'item("p").\nrated(I, S) :- item(I), rate(I, S).'
+        )
+        request = processor.request_for("rate", ("p",))
+        fact = processor.supply_answer(request, {"score": 4})
+        assert fact == ("p", 4.0)
+        assert isinstance(fact[1], float)
+
+    def test_relation_sizes(self, processor):
+        sizes = processor.relation_sizes()
+        assert sizes["segment"] == 2

@@ -1,0 +1,134 @@
+"""Safety, task-safety and stratification analysis."""
+
+import pytest
+
+from repro.cylog.errors import CyLogSafetyError, StratificationError
+from repro.cylog.parser import parse_program
+from repro.cylog.safety import compile_program, stratify
+
+
+class TestRangeRestriction:
+    def test_head_variable_must_be_bound(self):
+        with pytest.raises(CyLogSafetyError, match="head variable"):
+            compile_program(parse_program("a(X, Y) :- b(X)."))
+
+    def test_negation_variables_must_be_bound(self):
+        with pytest.raises(CyLogSafetyError, match="never bound"):
+            compile_program(parse_program("a(X) :- b(X), not c(Y)."))
+
+    def test_comparison_variables_must_be_bound(self):
+        with pytest.raises(CyLogSafetyError, match="never bound"):
+            compile_program(parse_program("a(X) :- b(X), Y > 3."))
+
+    def test_assignment_binds(self):
+        compiled = compile_program(parse_program("a(X, Y) :- b(X), Y = X + 1."))
+        assert compiled.rules[0].plan
+
+    def test_assignment_chain(self):
+        compile_program(parse_program(
+            "a(Z) :- b(X), Y = X + 1, Z = Y * 2."
+        ))
+
+    def test_anonymous_head_variable_allowed_nowhere(self):
+        # _ in the head is not a named variable; rule is fine structurally.
+        compiled = compile_program(parse_program("a(X) :- b(X, _)."))
+        assert compiled.rules
+
+    def test_plan_orders_filters_after_binders(self):
+        compiled = compile_program(parse_program(
+            "a(X) :- X > 2, b(X)."  # written filter-first; plan must reorder
+        ))
+        plan = compiled.rules[0].plan
+        from repro.cylog.ast import Atom
+
+        assert isinstance(plan[0], Atom)
+
+
+class TestTaskSafety:
+    OPEN = "open t(seg: text, out: text) key (seg).\n"
+
+    def test_key_bound_by_body(self):
+        compiled = compile_program(parse_program(
+            self.OPEN + "r(S, T) :- seed(S), t(S, T)."
+        ))
+        assert len(compiled.rules[0].seed_plans) == 1
+
+    def test_unbound_key_rejected(self):
+        with pytest.raises(CyLogSafetyError, match="task-unsafe"):
+            compile_program(parse_program(self.OPEN + "r(S, T) :- t(S, T)."))
+
+    def test_key_from_other_open_predicate(self):
+        source = (
+            "open a(x: text, y: text) key (x).\n"
+            "open b(y: text, z: text) key (y).\n"
+            "r(X, Z) :- seed(X), a(X, Y), b(Y, Z)."
+        )
+        compiled = compile_program(parse_program(source))
+        seed_plans = compiled.rules[0].seed_plans
+        assert {plan.decl.name for plan in seed_plans} == {"a", "b"}
+
+    def test_constant_key_is_safe(self):
+        compiled = compile_program(parse_program(
+            self.OPEN + 'r(T) :- t("fixed", T).'
+        ))
+        assert compiled.rules[0].seed_plans
+
+    def test_anonymous_key_rejected(self):
+        with pytest.raises(CyLogSafetyError, match="task-unsafe"):
+            compile_program(parse_program(self.OPEN + "r(T) :- t(_, T)."))
+
+
+class TestStratification:
+    def test_plain_recursion_single_stratum(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), e(Z, Y)."
+        )
+        strata, count = stratify(program)
+        assert strata["p"] == strata["e"] == 0
+        assert count == 1
+
+    def test_negation_increases_stratum(self):
+        program = parse_program("a(X) :- b(X), not c(X).")
+        strata, count = stratify(program)
+        assert strata["a"] == strata["c"] + 1
+        assert count == 2
+
+    def test_aggregates_increase_stratum(self):
+        program = parse_program("n(count<X>) :- b(X).")
+        strata, _ = stratify(program)
+        assert strata["n"] == strata["b"] + 1
+
+    def test_recursive_negation_rejected(self):
+        with pytest.raises(StratificationError):
+            stratify(parse_program(
+                "a(X) :- b(X), not a(X)."
+            ))
+
+    def test_mutual_recursive_negation_rejected(self):
+        with pytest.raises(StratificationError):
+            stratify(parse_program(
+                "a(X) :- b(X), not c(X). c(X) :- b(X), not a(X)."
+            ))
+
+    def test_recursive_aggregate_rejected(self):
+        with pytest.raises(StratificationError):
+            compile_program(parse_program(
+                "n(count<X>) :- n(X)."
+            ))
+
+    def test_negation_chain_strata(self):
+        program = parse_program(
+            "b(X) :- base(X), not a(X). c(X) :- base(X), not b(X)."
+        )
+        strata, count = stratify(program)
+        assert strata["c"] > strata["b"] > strata["a"]
+        assert count == 3
+
+    def test_monotone_flag(self):
+        assert compile_program(parse_program("a(X) :- b(X).")).is_monotone
+        assert not compile_program(
+            parse_program("a(X) :- b(X), not c(X).")
+        ).is_monotone
+        assert not compile_program(
+            parse_program("a(count<X>) :- b(X).")
+        ).is_monotone

@@ -1,0 +1,112 @@
+"""Form model validation and HTML rendering."""
+
+import pytest
+
+from repro.errors import FormError
+from repro.forms.model import FormField, FormModel
+from repro.forms.render import html_escape, render_field, render_form, render_table
+
+
+def _form():
+    return FormModel(
+        form_id="f1",
+        title="Test form",
+        fields=(
+            FormField("name", "Name", required=True),
+            FormField("age", "Age", widget="integer", min_value=0, max_value=120),
+            FormField("bio", "Bio", widget="textarea"),
+            FormField("ok", "OK?", widget="checkbox", default=False),
+            FormField("lang", "Language", widget="select",
+                      options=("en", "fr")),
+            FormField("tags", "Tags", widget="multiselect",
+                      options=("a", "b", "c")),
+        ),
+    )
+
+
+class TestValidation:
+    def test_valid_submission(self):
+        report = _form().validate({
+            "name": "ann", "age": "42", "bio": "", "ok": "true",
+            "lang": "fr", "tags": "a,b",
+        })
+        assert report.ok
+        assert report.values["age"] == 42
+        assert report.values["ok"] is True
+        assert report.values["tags"] == ["a", "b"]
+
+    def test_required_field_missing(self):
+        report = _form().validate({"lang": "en"})
+        assert "name" in report.errors
+
+    def test_unknown_field_rejected(self):
+        report = _form().validate({"name": "x", "lang": "en", "bogus": 1})
+        assert "bogus" in report.errors
+
+    def test_number_conversion_failure(self):
+        report = _form().validate({"name": "x", "age": "abc", "lang": "en"})
+        assert "age" in report.errors
+
+    def test_range_check(self):
+        report = _form().validate({"name": "x", "age": 300, "lang": "en"})
+        assert "must be" in report.errors["age"]
+
+    def test_select_option_checked(self):
+        report = _form().validate({"name": "x", "lang": "de"})
+        assert "lang" in report.errors
+
+    def test_multiselect_options_checked(self):
+        report = _form().validate({"name": "x", "lang": "en", "tags": ["z"]})
+        assert "tags" in report.errors
+
+    def test_custom_validator(self):
+        field = FormField("x", "X", validator=lambda v: "bad" if v == "no" else None)
+        form = FormModel("f", "t", (field,))
+        assert form.validate({"x": "no"}).errors["x"] == "bad"
+        assert form.validate({"x": "yes"}).ok
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(FormError):
+            FormModel("f", "t", (FormField("a", "A"), FormField("a", "B")))
+
+    def test_select_requires_options(self):
+        with pytest.raises(FormError):
+            FormField("s", "S", widget="select")
+
+    def test_unknown_widget(self):
+        with pytest.raises(FormError):
+            FormField("x", "X", widget="slider")
+
+
+class TestRendering:
+    def test_escape(self):
+        assert html_escape('<a href="x">&') == "&lt;a href=&quot;x&quot;&gt;&amp;"
+
+    def test_field_renders_label_and_control(self):
+        html = render_field(FormField("name", "Your <name>", required=True),
+                            value="a&b")
+        assert "Your &lt;name&gt;" in html
+        assert 'value="a&amp;b"' in html
+        assert "required" in html
+
+    def test_textarea_and_checkbox(self):
+        assert "<textarea" in render_field(FormField("b", "B", widget="textarea"))
+        checked = render_field(FormField("c", "C", widget="checkbox"), value=True)
+        assert "checked" in checked
+
+    def test_select_marks_selected(self):
+        html = render_field(
+            FormField("l", "L", widget="select", options=("en", "fr")),
+            value="fr",
+        )
+        assert '<option value="fr" selected>' in html
+
+    def test_form_contains_all_fields(self):
+        html = render_form(_form())
+        for name in ("name", "age", "bio", "ok", "lang", "tags"):
+            assert f'id="field-{name}"' in html
+        assert "<h2>Test form</h2>" in html
+
+    def test_table(self):
+        html = render_table(("a", "b"), [(1, "<x>")])
+        assert "<th>a</th>" in html and "<td>&lt;x&gt;</td>" in html

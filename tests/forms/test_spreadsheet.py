@@ -1,0 +1,101 @@
+"""Requester tools: CyLog generation from forms and spreadsheets."""
+
+import pytest
+
+from repro.cylog import CyLogProcessor
+from repro.errors import FormError
+from repro.forms.spreadsheet import (
+    AskColumn,
+    FormTaskSpec,
+    cylog_from_form_spec,
+    cylog_from_spreadsheet,
+)
+
+
+class TestFormSpec:
+    def test_generated_program_runs(self):
+        source = cylog_from_form_spec(FormTaskSpec(
+            name="sentiment",
+            question="What is the sentiment of {item}?",
+            items=("great product", "awful service"),
+            answer_type="text",
+            choices=("positive", "negative"),
+            eligibility='worker_native(W, "en")',
+        ))
+        processor = CyLogProcessor(source)
+        pending = processor.pending_requests()
+        assert len(pending) == 2
+        processor.supply_answer(pending[0], {"answer": "positive"})
+        assert len(processor.facts("sentiment_result")) == 1
+
+    def test_eligibility_rule_included(self):
+        source = cylog_from_form_spec(FormTaskSpec(
+            name="t", question="q", items=("a",),
+            eligibility='worker_region(W, "paris")',
+        ))
+        assert 'eligible(W) :- worker(W), worker_region(W, "paris").' in source
+
+    def test_no_items_rejected(self):
+        with pytest.raises(FormError):
+            FormTaskSpec(name="t", question="q", items=())
+
+    def test_bad_answer_type_rejected(self):
+        with pytest.raises(FormError):
+            FormTaskSpec(name="t", question="q", items=("a",),
+                         answer_type="complex")
+
+    def test_names_sanitised(self):
+        source = cylog_from_form_spec(FormTaskSpec(
+            name="My Task!", question="q", items=("a",),
+        ))
+        assert "open my_task(" in source
+
+
+class TestSpreadsheet:
+    ROWS = [
+        {"id": "r1", "city": "tsukuba", "note": "flood"},
+        {"id": "r2", "city": "paris", "note": "strike"},
+    ]
+
+    def test_facts_generated_per_column(self):
+        source = cylog_from_spreadsheet(
+            self.ROWS, key_column="id",
+            ask=[AskColumn("credible", "Credible: {item}?")],
+        )
+        assert 'row("r1").' in source
+        assert 'city("r1", "tsukuba").' in source
+        assert 'note("r2", "strike").' in source
+
+    def test_ask_columns_become_open_predicates(self):
+        source = cylog_from_spreadsheet(
+            self.ROWS, key_column="id",
+            ask=[AskColumn("credible", "Credible: {item}?", "bool",
+                           choices=(True, False))],
+        )
+        processor = CyLogProcessor(source)
+        pending = processor.pending_requests()
+        assert {r.key_values[0] for r in pending} == {"r1", "r2"}
+        processor.supply_answer(pending[0], {"answer": True})
+        assert len(processor.facts("answered_credible")) == 1
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(FormError):
+            cylog_from_spreadsheet([], key_column="id",
+                                   ask=[AskColumn("x", "q")])
+
+    def test_missing_key_column_rejected(self):
+        with pytest.raises(FormError):
+            cylog_from_spreadsheet([{"a": 1}], key_column="id",
+                                   ask=[AskColumn("x", "q")])
+
+    def test_no_ask_columns_rejected(self):
+        with pytest.raises(FormError):
+            cylog_from_spreadsheet(self.ROWS, key_column="id", ask=[])
+
+    def test_numeric_cells_rendered_as_constants(self):
+        rows = [{"id": "r1", "count": 4, "ratio": 0.5}]
+        source = cylog_from_spreadsheet(
+            rows, key_column="id", ask=[AskColumn("verify", "q")],
+        )
+        assert 'count("r1", 4).' in source
+        assert 'ratio("r1", 0.5).' in source

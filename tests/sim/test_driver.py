@@ -1,0 +1,84 @@
+"""The simulation driver's platform-level behaviour."""
+
+import pytest
+
+from repro.apps.common import build_crowd
+from repro.core import SkillRequirement, TeamConstraints
+from repro.core.projects import SchemeKind
+from repro.sim import SimulationDriver
+
+SOURCE = """
+    open label(item: text, tag: text) key (item) asking "Label {item}".
+    item("a"). item("b").
+    labelled(I, T) :- item(I), label(I, T).
+"""
+
+
+def _project(platform, **constraint_kwargs):
+    base = dict(min_size=2, critical_mass=3, confirmation_window=20.0)
+    base.update(constraint_kwargs)
+    return platform.register_project(
+        "labels", "req", SOURCE,
+        scheme=SchemeKind.SEQUENTIAL,
+        constraints=TeamConstraints(**base),
+    )
+
+
+class TestDriver:
+    def test_runs_to_quiescence(self):
+        platform = build_crowd(20, seed=3)
+        project = _project(platform)
+        driver = SimulationDriver(platform, seed=3)
+        report = driver.run(max_steps=250)
+        assert report.quiescent
+        assert report.team_results == 2
+        assert platform.processor(project.id).is_quiescent()
+
+    def test_report_counters_consistent(self):
+        platform = build_crowd(20, seed=3)
+        _project(platform)
+        driver = SimulationDriver(platform, seed=3)
+        report = driver.run(max_steps=250)
+        assert report.micro_completed >= report.team_results
+        assert report.interest_declared >= 2 * report.team_results
+        assert len(report.qualities) == report.team_results
+        assert 0.0 <= report.mean_quality <= 1.0
+
+    def test_auto_relax_resolves_impossible_constraints(self):
+        platform = build_crowd(20, seed=4)
+        _project(
+            platform,
+            skills=(SkillRequirement("translation", 0.99, aggregator="max"),),
+        )
+        driver = SimulationDriver(platform, seed=4, auto_relax=True)
+        report = driver.run(max_steps=300)
+        assert report.relaxations_applied >= 1
+        assert report.quiescent
+
+    def test_without_auto_relax_suggestions_accumulate(self):
+        platform = build_crowd(20, seed=4)
+        project = _project(
+            platform,
+            skills=(SkillRequirement("translation", 0.99, aggregator="max"),),
+        )
+        driver = SimulationDriver(platform, seed=4, auto_relax=False)
+        driver.run(max_steps=40)
+        assert platform.suggestions_for(project.id)
+
+    def test_skills_learned_from_outcomes(self):
+        platform = build_crowd(20, seed=3)
+        _project(platform, skills=(SkillRequirement("translation", 0.2),))
+        driver = SimulationDriver(platform, seed=3)
+        driver.run(max_steps=250)
+        assert driver.skills.known_workers()
+
+    def test_deterministic_given_seed(self):
+        def run():
+            platform = build_crowd(16, seed=9)
+            _project(platform)
+            driver = SimulationDriver(platform, seed=9)
+            report = driver.run(max_steps=250)
+            return (report.team_results, report.micro_completed,
+                    tuple(round(q, 6) for q in report.qualities))
+
+        assert run() == run()

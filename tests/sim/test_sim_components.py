@@ -1,0 +1,192 @@
+"""Simulated-crowd components: population, behaviour, outcomes, skills."""
+
+import pytest
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.tasks import TaskKind, TaskPool
+from repro.errors import SimulationError
+from repro.sim import (
+    BehaviorModel,
+    BetaSkillEstimator,
+    OutcomeModel,
+    PopulationConfig,
+    VirtualClock,
+    generate_factors,
+)
+from repro.storage import Database
+from tests.conftest import make_worker
+
+
+class TestClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_backwards_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(0)
+
+
+class TestPopulation:
+    def test_deterministic_per_seed_and_index(self):
+        assert generate_factors(7, 3) == generate_factors(7, 3)
+        assert generate_factors(7, 3) != generate_factors(7, 4)
+        assert generate_factors(8, 3) != generate_factors(7, 3)
+
+    def test_factors_within_bounds(self):
+        config = PopulationConfig()
+        for index in range(50):
+            factors = generate_factors(1, index, config)
+            assert len(factors.native_languages) == 1
+            assert all(0 <= p <= 1 for p in factors.languages.values())
+            assert all(0 <= s <= 1 for s in factors.skills.values())
+            assert config.min_reliability <= factors.reliability <= 1.0
+            assert factors.region in config.regions
+            assert factors.coordinates == config.regions[factors.region]
+
+    def test_volunteer_fraction_respected(self):
+        config = PopulationConfig(volunteer_fraction=1.0)
+        assert all(
+            generate_factors(2, i, config).cost == 0.0 for i in range(20)
+        )
+
+
+class TestBehavior:
+    def _task(self, **kwargs):
+        pool = TaskPool(Database())
+        base = dict(project_id="p", kind=TaskKind.OPEN_FILL, instruction="do")
+        base.update(kwargs)
+        return pool.create(**base)
+
+    def test_interest_deterministic(self):
+        model = BehaviorModel(seed=1)
+        worker = make_worker("w1")
+        task = self._task()
+        assert model.wants_task(worker, task) == model.wants_task(worker, task)
+
+    def test_interest_varies_across_visits(self):
+        model = BehaviorModel(seed=1)
+        worker = make_worker("w1", skill=0.0)
+        task = self._task()
+        outcomes = {model.wants_task(worker, task, visit) for visit in range(30)}
+        assert outcomes == {True, False}  # revisits eventually differ
+
+    def test_sns_task_answer(self):
+        model = BehaviorModel(seed=1)
+        worker = make_worker("w1")
+        task = self._task(kind=TaskKind.SOLICIT_SNS, assignee="w1")
+        result = model.produce_result(worker, task)
+        assert "sns_id" in result
+
+    def test_choice_task_answer_from_choices(self):
+        model = BehaviorModel(seed=1)
+        worker = make_worker("w1")
+        task = self._task(choices=(True, False), assignee="w1")
+        result = model.produce_result(worker, task)
+        assert result["answer"] in (True, False)
+
+    def test_review_improves_text(self):
+        model = BehaviorModel(seed=1)
+        worker = make_worker("w1", skill=0.9)
+        task = self._task(kind=TaskKind.REVIEW, assignee="w1",
+                          payload={"previous_text": "base"})
+        result = model.produce_result(worker, task)
+        assert result["text"].startswith("base")
+
+    def test_quality_tracks_skill(self):
+        model = BehaviorModel(seed=1)
+        strong = sum(
+            model.answer_quality(make_worker(f"s{i}", skill=0.9), "translation")
+            for i in range(30)
+        )
+        weak = sum(
+            model.answer_quality(make_worker(f"v{i}", skill=0.1), "translation")
+            for i in range(30)
+        )
+        assert strong > weak
+
+
+class TestOutcomeModel:
+    def _team(self, n, skill=0.6):
+        return [make_worker(f"w{i}", skill=skill) for i in range(n)]
+
+    def _affinity(self, team, value):
+        matrix = AffinityMatrix()
+        for i, a in enumerate(team):
+            for b in team[i + 1:]:
+                matrix.set(a.id, b.id, value)
+        return matrix
+
+    def test_affinity_synergy_helps(self):
+        model = OutcomeModel(seed=0)
+        team = self._team(3)
+        high = model.quality(team, self._affinity(team, 0.9),
+                             ["translation"], critical_mass=5)
+        low = model.quality(team, self._affinity(team, 0.0),
+                            ["translation"], critical_mass=5)
+        assert high > low
+
+    def test_critical_mass_degradation(self):
+        model = OutcomeModel(seed=0)
+        base_quality = []
+        for size in (3, 6, 9):
+            team = self._team(size, skill=0.3)
+            quality = model.quality(
+                team, self._affinity(team, 0.5), ["translation"],
+                critical_mass=3,
+            )
+            base_quality.append(quality)
+        assert base_quality[0] > base_quality[1] > base_quality[2]
+
+    def test_quality_bounded(self):
+        model = OutcomeModel(seed=0)
+        team = self._team(4, skill=1.0)
+        quality = model.quality(team, self._affinity(team, 1.0),
+                                ["translation"], critical_mass=8)
+        assert 0.0 <= quality <= 1.0
+
+    def test_deterministic_given_inputs(self):
+        model = OutcomeModel(seed=3)
+        team = self._team(3)
+        affinity = self._affinity(team, 0.4)
+        first = model.quality(team, affinity, ["translation"], 5)
+        second = model.quality(team, affinity, ["translation"], 5)
+        assert first == second
+
+
+class TestSkillEstimation:
+    def test_prior_is_half(self):
+        estimator = BetaSkillEstimator()
+        assert estimator.estimate("w", "x") == pytest.approx(0.5)
+
+    def test_good_outcomes_raise_estimate(self):
+        estimator = BetaSkillEstimator()
+        for _ in range(10):
+            estimator.observe_team_outcome(["a", "b"], "t", 0.95)
+        assert estimator.estimate("a", "t") > 0.8
+        assert estimator.estimate("b", "t") > 0.8
+
+    def test_contribution_share_weights_credit(self):
+        estimator = BetaSkillEstimator()
+        for _ in range(10):
+            estimator.observe_team_outcome(
+                ["busy", "idle"], "t", 0.9, contributions={"busy": 9, "idle": 1},
+            )
+        assert estimator.confidence("busy", "t") > estimator.confidence("idle", "t")
+
+    def test_individual_observation(self):
+        estimator = BetaSkillEstimator()
+        estimator.observe_individual("w", "t", 0.0)
+        assert estimator.estimate("w", "t") < 0.5
+
+    def test_snapshot_and_known_workers(self):
+        estimator = BetaSkillEstimator()
+        estimator.observe_individual("w", "t", 1.0)
+        assert estimator.known_workers() == {"w"}
+        assert ("w", "t") in estimator.snapshot()
+
+    def test_empty_team_noop(self):
+        estimator = BetaSkillEstimator()
+        estimator.observe_team_outcome([], "t", 1.0)
+        assert estimator.known_workers() == set()

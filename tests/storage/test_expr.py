@@ -1,0 +1,87 @@
+"""Expression AST construction and evaluation."""
+
+import pytest
+
+from repro.storage.errors import UnknownColumnError
+from repro.storage.expr import BinOp, Col, In, IsNull, Lit, Not, col, lit
+
+ROW = {"a": 3, "b": 7.5, "name": "ann", "flag": True, "maybe": None}
+
+
+class TestEvaluation:
+    def test_column_lookup(self):
+        assert col("a").evaluate(ROW) == 3
+
+    def test_missing_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            col("zzz").evaluate(ROW)
+
+    def test_literal(self):
+        assert lit(10).evaluate(ROW) == 10
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (col("a") == 3, True),
+            (col("a") != 3, False),
+            (col("a") < 4, True),
+            (col("a") <= 3, True),
+            (col("b") > 7, True),
+            (col("b") >= 8, False),
+            (col("a") + col("b"), 10.5),
+            (col("b") - col("a"), 4.5),
+            (col("a") * 2, 6),
+            (col("b") / col("a"), 2.5),
+        ],
+    )
+    def test_operators(self, expr, expected):
+        assert expr.evaluate(ROW) == expected
+
+    def test_and_short_circuit(self):
+        expr = (col("a") == 3) & (col("name") == "ann")
+        assert expr.evaluate(ROW) is True
+        assert ((col("a") == 99) & (col("missing") == 1)).evaluate(ROW) is False
+
+    def test_or_short_circuit(self):
+        assert ((col("a") == 3) | (col("missing") == 1)).evaluate(ROW) is True
+
+    def test_not(self):
+        assert (~(col("flag"))).evaluate(ROW) is False
+
+    def test_is_null(self):
+        assert col("maybe").is_null().evaluate(ROW) is True
+        assert col("a").is_null().evaluate(ROW) is False
+
+    def test_in(self):
+        assert col("name").in_(["ann", "bob"]).evaluate(ROW) is True
+        assert col("name").in_([]).evaluate(ROW) is False
+
+    def test_in_unhashable_values_fall_back(self):
+        expr = In(col("a"), [[1], [2], 3])
+        assert expr.evaluate(ROW) is True
+
+
+class TestStructure:
+    def test_columns_collection(self):
+        expr = ((col("a") + col("b")) > 5) & ~col("flag")
+        assert expr.columns() == {"a", "b", "flag"}
+
+    def test_wrap_literals(self):
+        expr = col("a") == 3
+        assert isinstance(expr, BinOp)
+        assert isinstance(expr.right, Lit)
+
+    def test_nodes_identity_hashable(self):
+        node = col("a")
+        assert hash(node) == hash(node)
+        assert len({node, col("a")}) == 2  # distinct nodes, distinct hashes
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", col("a"), lit(2))
+
+    def test_reprs_cover_nodes(self):
+        assert "col" in repr(Col("a"))
+        assert "lit" in repr(Lit(1))
+        assert "is_null" in repr(IsNull(col("a")))
+        assert "~" in repr(Not(col("a")))

@@ -1,0 +1,189 @@
+"""Relational-algebra query builder."""
+
+import pytest
+
+from repro.storage import Column, ColumnType, Database, Query, TableSchema, col
+from repro.storage.errors import StorageError, UnknownColumnError
+
+
+@pytest.fixture
+def people_db():
+    db = Database()
+    db.create_table(TableSchema(
+        "person",
+        [
+            Column("id", ColumnType.TEXT),
+            Column("city", ColumnType.TEXT),
+            Column("age", ColumnType.INT),
+        ],
+        primary_key=("id",),
+    ))
+    db.create_table(TableSchema(
+        "visit",
+        [
+            Column("vid", ColumnType.INT),
+            Column("person_id", ColumnType.TEXT),
+            Column("place", ColumnType.TEXT),
+        ],
+        primary_key=("vid",),
+    ))
+    rows = [
+        ("a", "tsukuba", 30), ("b", "paris", 25),
+        ("c", "tsukuba", 35), ("d", "dallas", 41),
+    ]
+    for pid, city, age in rows:
+        db.insert("person", {"id": pid, "city": city, "age": age})
+    for vid, pid, place in [(1, "a", "lab"), (2, "a", "library"), (3, "b", "lab")]:
+        db.insert("visit", {"vid": vid, "person_id": pid, "place": place})
+    return db
+
+
+class TestBasics:
+    def test_where(self, people_db):
+        out = people_db.query("person").where(col("age") > 28).scalars("id")
+        assert sorted(out) == ["a", "c", "d"]
+
+    def test_where_callable(self, people_db):
+        out = people_db.query("person").where(lambda r: r["city"] == "paris")
+        assert out.count() == 1
+
+    def test_project(self, people_db):
+        rows = people_db.query("person").project("id").execute()
+        assert all(set(row) == {"id"} for row in rows)
+
+    def test_project_computed(self, people_db):
+        rows = (
+            people_db.query("person")
+            .project("id", next_age=col("age") + 1)
+            .execute()
+        )
+        by_id = {r["id"]: r["next_age"] for r in rows}
+        assert by_id["a"] == 31
+
+    def test_project_missing_column(self, people_db):
+        with pytest.raises(UnknownColumnError):
+            people_db.query("person").project("nope").execute()
+
+    def test_rename(self, people_db):
+        row = people_db.query("person").rename(person_id="id").first()
+        assert "person_id" in row and "id" not in row
+
+    def test_order_by(self, people_db):
+        ages = people_db.query("person").order_by("age").scalars("age")
+        assert ages == sorted(ages)
+
+    def test_order_by_desc(self, people_db):
+        ages = people_db.query("person").order_by("age", desc=True).scalars("age")
+        assert ages == sorted(ages, reverse=True)
+
+    def test_limit_offset(self, people_db):
+        out = people_db.query("person").order_by("id").limit(2, offset=1).scalars("id")
+        assert out == ["b", "c"]
+
+    def test_limit_negative_rejected(self, people_db):
+        with pytest.raises(StorageError):
+            people_db.query("person").limit(-1)
+
+    def test_distinct(self, people_db):
+        cities = people_db.query("person").project("city").distinct().scalars("city")
+        assert sorted(cities) == ["dallas", "paris", "tsukuba"]
+
+    def test_first_and_none(self, people_db):
+        assert people_db.query("person").where(col("age") > 100).first() is None
+        assert people_db.query("person").order_by("id").first()["id"] == "a"
+
+
+class TestJoins:
+    def test_inner_join(self, people_db):
+        out = (
+            people_db.query("visit")
+            .join(people_db.query("person").rename(person_id="id"),
+                  on=[("person_id", "person_id")])
+            .execute()
+        )
+        assert len(out) == 3
+        assert all("city" in row for row in out)
+
+    def test_left_join_fills_none(self, people_db):
+        out = (
+            people_db.query("person")
+            .rename(person_id="id")
+            .join(people_db.query("visit"), on=[("person_id", "person_id")],
+                  how="left")
+            .execute()
+        )
+        unmatched = [r for r in out if r["place"] is None]
+        assert {r["person_id"] for r in unmatched} == {"c", "d"}
+
+    def test_join_column_collision_detected(self, people_db):
+        q1 = Query.from_rows([{"k": 1, "x": "a"}])
+        q2 = Query.from_rows([{"k": 1, "x": "b"}])
+        with pytest.raises(StorageError):
+            q1.join(q2, on=[("k", "k")]).execute()
+
+    def test_prefix_disambiguates(self, people_db):
+        out = (
+            people_db.query("visit").prefix("v_")
+            .join(people_db.query("person").prefix("p_"), on=[("v_person_id", "p_id")])
+            .execute()
+        )
+        assert len(out) == 3
+
+    def test_bad_join_type(self, people_db):
+        with pytest.raises(StorageError):
+            people_db.query("person").join(people_db.query("visit"), on=[("id", "person_id")], how="outer")
+
+    def test_empty_on_rejected(self, people_db):
+        with pytest.raises(StorageError):
+            people_db.query("person").join(people_db.query("visit"), on=[])
+
+
+class TestAggregation:
+    def test_group_count(self, people_db):
+        out = (
+            people_db.query("person").group_by("city")
+            .aggregate(n=("count", None)).order_by("city").execute()
+        )
+        assert [(r["city"], r["n"]) for r in out] == [
+            ("dallas", 1), ("paris", 1), ("tsukuba", 2),
+        ]
+
+    def test_group_stats(self, people_db):
+        out = (
+            people_db.query("person").group_by("city")
+            .aggregate(
+                oldest=("max", "age"), youngest=("min", "age"),
+                mean=("avg", "age"), total=("sum", "age"),
+            )
+            .order_by("city").execute()
+        )
+        tsukuba = next(r for r in out if r["city"] == "tsukuba")
+        assert tsukuba == {
+            "city": "tsukuba", "oldest": 35, "youngest": 30,
+            "mean": 32.5, "total": 65,
+        }
+
+    def test_collect_and_first(self, people_db):
+        out = (
+            people_db.query("person").group_by("city")
+            .aggregate(ids=("collect", "id"), any_id=("first", "id"))
+            .order_by("city").execute()
+        )
+        tsukuba = next(r for r in out if r["city"] == "tsukuba")
+        assert sorted(tsukuba["ids"]) == ["a", "c"]
+        assert tsukuba["any_id"] in ("a", "c")
+
+    def test_unknown_aggregate(self, people_db):
+        with pytest.raises(StorageError):
+            people_db.query("person").group_by("city").aggregate(x=("median", "age"))
+
+    def test_count_needs_no_column_others_do(self, people_db):
+        with pytest.raises(StorageError):
+            people_db.query("person").group_by("city").aggregate(x=("sum", None))
+
+    def test_empty_group_on_empty_table(self, db):
+        db.create_table(TableSchema(
+            "e", [Column("id", ColumnType.INT)], primary_key=("id",),
+        ))
+        out = db.query("e").group_by("id").aggregate(n=("count", None)).execute()
+        assert out == []

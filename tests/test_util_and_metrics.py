@@ -1,0 +1,117 @@
+"""Utility and metrics helpers."""
+
+import pytest
+
+from repro.metrics import Collector, format_table
+from repro.util import IdFactory, clamp, derive_seed, make_rng, slugify, word_wrap
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_derive_seed_varies_with_labels(self):
+        seeds = {derive_seed(7), derive_seed(7, "a"), derive_seed(7, "b"),
+                 derive_seed(8, "a")}
+        assert len(seeds) == 4
+
+    def test_make_rng_streams_independent(self):
+        a = make_rng(1, "x")
+        b = make_rng(1, "y")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_make_rng_reproducible(self):
+        assert make_rng(1, "x").random() == make_rng(1, "x").random()
+
+
+class TestIds:
+    def test_sequence_and_padding(self):
+        factory = IdFactory("t", width=3)
+        assert [factory.next() for _ in range(3)] == ["t000", "t001", "t002"]
+
+    def test_peek_does_not_advance(self):
+        factory = IdFactory("t")
+        factory.next()
+        assert factory.peek_count() == 1
+        assert factory.next() == "t00001"
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            IdFactory("t", width=0)
+
+
+class TestText:
+    def test_slugify(self):
+        assert slugify("Hello, World! 42") == "hello-world-42"
+        assert slugify("---") == ""
+
+    def test_clamp(self):
+        assert clamp(5, 0, 1) == 1
+        assert clamp(-5, 0, 1) == 0
+        assert clamp(0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            clamp(1, 2, 0)
+
+    def test_word_wrap(self):
+        lines = word_wrap("aa bb cc dd", width=5)
+        assert lines == ["aa bb", "cc dd"]
+
+    def test_word_wrap_long_word_gets_own_line(self):
+        assert word_wrap("tiny enormousword x", width=6) == [
+            "tiny", "enormousword", "x",
+        ]
+
+    def test_word_wrap_width_validated(self):
+        with pytest.raises(ValueError):
+            word_wrap("x", width=0)
+
+
+class TestCollector:
+    def test_counters(self):
+        collector = Collector()
+        collector.count("tasks")
+        collector.count("tasks", 2)
+        assert collector.counters["tasks"] == 3
+
+    def test_timers(self):
+        collector = Collector()
+        with collector.timer("work"):
+            pass
+        with collector.timer("work"):
+            pass
+        assert len(collector.timers["work"]) == 2
+        assert collector.timer_total("work") >= 0
+        assert collector.timer_mean("missing") == 0.0
+
+    def test_series(self):
+        collector = Collector()
+        collector.record("q", 0.5)
+        collector.record("q", 1.0)
+        assert collector.series_mean("q") == 0.75
+
+    def test_summary_shape(self):
+        collector = Collector()
+        collector.count("n")
+        with collector.timer("t"):
+            pass
+        collector.record("s", 2.0)
+        summary = collector.summary()
+        assert summary["n"] == 1
+        assert "t_total_s" in summary and "s_mean" in summary
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(("name", "value"), [("a", 1.23456), ("bb", 7)],
+                             float_digits=2)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in table and "7" in table
+
+    def test_title_underlined(self):
+        table = format_table(("x",), [(1,)], title="T")
+        assert table.splitlines()[0] == "T"
+        assert table.splitlines()[1] == "="
+
+    def test_bools_rendered_as_words(self):
+        assert "yes" in format_table(("x",), [(True,)])
