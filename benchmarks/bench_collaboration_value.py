@@ -12,7 +12,7 @@ affinity-aware (greedy/local) > skill-only > random > individual.
 
 import statistics
 
-from repro.core.affinity import AffinityMatrix, affinity_from_factors
+from repro.core.affinity import affinity_from_factors
 from repro.core.assignment import (
     AssignmentProblem,
     GreedyAssigner,

@@ -9,7 +9,9 @@ from repro.core import TeamConstraints
 from repro.forms import render_worker_page
 from repro.metrics import format_table
 
-N_WORKERS = 2000
+from fastmode import pick
+
+N_WORKERS = pick(2000, 100)
 
 SOURCE = """
     open rate(item: text, score: int) key (item) asking "Rate {item}".

@@ -12,7 +12,9 @@ from repro.core.tasks import TaskKind, TaskPool, TaskStatus
 from repro.metrics import format_table
 from repro.storage import Database
 
-N_TASKS = 60_000
+from fastmode import pick
+
+N_TASKS = pick(60_000, 2_000)
 N_WORKERS = 200
 
 

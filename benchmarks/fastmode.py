@@ -1,0 +1,16 @@
+"""Fast-mode switch for the CI bench-smoke job.
+
+Set ``BENCH_FAST=1`` to shrink the heavy benchmark sizes so every bench
+runs in a few seconds; the goal of the smoke run is catching import and
+runtime rot, not producing meaningful numbers.  Perf assertions that need
+full-size data are skipped in fast mode.
+"""
+
+import os
+
+FAST = os.environ.get("BENCH_FAST", "") not in ("", "0")
+
+
+def pick(full, fast):
+    """``full`` normally, ``fast`` under ``BENCH_FAST=1``."""
+    return fast if FAST else full

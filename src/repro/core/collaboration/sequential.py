@@ -96,7 +96,7 @@ class SequentialScheme(CollaborationScheme):
             project_id=root.project_id,
             kind=TaskKind.REVIEW,
             instruction=(
-                f"Check and improve the previous contribution for: "
+                "Check and improve the previous contribution for: "
                 f"{root.instruction}"
             ),
             assignee=chain[next_position],

@@ -249,13 +249,15 @@ class Crowd4U:
             options=options,
         )
         processor = CyLogProcessor(cylog_source)
-        for predicate, rows in self.workers.fact_rows().items():
-            processor.add_facts(predicate, rows)
         processor.add_demand_listener(
             lambda requests, pid=project.id: self._materialise_requests(pid, requests)
         )
         self._processors[project.id] = processor
-        processor.run()
+        # Inject the whole worker fact base as one batch: the batch exit
+        # performs the single evaluation + demand refresh for the project.
+        with processor.batch():
+            for predicate, rows in self.workers.fact_rows().items():
+                processor.add_facts(predicate, rows)
         self.events.publish(
             "project.registered", self.now, project_id=project.id, name=name
         )

@@ -11,7 +11,7 @@ by the team" (§2.3) — hence results carry the team id.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.errors import PlatformError

@@ -11,9 +11,18 @@ sequential / hybrid collaboration dataflows.
 This package implements the full pipeline:
 
 ``lexer`` → ``parser`` → ``safety`` (range restriction, task-safety,
-stratification) → ``engine`` (naive and semi-naive bottom-up evaluation
-with negation and aggregates) → ``processor`` (incremental re-evaluation
-plus open-predicate task demand).
+stratification, cost-based join planning) → ``indexes`` (incrementally
+maintained multi-key hash indexes) → ``engine`` (naive and semi-naive
+bottom-up evaluation with negation and aggregates, consuming the compiled
+join plans) → ``processor`` (incremental re-evaluation plus open-predicate
+task demand, with batched fact arrival via ``CyLogProcessor.batch``).
+
+Engine observability: every :class:`SemiNaiveEngine` (and
+:class:`CyLogProcessor` via its ``stats`` property) exposes an
+:class:`EngineStats` record — rules fired, tuples joined, index hits, full
+scans, semi-naive rounds and the join plans chosen — which plugs into a
+:class:`repro.metrics.Collector` through ``EngineStats.to_collector`` and is
+reported by ``benchmarks/bench_cylog_engine.py``.
 
 Language summary
 ----------------
@@ -53,7 +62,12 @@ from repro.cylog.ast import (
     Rule,
     Var,
 )
-from repro.cylog.engine import EvaluationResult, SemiNaiveEngine, naive_evaluate
+from repro.cylog.engine import (
+    EngineStats,
+    EvaluationResult,
+    SemiNaiveEngine,
+    naive_evaluate,
+)
 from repro.cylog.errors import (
     CyLogParseError,
     CyLogSafetyError,
@@ -62,8 +76,9 @@ from repro.cylog.errors import (
 )
 from repro.cylog.open_predicates import TaskRequest
 from repro.cylog.parser import parse_program
-from repro.cylog.pretty import program_to_source
+from repro.cylog.pretty import explain_program, program_to_source
 from repro.cylog.processor import CyLogProcessor
+from repro.cylog.safety import JoinPlan, PlanStep, compile_program
 
 __all__ = [
     "AggregateTerm",
@@ -74,16 +89,21 @@ __all__ = [
     "CyLogProcessor",
     "CyLogSafetyError",
     "CyLogTypeError",
+    "EngineStats",
     "EvaluationResult",
     "Fact",
+    "JoinPlan",
     "Negation",
     "OpenDecl",
+    "PlanStep",
     "Program",
     "Rule",
     "SemiNaiveEngine",
     "StratificationError",
     "TaskRequest",
     "Var",
+    "compile_program",
+    "explain_program",
     "naive_evaluate",
     "parse_program",
     "program_to_source",

@@ -264,9 +264,11 @@ class OpenDecl:
 
     def render_instruction(self, key_values: dict[str, object]) -> str:
         """Fill the ``asking`` template (or a generic default) with values."""
+        key_part = (
+            " ({})".format(", ".join("{%s}" % k for k in self.key)) if self.key else ""
+        )
         template = self.asking or (
-            f"Please provide {', '.join(self.fill_columns)} for {self.name}"
-            + (" ({})".format(", ".join("{%s}" % k for k in self.key)) if self.key else "")
+            f"Please provide {', '.join(self.fill_columns)} for {self.name}" + key_part
         )
         rendered = template
         for column, value in key_values.items():

@@ -2,16 +2,23 @@
 
 Both engines implement the same semantics — stratified Datalog with
 negation, aggregation, comparisons and assignments — over tuple stores with
-lazily built hash indexes.  :func:`naive_evaluate` exists as an oracle for
-differential testing and as the baseline for the E10 bench;
-:class:`SemiNaiveEngine` is what the CyLog processor uses, including
-incremental continuation for monotone programs when new (human-produced)
-facts arrive.
+persistent, incrementally maintained hash indexes (see
+:mod:`repro.cylog.indexes`).  Evaluation consumes the per-rule
+:class:`~repro.cylog.safety.JoinPlan` emitted by the compiler: body atoms
+are cost-ordered and each atom's index key is fixed at plan time, and
+recursive rules use *delta-first* rewrites so each semi-naive round drives
+the join from the (small) delta instead of re-scanning the leading atoms.
+
+:func:`naive_evaluate` exists as an oracle for differential testing and as
+the baseline for the E10 bench; :class:`SemiNaiveEngine` is what the CyLog
+processor uses, including incremental continuation for monotone programs
+when new (human-produced) facts arrive.  Both report work counters through
+:class:`EngineStats`, which plugs into :class:`repro.metrics.Collector`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.cylog.ast import (
@@ -26,30 +33,84 @@ from repro.cylog.ast import (
 )
 from repro.cylog.builtins import apply_comparison, eval_expr
 from repro.cylog.errors import CyLogTypeError
-from repro.cylog.safety import CompiledProgram, CompiledRule, compile_program
+from repro.cylog.indexes import TupleIndexSet
+from repro.cylog.pretty import explain_rule
+from repro.cylog.safety import (
+    PLANNERS,
+    CompiledProgram,
+    CompiledRule,
+    JoinPlan,
+    compile_program,
+)
 
 Tuple_ = tuple[Any, ...]
 Bindings = dict[str, Any]
 
 
+@dataclass
+class EngineStats:
+    """Work counters for one engine instance (or one naive evaluation).
+
+    ``index_hits`` counts indexed lookups, ``full_scans`` unindexed relation
+    scans, and ``tuples_joined`` the candidate rows those probes produced —
+    the ratio is the direct measure of how much the planner's index choices
+    help.  Feed the counters into a metrics collector with
+    :meth:`to_collector` (once per collector — the values are cumulative).
+    """
+
+    full_runs: int = 0
+    incremental_runs: int = 0
+    rounds: int = 0
+    rules_fired: int = 0
+    tuples_derived: int = 0
+    tuples_joined: int = 0
+    index_hits: int = 0
+    full_scans: int = 0
+    plans: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "full_runs": self.full_runs,
+            "incremental_runs": self.incremental_runs,
+            "rounds": self.rounds,
+            "rules_fired": self.rules_fired,
+            "tuples_derived": self.tuples_derived,
+            "tuples_joined": self.tuples_joined,
+            "index_hits": self.index_hits,
+            "full_scans": self.full_scans,
+        }
+
+    def to_collector(self, collector, prefix: str = "cylog_engine") -> None:
+        """Add every counter to a :class:`repro.metrics.Collector`."""
+        for name, value in self.as_dict().items():
+            collector.count(f"{prefix}.{name}", value)
+
+
 class Relation:
-    """A set of same-arity tuples with lazily maintained hash indexes."""
+    """A set of same-arity tuples with incrementally maintained indexes.
+
+    Index keys (tuples of term positions) are registered up front from the
+    compiled join plans via :meth:`ensure_index`; every :meth:`add` then
+    updates all registered indexes, so lookups never rebuild.  Unregistered
+    keys still work — they are built lazily on first probe and maintained
+    from then on.
+    """
 
     __slots__ = ("arity", "_tuples", "_indexes")
 
-    def __init__(self, arity: int) -> None:
+    def __init__(self, arity: int, index_specs: Iterable[tuple[int, ...]] = ()) -> None:
         self.arity = arity
         self._tuples: set[Tuple_] = set()
-        self._indexes: dict[tuple[int, ...], dict[Tuple_, list[Tuple_]]] = {}
+        self._indexes = TupleIndexSet()
+        for positions in index_specs:
+            self._indexes.ensure(positions, ())
 
     def add(self, row: Tuple_) -> bool:
         """Insert ``row``; returns True when it was new."""
         if row in self._tuples:
             return False
         self._tuples.add(row)
-        for positions, index in self._indexes.items():
-            key = tuple(row[p] for p in positions)
-            index.setdefault(key, []).append(row)
+        self._indexes.insert(row)
         return True
 
     def add_many(self, rows: Iterable[Tuple_]) -> set[Tuple_]:
@@ -60,19 +121,23 @@ class Relation:
                 added.add(row)
         return added
 
+    def ensure_index(self, positions: tuple[int, ...]) -> None:
+        """Register (and backfill) an index on ``positions``."""
+        self._indexes.ensure(positions, self._tuples)
+
+    def lookup(self, positions: tuple[int, ...], key: Tuple_):
+        """Rows whose ``positions`` project onto ``key`` (live set; do not
+        mutate).  ``positions == ()`` returns every row."""
+        if not positions:
+            return self._tuples
+        if not self._indexes.has(positions):
+            self._indexes.ensure(positions, self._tuples)
+        return self._indexes.rows(positions, key)
+
     def match(self, pattern: Sequence[Any]) -> Iterable[Tuple_]:
         """Rows matching ``pattern`` (``None`` entries are wildcards)."""
         positions = tuple(i for i, v in enumerate(pattern) if v is not None)
-        if not positions:
-            return self._tuples
-        index = self._indexes.get(positions)
-        if index is None:
-            index = {}
-            for row in self._tuples:
-                key = tuple(row[p] for p in positions)
-                index.setdefault(key, []).append(row)
-            self._indexes[positions] = index
-        return index.get(tuple(pattern[p] for p in positions), ())
+        return self.lookup(positions, tuple(pattern[p] for p in positions))
 
     def __contains__(self, row: Tuple_) -> bool:
         return row in self._tuples
@@ -88,15 +153,23 @@ class Relation:
 
 
 class RelationStore:
-    """Predicate name -> :class:`Relation`, creating on first use."""
+    """Predicate name -> :class:`Relation`, creating on first use.
 
-    def __init__(self) -> None:
+    ``index_specs`` (predicate -> set of index-key positions, from
+    :meth:`CompiledProgram.index_specs`) are applied to every relation as it
+    is created, so plan-chosen indexes exist before the first probe.
+    """
+
+    def __init__(
+        self, index_specs: Mapping[str, Iterable[tuple[int, ...]]] | None = None
+    ) -> None:
         self._relations: dict[str, Relation] = {}
+        self._index_specs = dict(index_specs or {})
 
     def get(self, predicate: str, arity: int) -> Relation:
         relation = self._relations.get(predicate)
         if relation is None:
-            relation = Relation(arity)
+            relation = Relation(arity, self._index_specs.get(predicate, ()))
             self._relations[predicate] = relation
         elif relation.arity != arity:
             raise CyLogTypeError(
@@ -137,23 +210,11 @@ class EvaluationResult:
 # ---------------------------------------------------------------------------
 
 
-def _atom_pattern(atom: Atom, bindings: Bindings) -> list[Any]:
-    pattern: list[Any] = []
-    for term in atom.terms:
-        if isinstance(term, Const):
-            pattern.append(term.value)
-        elif term.is_anonymous or term.name not in bindings:
-            pattern.append(None)
-        else:
-            pattern.append(bindings[term.name])
-    return pattern
-
-
 def _bind_atom(atom: Atom, row: Tuple_, bindings: Bindings) -> Bindings | None:
     """Extend ``bindings`` with the atom's fresh variables from ``row``.
 
     Returns ``None`` when a repeated variable disagrees; constants and bound
-    variables were already enforced by the index pattern.
+    variables were already enforced by the index key.
     """
     extended: Bindings | None = None
     for position, term in enumerate(atom.terms):
@@ -173,25 +234,43 @@ def _bind_atom(atom: Atom, row: Tuple_, bindings: Bindings) -> Bindings | None:
     return extended if extended is not None else dict(bindings)
 
 
+def _index_key(atom: Atom, positions: tuple[int, ...], bindings: Bindings) -> Tuple_:
+    """The concrete lookup key for the plan-chosen index positions."""
+    key: list[Any] = []
+    for position in positions:
+        term = atom.terms[position]
+        if isinstance(term, Const):
+            key.append(term.value)
+        else:
+            key.append(bindings[term.name])
+    return tuple(key)
+
+
 def solutions(
-    plan: Sequence,
+    plan: JoinPlan | Sequence,
     store: RelationStore,
     initial: Bindings | None = None,
     delta_position: int | None = None,
     delta_relation: Relation | None = None,
+    stats: EngineStats | None = None,
 ) -> Iterator[Bindings]:
-    """Yield every binding satisfying ``plan`` (ordered body literals).
+    """Yield every binding satisfying ``plan``.
 
-    ``delta_position``/``delta_relation`` implement the semi-naive rewrite:
-    the positive atom at that plan position reads from the delta relation
-    instead of the full store.
+    ``plan`` is a compiled :class:`JoinPlan` (or a plain ordered literal
+    sequence, wrapped on the fly).  ``delta_position``/``delta_relation``
+    implement the semi-naive rewrite: the positive atom at that plan
+    position reads from the delta relation instead of the full store.
     """
+    if not isinstance(plan, JoinPlan):
+        plan = JoinPlan.from_ordered(plan)
+    steps = plan.steps
 
     def recurse(position: int, bindings: Bindings) -> Iterator[Bindings]:
-        if position == len(plan):
+        if position == len(steps):
             yield bindings
             return
-        literal = plan[position]
+        step = steps[position]
+        literal = step.literal
         if isinstance(literal, Atom):
             if position == delta_position and delta_relation is not None:
                 relation: Relation | None = delta_relation
@@ -199,8 +278,17 @@ def solutions(
                 relation = store.maybe(literal.predicate)
             if relation is None or relation.arity != literal.arity:
                 return  # no facts yet for this predicate
-            pattern = _atom_pattern(literal, bindings)
-            for row in relation.match(pattern):
+            rows = relation.lookup(
+                step.index_positions,
+                _index_key(literal, step.index_positions, bindings),
+            )
+            if stats is not None:
+                if step.index_positions:
+                    stats.index_hits += 1
+                else:
+                    stats.full_scans += 1
+                stats.tuples_joined += len(rows)
+            for row in rows:
                 extended = _bind_atom(literal, row, bindings)
                 if extended is not None:
                     yield from recurse(position + 1, extended)
@@ -208,8 +296,16 @@ def solutions(
         if isinstance(literal, Negation):
             relation = store.maybe(literal.atom.predicate)
             if relation is not None and relation.arity == literal.atom.arity:
-                pattern = _atom_pattern(literal.atom, bindings)
-                for _ in relation.match(pattern):
+                rows = relation.lookup(
+                    step.index_positions,
+                    _index_key(literal.atom, step.index_positions, bindings),
+                )
+                if stats is not None:
+                    if step.index_positions:
+                        stats.index_hits += 1
+                    else:
+                        stats.full_scans += 1
+                if rows:
                     return  # a match defeats the negation
             yield from recurse(position + 1, bindings)
             return
@@ -259,14 +355,16 @@ _AGG_FUNCS = {
 }
 
 
-def _evaluate_aggregate_rule(rule: CompiledRule, store: RelationStore) -> set[Tuple_]:
+def _evaluate_aggregate_rule(
+    rule: CompiledRule, store: RelationStore, stats: EngineStats | None = None
+) -> set[Tuple_]:
     """Group body solutions and fold aggregates (set semantics: the
     aggregated variable is collected as a *set* per group)."""
     head = rule.rule.head
     groups: dict[Tuple_, dict[str, set]] = {}
     aggregates = head.aggregate_terms()
     group_vars = head.group_by_vars()
-    for bindings in solutions(rule.plan, store):
+    for bindings in solutions(rule.join_plan, store, stats=stats):
         key = tuple(bindings[v.name] for v in group_vars)
         per_agg = groups.setdefault(key, {a.var.name: set() for a in aggregates})
         for aggregate in aggregates:
@@ -327,6 +425,7 @@ def _load_base_facts(
 def naive_evaluate(
     program: Program | CompiledProgram,
     extra_facts: Mapping[str, Iterable[Tuple_]] | None = None,
+    stats: EngineStats | None = None,
 ) -> EvaluationResult:
     """Reference naive evaluation: recompute every rule until fixpoint.
 
@@ -336,7 +435,7 @@ def naive_evaluate(
     compiled = (
         program if isinstance(program, CompiledProgram) else compile_program(program)
     )
-    store = RelationStore()
+    store = RelationStore(compiled.index_specs())
     _load_base_facts(compiled, store, extra_facts)
     for stratum in range(compiled.strata_count):
         stratum_rules = [r for r in compiled.rules if r.stratum == stratum]
@@ -344,19 +443,23 @@ def naive_evaluate(
         plain_rules = [r for r in stratum_rules if not r.rule.head.has_aggregates]
         for rule in aggregate_rules:
             relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
-            for row in _evaluate_aggregate_rule(rule, store):
+            for row in _evaluate_aggregate_rule(rule, store, stats):
                 relation.add(row)
         changed = True
         while changed:
             changed = False
             for rule in plain_rules:
                 relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
+                if stats is not None:
+                    stats.rules_fired += 1
                 derived = [
                     _head_tuple(rule, bindings)
-                    for bindings in solutions(rule.plan, store)
+                    for bindings in solutions(rule.join_plan, store, stats=stats)
                 ]
                 for row in derived:
                     if relation.add(row):
+                        if stats is not None:
+                            stats.tuples_derived += 1
                         changed = True
     return EvaluationResult(store.snapshot())
 
@@ -367,20 +470,36 @@ class SemiNaiveEngine:
     For monotone programs (no negation, no aggregates) newly added facts are
     propagated by continuing the semi-naive iteration from the new deltas;
     otherwise the engine re-runs from base facts, which is always sound.
+    Before each full run the program is re-planned against the live base
+    fact counts (``planner="cost"``); ``planner="legacy"`` keeps the seed
+    bound-count ordering with in-place delta substitution as a baseline.
     """
 
-    def __init__(self, program: Program | CompiledProgram) -> None:
-        self.compiled = (
-            program
-            if isinstance(program, CompiledProgram)
-            else compile_program(program)
-        )
+    def __init__(
+        self, program: Program | CompiledProgram, planner: str | None = None
+    ) -> None:
+        if isinstance(program, CompiledProgram):
+            self.planner = planner or program.planner
+            if self.planner not in PLANNERS:
+                raise ValueError(
+                    f"unknown planner {self.planner!r}; expected one of {PLANNERS}"
+                )
+            if self.planner == program.planner:
+                self.compiled = program
+            else:  # recompile so the requested planner actually takes effect
+                self.compiled = compile_program(program.program, planner=self.planner)
+        else:
+            self.planner = planner or "cost"
+            self.compiled = compile_program(program, planner=self.planner)
+        self._active = self.compiled
+        self._planned_cardinalities: dict[str, float] | None = None
         self._base_facts: dict[str, set[Tuple_]] = {}
         for fact in self.compiled.program.facts:
             row = tuple(t.value for t in fact.atom.terms)  # type: ignore[union-attr]
             self._base_facts.setdefault(fact.atom.predicate, set()).add(row)
         self._store: RelationStore | None = None
         self._pending: dict[str, set[Tuple_]] = {}
+        self.stats = EngineStats()
         self.runs = 0  # full evaluations performed (observability for benches)
 
     # -- fact management ---------------------------------------------------
@@ -406,14 +525,18 @@ class SemiNaiveEngine:
 
     # -- evaluation -----------------------------------------------------------
     def run(self) -> EvaluationResult:
-        """Evaluate to fixpoint, incrementally when possible."""
-        if (
-            self._store is not None
-            and self.compiled.is_monotone
-        ):
-            if self._pending:
+        """Evaluate to fixpoint, incrementally when possible.
+
+        With no pending facts the previous fixpoint is returned as-is;
+        pending facts continue the semi-naive iteration for monotone
+        programs and trigger a full re-run otherwise (always sound).
+        """
+        if self._store is not None:
+            if not self._pending:
+                return EvaluationResult(self._store.snapshot())
+            if self.compiled.is_monotone:
                 self._continue_monotone()
-            return EvaluationResult(self._store.snapshot())
+                return EvaluationResult(self._store.snapshot())
         self._full_run()
         return EvaluationResult(self._store.snapshot())  # type: ignore[union-attr]
 
@@ -430,45 +553,76 @@ class SemiNaiveEngine:
             self.run()
         return self._store  # type: ignore[return-value]
 
+    def _replan(self) -> None:
+        """Recompile join plans against the live base-fact cardinalities.
+
+        Skipped when the cardinalities are unchanged since the last full
+        run (recompilation and plan pretty-printing are then pure waste).
+        """
+        if self.planner != "cost":
+            if not self.stats.plans:
+                self._record_plans()
+            return
+        cardinalities = {
+            predicate: float(len(rows))
+            for predicate, rows in self._base_facts.items()
+        }
+        if cardinalities == self._planned_cardinalities:
+            return
+        self._planned_cardinalities = cardinalities
+        self._active = compile_program(
+            self.compiled.program, cardinalities=cardinalities, planner=self.planner
+        )
+        self._record_plans()
+
+    def _record_plans(self) -> None:
+        self.stats.plans = {
+            f"{rule.rule.head.predicate}#{index}": explain_rule(rule)
+            for index, rule in enumerate(self._active.rules)
+        }
+
     def _full_run(self) -> None:
         self.runs += 1
+        self.stats.full_runs += 1
         self._pending.clear()
-        store = RelationStore()
+        self._replan()
+        store = RelationStore(self._active.index_specs())
         _load_base_facts(
-            self.compiled,
+            self._active,
             store,
             {pred: rows for pred, rows in self._base_facts.items()},
         )
-        for stratum in range(self.compiled.strata_count):
+        for stratum in range(self._active.strata_count):
             self._run_stratum(store, stratum)
         self._store = store
 
     def _run_stratum(self, store: RelationStore, stratum: int) -> None:
-        stratum_rules = [r for r in self.compiled.rules if r.stratum == stratum]
+        stratum_rules = [r for r in self._active.rules if r.stratum == stratum]
         if not stratum_rules:
             return
         for rule in stratum_rules:
             if rule.rule.head.has_aggregates:
                 relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
-                for row in _evaluate_aggregate_rule(rule, store):
-                    relation.add(row)
+                self.stats.rules_fired += 1
+                for row in _evaluate_aggregate_rule(rule, store, self.stats):
+                    if relation.add(row):
+                        self.stats.tuples_derived += 1
         plain_rules = [r for r in stratum_rules if not r.rule.head.has_aggregates]
-        recursive_preds = {
-            r.rule.head.predicate
-            for r in plain_rules
-        }
+        recursive_preds = {r.rule.head.predicate for r in plain_rules}
         # Round 0: full evaluation of each rule.  Solutions are materialised
         # before insertion because recursive rules scan the very relation
         # they derive into.
         delta: dict[str, set[Tuple_]] = {}
         for rule in plain_rules:
             relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
+            self.stats.rules_fired += 1
             rows = [
                 _head_tuple(rule, bindings)
-                for bindings in solutions(rule.plan, store)
+                for bindings in solutions(rule.join_plan, store, stats=self.stats)
             ]
             for row in rows:
                 if relation.add(row):
+                    self.stats.tuples_derived += 1
                     delta.setdefault(rule.rule.head.predicate, set()).add(row)
         # Semi-naive rounds.
         self._semi_naive_rounds(store, plain_rules, recursive_preds, delta)
@@ -481,6 +635,7 @@ class SemiNaiveEngine:
         delta: dict[str, set[Tuple_]],
     ) -> None:
         while delta:
+            self.stats.rounds += 1
             delta_relations = {
                 predicate: _relation_from(rows, store.maybe(predicate))
                 for predicate, rows in delta.items()
@@ -489,7 +644,8 @@ class SemiNaiveEngine:
             for rule in plain_rules:
                 head_pred = rule.rule.head.predicate
                 relation = store.get(head_pred, rule.rule.head.arity)
-                for position, literal in enumerate(rule.plan):
+                for position, step in enumerate(rule.join_plan.steps):
+                    literal = step.literal
                     if not isinstance(literal, Atom):
                         continue
                     if literal.predicate not in delta_relations:
@@ -497,24 +653,42 @@ class SemiNaiveEngine:
                     if literal.predicate not in recursive_preds:
                         continue
                     delta_rel = delta_relations[literal.predicate]
-                    rows = [
-                        _head_tuple(rule, bindings)
-                        for bindings in solutions(
-                            rule.plan,
+                    delta_plan = rule.delta_plans.get(position)
+                    self.stats.rules_fired += 1
+                    if delta_plan is not None:
+                        # Delta-first rewrite: the delta atom leads the join.
+                        bindings_iter = solutions(
+                            delta_plan,
+                            store,
+                            delta_position=0,
+                            delta_relation=delta_rel,
+                            stats=self.stats,
+                        )
+                    else:
+                        bindings_iter = solutions(
+                            rule.join_plan,
                             store,
                             delta_position=position,
                             delta_relation=delta_rel,
+                            stats=self.stats,
                         )
-                    ]
+                    rows = [_head_tuple(rule, b) for b in bindings_iter]
                     for row in rows:
                         if relation.add(row):
+                            self.stats.tuples_derived += 1
                             next_delta.setdefault(head_pred, set()).add(row)
             delta = next_delta
 
     def _continue_monotone(self) -> None:
-        """Propagate pending base facts without recomputing from scratch."""
+        """Propagate pending base facts without recomputing from scratch.
+
+        All pending facts (a whole burst of completed tasks) enter the store
+        first, then a single semi-naive continuation runs from the combined
+        delta — one incremental evaluation per batch, not one per fact.
+        """
         store = self._store
         assert store is not None
+        self.stats.incremental_runs += 1
         delta: dict[str, set[Tuple_]] = {}
         for predicate, rows in self._pending.items():
             if not rows:
@@ -527,9 +701,8 @@ class SemiNaiveEngine:
         self._pending.clear()
         if not delta:
             return
-        plain_rules = [
-            r for r in self.compiled.rules if not r.rule.head.has_aggregates
-        ]
+        rules = self._active.rules
+        plain_rules = [r for r in rules if not r.rule.head.has_aggregates]
         # In the monotone continuation every predicate behaves as recursive:
         # any rule touching a delta predicate must refire.
         all_preds = set(delta)

@@ -8,7 +8,9 @@ from repro.errors import CyLogError
 class CyLogParseError(CyLogError):
     """Lexical or syntactic error in a CyLog program."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(
+        self, message: str, line: int | None = None, column: int | None = None
+    ):
         location = f" at line {line}, column {column}" if line is not None else ""
         super().__init__(f"{message}{location}")
         self.line = line

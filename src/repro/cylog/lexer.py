@@ -57,9 +57,7 @@ def tokenize(source: str) -> list[Token]:
                     break
                 if current == "\\":
                     if position + 1 >= length:
-                        raise CyLogParseError(
-                            "dangling escape in string", line, column
-                        )
+                        raise CyLogParseError("dangling escape in string", line, column)
                     escape = source[position + 1]
                     if escape not in _ESCAPES:
                         raise CyLogParseError(

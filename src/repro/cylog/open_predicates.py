@@ -117,31 +117,30 @@ def compute_demands(
     """Compute the demand set of every open predicate occurrence.
 
     For each rule and each open atom in it, the seed plan (rest of the body,
-    evaluated best-effort) yields candidate bindings; projecting them onto
-    the atom's key positions gives the task keys the rule *needs*.  Keys
-    already answered (present among the open predicate's facts) are dropped.
+    cost-ordered and evaluated best-effort) yields candidate bindings;
+    projecting them onto the atom's key positions gives the task keys the
+    rule *needs*.  Keys already answered (present among the open
+    predicate's facts) are dropped via the predicate's persistent key index
+    rather than by materialising the full answered set on every refresh.
     """
     demands: set[TaskRequest] = set()
     for rule in compiled.rules:
         for seed in rule.seed_plans:
             decl = seed.decl
-            answered = _answered_keys(decl, store)
-            for bindings in solutions(seed.plan, store):
+            for bindings in solutions(seed.join_plan, store):
                 key = _project_key(seed.open_atom, decl, bindings)
-                if key is None or key in answered:
+                if key is None or _is_answered(decl, store, key):
                     continue
-                demands.add(
-                    TaskRequest(predicate=decl.name, key_values=key, decl=decl)
-                )
+                demands.add(TaskRequest(predicate=decl.name, key_values=key, decl=decl))
     return demands
 
 
-def _answered_keys(decl: OpenDecl, store: RelationStore) -> set[Tuple_]:
+def _is_answered(decl: OpenDecl, store: RelationStore, key: Tuple_) -> bool:
+    """True when some fact of the open predicate already covers ``key``."""
     relation = store.maybe(decl.name)
     if relation is None:
-        return set()
-    positions = decl.key_positions
-    return {tuple(row[p] for p in positions) for row in relation}
+        return False
+    return bool(relation.lookup(tuple(decl.key_positions), key))
 
 
 def _project_key(atom, decl: OpenDecl, bindings: Mapping[str, Any]):

@@ -84,7 +84,8 @@ def literal_to_source(literal: BodyLiteral) -> str:
     if isinstance(literal, Negation):
         return f"not {atom_to_source(literal.atom)}"
     if isinstance(literal, Comparison):
-        return f"{expr_to_source(literal.left)} {literal.op} {expr_to_source(literal.right)}"
+        left = expr_to_source(literal.left)
+        return f"{left} {literal.op} {expr_to_source(literal.right)}"
     if isinstance(literal, Assignment):
         return f"{literal.var.name} = {expr_to_source(literal.expr)}"
     raise TypeError(f"not a body literal: {literal!r}")
@@ -109,6 +110,49 @@ def open_decl_to_source(decl: OpenDecl) -> str:
     if decl.choices:
         parts.append(f"choices ({', '.join(const_to_source(c) for c in decl.choices)})")
     return " ".join(parts) + "."
+
+
+# ---------------------------------------------------------------------------
+# Join-plan rendering (duck-typed over safety.JoinPlan to avoid an import
+# cycle: safety imports this module for error messages)
+# ---------------------------------------------------------------------------
+
+
+def plan_step_to_source(step) -> str:
+    """Render one plan step with its access path annotation."""
+    base = literal_to_source(step.literal)
+    if isinstance(step.literal, (Atom, Negation)):
+        if step.index_positions:
+            positions = ",".join(str(p) for p in step.index_positions)
+            return f"{base} [idx({positions})]"
+        return f"{base} [scan]"
+    return base
+
+
+def join_plan_to_source(plan) -> str:
+    """Render a whole join plan as an annotated body."""
+    return ", ".join(plan_step_to_source(step) for step in plan.steps)
+
+
+def explain_rule(compiled_rule) -> str:
+    """Render a compiled rule's plan, including any delta-first rewrites."""
+    lines = [
+        f"{head_to_source(compiled_rule.rule.head)} :- "
+        f"{join_plan_to_source(compiled_rule.join_plan)}."
+        f"  % stratum {compiled_rule.stratum}"
+    ]
+    for position in sorted(compiled_rule.delta_plans):
+        delta_plan = compiled_rule.delta_plans[position]
+        atom = compiled_rule.join_plan.steps[position].literal
+        lines.append(
+            f"  delta[{atom_to_source(atom)}]: {join_plan_to_source(delta_plan)}"
+        )
+    return "\n".join(lines)
+
+
+def explain_program(compiled) -> str:
+    """Render every rule's join plan of a compiled program."""
+    return "\n".join(explain_rule(rule) for rule in compiled.rules)
 
 
 def program_to_source(program: Program) -> str:

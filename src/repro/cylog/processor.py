@@ -23,10 +23,11 @@ frozenset({('s1', 'S1-FR')})
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+import contextlib
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.cylog.ast import Program
-from repro.cylog.engine import EvaluationResult, SemiNaiveEngine
+from repro.cylog.engine import EngineStats, EvaluationResult, SemiNaiveEngine
 from repro.cylog.errors import CyLogTypeError
 from repro.cylog.open_predicates import (
     TaskRequest,
@@ -53,6 +54,7 @@ class CyLogProcessor:
         self._seen_requests: dict[tuple[str, Tuple_], TaskRequest] = {}
         self._listeners: list[DemandListener] = []
         self._dirty = True
+        self._batch_depth = 0
 
     @property
     def program(self) -> Program:
@@ -64,6 +66,28 @@ class CyLogProcessor:
         self._listeners.append(listener)
 
     # -- fact input ------------------------------------------------------------
+    @contextlib.contextmanager
+    def batch(self) -> Iterator["CyLogProcessor"]:
+        """Group a burst of fact arrivals into one incremental continuation.
+
+        Inside the ``with`` block, :meth:`run` only evaluates the engine and
+        defers demand refresh (and listener notification); on clean exit of
+        the outermost batch a single re-evaluation folds the whole burst in.
+        If the block raises, no evaluation or listener notification happens
+        during unwinding — the facts queued so far are folded in by the next
+        explicit :meth:`run`.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._batch_depth -= 1
+            raise
+        else:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self.run()
+
     def add_facts(self, predicate: str, rows: Iterable[Tuple_]) -> int:
         """Add extensional facts (e.g. worker profiles injected by the
         platform); marks the processor dirty for re-evaluation."""
@@ -87,6 +111,28 @@ class CyLogProcessor:
         self._dirty = True
         return fact
 
+    def supply_answers(
+        self, answers: Iterable[tuple[TaskRequest, Mapping[str, Any]]]
+    ) -> list[Tuple_]:
+        """Record a whole burst of worker answers at once.
+
+        Facts are grouped per predicate and queued in one engine call each,
+        so the next :meth:`run` propagates the burst with a single
+        incremental continuation instead of one per answer.
+        """
+        facts: list[Tuple_] = []
+        by_predicate: dict[str, list[Tuple_]] = {}
+        for request, fill_values in answers:
+            fact = request.build_fact(fill_values)
+            by_predicate.setdefault(request.predicate, []).append(fact)
+            self._answered.add((request.predicate, request.key_values))
+            facts.append(fact)
+        for predicate, rows in by_predicate.items():
+            self.engine.add_facts(predicate, rows)
+        if facts:
+            self._dirty = True
+        return facts
+
     def supply_fact(
         self,
         predicate: str,
@@ -106,9 +152,12 @@ class CyLogProcessor:
 
     # -- evaluation & demand ------------------------------------------------------
     def run(self) -> EvaluationResult:
-        """Re-evaluate if dirty; returns the current result snapshot."""
+        """Re-evaluate if dirty; returns the current result snapshot.
+
+        Inside a :meth:`batch` block the demand refresh is deferred to the
+        end of the batch, so a burst of answers triggers one refresh."""
         result = self.engine.run()
-        if self._dirty:
+        if self._dirty and not self._batch_depth:
             self._dirty = False
             new_requests = self._refresh_demands()
             if new_requests:
@@ -164,3 +213,14 @@ class CyLogProcessor:
         self.run()
         store = self.engine.store
         return {name: len(store.maybe(name) or ()) for name in store.predicates()}
+
+    @property
+    def stats(self) -> EngineStats:
+        """Cumulative engine work counters (see :class:`EngineStats`)."""
+        return self.engine.stats
+
+    def explain(self) -> str:
+        """Human-readable join plans of the compiled program."""
+        from repro.cylog.pretty import explain_program
+
+        return explain_program(self.compiled)

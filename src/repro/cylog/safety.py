@@ -21,7 +21,7 @@ stratum by stratum.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.cylog.ast import (
     Assignment,
@@ -40,6 +40,61 @@ from repro.cylog.errors import CyLogSafetyError, StratificationError
 from repro.cylog.pretty import rule_to_source
 
 
+#: Estimated extent of predicates with no facts in the program text (IDB and
+#: open predicates); engines refine this with live fact counts at run time.
+DEFAULT_CARDINALITY = 1000.0
+
+#: Estimated fraction of a relation surviving one bound (equality) term.
+BOUND_SELECTIVITY = 0.1
+
+#: Planner modes: ``cost`` is the cardinality-aware planner with delta-first
+#: rewrites; ``legacy`` reproduces the original bound-count ordering with
+#: in-place delta substitution (kept as a benchmark baseline and as a second
+#: implementation for differential testing).
+PLANNERS = ("cost", "legacy")
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One ordered body literal plus the index key chosen at plan time.
+
+    ``index_positions`` are the term positions that are statically known to
+    be bound (constants, or variables bound by earlier steps) when the step
+    runs; the engine keeps a persistent hash index on exactly these
+    positions.  Empty positions mean a full scan.
+    """
+
+    literal: BodyLiteral
+    index_positions: tuple[int, ...] = ()
+    estimated_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An ordered sequence of :class:`PlanStep` for one rule body."""
+
+    steps: tuple[PlanStep, ...]
+
+    @property
+    def literals(self) -> tuple[BodyLiteral, ...]:
+        return tuple(step.literal for step in self.steps)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(step.estimated_cost for step in self.steps)
+
+    @staticmethod
+    def from_ordered(literals: Iterable[BodyLiteral]) -> "JoinPlan":
+        """Wrap an already-ordered literal sequence, deriving index keys by
+        simulating the binding flow in the given order."""
+        steps: list[PlanStep] = []
+        bound: set[str] = set()
+        for literal in literals:
+            steps.append(_make_step(literal, bound, None))
+            bound |= _literal_binds(literal)
+        return JoinPlan(tuple(steps))
+
+
 @dataclass(frozen=True)
 class SeedPlan:
     """How to compute task demand for one open atom occurrence.
@@ -51,16 +106,35 @@ class SeedPlan:
     open_atom: Atom
     decl: OpenDecl
     plan: tuple[BodyLiteral, ...]
+    join_plan: JoinPlan = field(default=None, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.join_plan is None:
+            object.__setattr__(self, "join_plan", JoinPlan.from_ordered(self.plan))
 
 
 @dataclass(frozen=True)
 class CompiledRule:
-    """A rule with its evaluation order, stratum and open-atom seed plans."""
+    """A rule with its evaluation order, stratum and open-atom seed plans.
+
+    ``plan`` (the ordered literals) is kept for backwards compatibility;
+    ``join_plan`` carries the same order plus per-atom index keys, and
+    ``delta_plans`` maps a plan position holding a positive atom to a
+    rewritten plan that evaluates the semi-naive delta for that atom *first*
+    (the delta is usually tiny, so driving the join from it instead of
+    re-scanning the leading atoms every round is the main speedup).
+    """
 
     rule: Rule
     plan: tuple[BodyLiteral, ...]
     stratum: int
     seed_plans: tuple[SeedPlan, ...]
+    join_plan: JoinPlan = field(default=None, compare=False)  # type: ignore[assignment]
+    delta_plans: dict[int, JoinPlan] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.join_plan is None:
+            object.__setattr__(self, "join_plan", JoinPlan.from_ordered(self.plan))
 
 
 @dataclass(frozen=True)
@@ -72,10 +146,39 @@ class CompiledProgram:
     strata_count: int
     predicate_strata: dict[str, int] = field(compare=False)
     is_monotone: bool = True
+    planner: str = "cost"
 
     @property
     def open_decls(self) -> dict[str, OpenDecl]:
         return self.program.open_by_name()
+
+    def index_specs(self) -> dict[str, set[tuple[int, ...]]]:
+        """Every (predicate, index-key) pair any plan may probe, so the
+        engine can register persistent indexes before loading facts."""
+        specs: dict[str, set[tuple[int, ...]]] = {}
+
+        def collect(plan: JoinPlan) -> None:
+            for step in plan.steps:
+                literal = step.literal
+                if isinstance(literal, Negation):
+                    atom = literal.atom
+                elif isinstance(literal, Atom):
+                    atom = literal
+                else:
+                    continue
+                if step.index_positions:
+                    specs.setdefault(atom.predicate, set()).add(step.index_positions)
+
+        for rule in self.rules:
+            collect(rule.join_plan)
+            for delta_plan in rule.delta_plans.values():
+                collect(delta_plan)
+            for seed in rule.seed_plans:
+                collect(seed.join_plan)
+        for decl in self.program.opens:
+            if decl.key_positions:
+                specs.setdefault(decl.name, set()).add(tuple(decl.key_positions))
+        return specs
 
 
 # ---------------------------------------------------------------------------
@@ -105,9 +208,20 @@ def _literal_needs(literal: BodyLiteral) -> set[str]:
     raise TypeError(f"not a body literal: {literal!r}")
 
 
+def _bound_positions(atom: Atom, bound: set[str]) -> tuple[int, ...]:
+    """Term positions statically known to be bound given ``bound`` vars."""
+    positions: list[int] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            positions.append(index)
+        elif isinstance(term, Var) and not term.is_anonymous and term.name in bound:
+            positions.append(index)
+    return tuple(positions)
+
+
 def _atom_bound_score(atom: Atom, bound: set[str]) -> tuple[int, int]:
-    """Order heuristic: prefer atoms with more bound terms (selective joins)
-    and fewer fresh variables."""
+    """Legacy order heuristic: prefer atoms with more bound terms (selective
+    joins) and fewer fresh variables; ignores relation cardinality."""
     bound_terms = 0
     fresh = 0
     for term in atom.terms:
@@ -120,20 +234,71 @@ def _atom_bound_score(atom: Atom, bound: set[str]) -> tuple[int, int]:
     return (-bound_terms, fresh)
 
 
-def build_plan(
+def _estimate_cost(
+    atom: Atom, bound: set[str], cardinalities: Mapping[str, float]
+) -> float:
+    """Estimated rows scanned when joining ``atom`` next: relation
+    cardinality discounted by the selectivity of each bound term."""
+    cardinality = cardinalities.get(atom.predicate, DEFAULT_CARDINALITY)
+    bound_terms = len(_bound_positions(atom, bound))
+    return max(cardinality * (BOUND_SELECTIVITY**bound_terms), 0.5)
+
+
+def _fresh_var_count(atom: Atom, bound: set[str]) -> int:
+    return len(
+        {
+            term.name
+            for term in atom.terms
+            if isinstance(term, Var)
+            and not term.is_anonymous
+            and term.name not in bound
+        }
+    )
+
+
+def _make_step(
+    literal: BodyLiteral,
+    bound: set[str],
+    cardinalities: Mapping[str, float] | None,
+) -> PlanStep:
+    if isinstance(literal, Atom):
+        positions = _bound_positions(literal, bound)
+        cost = (
+            _estimate_cost(literal, bound, cardinalities)
+            if cardinalities is not None
+            else 0.0
+        )
+        return PlanStep(literal, positions, cost)
+    if isinstance(literal, Negation):
+        return PlanStep(literal, _bound_positions(literal.atom, bound), 0.0)
+    return PlanStep(literal)
+
+
+def build_join_plan(
     literals: Iterable[BodyLiteral],
     exclude: BodyLiteral | None = None,
     best_effort: bool = False,
-) -> tuple[tuple[BodyLiteral, ...], set[str]]:
+    cardinalities: Mapping[str, float] | None = None,
+    first: BodyLiteral | None = None,
+    cost_based: bool = True,
+) -> tuple[JoinPlan, set[str]]:
     """Greedily order ``literals`` so every literal is ready when reached.
 
-    Returns ``(plan, bound_variables)``.  With ``best_effort=True`` the
-    builder stops silently when nothing more is ready (used for seed plans);
-    otherwise unplaceable literals raise :class:`CyLogSafetyError`.
+    Returns ``(join_plan, bound_variables)``.  Atoms are chosen by estimated
+    selectivity (relation cardinality discounted per bound term) when
+    ``cost_based``, else by the legacy bound-count heuristic; filters run as
+    soon as their variables are bound.  ``first`` forces one literal to the
+    front (the delta-first semi-naive rewrite).  With ``best_effort=True``
+    the builder stops silently when nothing more is ready (used for seed
+    plans); otherwise unplaceable literals raise :class:`CyLogSafetyError`.
     """
-    remaining = [lit for lit in literals if lit is not exclude]
-    plan: list[BodyLiteral] = []
+    cardinalities = cardinalities if cardinalities is not None else {}
+    remaining = [lit for lit in literals if lit is not exclude and lit is not first]
+    steps: list[PlanStep] = []
     bound: set[str] = set()
+    if first is not None:
+        steps.append(_make_step(first, bound, cardinalities))
+        bound |= _literal_binds(first)
     while remaining:
         ready_filters = [
             lit
@@ -152,17 +317,46 @@ def build_plan(
                     f"unsafe rule: variable(s) {stuck} are never bound by a "
                     "positive literal"
                 )
-            chosen = min(
-                atoms,
-                key=lambda atom: (
-                    _atom_bound_score(atom, bound),
-                    remaining.index(atom),
-                ),
-            )
-        plan.append(chosen)
+            if cost_based:
+                chosen = min(
+                    atoms,
+                    key=lambda atom: (
+                        _estimate_cost(atom, bound, cardinalities),
+                        _fresh_var_count(atom, bound),
+                        remaining.index(atom),
+                    ),
+                )
+            else:
+                chosen = min(
+                    atoms,
+                    key=lambda atom: (
+                        _atom_bound_score(atom, bound),
+                        remaining.index(atom),
+                    ),
+                )
+        steps.append(_make_step(chosen, bound, cardinalities))
         remaining.remove(chosen)
         bound |= _literal_binds(chosen)
-    return tuple(plan), bound
+    return JoinPlan(tuple(steps)), bound
+
+
+def build_plan(
+    literals: Iterable[BodyLiteral],
+    exclude: BodyLiteral | None = None,
+    best_effort: bool = False,
+) -> tuple[tuple[BodyLiteral, ...], set[str]]:
+    """Compatibility wrapper around :func:`build_join_plan` returning the
+    ordered literals only."""
+    join_plan, bound = build_join_plan(literals, exclude, best_effort)
+    return join_plan.literals, bound
+
+
+def program_cardinalities(program: Program) -> dict[str, float]:
+    """Base cardinality estimates from the facts in the program text."""
+    counts: dict[str, float] = {}
+    for fact in program.facts:
+        counts[fact.atom.predicate] = counts.get(fact.atom.predicate, 0.0) + 1.0
+    return counts
 
 
 # ---------------------------------------------------------------------------
@@ -200,7 +394,7 @@ def stratify(program: Program) -> tuple[dict[str, int], int]:
     for source, target, negative in edges:
         if negative and component_of[source] == component_of[target]:
             raise StratificationError(
-                f"negation/aggregation through recursion between "
+                "negation/aggregation through recursion between "
                 f"{source!r} and {target!r}"
             )
     # Longest path over the condensation: negative edges add one stratum.
@@ -216,9 +410,7 @@ def stratify(program: Program) -> tuple[dict[str, int], int]:
             candidate = strata[source_component] + (1 if negative else 0)
             if candidate > strata[component_index]:
                 strata[component_index] = candidate
-    predicate_strata = {
-        pred: strata[component_of[pred]] for pred in predicates
-    }
+    predicate_strata = {pred: strata[component_of[pred]] for pred in predicates}
     strata_count = max(strata) + 1 if strata else 1
     return predicate_strata, strata_count
 
@@ -282,8 +474,27 @@ def _tarjan_sccs(
 # ---------------------------------------------------------------------------
 
 
-def compile_program(program: Program) -> CompiledProgram:
-    """Validate and compile ``program`` for evaluation."""
+def compile_program(
+    program: Program,
+    cardinalities: Mapping[str, float] | None = None,
+    planner: str = "cost",
+) -> CompiledProgram:
+    """Validate and compile ``program`` for evaluation.
+
+    ``cardinalities`` (predicate -> estimated fact count) steers the
+    cost-based join planner; it defaults to the fact counts in the program
+    text.  Engines re-invoke compilation with live fact counts before a full
+    run, so plans track the actual data.  ``planner`` selects the ``cost``
+    planner (cardinality-ordered joins plus delta-first rewrites) or the
+    ``legacy`` bound-count ordering kept for benchmarking and differential
+    testing.
+    """
+    if planner not in PLANNERS:
+        raise ValueError(f"unknown planner {planner!r}; expected one of {PLANNERS}")
+    cost_based = planner == "cost"
+    stats = program_cardinalities(program)
+    if cardinalities:
+        stats.update(cardinalities)
     predicate_strata, strata_count = stratify(program)
     opens = program.open_by_name()
     compiled_rules: list[CompiledRule] = []
@@ -291,8 +502,21 @@ def compile_program(program: Program) -> CompiledProgram:
     for rule in program.rules:
         if rule.head.has_aggregates:
             monotone = False
-        plan, bound = build_plan(rule.body)
+        join_plan, bound = build_join_plan(
+            rule.body, cardinalities=stats, cost_based=cost_based
+        )
         _check_head_bound(rule, bound)
+        delta_plans: dict[int, JoinPlan] = {}
+        if cost_based:
+            for position, step in enumerate(join_plan.steps):
+                if not isinstance(step.literal, Atom):
+                    continue
+                delta_plan, _ = build_join_plan(
+                    rule.body,
+                    cardinalities=stats,
+                    first=step.literal,
+                )
+                delta_plans[position] = delta_plan
         seed_plans: list[SeedPlan] = []
         for literal in rule.body:
             if isinstance(literal, Negation):
@@ -300,8 +524,12 @@ def compile_program(program: Program) -> CompiledProgram:
             if not isinstance(literal, Atom) or literal.predicate not in opens:
                 continue
             decl = opens[literal.predicate]
-            seed_plan, seed_bound = build_plan(
-                rule.body, exclude=literal, best_effort=True
+            seed_join_plan, seed_bound = build_join_plan(
+                rule.body,
+                exclude=literal,
+                best_effort=True,
+                cardinalities=stats,
+                cost_based=cost_based,
             )
             missing = _unbound_key_vars(literal, decl, seed_bound)
             if missing:
@@ -311,14 +539,21 @@ def compile_program(program: Program) -> CompiledProgram:
                     f"{decl.name!r} cannot be bound without the open atom itself"
                 )
             seed_plans.append(
-                SeedPlan(open_atom=literal, decl=decl, plan=seed_plan)
+                SeedPlan(
+                    open_atom=literal,
+                    decl=decl,
+                    plan=seed_join_plan.literals,
+                    join_plan=seed_join_plan,
+                )
             )
         compiled_rules.append(
             CompiledRule(
                 rule=rule,
-                plan=plan,
+                plan=join_plan.literals,
                 stratum=predicate_strata[rule.head.predicate],
                 seed_plans=tuple(seed_plans),
+                join_plan=join_plan,
+                delta_plans=delta_plans,
             )
         )
     return CompiledProgram(
@@ -327,6 +562,7 @@ def compile_program(program: Program) -> CompiledProgram:
         strata_count=strata_count,
         predicate_strata=predicate_strata,
         is_monotone=monotone,
+        planner=planner,
     )
 
 

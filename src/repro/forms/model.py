@@ -8,7 +8,7 @@ dict, converting values to their declared Python types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.errors import FormError
 

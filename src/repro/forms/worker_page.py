@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.human_factors import HumanFactors
 from repro.forms.model import FormField, FormModel
-from repro.forms.render import html_escape, render_form, render_page, render_table
+from repro.forms.render import render_form, render_page, render_table
 
 
 def build_factors_form(factors: HumanFactors) -> FormModel:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterable, Iterator
 
+from repro.cylog.indexes import MultiKeyHashIndex
 from repro.storage.errors import DuplicateKeyError
 
 PkTuple = tuple[Any, ...]
@@ -19,7 +20,9 @@ ValueTuple = tuple[Any, ...]
 class HashIndex:
     """Equality index over one or more columns.
 
-    With ``unique=True`` the index doubles as a uniqueness constraint:
+    Bucket bookkeeping is delegated to the shared
+    :class:`repro.cylog.indexes.MultiKeyHashIndex`; this class adds the
+    column-name keying and the uniqueness constraint.  With ``unique=True``
     inserting a second row with the same value tuple raises
     :class:`DuplicateKeyError`.  ``None`` values are indexed like any other
     value but never trigger uniqueness conflicts (SQL-style NULL semantics).
@@ -28,40 +31,33 @@ class HashIndex:
     def __init__(self, columns: Iterable[str], unique: bool = False) -> None:
         self.columns = tuple(columns)
         self.unique = unique
-        self._buckets: dict[ValueTuple, set[PkTuple]] = {}
+        self._buckets = MultiKeyHashIndex()
 
     def key_for(self, row: dict[str, Any]) -> ValueTuple:
         return tuple(row[c] for c in self.columns)
 
     def add(self, row: dict[str, Any], pk: PkTuple) -> None:
         key = self.key_for(row)
-        bucket = self._buckets.setdefault(key, set())
-        if self.unique and bucket and None not in key:
+        if self.unique and self._buckets.bucket(key) and None not in key:
             raise DuplicateKeyError(
                 f"unique index on {self.columns} violated by {key!r}"
             )
-        bucket.add(pk)
+        self._buckets.add(key, pk)
 
     def remove(self, row: dict[str, Any], pk: PkTuple) -> None:
-        key = self.key_for(row)
-        bucket = self._buckets.get(key)
-        if bucket is None:
-            return
-        bucket.discard(pk)
-        if not bucket:
-            del self._buckets[key]
+        self._buckets.discard(self.key_for(row), pk)
 
     def lookup(self, *values: Any) -> set[PkTuple]:
         """Return the primary keys of rows whose indexed columns equal
         ``values`` (a copy; safe to mutate)."""
-        return set(self._buckets.get(tuple(values), ()))
+        return set(self._buckets.bucket(tuple(values)))
 
     def __len__(self) -> int:
-        return sum(len(b) for b in self._buckets.values())
+        return len(self._buckets)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "unique hash" if self.unique else "hash"
-        return f"<{kind} index on {self.columns} ({len(self._buckets)} keys)>"
+        return f"<{kind} index on {self.columns} ({self._buckets.key_count} keys)>"
 
 
 class SortedIndex:

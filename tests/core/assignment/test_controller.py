@@ -11,7 +11,6 @@ from repro.core.relationships import RelationshipLedger, RelationshipStatus
 from repro.core.tasks import TaskKind, TaskPool, TaskStatus
 from repro.core.teams import TeamRegistry, TeamStatus
 from repro.core.workers import WorkerManager
-from repro.storage import Database
 
 
 @pytest.fixture

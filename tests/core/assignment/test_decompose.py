@@ -11,7 +11,6 @@ from repro.core.assignment import (
 )
 from repro.core.constraints import TeamConstraints
 from repro.errors import AssignmentError
-from tests.conftest import make_worker
 
 
 class TestDecomposers:

@@ -11,7 +11,7 @@ from repro.core.collaboration import (
     default_scheme_registry,
 )
 from repro.core.events import EventBus
-from repro.core.tasks import TaskKind, TaskPool, TaskStatus
+from repro.core.tasks import TaskKind, TaskPool
 from repro.core.teams import Team, TeamStatus
 from repro.errors import CollaborationError
 from repro.storage import Database

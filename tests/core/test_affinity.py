@@ -35,6 +35,36 @@ class TestMatrix:
         matrix.set("a", "b", 7.0)
         assert matrix.get("a", "b") == 1.0
 
+    def test_default_clamped_into_unit_interval(self):
+        assert AffinityMatrix(default=7.0).default == 1.0
+        assert AffinityMatrix(default=-3.0).default == 0.0
+        assert AffinityMatrix(default=9.0).get("x", "y") == 1.0
+
+    def test_negative_set_value_clamped_to_zero(self):
+        matrix = AffinityMatrix(default=0.4)
+        matrix.set("a", "b", -2.5)
+        assert matrix.get("a", "b") == 0.0  # stored, not falling back to default
+
+    def test_pair_normalises_order(self):
+        from repro.core.affinity import _pair
+
+        assert _pair("b", "a") == ("a", "b")
+        assert _pair("a", "b") == ("a", "b")
+
+    def test_pair_rejects_identical_workers_with_message(self):
+        from repro.core.affinity import _pair
+
+        with pytest.raises(PlatformError, match="distinct workers"):
+            _pair("w", "w")
+
+    def test_duplicate_team_member_semantics(self):
+        # Read paths treat a duplicated member as a zero-affinity self pair…
+        matrix = AffinityMatrix(default=0.5)
+        assert matrix.intra_affinity(["a", "a"]) == 0.0
+        # …but write paths reject it via _pair.
+        with pytest.raises(PlatformError, match="distinct workers"):
+            matrix.reinforce(["a", "a"], 1.0)
+
     def test_intra_affinity_sum_of_pairs(self):
         matrix = AffinityMatrix()
         matrix.set("a", "b", 0.5)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.tasks import TaskKind, TaskPool, TaskStatus
 from repro.errors import PlatformError
-from repro.storage import Database
 
 
 @pytest.fixture

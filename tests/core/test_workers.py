@@ -5,7 +5,6 @@ import pytest
 from repro.core.human_factors import HumanFactors
 from repro.core.workers import WorkerManager
 from repro.errors import PlatformError
-from repro.storage import Database
 
 
 @pytest.fixture

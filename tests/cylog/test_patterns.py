@@ -7,8 +7,6 @@ directly expressible in this CyLog implementation — evidence for the
 "declarative, generic and collaboration-aware" claim.
 """
 
-import pytest
-
 from repro.cylog import CyLogProcessor
 
 FIND_FIX_VERIFY = """

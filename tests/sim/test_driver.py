@@ -1,6 +1,5 @@
 """The simulation driver's platform-level behaviour."""
 
-import pytest
 
 from repro.apps.common import build_crowd
 from repro.core import SkillRequirement, TeamConstraints

@@ -131,7 +131,9 @@ class TestJoins:
 
     def test_bad_join_type(self, people_db):
         with pytest.raises(StorageError):
-            people_db.query("person").join(people_db.query("visit"), on=[("id", "person_id")], how="outer")
+            people_db.query("person").join(
+                people_db.query("visit"), on=[("id", "person_id")], how="outer"
+            )
 
     def test_empty_on_rejected(self, people_db):
         with pytest.raises(StorageError):

@@ -6,7 +6,6 @@ from repro.storage.errors import SchemaError, UnknownColumnError
 from repro.storage.schema import (
     Column,
     ForeignKey,
-    NO_DEFAULT,
     TableSchema,
     diff_schemas,
 )
