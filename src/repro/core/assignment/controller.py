@@ -78,6 +78,26 @@ class TaskAssignmentController:
     teams: TeamRegistry
     events: EventBus
     registry: AssignerRegistry = field(default_factory=default_registry)
+    #: Pending root tasks whose assignment inputs (interested set, team
+    #: constraints, candidate factors, affinity scores, forbidden-team
+    #: history) changed since the last :meth:`try_assign`.  An attempt on a
+    #: task outside this set is guaranteed to reproduce its previous
+    #: outcome, so the platform's incremental round skips it; re-arming
+    #: happens on interest declarations, constraint updates, factor edits,
+    #: affinity reinforcement after a recorded result, and team
+    #: dissolutions.
+    _reattempt: set[str] = field(default_factory=set, repr=False)
+
+    # -- incremental-round gating ------------------------------------------------
+    def mark_dirty(self, task_id: str) -> None:
+        """Flag a task as worth (re-)attempting on the next platform round."""
+        self._reattempt.add(task_id)
+
+    def clear_dirty(self, task_id: str) -> None:
+        self._reattempt.discard(task_id)
+
+    def is_dirty(self, task_id: str) -> bool:
+        return task_id in self._reattempt
 
     # -- step 5: team formation --------------------------------------------------
     def try_assign(
@@ -181,6 +201,10 @@ class TaskAssignmentController:
         task = self.pool.get(team.task_id)
         if task.status is TaskStatus.PROPOSED:
             self.pool.clear_team(team.task_id)
+        # The forbidden-team history and member states changed: the task is
+        # worth re-attempting on the next round ("task assignment is
+        # re-executed to find a new team").
+        self.mark_dirty(team.task_id)
         # Members who had already undertaken the task remain willing
         # candidates: revert them to Interested for the re-execution.
         from repro.core.relationships import RelationshipStatus

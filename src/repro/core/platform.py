@@ -14,6 +14,16 @@ Time advances through :meth:`step`, which performs one platform round:
 CyLog re-evaluation → dynamic task generation → eligibility computation →
 team formation attempts → deadline monitoring.
 
+Rounds are *incremental* by default: the platform tracks which workers,
+projects and tasks changed since the last round (registrations, factor
+edits, fact assertions, constraint updates, interest declarations, team
+dissolutions) and only re-derives eligibility / re-attempts team formation
+for the (task, worker) pairs whose inputs moved.  ``step(full=True)`` — or
+``Crowd4U(incremental=False)`` — is the recompute-everything escape hatch,
+and ``step(cross_check=True)`` runs an engine-diff-style oracle that
+verifies the incrementally maintained ledger against a from-scratch
+recomputation.  Work counters live in :class:`PlatformStats`.
+
 >>> from repro.core import Crowd4U, HumanFactors, TeamConstraints
 >>> platform = Crowd4U(seed=1)
 >>> worker = platform.register_worker(
@@ -22,7 +32,8 @@ team formation attempts → deadline monitoring.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Hashable
 
 from repro.core.affinity import (
     AffinityMatrix,
@@ -51,14 +62,65 @@ from repro.core.events import Event, EventBus
 from repro.core.human_factors import HumanFactors
 from repro.core.monitor import CollaborationMonitor
 from repro.core.projects import Project, ProjectManager, SchemeKind
-from repro.core.relationships import RelationshipLedger
-from repro.core.tasks import Task, TaskKind, TaskPool, TaskStatus
+from repro.core.relationships import (
+    ELIGIBLE_ROOTED,
+    RelationshipLedger,
+    RelationshipStatus,
+)
+from repro.core.tasks import OPEN_STATUSES, Task, TaskKind, TaskPool, TaskStatus
 from repro.core.teams import TeamRegistry
 from repro.core.workers import Worker, WorkerManager
 from repro.cylog import CyLogProcessor, TaskRequest
 from repro.errors import CollaborationError, PlatformError
-from repro.storage import Database
+from repro.storage import Database, col
 from repro.util import IdFactory
+
+#: Stored-value forms for the cached storage queries below.
+_ELIGIBLE_ROOTED = tuple(status.value for status in ELIGIBLE_ROOTED)
+_OPEN_STATUS_VALUES = tuple(status.value for status in OPEN_STATUSES)
+
+
+@dataclass
+class PlatformStats:
+    """Work counters for one :class:`Crowd4U` instance (cumulative).
+
+    The eligibility counters measure how much of the naive
+    tasks × workers product each round actually re-derived:
+    ``eligibility_pairs_skipped`` is the direct savings of the dirty-tracked
+    incremental step over the full recompute.  Feed the counters into a
+    metrics collector with :meth:`to_collector` (once per collector — the
+    values are cumulative), mirroring ``EngineStats``.
+    """
+
+    rounds: int = 0
+    eligibility_tasks_full: int = 0
+    eligibility_tasks_partial: int = 0
+    eligibility_tasks_skipped: int = 0
+    eligibility_pairs_checked: int = 0
+    eligibility_pairs_skipped: int = 0
+    eligibility_revoked: int = 0
+    assignment_attempts: int = 0
+    assignments_skipped: int = 0
+    cross_checks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "eligibility_tasks_full": self.eligibility_tasks_full,
+            "eligibility_tasks_partial": self.eligibility_tasks_partial,
+            "eligibility_tasks_skipped": self.eligibility_tasks_skipped,
+            "eligibility_pairs_checked": self.eligibility_pairs_checked,
+            "eligibility_pairs_skipped": self.eligibility_pairs_skipped,
+            "eligibility_revoked": self.eligibility_revoked,
+            "assignment_attempts": self.assignment_attempts,
+            "assignments_skipped": self.assignments_skipped,
+            "cross_checks": self.cross_checks,
+        }
+
+    def to_collector(self, collector, prefix: str = "platform") -> None:
+        """Add every counter to a :class:`repro.metrics.Collector`."""
+        for name, value in self.as_dict().items():
+            collector.count(f"{prefix}.{name}", value)
 
 
 class Crowd4U:
@@ -69,9 +131,12 @@ class Crowd4U:
         seed: int = 0,
         db: Database | None = None,
         affinity_weights: AffinityWeights | None = None,
+        incremental: bool = True,
     ) -> None:
         self.seed = seed
         self.now = 0.0
+        self.incremental = incremental
+        self.stats = PlatformStats()
         self.db = db or Database()
         self.events = EventBus()
         self.workers = WorkerManager(self.db)
@@ -108,6 +173,21 @@ class Crowd4U:
         self._active_schemes: dict[str, tuple[CollaborationScheme, CollaborationContext]] = {}
         self._suggestions: dict[str, list[RequesterSuggestion]] = {}
         self._doc_ids = IdFactory("doc", width=5)
+        # -- dirty tracking for incremental rounds --------------------------
+        #: Append-only log of worker-change events, each tagged with a
+        #: strictly increasing sequence number.  A task remembers the
+        #: sequence it last accounted for (``_task_seen_seq``) and consumes
+        #: only the log suffix past its cursor, so marking a churned worker
+        #: is O(1) regardless of pool size and tasks parked in
+        #: PROPOSED/ACTIVE catch up when they return to the pending pool.
+        self._dirty_seq: int = 0
+        self._dirty_worker_log: list[tuple[int, str]] = []
+        self._task_seen_seq: dict[str, int] = {}
+        #: tasks whose whole eligible set must be re-derived (constraint
+        #: updates); new tasks are caught by the missing-fingerprint check.
+        self._task_needs_full: set[str] = set()
+        #: task -> fingerprint of the eligibility inputs it last saw.
+        self._elig_fp: dict[str, Hashable] = {}
         self.events.subscribe("task.active", self._on_task_active)
 
     # ------------------------------------------------------------------
@@ -121,6 +201,7 @@ class Crowd4U:
         for processor in self._processors.values():
             for predicate, rows in factors.as_fact_rows(worker.id).items():
                 processor.add_facts(predicate, rows)
+        self._mark_worker_dirty(worker.id)
         self.events.publish("worker.registered", self.now, worker_id=worker.id)
         return worker
 
@@ -132,22 +213,40 @@ class Crowd4U:
         for processor in self._processors.values():
             for predicate, rows in factors.as_fact_rows(worker.id).items():
                 processor.add_facts(predicate, rows)
+        self._mark_worker_dirty(worker_id)
+        # New factors change how assigners screen this worker: re-arm every
+        # task where the worker is a live team-formation candidate.
+        for status in (RelationshipStatus.INTERESTED, RelationshipStatus.UNDERTAKES):
+            for task_id in self.ledger.tasks_with_status(worker_id, status):
+                self.controller.mark_dirty(task_id)
         self.events.publish("worker.updated", self.now, worker_id=worker_id)
         return worker
 
     def eligible_tasks(self, worker_id: str) -> list[Task]:
         """The user page's task list: pending root tasks the worker is
-        eligible for (§2.2.1 step 3)."""
+        eligible for (§2.2.1 step 3).
+
+        Served through the storage query cache: repeated renders between
+        ledger mutations cost one dict lookup instead of a table scan.
+        """
         self.workers.get(worker_id)
-        tasks = []
-        for task in self.pool.pending_root_tasks():
-            if worker_id in self.ledger.eligible_workers(task.id):
-                tasks.append(task)
-        return tasks
+        rows = (
+            self.db.query("relationship")
+            .where(
+                (col("worker_id") == worker_id)
+                & col("status").in_(_ELIGIBLE_ROOTED)
+            )
+            .project("task_id")
+            .execute_cached()
+        )
+        related = {row["task_id"] for row in rows}
+        return [t for t in self.pool.pending_root_tasks() if t.id in related]
 
     def declare_interest(self, worker_id: str, task_id: str) -> None:
         """Record InterestedIn (requires eligibility)."""
         self.ledger.declare_interest(worker_id, task_id, self.now)
+        # The interested set grew: the task is worth a fresh formation attempt.
+        self.controller.mark_dirty(task_id)
         self.events.publish(
             "worker.interested", self.now, worker_id=worker_id, task_id=task_id
         )
@@ -167,12 +266,31 @@ class Crowd4U:
 
     def tasks_for_worker(self, worker_id: str) -> list[Task]:
         """Open micro-tasks addressed to the worker, including JOINT tasks
-        addressed to her team."""
-        addressed = self.pool.micro_tasks_for(worker_id)
-        for task in self.pool.by_status(TaskStatus.PENDING):
-            if task.kind is TaskKind.JOINT and worker_id in task.payload.get(
-                "addressed_to", ()
-            ):
+        addressed to her team.  Both lists come from cached storage queries;
+        the JOINT candidate set is worker-independent, so one cache entry
+        serves every worker page."""
+        rows = (
+            self.db.query("task")
+            .where(
+                (col("assignee") == worker_id)
+                & col("status").in_(_OPEN_STATUS_VALUES)
+            )
+            .project("id")
+            .execute_cached()
+        )
+        addressed = [self.pool.get(row["id"]) for row in rows]
+        joint_rows = (
+            self.db.query("task")
+            .where(
+                (col("kind") == TaskKind.JOINT.value)
+                & (col("status") == TaskStatus.PENDING.value)
+            )
+            .project("id")
+            .execute_cached()
+        )
+        for row in joint_rows:
+            task = self.pool.get(row["id"])
+            if worker_id in task.payload.get("addressed_to", ()):
                 addressed.append(task)
         return sorted(addressed, key=lambda t: t.id)
 
@@ -283,6 +401,7 @@ class Crowd4U:
             created_at=self.now,
             deadline=deadline,
         )
+        self.controller.mark_dirty(task.id)
         self.events.publish(
             "task.posted", self.now, task_id=task.id, project_id=project_id
         )
@@ -294,6 +413,12 @@ class Crowd4U:
         """Admin form submission: new desired human factors (Figure 3)."""
         project = self.projects.update_constraints(project_id, constraints)
         self._suggestions.pop(project_id, None)
+        # Constraints feed both the eligibility screen and team formation:
+        # every open root task of the project must re-derive from scratch.
+        for task in self.pool.open_tasks(project_id):
+            if task.is_root:
+                self._task_needs_full.add(task.id)
+                self.controller.mark_dirty(task.id)
         self.events.publish(
             "project.constraints_updated", self.now, project_id=project_id
         )
@@ -317,27 +442,52 @@ class Crowd4U:
     # ------------------------------------------------------------------
     # The platform round
     # ------------------------------------------------------------------
-    def step(self, dt: float = 1.0) -> dict[str, int]:
-        """Advance time and run one platform round."""
+    def step(
+        self,
+        dt: float = 1.0,
+        full: bool | None = None,
+        cross_check: bool = False,
+    ) -> dict[str, int]:
+        """Advance time and run one platform round.
+
+        ``full=True`` forces the recompute-everything round regardless of
+        the instance's ``incremental`` setting (``full=False`` forces the
+        incremental round); ``cross_check=True`` additionally verifies the
+        incremental bookkeeping against a from-scratch eligibility
+        recomputation, engine-diff style, raising :class:`PlatformError` on
+        divergence.
+        """
         self.now += dt
+        incremental = self.incremental if full is None else not full
+        self.stats.rounds += 1
         generated_before = len(self.pool)
         for processor in self._processors.values():
             processor.run()
-        for task in self.pool.pending_root_tasks():
-            self._ensure_eligibility(task)
+        self._refresh_eligibility(incremental)
+        if cross_check:
+            self._cross_check_eligibility()
         attempts = 0
         proposals = 0
+        skipped = 0
         for project in self.projects.active():
             for task in self.pool.pending_root_tasks(project.id):
+                if incremental and not self.controller.is_dirty(task.id):
+                    skipped += 1
+                    self.stats.assignments_skipped += 1
+                    continue
+                self.controller.clear_dirty(task.id)
                 outcome = self._attempt_assignment(project, task)
                 attempts += 1
+                self.stats.assignment_attempts += 1
                 if outcome.proposed:
                     proposals += 1
         monitor_counts = self.monitor.tick(self.now)
+        self._prune_round_state()
         return {
             "time": int(self.now),
             "tasks_generated": len(self.pool) - generated_before,
             "assignment_attempts": attempts,
+            "assignments_skipped": skipped,
             "teams_proposed": proposals,
             **monitor_counts,
         }
@@ -388,6 +538,7 @@ class Crowd4U:
                 created_at=self.now,
                 deadline=deadline,
             )
+            self.controller.mark_dirty(task.id)
             self.events.publish(
                 "task.generated", self.now,
                 task_id=task.id, project_id=project_id,
@@ -395,13 +546,199 @@ class Crowd4U:
                 key=list(request.key_values),
             )
 
+    # -- eligibility (full + dirty-tracked incremental) ---------------------
+    def _mark_worker_dirty(self, worker_id: str) -> None:
+        """A worker's factors/facts changed: append one event to the dirty
+        log; every task consumes the events past its own cursor on its next
+        eligibility refresh."""
+        self._dirty_seq += 1
+        self._dirty_worker_log.append((self._dirty_seq, worker_id))
+
+    def _dirty_workers_since(self, seen_seq: int) -> set[str]:
+        """Workers that changed after sequence ``seen_seq``."""
+        log = self._dirty_worker_log
+        # Events are appended with strictly increasing sequence numbers, so
+        # scan back from the tail instead of bisecting a typically-tiny
+        # suffix.
+        dirty: set[str] = set()
+        for index in range(len(log) - 1, -1, -1):
+            seq, worker_id = log[index]
+            if seq <= seen_seq:
+                break
+            dirty.add(worker_id)
+        return dirty
+
+    def _refresh_eligibility(self, incremental: bool) -> None:
+        """Bring the Eligible relationship up to date for every pending root
+        task — completely, or only for the pairs whose inputs changed."""
+        pending = self.pool.pending_root_tasks()
+        n_workers = len(self.workers)
+        fp_cache: dict[tuple[str, str], Hashable] = {}
+        if not incremental:
+            for task in pending:
+                self._ensure_eligibility(task)
+                self._task_needs_full.discard(task.id)
+                self._elig_fp[task.id] = self._eligibility_fingerprint(task, fp_cache)
+                self._task_seen_seq[task.id] = self._dirty_seq
+                self.stats.eligibility_tasks_full += 1
+                self.stats.eligibility_pairs_checked += n_workers
+            return
+        heads_cache: dict[tuple[str, str], set] = {}
+        for task in pending:
+            fp = self._eligibility_fingerprint(task, fp_cache)
+            dirty = self._dirty_workers_since(self._task_seen_seq.get(task.id, 0))
+            if task.id in self._task_needs_full or self._elig_fp.get(task.id) != fp:
+                # Never-seen task, changed CyLog derivation, or updated
+                # constraints: the whole eligible set must be re-derived.
+                self._task_needs_full.discard(task.id)
+                self._ensure_eligibility(task)
+                self.stats.eligibility_tasks_full += 1
+                self.stats.eligibility_pairs_checked += n_workers
+            elif dirty:
+                self._partial_eligibility(task, dirty, heads_cache)
+                self.stats.eligibility_tasks_partial += 1
+                self.stats.eligibility_pairs_checked += len(dirty)
+                self.stats.eligibility_pairs_skipped += max(0, n_workers - len(dirty))
+            else:
+                self.stats.eligibility_tasks_skipped += 1
+                self.stats.eligibility_pairs_skipped += n_workers
+            self._elig_fp[task.id] = fp
+            self._task_seen_seq[task.id] = self._dirty_seq
+
+    def _eligible_predicate(
+        self, processor: CyLogProcessor | None, task: Task
+    ) -> str | None:
+        """``eligible_<predicate>/1`` wins over ``eligible/1``; ``None``
+        means the constraint screen applies."""
+        if processor is None:
+            return None
+        idb = processor.compiled.program.idb_predicates()
+        for name in (f"eligible_{task.predicate}", "eligible"):
+            if name in idb:
+                return name
+        return None
+
+    def _eligibility_fingerprint(
+        self, task: Task, fp_cache: dict[tuple[str, str], Hashable]
+    ) -> Hashable:
+        """A value identifying the CyLog inputs of a task's eligible set.
+
+        For *monotone* programs facts only accumulate, so the relation's
+        cardinality is an exact change detector and the per-round comparison
+        costs O(1).  With negation or aggregation the relation can shrink or
+        swap elements at constant size, so the fingerprint is the relation
+        content itself (one snapshot + set compare per project per round).
+        Constraint-screen tasks use a constant: their input changes flow
+        through ``_task_needs_full`` / the dirty-worker log instead.
+        """
+        processor = self._processors.get(task.project_id)
+        name = self._eligible_predicate(processor, task)
+        if name is None:
+            return ("screen",)
+        key = (task.project_id, name)
+        fp = fp_cache.get(key)
+        if fp is None:
+            if processor.compiled.is_monotone:
+                relation = processor.engine.store.maybe(name)
+                fp = ("cylog", name, len(relation) if relation is not None else 0)
+            else:
+                fp = ("cylog-set", name, processor.facts(name))
+            fp_cache[key] = fp
+        return fp
+
+    def _partial_eligibility(
+        self,
+        task: Task,
+        dirty_workers: set[str],
+        heads_cache: dict[tuple[str, str], set],
+    ) -> None:
+        """Re-derive eligibility for one task restricted to the workers
+        whose inputs changed; everyone else's state is provably current."""
+        project = self.projects.get(task.project_id)
+        processor = self._processors.get(task.project_id)
+        name = self._eligible_predicate(processor, task)
+        heads: set | None = None
+        if name is not None:
+            key = (task.project_id, name)
+            heads = heads_cache.get(key)
+            if heads is None:
+                heads = {value[0] for value in processor.facts(name) if value}
+                heads_cache[key] = heads
+        for worker_id in sorted(dirty_workers):
+            worker = self.workers.maybe(worker_id)
+            if worker is None:
+                eligible = False
+            elif heads is not None:
+                eligible = worker_id in heads
+            else:
+                eligible = project.constraints.member_eligible(worker)
+            if eligible:
+                self.ledger.mark_eligible(worker_id, task.id, self.now)
+            elif self.ledger.revoke_eligibility(worker_id, task.id):
+                self.stats.eligibility_revoked += 1
+
     def _ensure_eligibility(self, task: Task) -> None:
-        """Compute Eligible for one pending root task (idempotent)."""
+        """Re-derive the complete Eligible set for one pending root task:
+        mark newly eligible workers, retract stale system-derived rows."""
         project = self.projects.get(task.project_id)
         processor = self._processors.get(task.project_id)
         eligible_ids = self._eligible_worker_ids(project, processor, task)
+        eligible = set(eligible_ids)
         for worker_id in eligible_ids:
             self.ledger.mark_eligible(worker_id, task.id, self.now)
+        for worker_id in self.ledger.workers_with_status(
+            task.id, RelationshipStatus.ELIGIBLE
+        ):
+            if worker_id not in eligible and self.ledger.revoke_eligibility(
+                worker_id, task.id
+            ):
+                self.stats.eligibility_revoked += 1
+
+    def _cross_check_eligibility(self) -> None:
+        """Engine-diff-style oracle: recompute every pending root task's
+        eligible set from scratch and verify the incrementally maintained
+        ledger agrees.  A worker is *missing* when the full recompute would
+        have marked her and the ledger has no relationship at all; a row is
+        *stale* when the ledger says Eligible but the recompute disagrees."""
+        self.stats.cross_checks += 1
+        for task in self.pool.pending_root_tasks():
+            project = self.projects.get(task.project_id)
+            processor = self._processors.get(task.project_id)
+            expected = set(self._eligible_worker_ids(project, processor, task))
+            missing = {
+                worker_id
+                for worker_id in expected
+                if self.ledger.status(worker_id, task.id) is None
+            }
+            stale = (
+                set(
+                    self.ledger.workers_with_status(
+                        task.id, RelationshipStatus.ELIGIBLE
+                    )
+                )
+                - expected
+            )
+            if missing or stale:
+                raise PlatformError(
+                    f"incremental eligibility diverged for task {task.id}: "
+                    f"missing={sorted(missing)} stale={sorted(stale)}"
+                )
+
+    def _prune_round_state(self) -> None:
+        """Drop dirty-tracking entries for tasks that can no longer return
+        to the pending pool (completed/cancelled/expired), then truncate the
+        dirty-worker log prefix every surviving task has already consumed."""
+        open_ids = {task.id for task in self.pool.open_tasks()}
+        for task_id in [t for t in self._elig_fp if t not in open_ids]:
+            del self._elig_fp[task_id]
+            self._task_seen_seq.pop(task_id, None)
+            self.controller.clear_dirty(task_id)
+        self._task_needs_full.intersection_update(open_ids)
+        min_seen = min(self._task_seen_seq.values(), default=self._dirty_seq)
+        if self._dirty_worker_log and self._dirty_worker_log[0][0] <= min_seen:
+            self._dirty_worker_log = [
+                entry for entry in self._dirty_worker_log if entry[0] > min_seen
+            ]
 
     def _eligible_worker_ids(
         self,
@@ -411,16 +748,14 @@ class Crowd4U:
     ) -> list[str]:
         """CyLog-driven eligibility: ``eligible_<predicate>/1`` wins over
         ``eligible/1``; otherwise the constraint screen applies."""
-        if processor is not None:
-            idb = processor.compiled.program.idb_predicates()
-            for name in (f"eligible_{task.predicate}", "eligible"):
-                if name in idb:
-                    known = set(self.workers.ids())
-                    return sorted(
-                        value[0]
-                        for value in processor.facts(name)
-                        if value and value[0] in known
-                    )
+        name = self._eligible_predicate(processor, task)
+        if name is not None:
+            known = set(self.workers.ids())
+            return sorted(
+                value[0]
+                for value in processor.facts(name)
+                if value and value[0] in known
+            )
         return [
             worker.id
             for worker in self.workers.all()
@@ -483,6 +818,11 @@ class Crowd4U:
             key_mapping = dict(zip(decl.key, root_task.key_values))
             processor.supply_fact(root_task.predicate, key_mapping, fill_values)
         self.coordinator.record(team_result, quality, self.now)
+        # Recording reinforced the affinity matrix, an input to team scoring
+        # for every open formation problem: re-arm all pending root tasks so
+        # the incremental round reproduces the full recompute's attempts.
+        for pending in self.pool.pending_root_tasks():
+            self.controller.mark_dirty(pending.id)
         del self._active_schemes[root_task.id]
         if root_task.predicate is not None:
             # New facts may demand new tasks immediately.
@@ -500,3 +840,21 @@ class Crowd4U:
             "relationships": len(self.ledger),
             "affinity_pairs": len(self.affinity),
         }
+
+    def stats_summary(self) -> dict[str, dict[str, int]]:
+        """Cumulative serving-path work counters: the platform round's
+        dirty-tracking effectiveness plus the storage query cache."""
+        return {
+            "platform": self.stats.as_dict(),
+            "query_cache": self.db.query_cache.stats.as_dict(),
+        }
+
+    def collect_stats(self, collector) -> None:
+        """Feed every counter into a :class:`repro.metrics.Collector`
+        (``EngineStats``-style; call once per collector)."""
+        self.stats.to_collector(collector)
+        self.db.query_cache.stats.to_collector(collector)
+        for project_id, processor in self._processors.items():
+            processor.stats.to_collector(
+                collector, prefix=f"cylog_engine.{project_id}"
+            )

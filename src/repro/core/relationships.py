@@ -28,6 +28,16 @@ class RelationshipStatus(enum.Enum):
     COMPLETED = "completed"
 
 
+#: Statuses that imply the worker is currently eligible for the task
+#: (Eligible-rooted): the deeper worker-declared states all require — and
+#: preserve — eligibility.  Shared by the ledger's queries and the
+#: platform's cached worker-page query.
+ELIGIBLE_ROOTED = (
+    RelationshipStatus.ELIGIBLE,
+    RelationshipStatus.INTERESTED,
+    RelationshipStatus.UNDERTAKES,
+)
+
 #: Legal transitions; ``None`` is the initial (absent) state.
 _LEGAL_TRANSITIONS: dict[RelationshipStatus | None, set[RelationshipStatus]] = {
     None: {RelationshipStatus.ELIGIBLE},
@@ -124,6 +134,21 @@ class RelationshipLedger:
         if self.status(worker_id, task_id) is None:
             self._transition(worker_id, task_id, RelationshipStatus.ELIGIBLE, now)
 
+    def revoke_eligibility(self, worker_id: str, task_id: str) -> bool:
+        """Forget a *pure* Eligible relationship whose inputs no longer hold.
+
+        Eligibility is system-derived, so when the deriving facts change
+        (worker factors edited, constraints tightened) the platform retracts
+        it.  Worker-declared states — Interested and deeper — survive factor
+        changes and are never revoked here.  Returns True when a row was
+        removed.
+        """
+        if self._cache.get((worker_id, task_id)) is not RelationshipStatus.ELIGIBLE:
+            return False
+        self.db.delete(_SCHEMA.name, (worker_id, task_id))
+        del self._cache[(worker_id, task_id)]
+        return True
+
     def declare_interest(self, worker_id: str, task_id: str, now: float = 0.0) -> None:
         """Worker declares interest; requires prior eligibility."""
         current = self.status(worker_id, task_id)
@@ -166,11 +191,7 @@ class RelationshipLedger:
     def eligible_workers(self, task_id: str) -> list[str]:
         """Workers currently in any Eligible-rooted state for the task."""
         eligible: list[str] = []
-        for status in (
-            RelationshipStatus.ELIGIBLE,
-            RelationshipStatus.INTERESTED,
-            RelationshipStatus.UNDERTAKES,
-        ):
+        for status in ELIGIBLE_ROOTED:
             eligible.extend(self.workers_with_status(task_id, status))
         return sorted(eligible)
 

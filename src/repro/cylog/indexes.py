@@ -52,6 +52,10 @@ class MultiKeyHashIndex:
         """The live bucket for ``key`` (empty when absent); do not mutate."""
         return self._buckets.get(key, _EMPTY)
 
+    def clear(self) -> None:
+        """Drop every bucket (used by ``Table.truncate``)."""
+        self._buckets.clear()
+
     @property
     def key_count(self) -> int:
         return len(self._buckets)

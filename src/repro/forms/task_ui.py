@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.tasks import Task, TaskKind
 from repro.forms.model import FormField, FormModel
 from repro.forms.render import html_escape, render_form, render_page, render_table
+from repro.storage import col
 
 
 def _answer_form(task: Task) -> FormModel:
@@ -74,6 +75,20 @@ def _render_joint_ui(platform, task: Task, worker_id: str) -> str:
         ("team member", "SNS id"),
         [(member, sns_ids.get(member, "?")) for member in members],
     )
+    # Worker↔task relationship tally for the root collaborative task,
+    # served through the storage query cache (stable between ledger writes).
+    ledger_rows = (
+        platform.db.query("relationship")
+        .where(col("task_id") == task.parent_task_id)
+        .group_by("status")
+        .aggregate(workers=("count", None))
+        .order_by("status")
+        .execute_cached()
+    )
+    ledger_html = render_table(
+        ("relationship", "workers"),
+        [(row["status"], row["workers"]) for row in ledger_rows],
+    )
     entry = platform._active_schemes.get(task.parent_task_id)
     doc_html = "<p>(document not yet started)</p>"
     if entry is not None:
@@ -113,7 +128,8 @@ def _render_joint_ui(platform, task: Task, worker_id: str) -> str:
         "<p>Work together with your team using the shared document below "
         "(communication delegated to your collaboration tool of choice)."
         "</p></section>",
-        f"<section><h2>Your team</h2>{roster}</section>",
+        f"<section><h2>Your team</h2>{roster}"
+        f"<h3>Task relationships</h3>{ledger_html}</section>",
         f'<section class="shared-document"><h2>Shared document</h2>{doc_html}'
         "</section>",
         render_form(contribute_form),

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.human_factors import HumanFactors
 from repro.forms.model import FormField, FormModel
 from repro.forms.render import render_form, render_page, render_table
+from repro.storage import col
 
 
 def build_factors_form(factors: HumanFactors) -> FormModel:
@@ -47,7 +48,13 @@ def build_factors_form(factors: HumanFactors) -> FormModel:
 
 
 def render_worker_page(platform, worker_id: str) -> str:
-    """The full worker page: factors + eligible collaborative tasks."""
+    """The full worker page: factors + eligible collaborative tasks.
+
+    The task list and per-task statuses render from cached storage queries
+    (see :mod:`repro.storage.cache`): between platform mutations, repeated
+    page loads are served from memoised results instead of re-scanning the
+    relationship and task tables.
+    """
     worker = platform.workers.get(worker_id)
     factors = worker.factors
     form_html = render_form(build_factors_form(factors))
@@ -57,15 +64,21 @@ def render_worker_page(platform, worker_id: str) -> str:
         + [(f"skill:{name}", f"{level:.2f}")
            for name, level in sorted(factors.skills.items())],
     )
+    status_rows = (
+        platform.db.query("relationship")
+        .where(col("worker_id") == worker_id)
+        .project("task_id", "status")
+        .execute_cached()
+    )
+    status_by_task = {row["task_id"]: row["status"] for row in status_rows}
     rows = []
     for task in platform.eligible_tasks(worker_id):
-        status = platform.ledger.status(worker_id, task.id)
         rows.append(
             (
                 task.id,
                 task.instruction[:60],
                 task.kind.value,
-                status.value if status else "eligible",
+                status_by_task.get(task.id, "eligible"),
             )
         )
     tasks_html = render_table(("task", "instruction", "kind", "your status"), rows)

@@ -30,6 +30,18 @@ class Collector:
     def record(self, name: str, value: Any) -> None:
         self.series.setdefault(name, []).append(value)
 
+    def absorb(self, stats: Any, prefix: str | None = None) -> None:
+        """Fold a stats object (``EngineStats``, ``PlatformStats``,
+        ``CacheStats`` — anything with ``to_collector``) into the counters.
+
+        The counters are cumulative, so absorb a given stats object into a
+        collector at most once.
+        """
+        if prefix is None:
+            stats.to_collector(self)
+        else:
+            stats.to_collector(self, prefix)
+
     def timer_total(self, name: str) -> float:
         return sum(self.timers.get(name, ()))
 

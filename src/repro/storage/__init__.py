@@ -25,6 +25,7 @@ Quick tour:
 [{'id': 'w1', 'skill': 0.9}]
 """
 
+from repro.storage.cache import CacheStats, QueryCache
 from repro.storage.database import Database
 from repro.storage.errors import (
     ConstraintViolation,
@@ -44,10 +45,12 @@ from repro.storage.table import Table
 from repro.storage.types import ColumnType
 
 __all__ = [
+    "CacheStats",
     "Column",
     "ColumnType",
     "ConstraintViolation",
     "Database",
+    "QueryCache",
     "DuplicateKeyError",
     "Expr",
     "ForeignKey",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.storage.cache import QueryCache
 from repro.storage.errors import (
     ForeignKeyError,
     SchemaError,
@@ -27,6 +28,9 @@ class Database:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._undo_log_stack: list[list[Callable[[], None]]] = []
+        #: Shared result cache for the serving path; entries self-invalidate
+        #: via table versions (see :mod:`repro.storage.cache`).
+        self.query_cache = QueryCache()
 
     # -- catalogue ---------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> Table:
@@ -49,7 +53,7 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop a table; refuses while other tables reference it."""
-        self.table(name)  # raises UnknownTableError if absent
+        table = self.table(name)  # raises UnknownTableError if absent
         for other in self._tables.values():
             if other.schema.name == name:
                 continue
@@ -60,6 +64,13 @@ class Database:
                         f"{other.schema.name!r}"
                     )
         del self._tables[name]
+        # The dropped table leaves the catalogue, so commit/rollback would
+        # never detach its sink: detach here or a later mutation through the
+        # orphaned handle records undo entries into a dead (or wrong) log.
+        table.undo_sink = None
+        # A same-named table created later restarts versions at zero, which
+        # could collide with entries recorded against this table.
+        self.query_cache.invalidate_all()
 
     def table(self, name: str) -> Table:
         """Return the table called ``name``."""

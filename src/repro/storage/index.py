@@ -52,6 +52,10 @@ class HashIndex:
         ``values`` (a copy; safe to mutate)."""
         return set(self._buckets.bucket(tuple(values)))
 
+    def clear(self) -> None:
+        """Drop every entry (table truncation)."""
+        self._buckets.clear()
+
     def __len__(self) -> int:
         return len(self._buckets)
 
@@ -84,6 +88,10 @@ class SortedIndex:
         position = bisect.bisect_left(self._entries, (value, pk))
         if position < len(self._entries) and self._entries[position] == (value, pk):
             del self._entries[position]
+
+    def clear(self) -> None:
+        """Drop every entry (table truncation)."""
+        self._entries.clear()
 
     def range(
         self,

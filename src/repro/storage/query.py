@@ -5,17 +5,29 @@ and returns a list of row dicts.  Supported operators: scan, where
 (selection), project (with computed columns), inner/left hash joins,
 group-by with aggregates, order-by, distinct, limit/offset.
 
+Alongside the callable pipeline every query threads a structural *plan
+fingerprint* and the set of source :class:`~repro.storage.table.Table`
+objects it reads.  :meth:`Query.execute_cached` uses the pair to memoise
+results in the owning database's :class:`~repro.storage.cache.QueryCache`,
+keyed on (plan, table versions) — repeated reads between mutations are
+served from memory and become stale automatically when any source table's
+version moves.  Expression predicates key on their (value-based) ``repr``;
+opaque callables key on object identity, so reuse the same function object
+to share cache entries.  Queries over ad-hoc row lists have no plan and
+simply bypass the cache.
+
 >>> from repro.storage import Database, TableSchema, Column, ColumnType, col
 >>> # Query.scan(db, "worker").where(col("skill") > 0.5).order_by("id").execute()
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.storage.database import Database
 from repro.storage.errors import StorageError, UnknownColumnError
 from repro.storage.expr import Expr
+from repro.storage.table import Table
 
 Row = dict[str, Any]
 
@@ -31,11 +43,34 @@ _AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
 }
 
 
+def _opaque(value: Expr | Callable) -> Hashable:
+    """Plan-key component for a predicate/evaluator.
+
+    Expr reprs are compositional over column names and literal values, so
+    they identify the computation; arbitrary callables are keyed (and kept
+    alive) by object identity.
+    """
+    return repr(value) if isinstance(value, Expr) else value
+
+
 class Query:
     """An immutable chain of relational operators."""
 
-    def __init__(self, source: Callable[[], Iterable[Row]]) -> None:
+    def __init__(
+        self,
+        source: Callable[[], Iterable[Row]],
+        plan: Hashable | None = None,
+        tables: tuple[Table, ...] = (),
+        db: Database | None = None,
+    ) -> None:
         self._source = source
+        self._plan = plan
+        self._tables = tables
+        self._db = db
+
+    def _derive(self, source: Callable[[], Iterable[Row]], op: tuple) -> "Query":
+        plan = (*op, self._plan) if self._plan is not None else None
+        return Query(source, plan=plan, tables=self._tables, db=self._db)
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -46,11 +81,11 @@ class Query:
         def source() -> Iterable[Row]:
             return table._iter_internal()
 
-        return cls(source)
+        return cls(source, plan=("scan", table_name), tables=(table,), db=db)
 
     @classmethod
     def from_rows(cls, rows: Sequence[Row]) -> "Query":
-        """Query over an in-memory list of row dicts."""
+        """Query over an in-memory list of row dicts (never cached)."""
         materialised = list(rows)
         return cls(lambda: materialised)
 
@@ -59,7 +94,10 @@ class Query:
         """Keep rows satisfying ``predicate`` (an Expr or a plain callable)."""
         test = predicate.evaluate if isinstance(predicate, Expr) else predicate
         parent = self._source
-        return Query(lambda: (row for row in parent() if test(row)))
+        return self._derive(
+            lambda: (row for row in parent() if test(row)),
+            ("where", _opaque(predicate)),
+        )
 
     def project(self, *columns: str, **computed: Expr | Callable[[Row], Any]) -> "Query":
         """Project to ``columns`` plus ``computed`` alias=expression pairs."""
@@ -81,7 +119,12 @@ class Query:
                     out[alias] = evaluate(row)
                 yield out
 
-        return Query(source)
+        op = (
+            "project",
+            columns,
+            tuple((alias, _opaque(value)) for alias, value in computed.items()),
+        )
+        return self._derive(source, op)
 
     def rename(self, **mapping: str) -> "Query":
         """Rename columns: ``rename(new=old)``; unlisted columns pass through."""
@@ -92,7 +135,7 @@ class Query:
             for row in parent():
                 yield {inverse.get(name, name): value for name, value in row.items()}
 
-        return Query(source)
+        return self._derive(source, ("rename", tuple(sorted(mapping.items()))))
 
     def prefix(self, prefix: str) -> "Query":
         """Prefix every column name (used to disambiguate join sides)."""
@@ -102,7 +145,7 @@ class Query:
             for row in parent():
                 yield {f"{prefix}{name}": value for name, value in row.items()}
 
-        return Query(source)
+        return self._derive(source, ("prefix", prefix))
 
     def join(
         self,
@@ -154,11 +197,21 @@ class Query:
                         merged.setdefault(name, None)
                     yield merged
 
-        return Query(source)
+        plan = None
+        if self._plan is not None and other._plan is not None:
+            plan = ("join", self._plan, other._plan, tuple(map(tuple, on)), how)
+        return Query(
+            source,
+            plan=plan,
+            tables=self._tables + other._tables,
+            db=self._db or other._db,
+        )
 
     def group_by(self, *keys: str) -> "GroupedQuery":
         """Group rows by ``keys`` in preparation for :meth:`GroupedQuery.aggregate`."""
-        return GroupedQuery(self._source, keys)
+        return GroupedQuery(
+            self._source, keys, plan=self._plan, tables=self._tables, db=self._db
+        )
 
     def order_by(self, *columns: str, desc: bool = False) -> "Query":
         """Sort by ``columns``; ``None`` sorts first (ascending)."""
@@ -177,7 +230,7 @@ class Query:
             except TypeError as exc:
                 raise StorageError(f"order_by on incomparable values: {exc}") from exc
 
-        return Query(source)
+        return self._derive(source, ("order_by", columns, desc))
 
     def distinct(self) -> "Query":
         """Drop duplicate rows (all columns considered)."""
@@ -191,7 +244,7 @@ class Query:
                     seen.add(key)
                     yield row
 
-        return Query(source)
+        return self._derive(source, ("distinct",))
 
     def limit(self, count: int, offset: int = 0) -> "Query":
         """Keep ``count`` rows after skipping ``offset``."""
@@ -207,12 +260,33 @@ class Query:
                     break
                 yield row
 
-        return Query(source)
+        return self._derive(source, ("limit", count, offset))
 
     # -- execution ---------------------------------------------------------------
     def execute(self) -> list[Row]:
         """Run the pipeline, returning fresh row dicts."""
         return [dict(row) for row in self._source()]
+
+    @property
+    def cacheable(self) -> bool:
+        """True when the pipeline has a structural plan rooted in table scans."""
+        return self._plan is not None and self._db is not None
+
+    def execute_cached(self) -> list[Row]:
+        """Like :meth:`execute`, memoised in the database's query cache.
+
+        Results are keyed on (plan fingerprint, source-table versions); any
+        mutation of a source table — including a transaction rollback —
+        bumps its version and forces recomputation.  Rows are copied on
+        every call, so callers may mutate them freely.  Uncacheable queries
+        (ad-hoc row sources, no database) fall back to :meth:`execute`.
+        """
+        if not self.cacheable:
+            return self.execute()
+        rows = self._db.query_cache.fetch(
+            self._plan, self._tables, lambda: [dict(row) for row in self._source()]
+        )
+        return [dict(row) for row in rows]
 
     def count(self) -> int:
         """Number of result rows (no materialisation of dict copies)."""
@@ -232,9 +306,19 @@ class Query:
 class GroupedQuery:
     """Intermediate produced by :meth:`Query.group_by`."""
 
-    def __init__(self, source: Callable[[], Iterable[Row]], keys: tuple[str, ...]) -> None:
+    def __init__(
+        self,
+        source: Callable[[], Iterable[Row]],
+        keys: tuple[str, ...],
+        plan: Hashable | None = None,
+        tables: tuple[Table, ...] = (),
+        db: Database | None = None,
+    ) -> None:
         self._source = source
         self._keys = keys
+        self._plan = plan
+        self._tables = tables
+        self._db = db
 
     def aggregate(self, **specs: tuple[str, str | None]) -> Query:
         """Aggregate each group.
@@ -273,7 +357,15 @@ class GroupedQuery:
                         out[alias] = _AGGREGATES[func](values)
                 yield out
 
-        return Query(source)
+        plan = None
+        if self._plan is not None:
+            plan = (
+                "aggregate",
+                keys,
+                tuple((alias, spec) for alias, spec in specs.items()),
+                self._plan,
+            )
+        return Query(source, plan=plan, tables=self._tables, db=self._db)
 
 
 def _freeze(value: Any) -> Any:

@@ -27,6 +27,11 @@ class Table:
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
+        #: Monotonically increasing data version.  Bumped by every physical
+        #: mutation — including the undo-log's raw rollback operations — so a
+        #: cached query result tagged with the versions of its source tables
+        #: is provably stale the moment any of them changed.
+        self.version: int = 0
         self._rows: dict[PkTuple, dict[str, Any]] = {}
         self._unique_indexes: list[HashIndex] = [
             HashIndex(constraint, unique=True) for constraint in schema.unique
@@ -71,6 +76,7 @@ class Table:
             )
         self._index_add(row, pk)
         self._rows[pk] = row
+        self.version += 1
         if self.undo_sink is not None:
             self.undo_sink(lambda: self._raw_delete(pk))
         return dict(row)
@@ -100,6 +106,7 @@ class Table:
             raise
         del self._rows[pk]
         self._rows[new_pk] = new_row
+        self.version += 1
         if self.undo_sink is not None:
             old_copy = dict(old)
             self.undo_sink(lambda: self._raw_replace(new_pk, pk, old_copy))
@@ -115,6 +122,7 @@ class Table:
             )
         self._index_remove(row, pk)
         del self._rows[pk]
+        self.version += 1
         if self.undo_sink is not None:
             row_copy = dict(row)
             self.undo_sink(lambda: self._raw_insert(row_copy))
@@ -132,11 +140,9 @@ class Table:
 
             self.undo_sink(undo)
         self._rows.clear()
+        self.version += 1
         for index in self._all_indexes():
-            if isinstance(index, HashIndex):
-                index._buckets.clear()
-            else:
-                index._entries.clear()
+            index.clear()
         return removed
 
     # -- raw (no undo, no validation) ops used by the undo log -----------------
@@ -144,16 +150,19 @@ class Table:
         pk = self.schema.pk_tuple(row)
         self._index_add(row, pk)
         self._rows[pk] = row
+        self.version += 1
 
     def _raw_delete(self, pk: PkTuple) -> None:
         row = self._rows.pop(pk)
         self._index_remove(row, pk)
+        self.version += 1
 
     def _raw_replace(self, current_pk: PkTuple, old_pk: PkTuple, old_row: dict) -> None:
         current = self._rows.pop(current_pk)
         self._index_remove(current, current_pk)
         self._index_add(old_row, old_pk)
         self._rows[old_pk] = old_row
+        self.version += 1
 
     # -- reads ------------------------------------------------------------------
     def get(self, pk: Sequence[Any]) -> dict[str, Any] | None:

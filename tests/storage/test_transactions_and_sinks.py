@@ -1,0 +1,116 @@
+"""Regression tests for undo-log transaction semantics and sink lifecycle.
+
+Covers the nested commit-then-outer-fail fold, undo-sink attachment for
+tables created before/inside transactions, and detachment on drop_table
+(the orphan-sink bug: mutating a dropped table used to raise IndexError
+or pollute the owner's undo log).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import Column, ColumnType, Database, TableSchema
+from repro.storage.errors import TransactionError
+from repro.storage.transactions import transaction
+
+
+def _schema(name: str) -> TableSchema:
+    return TableSchema(
+        name,
+        [Column("id", ColumnType.TEXT), Column("v", ColumnType.INT)],
+        primary_key=("id",),
+    )
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(_schema("t"))
+    return database
+
+
+class TestNestedTransactions:
+    def test_inner_commit_folds_into_parent_log(self, db):
+        """The satellite regression: work committed by an inner transaction
+        must still be undone when the outer transaction rolls back."""
+        db.begin()
+        db.insert("t", {"id": "outer", "v": 1})
+        db.begin()
+        db.insert("t", {"id": "inner", "v": 2})
+        db.update("t", ("outer",), {"v": 10})
+        db.commit()  # inner commit: entries fold into the parent log
+        assert db.table("t").get(("inner",)) is not None
+        db.rollback()  # outer rollback must revert inner-committed work too
+        assert db.table("t").get(("inner",)) is None
+        assert db.table("t").get(("outer",)) is None
+        assert not db.in_transaction
+
+    def test_nested_context_managers_commit_then_outer_fail(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.insert("t", {"id": "a", "v": 1})
+                with transaction(db):  # commits cleanly
+                    db.insert("t", {"id": "b", "v": 2})
+                assert db.table("t").contains(("b",))
+                raise RuntimeError("outer failure")
+        assert len(db.table("t")) == 0
+
+    def test_inner_rollback_keeps_outer_work(self, db):
+        db.begin()
+        db.insert("t", {"id": "keep", "v": 1})
+        db.begin()
+        db.insert("t", {"id": "drop", "v": 2})
+        db.rollback()  # inner only
+        assert db.table("t").contains(("keep",))
+        assert not db.table("t").contains(("drop",))
+        db.commit()
+        assert db.table("t").contains(("keep",))
+
+    def test_commit_rollback_without_begin_raise(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+        with pytest.raises(TransactionError):
+            db.rollback()
+
+
+class TestSinkLifecycle:
+    def test_table_created_before_begin_is_rolled_back(self, db):
+        """Tables that exist before begin() get the sink attached."""
+        db.begin()
+        db.insert("t", {"id": "x", "v": 1})
+        db.rollback()
+        assert len(db.table("t")) == 0
+        assert db.table("t").undo_sink is None
+
+    def test_table_created_inside_transaction_is_rolled_back(self, db):
+        db.begin()
+        late = db.create_table(_schema("late"))
+        assert late.undo_sink is not None
+        db.insert("late", {"id": "x", "v": 1})
+        db.rollback()
+        assert len(late) == 0  # rows undone (the table itself survives)
+
+    def test_drop_table_detaches_sink(self, db):
+        """Orphan-sink regression: a dropped table must not keep recording
+        undo entries into (or crash on) the database's log."""
+        orphan = db.table("t")
+        db.begin()
+        db.drop_table("t")
+        db.commit()
+        assert orphan.undo_sink is None
+        # Mutating the orphaned handle outside any transaction used to hit
+        # IndexError via the stale sink; now it is a plain standalone table.
+        orphan.insert({"id": "ghost", "v": 1})
+        assert orphan.contains(("ghost",))
+
+    def test_recreated_table_gets_fresh_sink_state(self, db):
+        db.drop_table("t")
+        fresh = db.create_table(_schema("t"))
+        assert fresh.undo_sink is None
+        db.begin()
+        db.insert("t", {"id": "a", "v": 1})
+        assert fresh.undo_sink is not None
+        db.rollback()
+        assert len(fresh) == 0
+        assert fresh.undo_sink is None
