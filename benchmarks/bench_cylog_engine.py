@@ -10,7 +10,7 @@ the monotone continuation is far cheaper than recomputation.
 import time
 
 from repro.cylog import SemiNaiveEngine, naive_evaluate, parse_program
-from repro.metrics import Collector, format_table
+from repro.metrics import Collector, format_stats_table, format_table
 
 from fastmode import pick
 
@@ -114,6 +114,98 @@ def test_e10c_cost_planner_vs_legacy_at_scale(emit):
     ))
     if not pick(False, True):  # full-size runs must show the headline win
         assert speedup >= 3.0, f"expected >= 3x speedup, got {speedup:.2f}x"
+
+
+# E10d — cross-run incremental evaluation: repeated small add/retract
+# deltas against a retained 10k+ fact materialisation vs run(full=True).
+DELTA_ROUNDS = pick(12, 3)
+DELTA_SIZE = pick(8, 2)
+
+DELTA_RULES = """
+    reach(S, Y) :- link(X, Y), reach(S, X).
+    reach(S, Y) :- source(S), link(S, Y).
+    frontier(S, Y) :- reach(S, Y), not banned(Y).
+    exposure(S, count<Y>) :- frontier(S, Y).
+"""
+
+
+def test_e10d_cross_run_incremental_deltas(emit):
+    """The per-platform-round operation after this PR: facts arrive *and*
+    get revoked between runs, and the engine propagates only the deltas —
+    support counting plus DRed retraction — instead of re-deriving every
+    stratum from base facts."""
+    engine = SemiNaiveEngine(parse_program(DELTA_RULES))
+    engine.add_facts("link", [
+        (c * 1000 + i, c * 1000 + i + 1)
+        for c in range(SCALE_CHAINS)
+        for i in range(SCALE_DEPTH)
+    ])
+    engine.add_facts("source", [(c * 1000,) for c in range(SCALE_CHAINS)])
+    engine.add_facts("banned", [(c * 1000 + 3,) for c in range(0, SCALE_CHAINS, 7)])
+    engine.run()
+
+    incr_times = []
+    tail = SCALE_DEPTH
+    added_last: list[tuple[int, int]] = []
+    for round_index in range(DELTA_ROUNDS):
+        # Small churn with real retraction work: extend a few chains,
+        # retract half of the previous round's extensions, sever (or
+        # restore) one mid-chain link — DRed over-deletes and re-derives
+        # the chain suffix — and flip one banned node under the negation.
+        extend = [
+            (c * 1000 + tail + round_index, c * 1000 + tail + round_index + 1)
+            for c in range(DELTA_SIZE)
+        ]
+        retract = added_last[: DELTA_SIZE // 2]
+        chain = round_index % SCALE_CHAINS
+        mid_link = (chain * 1000 + tail // 2, chain * 1000 + tail // 2 + 1)
+        banned_flip = (chain * 1000 + 3,)
+        start = time.perf_counter()
+        engine.add_facts("link", extend)
+        if retract:
+            engine.retract_facts("link", retract)
+        if round_index % 2:
+            engine.add_facts("link", [mid_link])
+            engine.add_facts("banned", [banned_flip])
+        else:
+            engine.retract_facts("link", [mid_link])
+            engine.retract_facts("banned", [banned_flip])
+        result = engine.run()
+        incr_times.append(time.perf_counter() - start)
+        assert result.has_changes()
+        added_last = extend
+    assert engine.runs == 1  # every delta round stayed incremental
+    assert engine.stats.incremental_runs == DELTA_ROUNDS
+
+    incremental_s = sum(incr_times) / len(incr_times)
+    start = time.perf_counter()
+    full_result = engine.run(full=True)
+    full_s = time.perf_counter() - start
+    # The retained materialisation must match the from-scratch recompute.
+    fresh = SemiNaiveEngine(parse_program(DELTA_RULES))
+    for predicate, rows in engine._base_facts.items():
+        fresh.add_facts(predicate, rows)
+    assert fresh.run().relations == full_result.relations
+
+    speedup = full_s / incremental_s if incremental_s else float("inf")
+    emit(format_table(
+        ("measure", "value"),
+        [
+            ("base facts", SCALE_CHAINS * SCALE_DEPTH + SCALE_CHAINS),
+            ("delta rounds", DELTA_ROUNDS),
+            ("adds+retracts per round", 2 * DELTA_SIZE + 1),
+            ("mean incremental run (ms)", round(incremental_s * 1000, 2)),
+            ("full recompute (ms)", round(full_s * 1000, 2)),
+            ("per-run speedup", round(speedup, 1)),
+        ],
+        title="E10d — cross-run incremental deltas vs full recompute",
+    ) + "\n" + format_stats_table(
+        {"cylog_engine": engine.stats.as_dict()},
+        title="E10d — unified engine counters (incl. delta/retraction)",
+        skip_zero=True,
+    ))
+    if not pick(False, True):  # full-size runs must show the headline win
+        assert speedup >= 5.0, f"expected >= 5x speedup, got {speedup:.1f}x"
 
 
 def _chain_program(n: int):

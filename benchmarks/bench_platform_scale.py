@@ -20,7 +20,7 @@ from repro.core import Crowd4U, HumanFactors, TeamConstraints
 from repro.core.relationships import RelationshipLedger
 from repro.core.tasks import TaskKind, TaskPool, TaskStatus
 from repro.forms.worker_page import render_worker_page
-from repro.metrics import format_table
+from repro.metrics import format_stats_table, format_table
 from repro.storage import Database
 
 from fastmode import FAST, pick
@@ -159,9 +159,20 @@ def test_e9b_incremental_steady_state(benchmark, emit):
         ("query-cache hits", cache.hits),
         ("query-cache misses+stale", cache.misses + cache.invalidations),
     ]
+    engine_stats = {}
+    for project_id, processor in incremental._processors.items():
+        engine_stats[f"cylog_engine[{project_id}]"] = processor.stats.as_dict()
     emit(format_table(
         ("measure", "value"), rows,
         title="E9b — steady-state platform round: incremental vs full recompute",
+    ) + "\n" + format_stats_table(
+        {
+            "platform": stats.as_dict(),
+            "query_cache": cache.as_dict(),
+            **engine_stats,
+        },
+        title="E9b — unified serving-path counters (platform / cache / engine)",
+        skip_zero=True,
     ))
     # Both modes must agree on the persistent relationship state.
     assert sorted(

@@ -14,11 +14,14 @@ Time advances through :meth:`step`, which performs one platform round:
 CyLog re-evaluation → dynamic task generation → eligibility computation →
 team formation attempts → deadline monitoring.
 
-Rounds are *incremental* by default: the platform tracks which workers,
-projects and tasks changed since the last round (registrations, factor
-edits, fact assertions, constraint updates, interest declarations, team
-dissolutions) and only re-derives eligibility / re-attempts team formation
-for the (task, worker) pairs whose inputs moved.  ``step(full=True)`` — or
+Rounds are *incremental* by default: the CyLog engine itself reports what
+each evaluation added and removed (``EvaluationResult.added/removed``,
+accumulated per project by ``CyLogProcessor.drain_deltas``), so the round
+applies exactly those change sets to the Eligible ledger — no fingerprint
+guessing.  Constraint-screen projects (no ``eligible`` rule) are driven by
+a per-round dirty-worker set, and a task that sat outside the pending pool
+(proposed/active) re-derives in full when it returns, since it missed the
+change feeds in between.  ``step(full=True)`` — or
 ``Crowd4U(incremental=False)`` — is the recompute-everything escape hatch,
 and ``step(cross_check=True)`` runs an engine-diff-style oracle that
 verifies the incrementally maintained ledger against a from-scratch
@@ -33,7 +36,7 @@ recomputation.  Work counters live in :class:`PlatformStats`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any
 
 from repro.core.affinity import (
     AffinityMatrix,
@@ -174,20 +177,17 @@ class Crowd4U:
         self._suggestions: dict[str, list[RequesterSuggestion]] = {}
         self._doc_ids = IdFactory("doc", width=5)
         # -- dirty tracking for incremental rounds --------------------------
-        #: Append-only log of worker-change events, each tagged with a
-        #: strictly increasing sequence number.  A task remembers the
-        #: sequence it last accounted for (``_task_seen_seq``) and consumes
-        #: only the log suffix past its cursor, so marking a churned worker
-        #: is O(1) regardless of pool size and tasks parked in
-        #: PROPOSED/ACTIVE catch up when they return to the pending pool.
-        self._dirty_seq: int = 0
-        self._dirty_worker_log: list[tuple[int, str]] = []
-        self._task_seen_seq: dict[str, int] = {}
+        #: Workers whose factors/registration changed since the last round;
+        #: consumed by the constraint-screen eligibility path (CyLog-driven
+        #: eligibility rides the engine's own change sets instead).
+        self._dirty_workers: set[str] = set()
         #: tasks whose whole eligible set must be re-derived (constraint
-        #: updates); new tasks are caught by the missing-fingerprint check.
+        #: updates); new tasks are caught by the missing round cursor.
         self._task_needs_full: set[str] = set()
-        #: task -> fingerprint of the eligibility inputs it last saw.
-        self._elig_fp: dict[str, Hashable] = {}
+        #: task -> the round number its eligibility last consumed.  A task
+        #: absent for a round (parked in PROPOSED/ACTIVE, or freshly
+        #: created) missed the drained change feeds and re-derives in full.
+        self._task_round: dict[str, int] = {}
         self.events.subscribe("task.active", self._on_task_active)
 
     # ------------------------------------------------------------------
@@ -546,64 +546,136 @@ class Crowd4U:
                 key=list(request.key_values),
             )
 
-    # -- eligibility (full + dirty-tracked incremental) ---------------------
+    # -- eligibility (full + delta-driven incremental) ----------------------
     def _mark_worker_dirty(self, worker_id: str) -> None:
-        """A worker's factors/facts changed: append one event to the dirty
-        log; every task consumes the events past its own cursor on its next
-        eligibility refresh."""
-        self._dirty_seq += 1
-        self._dirty_worker_log.append((self._dirty_seq, worker_id))
+        """A worker's factors/facts changed: the constraint-screen path
+        re-checks exactly this worker on the next round."""
+        self._dirty_workers.add(worker_id)
 
-    def _dirty_workers_since(self, seen_seq: int) -> set[str]:
-        """Workers that changed after sequence ``seen_seq``."""
-        log = self._dirty_worker_log
-        # Events are appended with strictly increasing sequence numbers, so
-        # scan back from the tail instead of bisecting a typically-tiny
-        # suffix.
-        dirty: set[str] = set()
-        for index in range(len(log) - 1, -1, -1):
-            seq, worker_id = log[index]
-            if seq <= seen_seq:
-                break
-            dirty.add(worker_id)
-        return dirty
+    def _eligibility_deltas(
+        self, processor: CyLogProcessor
+    ) -> dict[str, tuple[set[str], set[str]]]:
+        """Drain the processor's change sets into per-predicate worker-id
+        transitions: ``name -> (now eligible, no longer eligible)``.
+
+        The engine reports tuple-level deltas; a worker leaves the eligible
+        set only when *no* supporting tuple with her id remains (checked
+        through the relation's key index, one O(1) probe per removed row).
+        """
+        known = set(self.workers.ids())
+        transitions: dict[str, tuple[set[str], set[str]]] = {}
+        for name, (added_rows, removed_rows) in processor.drain_deltas().items():
+            if name != "eligible" and not name.startswith("eligible_"):
+                continue
+            added = {row[0] for row in added_rows if row and row[0] in known}
+            relation = processor.engine.store.maybe(name)
+            removed = {
+                row[0]
+                for row in removed_rows
+                if row
+                and row[0] not in added
+                and (relation is None or not relation.lookup((0,), (row[0],)))
+            }
+            transitions[name] = (added, removed)
+        return transitions
 
     def _refresh_eligibility(self, incremental: bool) -> None:
         """Bring the Eligible relationship up to date for every pending root
-        task — completely, or only for the pairs whose inputs changed."""
+        task — completely, or by applying the engine-reported change sets
+        (plus the dirty-worker set for constraint-screen projects)."""
         pending = self.pool.pending_root_tasks()
         n_workers = len(self.workers)
-        fp_cache: dict[tuple[str, str], Hashable] = {}
+        round_no = self.stats.rounds
+        # Drain every project's change feed exactly once per round, whether
+        # or not the round consumes it incrementally — the feed is per-run
+        # state, not per-task state.
+        deltas = {
+            project_id: self._eligibility_deltas(processor)
+            for project_id, processor in self._processors.items()
+        }
         if not incremental:
             for task in pending:
                 self._ensure_eligibility(task)
                 self._task_needs_full.discard(task.id)
-                self._elig_fp[task.id] = self._eligibility_fingerprint(task, fp_cache)
-                self._task_seen_seq[task.id] = self._dirty_seq
+                self._task_round[task.id] = round_no
                 self.stats.eligibility_tasks_full += 1
                 self.stats.eligibility_pairs_checked += n_workers
+            self._dirty_workers.clear()
             return
-        heads_cache: dict[tuple[str, str], set] = {}
         for task in pending:
-            fp = self._eligibility_fingerprint(task, fp_cache)
-            dirty = self._dirty_workers_since(self._task_seen_seq.get(task.id, 0))
-            if task.id in self._task_needs_full or self._elig_fp.get(task.id) != fp:
-                # Never-seen task, changed CyLog derivation, or updated
-                # constraints: the whole eligible set must be re-derived.
+            if (
+                task.id in self._task_needs_full
+                or self._task_round.get(task.id) != round_no - 1
+            ):
+                # Never-seen task, updated constraints, or a task that sat
+                # outside the pending pool and missed drained change feeds:
+                # the whole eligible set must be re-derived.
                 self._task_needs_full.discard(task.id)
                 self._ensure_eligibility(task)
                 self.stats.eligibility_tasks_full += 1
                 self.stats.eligibility_pairs_checked += n_workers
-            elif dirty:
-                self._partial_eligibility(task, dirty, heads_cache)
-                self.stats.eligibility_tasks_partial += 1
-                self.stats.eligibility_pairs_checked += len(dirty)
-                self.stats.eligibility_pairs_skipped += max(0, n_workers - len(dirty))
             else:
+                self._apply_incremental_eligibility(
+                    task, deltas.get(task.project_id, {}), n_workers
+                )
+            self._task_round[task.id] = round_no
+        self._dirty_workers.clear()
+
+    def _apply_incremental_eligibility(
+        self,
+        task: Task,
+        transitions: dict[str, tuple[set[str], set[str]]],
+        n_workers: int,
+    ) -> None:
+        """Apply one round's change sets to one task's Eligible rows."""
+        processor = self._processors.get(task.project_id)
+        name = self._eligible_predicate(processor, task)
+        if name is None:
+            # Constraint screen: only dirtied workers can have changed.
+            dirty = self._dirty_workers
+            if not dirty:
                 self.stats.eligibility_tasks_skipped += 1
                 self.stats.eligibility_pairs_skipped += n_workers
-            self._elig_fp[task.id] = fp
-            self._task_seen_seq[task.id] = self._dirty_seq
+                return
+            project = self.projects.get(task.project_id)
+            for worker_id in sorted(dirty):
+                worker = self.workers.maybe(worker_id)
+                if worker is not None and project.constraints.member_eligible(worker):
+                    self.ledger.mark_eligible(worker_id, task.id, self.now)
+                elif self.ledger.revoke_eligibility(worker_id, task.id):
+                    self.stats.eligibility_revoked += 1
+            self.stats.eligibility_tasks_partial += 1
+            self.stats.eligibility_pairs_checked += len(dirty)
+            self.stats.eligibility_pairs_skipped += max(0, n_workers - len(dirty))
+            return
+        added, removed = transitions.get(name, (set(), set()))
+        # Dirty workers not covered by the engine's delta still need one
+        # membership probe: a worker may register *after* the facts that
+        # make her eligible were derived.
+        stale = self._dirty_workers - added - removed
+        changed = len(added) + len(removed) + len(stale)
+        if not changed:
+            self.stats.eligibility_tasks_skipped += 1
+            self.stats.eligibility_pairs_skipped += n_workers
+            return
+        for worker_id in sorted(added):
+            self.ledger.mark_eligible(worker_id, task.id, self.now)
+        for worker_id in sorted(removed):
+            if self.ledger.revoke_eligibility(worker_id, task.id):
+                self.stats.eligibility_revoked += 1
+        if stale:
+            relation = processor.engine.store.maybe(name)
+            for worker_id in sorted(stale):
+                present = relation is not None and bool(
+                    relation.lookup((0,), (worker_id,))
+                )
+                if present:
+                    self.ledger.mark_eligible(worker_id, task.id, self.now)
+                elif self.ledger.revoke_eligibility(worker_id, task.id):
+                    self.stats.eligibility_revoked += 1
+        self.stats.eligibility_tasks_partial += 1
+        self.stats.eligibility_pairs_checked += changed
+        self.stats.eligibility_pairs_skipped += max(0, n_workers - changed)
 
     def _eligible_predicate(
         self, processor: CyLogProcessor | None, task: Task
@@ -617,65 +689,6 @@ class Crowd4U:
             if name in idb:
                 return name
         return None
-
-    def _eligibility_fingerprint(
-        self, task: Task, fp_cache: dict[tuple[str, str], Hashable]
-    ) -> Hashable:
-        """A value identifying the CyLog inputs of a task's eligible set.
-
-        For *monotone* programs facts only accumulate, so the relation's
-        cardinality is an exact change detector and the per-round comparison
-        costs O(1).  With negation or aggregation the relation can shrink or
-        swap elements at constant size, so the fingerprint is the relation
-        content itself (one snapshot + set compare per project per round).
-        Constraint-screen tasks use a constant: their input changes flow
-        through ``_task_needs_full`` / the dirty-worker log instead.
-        """
-        processor = self._processors.get(task.project_id)
-        name = self._eligible_predicate(processor, task)
-        if name is None:
-            return ("screen",)
-        key = (task.project_id, name)
-        fp = fp_cache.get(key)
-        if fp is None:
-            if processor.compiled.is_monotone:
-                relation = processor.engine.store.maybe(name)
-                fp = ("cylog", name, len(relation) if relation is not None else 0)
-            else:
-                fp = ("cylog-set", name, processor.facts(name))
-            fp_cache[key] = fp
-        return fp
-
-    def _partial_eligibility(
-        self,
-        task: Task,
-        dirty_workers: set[str],
-        heads_cache: dict[tuple[str, str], set],
-    ) -> None:
-        """Re-derive eligibility for one task restricted to the workers
-        whose inputs changed; everyone else's state is provably current."""
-        project = self.projects.get(task.project_id)
-        processor = self._processors.get(task.project_id)
-        name = self._eligible_predicate(processor, task)
-        heads: set | None = None
-        if name is not None:
-            key = (task.project_id, name)
-            heads = heads_cache.get(key)
-            if heads is None:
-                heads = {value[0] for value in processor.facts(name) if value}
-                heads_cache[key] = heads
-        for worker_id in sorted(dirty_workers):
-            worker = self.workers.maybe(worker_id)
-            if worker is None:
-                eligible = False
-            elif heads is not None:
-                eligible = worker_id in heads
-            else:
-                eligible = project.constraints.member_eligible(worker)
-            if eligible:
-                self.ledger.mark_eligible(worker_id, task.id, self.now)
-            elif self.ledger.revoke_eligibility(worker_id, task.id):
-                self.stats.eligibility_revoked += 1
 
     def _ensure_eligibility(self, task: Task) -> None:
         """Re-derive the complete Eligible set for one pending root task:
@@ -725,20 +738,13 @@ class Crowd4U:
                 )
 
     def _prune_round_state(self) -> None:
-        """Drop dirty-tracking entries for tasks that can no longer return
-        to the pending pool (completed/cancelled/expired), then truncate the
-        dirty-worker log prefix every surviving task has already consumed."""
+        """Drop round cursors for tasks that can no longer return to the
+        pending pool (completed/cancelled/expired)."""
         open_ids = {task.id for task in self.pool.open_tasks()}
-        for task_id in [t for t in self._elig_fp if t not in open_ids]:
-            del self._elig_fp[task_id]
-            self._task_seen_seq.pop(task_id, None)
+        for task_id in [t for t in self._task_round if t not in open_ids]:
+            del self._task_round[task_id]
             self.controller.clear_dirty(task_id)
         self._task_needs_full.intersection_update(open_ids)
-        min_seen = min(self._task_seen_seq.values(), default=self._dirty_seq)
-        if self._dirty_worker_log and self._dirty_worker_log[0][0] <= min_seen:
-            self._dirty_worker_log = [
-                entry for entry in self._dirty_worker_log if entry[0] > min_seen
-            ]
 
     def _eligible_worker_ids(
         self,

@@ -12,10 +12,13 @@ This package implements the full pipeline:
 
 ``lexer`` → ``parser`` → ``safety`` (range restriction, task-safety,
 stratification, cost-based join planning) → ``indexes`` (incrementally
-maintained multi-key hash indexes) → ``engine`` (naive and semi-naive
-bottom-up evaluation with negation and aggregates, consuming the compiled
-join plans) → ``processor`` (incremental re-evaluation plus open-predicate
-task demand, with batched fact arrival via ``CyLogProcessor.batch``).
+maintained multi-key hash indexes) → ``engine`` + ``incremental`` (naive
+oracle and a semi-naive engine that stays incremental *across* runs:
+retained store, support counting, DRed retraction, per-run
+``added``/``removed`` deltas) → ``processor`` (incremental re-evaluation
+plus open-predicate task demand, batched fact arrival via
+``CyLogProcessor.batch``, answer revocation via ``revoke_answer`` and the
+accumulated ``drain_deltas`` change feed).
 
 Engine observability: every :class:`SemiNaiveEngine` (and
 :class:`CyLogProcessor` via its ``stats`` property) exposes an

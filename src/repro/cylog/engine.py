@@ -9,10 +9,20 @@ are cost-ordered and each atom's index key is fixed at plan time, and
 recursive rules use *delta-first* rewrites so each semi-naive round drives
 the join from the (small) delta instead of re-scanning the leading atoms.
 
+:class:`SemiNaiveEngine` is *incremental across runs*: the
+:class:`RelationStore` and the derivation provenance recorded in a
+:class:`~repro.cylog.incremental.SupportIndex` are retained between
+``run()`` calls, so a run propagates only the queued base-fact additions
+and retractions stratum by stratum — support counting deletes exactly the
+derivations that lost their footing, recursive strata fall back to
+DRed-style over-delete / re-derive, and negation and aggregation are
+maintained through trigger plans and recompute-and-diff respectively.
+Every run reports what changed through ``EvaluationResult.added`` /
+``removed``, which the CyLog processor and the platform consume as
+first-class deltas.
+
 :func:`naive_evaluate` exists as an oracle for differential testing and as
-the baseline for the E10 bench; :class:`SemiNaiveEngine` is what the CyLog
-processor uses, including incremental continuation for monotone programs
-when new (human-produced) facts arrive.  Both report work counters through
+the baseline for the E10 bench.  Both report work counters through
 :class:`EngineStats`, which plugs into :class:`repro.metrics.Collector`.
 """
 
@@ -33,6 +43,13 @@ from repro.cylog.ast import (
 )
 from repro.cylog.builtins import apply_comparison, eval_expr
 from repro.cylog.errors import CyLogTypeError
+from repro.cylog.incremental import (
+    DeltaLedger,
+    RetractionScheduler,
+    SupportIndex,
+    SupportKey,
+    partition_recursive,
+)
 from repro.cylog.indexes import TupleIndexSet
 from repro.cylog.pretty import explain_rule
 from repro.cylog.safety import (
@@ -40,6 +57,7 @@ from repro.cylog.safety import (
     CompiledProgram,
     CompiledRule,
     JoinPlan,
+    build_join_plan,
     compile_program,
 )
 
@@ -54,7 +72,10 @@ class EngineStats:
     ``index_hits`` counts indexed lookups, ``full_scans`` unindexed relation
     scans, and ``tuples_joined`` the candidate rows those probes produced —
     the ratio is the direct measure of how much the planner's index choices
-    help.  Feed the counters into a metrics collector with
+    help.  The delta counters measure cross-run incrementality:
+    ``tuples_retracted`` / ``tuples_rederived`` / ``overdeletions`` trace the
+    counting + DRed deletion machinery and ``supports_recorded`` the
+    provenance kept for it.  Feed the counters into a metrics collector with
     :meth:`to_collector` (once per collector — the values are cumulative).
     """
 
@@ -66,6 +87,12 @@ class EngineStats:
     tuples_joined: int = 0
     index_hits: int = 0
     full_scans: int = 0
+    retractions: int = 0
+    tuples_retracted: int = 0
+    tuples_rederived: int = 0
+    overdeletions: int = 0
+    supports_recorded: int = 0
+    agg_recomputes: int = 0
     plans: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -78,6 +105,12 @@ class EngineStats:
             "tuples_joined": self.tuples_joined,
             "index_hits": self.index_hits,
             "full_scans": self.full_scans,
+            "retractions": self.retractions,
+            "tuples_retracted": self.tuples_retracted,
+            "tuples_rederived": self.tuples_rederived,
+            "overdeletions": self.overdeletions,
+            "supports_recorded": self.supports_recorded,
+            "agg_recomputes": self.agg_recomputes,
         }
 
     def to_collector(self, collector, prefix: str = "cylog_engine") -> None:
@@ -90,10 +123,10 @@ class Relation:
     """A set of same-arity tuples with incrementally maintained indexes.
 
     Index keys (tuples of term positions) are registered up front from the
-    compiled join plans via :meth:`ensure_index`; every :meth:`add` then
-    updates all registered indexes, so lookups never rebuild.  Unregistered
-    keys still work — they are built lazily on first probe and maintained
-    from then on.
+    compiled join plans via :meth:`ensure_index`; every :meth:`add` and
+    :meth:`discard` then updates all registered indexes, so lookups never
+    rebuild.  Unregistered keys still work — they are built lazily on first
+    probe and maintained from then on.
     """
 
     __slots__ = ("arity", "_tuples", "_indexes")
@@ -120,6 +153,14 @@ class Relation:
             if self.add(row):
                 added.add(row)
         return added
+
+    def discard(self, row: Tuple_) -> bool:
+        """Remove ``row`` from the set and every index; True when present."""
+        if row not in self._tuples:
+            return False
+        self._tuples.discard(row)
+        self._indexes.remove(row)
+        return True
 
     def ensure_index(self, positions: tuple[int, ...]) -> None:
         """Register (and backfill) an index on ``positions``."""
@@ -188,21 +229,46 @@ class RelationStore:
         return {name: rel.snapshot() for name, rel in self._relations.items()}
 
 
+_EMPTY_ROWS: frozenset = frozenset()
+
+
 @dataclass(frozen=True)
 class EvaluationResult:
-    """Immutable snapshot of every relation after evaluation."""
+    """Immutable snapshot of every relation after evaluation.
+
+    ``added_rows`` / ``removed_rows`` report the net change this run made
+    relative to the engine's previous fixpoint (empty on oracle evaluations
+    and on runs with nothing pending); :meth:`added` / :meth:`removed` are
+    the per-predicate accessors the processor and the platform consume.
+    """
 
     relations: Mapping[str, frozenset]
+    added_rows: Mapping[str, frozenset] = field(default_factory=dict)
+    removed_rows: Mapping[str, frozenset] = field(default_factory=dict)
 
     def facts(self, predicate: str) -> frozenset:
         """All tuples of ``predicate`` (empty when unknown)."""
-        return self.relations.get(predicate, frozenset())
+        return self.relations.get(predicate, _EMPTY_ROWS)
 
     def sorted_facts(self, predicate: str) -> list[Tuple_]:
         return sorted(self.facts(predicate), key=repr)
 
     def count(self, predicate: str) -> int:
         return len(self.facts(predicate))
+
+    def added(self, predicate: str) -> frozenset:
+        """Tuples of ``predicate`` derived (or asserted) by this run."""
+        return self.added_rows.get(predicate, _EMPTY_ROWS)
+
+    def removed(self, predicate: str) -> frozenset:
+        """Tuples of ``predicate`` retracted by this run."""
+        return self.removed_rows.get(predicate, _EMPTY_ROWS)
+
+    def changed_predicates(self) -> list[str]:
+        return sorted(set(self.added_rows) | set(self.removed_rows))
+
+    def has_changes(self) -> bool:
+        return bool(self.added_rows) or bool(self.removed_rows)
 
 
 # ---------------------------------------------------------------------------
@@ -346,6 +412,44 @@ def _head_tuple(rule: CompiledRule, bindings: Bindings) -> Tuple_:
     return tuple(values)
 
 
+def _head_bindings(rule: CompiledRule, row: Tuple_) -> Bindings | None:
+    """Bindings pinning the rule's head to ``row`` (for re-derivation).
+
+    Returns ``None`` when the head cannot produce ``row`` (constant
+    mismatch, repeated-variable conflict).
+    """
+    bindings: Bindings = {}
+    for term, value in zip(rule.rule.head.terms, row):
+        if isinstance(term, Const):
+            if term.value != value or (
+                isinstance(term.value, bool) != isinstance(value, bool)
+            ):
+                return None
+        elif isinstance(term, Var) and not term.is_anonymous:
+            if term.name in bindings:
+                if bindings[term.name] != value or (
+                    isinstance(bindings[term.name], bool) != isinstance(value, bool)
+                ):
+                    return None
+            else:
+                bindings[term.name] = value
+    return bindings
+
+
+def _dep_row(atom: Atom, bindings: Bindings) -> Tuple_:
+    """The body row ``atom`` consumed under ``bindings``; ``None`` marks
+    positions hidden behind anonymous variables."""
+    values: list[Any] = []
+    for term in atom.terms:
+        if isinstance(term, Const):
+            values.append(term.value)
+        elif term.is_anonymous:
+            values.append(None)
+        else:
+            values.append(bindings[term.name])
+    return tuple(values)
+
+
 _AGG_FUNCS = {
     "count": lambda values: len(values),
     "sum": lambda values: sum(values),
@@ -353,6 +457,39 @@ _AGG_FUNCS = {
     "max": lambda values: max(values),
     "avg": lambda values: sum(values) / len(values),
 }
+
+
+def _fold_aggregate_row(head, key: Tuple_, per_agg: dict[str, set]) -> Tuple_:
+    """Assemble one head row from a group key and its collected value sets."""
+    key_iter = iter(key)
+    values: list[Any] = []
+    for term in head.terms:
+        if isinstance(term, AggregateTerm):
+            collected = sorted(per_agg[term.var.name], key=repr)
+            if term.func != "count" and any(
+                isinstance(v, bool) or not isinstance(v, (int, float))
+                for v in collected
+            ):
+                raise CyLogTypeError(
+                    f"aggregate {term.func}<{term.var.name}> over "
+                    "non-numeric values"
+                )
+            values.append(_AGG_FUNCS[term.func](collected))
+        elif isinstance(term, Const):
+            values.append(term.value)
+        else:
+            values.append(next(key_iter))
+    return tuple(values)
+
+
+def _row_group_key(head, row: Tuple_) -> Tuple_:
+    """The group key a stored aggregate row belongs to (plain-var positions,
+    head order — mirroring the key built during evaluation)."""
+    return tuple(
+        value
+        for term, value in zip(head.terms, row)
+        if isinstance(term, Var) and not term.is_anonymous
+    )
 
 
 def _evaluate_aggregate_rule(
@@ -369,28 +506,7 @@ def _evaluate_aggregate_rule(
         per_agg = groups.setdefault(key, {a.var.name: set() for a in aggregates})
         for aggregate in aggregates:
             per_agg[aggregate.var.name].add(bindings[aggregate.var.name])
-    derived: set[Tuple_] = set()
-    for key, per_agg in groups.items():
-        key_iter = iter(key)
-        values: list[Any] = []
-        for term in head.terms:
-            if isinstance(term, AggregateTerm):
-                collected = sorted(per_agg[term.var.name], key=repr)
-                if term.func != "count" and any(
-                    isinstance(v, bool) or not isinstance(v, (int, float))
-                    for v in collected
-                ):
-                    raise CyLogTypeError(
-                        f"aggregate {term.func}<{term.var.name}> over "
-                        "non-numeric values"
-                    )
-                values.append(_AGG_FUNCS[term.func](collected))
-            elif isinstance(term, Const):
-                values.append(term.value)
-            else:
-                values.append(next(key_iter))
-        derived.add(tuple(values))
-    return derived
+    return {_fold_aggregate_row(head, key, per_agg) for key, per_agg in groups.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -464,15 +580,41 @@ def naive_evaluate(
     return EvaluationResult(store.snapshot())
 
 
-class SemiNaiveEngine:
-    """Stratified semi-naive engine with incremental fact arrival.
+@dataclass(frozen=True)
+class _StratumInfo:
+    """Per-stratum rule partition used by both run modes.
 
-    For monotone programs (no negation, no aggregates) newly added facts are
-    propagated by continuing the semi-naive iteration from the new deltas;
-    otherwise the engine re-runs from base facts, which is always sound.
-    Before each full run the program is re-planned against the live base
-    fact counts (``planner="cost"``); ``planner="legacy"`` keeps the seed
-    bound-count ordering with in-place delta substitution as a baseline.
+    ``recursive`` holds the head predicates on a positive within-stratum
+    cycle — the ones whose deletions need DRed over-delete / re-derive
+    instead of pure support counting.
+    """
+
+    plain: tuple[tuple[int, CompiledRule], ...]
+    aggregates: tuple[tuple[int, CompiledRule], ...]
+    heads: frozenset[str]
+    recursive: frozenset[str]
+    #: Predicates read positively by the stratum's plain rules.
+    referenced: frozenset[str]
+    #: (rule_index, rule, negation literal) triples for the stratum.
+    negations: tuple[tuple[int, CompiledRule, Negation], ...]
+    #: Per aggregate rule index, every predicate its body mentions.
+    agg_inputs: dict[int, frozenset[str]] = field(default_factory=dict)
+
+
+class SemiNaiveEngine:
+    """Stratified semi-naive engine, incremental *across* ``run()`` calls.
+
+    The relation store, the per-derivation support index and the per-rule
+    aggregate outputs survive between runs; :meth:`add_facts` and
+    :meth:`retract_facts` queue per-predicate deltas and the next
+    :meth:`run` propagates exactly those, stratum by stratum, reusing the
+    compiled delta-first join plans.  Deletion is handled by support
+    counting (exact outside recursion) with DRed over-delete / re-derive
+    inside recursive components, and negation/aggregation are maintained
+    through trigger plans and recompute-and-diff — so ``revoke``-style
+    updates no longer force a full recomputation.  ``run(full=True)`` is
+    the from-scratch escape hatch (it also re-plans joins against the live
+    base-fact cardinalities when ``planner="cost"``).
     """
 
     def __init__(
@@ -492,13 +634,25 @@ class SemiNaiveEngine:
             self.planner = planner or "cost"
             self.compiled = compile_program(program, planner=self.planner)
         self._active = self.compiled
+        self._strata = self._build_stratum_info()
         self._planned_cardinalities: dict[str, float] | None = None
         self._base_facts: dict[str, set[Tuple_]] = {}
+        #: Arity each base predicate was first used with — retained even
+        #: when every fact is retracted, so a later re-assertion cannot
+        #: smuggle in a different arity.
+        self._base_arity: dict[str, int] = {}
         for fact in self.compiled.program.facts:
             row = tuple(t.value for t in fact.atom.terms)  # type: ignore[union-attr]
             self._base_facts.setdefault(fact.atom.predicate, set()).add(row)
+            self._base_arity.setdefault(fact.atom.predicate, len(row))
         self._store: RelationStore | None = None
-        self._pending: dict[str, set[Tuple_]] = {}
+        self._supports = SupportIndex()
+        self._agg_cache: dict[int, set[Tuple_]] = {}
+        self._pending = DeltaLedger()
+        self._gain_plans: dict[tuple[int, int], JoinPlan] = {}
+        self._loss_plans: dict[tuple[int, int], JoinPlan] = {}
+        self._rederive_plans: dict[int, JoinPlan] = {}
+        self._agg_group_plans: dict[int, JoinPlan] = {}
         self.stats = EngineStats()
         self.runs = 0  # full evaluations performed (observability for benches)
 
@@ -513,46 +667,68 @@ class SemiNaiveEngine:
                 f"cannot add base facts to derived predicate {predicate!r}"
             )
         target = self._base_facts.setdefault(predicate, set())
-        pending = self._pending.setdefault(predicate, set())
         added = 0
         for row in rows:
             row = tuple(row)
+            arity = self._base_arity.setdefault(predicate, len(row))
+            if len(row) != arity:
+                raise CyLogTypeError(f"mixed arity facts supplied for {predicate!r}")
             if row not in target:
                 target.add(row)
-                pending.add(row)
+                self._pending.add(predicate, row)
                 added += 1
         return added
 
-    # -- evaluation -----------------------------------------------------------
-    def run(self) -> EvaluationResult:
+    def retract_facts(self, predicate: str, rows: Iterable[Tuple_]) -> int:
+        """Queue base-fact retractions; returns how many were present.
+
+        Only extensional facts can be retracted — derived tuples disappear
+        on their own when they lose every derivation.
+        """
+        if predicate in self.compiled.program.idb_predicates():
+            raise CyLogTypeError(
+                f"cannot retract facts of derived predicate {predicate!r}"
+            )
+        target = self._base_facts.get(predicate)
+        removed = 0
+        for row in rows:
+            row = tuple(row)
+            if target is not None and row in target:
+                target.discard(row)
+                self._pending.remove(predicate, row)
+                removed += 1
+        self.stats.retractions += removed
+        return removed
+
+    # -- evaluation --------------------------------------------------------
+    def run(self, full: bool = False) -> EvaluationResult:
         """Evaluate to fixpoint, incrementally when possible.
 
-        With no pending facts the previous fixpoint is returned as-is;
-        pending facts continue the semi-naive iteration for monotone
-        programs and trigger a full re-run otherwise (always sound).
+        With no pending changes the previous fixpoint is returned as-is
+        (with empty deltas); pending additions and retractions are
+        propagated in place.  ``full=True`` forces a from-scratch
+        recomputation — the escape hatch and the oracle baseline.
         """
-        if self._store is not None:
-            if not self._pending:
-                return EvaluationResult(self._store.snapshot())
-            if self.compiled.is_monotone:
-                self._continue_monotone()
-                return EvaluationResult(self._store.snapshot())
-        self._full_run()
-        return EvaluationResult(self._store.snapshot())  # type: ignore[union-attr]
+        if full or self._store is None:
+            return self._full_run()
+        if not self._pending:
+            return EvaluationResult(self._store.snapshot())
+        return self._incremental_run()
 
     def facts(self, predicate: str) -> frozenset:
         """Current tuples of ``predicate`` (after the last :meth:`run`)."""
-        if self._store is None:
+        if self._store is None or self._pending:
             self.run()
         relation = self._store.maybe(predicate)  # type: ignore[union-attr]
         return relation.snapshot() if relation is not None else frozenset()
 
     @property
     def store(self) -> RelationStore:
-        if self._store is None:
+        if self._store is None or self._pending:
             self.run()
         return self._store  # type: ignore[return-value]
 
+    # -- planning ----------------------------------------------------------
     def _replan(self) -> None:
         """Recompile join plans against the live base-fact cardinalities.
 
@@ -573,6 +749,11 @@ class SemiNaiveEngine:
         self._active = compile_program(
             self.compiled.program, cardinalities=cardinalities, planner=self.planner
         )
+        self._strata = self._build_stratum_info()
+        self._gain_plans.clear()
+        self._loss_plans.clear()
+        self._rederive_plans.clear()
+        self._agg_group_plans.clear()
         self._record_plans()
 
     def _record_plans(self) -> None:
@@ -581,67 +762,198 @@ class SemiNaiveEngine:
             for index, rule in enumerate(self._active.rules)
         }
 
-    def _full_run(self) -> None:
-        self.runs += 1
-        self.stats.full_runs += 1
-        self._pending.clear()
-        self._replan()
-        store = RelationStore(self._active.index_specs())
-        _load_base_facts(
-            self._active,
-            store,
-            {pred: rows for pred, rows in self._base_facts.items()},
-        )
+    def _build_stratum_info(self) -> tuple[_StratumInfo, ...]:
+        infos: list[_StratumInfo] = []
         for stratum in range(self._active.strata_count):
-            self._run_stratum(store, stratum)
-        self._store = store
-
-    def _run_stratum(self, store: RelationStore, stratum: int) -> None:
-        stratum_rules = [r for r in self._active.rules if r.stratum == stratum]
-        if not stratum_rules:
-            return
-        for rule in stratum_rules:
-            if rule.rule.head.has_aggregates:
-                relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
-                self.stats.rules_fired += 1
-                for row in _evaluate_aggregate_rule(rule, store, self.stats):
-                    if relation.add(row):
-                        self.stats.tuples_derived += 1
-        plain_rules = [r for r in stratum_rules if not r.rule.head.has_aggregates]
-        recursive_preds = {r.rule.head.predicate for r in plain_rules}
-        # Round 0: full evaluation of each rule.  Solutions are materialised
-        # before insertion because recursive rules scan the very relation
-        # they derive into.
-        delta: dict[str, set[Tuple_]] = {}
-        for rule in plain_rules:
-            relation = store.get(rule.rule.head.predicate, rule.rule.head.arity)
-            self.stats.rules_fired += 1
-            rows = [
-                _head_tuple(rule, bindings)
-                for bindings in solutions(rule.join_plan, store, stats=self.stats)
+            rules = [
+                (index, rule)
+                for index, rule in enumerate(self._active.rules)
+                if rule.stratum == stratum
             ]
-            for row in rows:
-                if relation.add(row):
-                    self.stats.tuples_derived += 1
-                    delta.setdefault(rule.rule.head.predicate, set()).add(row)
-        # Semi-naive rounds.
-        self._semi_naive_rounds(store, plain_rules, recursive_preds, delta)
+            plain = tuple((i, r) for i, r in rules if not r.rule.head.has_aggregates)
+            aggregates = tuple((i, r) for i, r in rules if r.rule.head.has_aggregates)
+            heads = frozenset(r.rule.head.predicate for _, r in rules)
+            plain_heads = frozenset(r.rule.head.predicate for _, r in plain)
+            edges: dict[str, set[str]] = {}
+            referenced: set[str] = set()
+            negations: list[tuple[int, CompiledRule, Negation]] = []
+            for index, rule in plain:
+                for atom in rule.rule.body_atoms():
+                    referenced.add(atom.predicate)
+                    if atom.predicate in plain_heads:
+                        edges.setdefault(rule.rule.head.predicate, set()).add(
+                            atom.predicate
+                        )
+                for literal in rule.rule.body:
+                    if isinstance(literal, Negation):
+                        negations.append((index, rule, literal))
+            agg_inputs: dict[int, frozenset[str]] = {}
+            for index, rule in aggregates:
+                preds = {atom.predicate for atom in rule.rule.body_atoms()}
+                for literal in rule.rule.body:
+                    if isinstance(literal, Negation):
+                        preds.add(literal.atom.predicate)
+                agg_inputs[index] = frozenset(preds)
+            infos.append(
+                _StratumInfo(
+                    plain=plain,
+                    aggregates=aggregates,
+                    heads=heads,
+                    recursive=partition_recursive(plain_heads, edges),
+                    referenced=frozenset(referenced),
+                    negations=tuple(negations),
+                    agg_inputs=agg_inputs,
+                )
+            )
+        return tuple(infos)
+
+    def _negation_trigger_plan(
+        self, rule_index: int, rule: CompiledRule, negation: Negation, gain: bool
+    ) -> JoinPlan:
+        """Delta-first plan reacting to the negated predicate changing.
+
+        *Gain* (the negated predicate acquired tuples): enumerate the
+        bindings whose derivations just became invalid — the negated atom
+        leads as a positive delta atom and every negation is dropped
+        (supports are identified by their positive body rows, so a binding
+        that never derived anything is a harmless no-op drop).
+
+        *Loss* (the negated predicate lost tuples): enumerate genuinely new
+        derivations — the vanished tuple leads as a positive delta atom
+        while the rest of the body, *including* the triggering negation
+        (anonymous variables may still be blocked by surviving rows), is
+        evaluated against the current store.
+        """
+        cache = self._gain_plans if gain else self._loss_plans
+        key = (rule_index, id(negation))
+        plan = cache.get(key)  # type: ignore[arg-type]
+        if plan is not None:
+            return plan
+        if gain:
+            literals = [
+                literal
+                for literal in rule.rule.body
+                if not isinstance(literal, Negation)
+            ]
+            plan, _ = build_join_plan(literals, first=negation.atom, best_effort=True)
+        else:
+            literals = list(rule.rule.body)
+            plan, _ = build_join_plan(literals, first=negation.atom)
+        cache[key] = plan  # type: ignore[index]
+        return plan
+
+    def _rederive_plan(self, rule_index: int, rule: CompiledRule) -> JoinPlan:
+        """The rule body re-planned with the head variables pre-bound, so a
+        derivability check probes indexes instead of re-scanning the leading
+        relations the original plan assumed unbound."""
+        plan = self._rederive_plans.get(rule_index)
+        if plan is None:
+            head_vars = {
+                term.name
+                for term in rule.rule.head.terms
+                if isinstance(term, Var) and not term.is_anonymous
+            }
+            plan, _ = build_join_plan(rule.rule.body, initial_bound=head_vars)
+            self._rederive_plans[rule_index] = plan
+        return plan
+
+    # -- aggregate maintenance ---------------------------------------------
+    def _affected_agg_groups(
+        self, rule: CompiledRule, changes: DeltaLedger
+    ) -> set[Tuple_] | None:
+        """Group keys whose aggregate output may have moved, or ``None``
+        when the change cannot be localised (multi-atom body, changed
+        negated input, group variables outside the atom) and the rule must
+        recompute in full."""
+        body = rule.rule.body
+        atoms = [literal for literal in body if isinstance(literal, Atom)]
+        if len(atoms) != 1:
+            return None
+        atom = atoms[0]
+        for literal in body:
+            if isinstance(literal, Negation):
+                pred = literal.atom.predicate
+                if changes.added(pred) or changes.removed(pred):
+                    return None
+        group_vars = rule.rule.head.group_by_vars()
+        atom_vars = {v.name for v in atom.variables()}
+        if any(v.name not in atom_vars for v in group_vars):
+            return None
+        groups: set[Tuple_] = set()
+        for row in (*changes.added(atom.predicate), *changes.removed(atom.predicate)):
+            bindings = _bind_atom(atom, row, {})
+            if bindings is not None:
+                groups.add(tuple(bindings[v.name] for v in group_vars))
+        return groups
+
+    def _evaluate_agg_groups(
+        self,
+        rule_index: int,
+        rule: CompiledRule,
+        store: RelationStore,
+        groups: set[Tuple_],
+    ) -> set[Tuple_]:
+        """Aggregate output restricted to ``groups``, evaluated through a
+        group-key-bound plan (indexed probes, not a full body scan)."""
+        head = rule.rule.head
+        group_vars = head.group_by_vars()
+        plan = self._agg_group_plans.get(rule_index)
+        if plan is None:
+            plan, _ = build_join_plan(
+                rule.rule.body,
+                initial_bound={v.name for v in group_vars},
+            )
+            self._agg_group_plans[rule_index] = plan
+        aggregates = head.aggregate_terms()
+        rows: set[Tuple_] = set()
+        for group in sorted(groups, key=repr):
+            initial = {v.name: value for v, value in zip(group_vars, group)}
+            per_agg: dict[str, set] = {a.var.name: set() for a in aggregates}
+            found = False
+            for bindings in solutions(plan, store, initial=initial, stats=self.stats):
+                found = True
+                for aggregate in aggregates:
+                    per_agg[aggregate.var.name].add(bindings[aggregate.var.name])
+            if found:
+                rows.add(_fold_aggregate_row(head, group, per_agg))
+        return rows
+
+    # -- derivation recording ----------------------------------------------
+    def _support_key(
+        self, rule_index: int, rule: CompiledRule, bindings: Bindings
+    ) -> SupportKey:
+        deps = tuple(
+            (atom.predicate, _dep_row(atom, bindings))
+            for atom in rule.rule.body_atoms()
+        )
+        return (rule_index, deps)
+
+    def _record(self, predicate: str, row: Tuple_, key: SupportKey) -> None:
+        if self._supports.add(predicate, row, key):
+            self.stats.supports_recorded += 1
 
     def _semi_naive_rounds(
         self,
         store: RelationStore,
-        plain_rules: list[CompiledRule],
-        recursive_preds: set[str],
+        plain_rules: Sequence[tuple[int, CompiledRule]],
         delta: dict[str, set[Tuple_]],
+        changes: DeltaLedger | None = None,
     ) -> None:
+        """Propagate ``delta`` to fixpoint, recording every derivation.
+
+        Rules fire through their delta-first rewrites for any body atom
+        whose predicate has a delta; new head tuples feed the next round
+        (and ``changes``, when the caller is tracking a run report).
+        """
         while delta:
             self.stats.rounds += 1
             delta_relations = {
                 predicate: _relation_from(rows, store.maybe(predicate))
                 for predicate, rows in delta.items()
+                if rows
             }
             next_delta: dict[str, set[Tuple_]] = {}
-            for rule in plain_rules:
+            for rule_index, rule in plain_rules:
                 head_pred = rule.rule.head.predicate
                 relation = store.get(head_pred, rule.rule.head.arity)
                 for position, step in enumerate(rule.join_plan.steps):
@@ -649,8 +961,6 @@ class SemiNaiveEngine:
                     if not isinstance(literal, Atom):
                         continue
                     if literal.predicate not in delta_relations:
-                        continue
-                    if literal.predicate not in recursive_preds:
                         continue
                     delta_rel = delta_relations[literal.predicate]
                     delta_plan = rule.delta_plans.get(position)
@@ -672,45 +982,265 @@ class SemiNaiveEngine:
                             delta_relation=delta_rel,
                             stats=self.stats,
                         )
-                    rows = [_head_tuple(rule, b) for b in bindings_iter]
-                    for row in rows:
+                    derived = [
+                        (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
+                        for b in bindings_iter
+                    ]
+                    for row, support in derived:
+                        self._record(head_pred, row, support)
                         if relation.add(row):
                             self.stats.tuples_derived += 1
                             next_delta.setdefault(head_pred, set()).add(row)
+                            if changes is not None:
+                                changes.add(head_pred, row)
             delta = next_delta
 
-    def _continue_monotone(self) -> None:
-        """Propagate pending base facts without recomputing from scratch.
+    # -- full evaluation ---------------------------------------------------
+    def _full_run(self) -> EvaluationResult:
+        self.runs += 1
+        self.stats.full_runs += 1
+        self._pending = DeltaLedger()  # a from-scratch load covers everything
+        self._replan()
+        previous = self._store.snapshot() if self._store is not None else {}
+        store = RelationStore(self._active.index_specs())
+        self._supports = SupportIndex()
+        self._agg_cache = {}
+        for predicate, rows in self._base_facts.items():
+            if not rows:
+                continue
+            relation = store.get(predicate, len(next(iter(rows))))
+            for row in rows:
+                relation.add(row)
+        for info in self._strata:
+            self._eval_stratum_full(store, info)
+        self._store = store
+        current = store.snapshot()
+        changes = DeltaLedger()
+        for predicate in set(previous) | set(current):
+            old = previous.get(predicate, _EMPTY_ROWS)
+            new = current.get(predicate, _EMPTY_ROWS)
+            for row in new - old:
+                changes.add(predicate, row)
+            for row in old - new:
+                changes.remove(predicate, row)
+        added, removed = changes.as_mappings()
+        return EvaluationResult(current, added, removed)
 
-        All pending facts (a whole burst of completed tasks) enter the store
-        first, then a single semi-naive continuation runs from the combined
-        delta — one incremental evaluation per batch, not one per fact.
-        """
+    def _eval_stratum_full(self, store: RelationStore, info: _StratumInfo) -> None:
+        for rule_index, rule in info.aggregates:
+            head_pred = rule.rule.head.predicate
+            relation = store.get(head_pred, rule.rule.head.arity)
+            self.stats.rules_fired += 1
+            self.stats.agg_recomputes += 1
+            out = _evaluate_aggregate_rule(rule, store, self.stats)
+            self._agg_cache[rule_index] = out
+            support: SupportKey = (rule_index, ())
+            for row in out:
+                self._record(head_pred, row, support)
+                if relation.add(row):
+                    self.stats.tuples_derived += 1
+        # Round 0: full evaluation of each rule.  Solutions are materialised
+        # before insertion because recursive rules scan the very relation
+        # they derive into.
+        delta: dict[str, set[Tuple_]] = {}
+        for rule_index, rule in info.plain:
+            head_pred = rule.rule.head.predicate
+            relation = store.get(head_pred, rule.rule.head.arity)
+            self.stats.rules_fired += 1
+            derived = [
+                (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
+                for b in solutions(rule.join_plan, store, stats=self.stats)
+            ]
+            for row, support in derived:
+                self._record(head_pred, row, support)
+                if relation.add(row):
+                    self.stats.tuples_derived += 1
+                    delta.setdefault(head_pred, set()).add(row)
+        self._semi_naive_rounds(store, info.plain, delta)
+
+    # -- incremental evaluation --------------------------------------------
+    def _incremental_run(self) -> EvaluationResult:
         store = self._store
         assert store is not None
         self.stats.incremental_runs += 1
-        delta: dict[str, set[Tuple_]] = {}
-        for predicate, rows in self._pending.items():
-            if not rows:
-                continue
-            arity = len(next(iter(rows)))
-            relation = store.get(predicate, arity)
-            new_rows = relation.add_many(rows)
-            if new_rows:
-                delta[predicate] = new_rows
-        self._pending.clear()
-        if not delta:
+        pending, self._pending = self._pending, DeltaLedger()
+        changes = DeltaLedger()
+        for predicate in pending.predicates():
+            relation = store.maybe(predicate)
+            for row in pending.removed(predicate):
+                if relation is not None and relation.discard(row):
+                    self.stats.tuples_retracted += 1
+                    changes.remove(predicate, row)
+            added = pending.added(predicate)
+            if added:
+                # store.get re-validates arity, so a row that slipped past
+                # the enqueue guard still raises instead of corrupting.
+                relation = store.get(predicate, len(next(iter(added))))
+                for row in added:
+                    if relation.add(row):
+                        changes.add(predicate, row)
+        for info in self._strata:
+            self._step_stratum(store, info, changes)
+        added_map, removed_map = changes.as_mappings()
+        return EvaluationResult(store.snapshot(), added_map, removed_map)
+
+    def _step_stratum(
+        self, store: RelationStore, info: _StratumInfo, changes: DeltaLedger
+    ) -> None:
+        """Propagate the accumulated ``changes`` through one stratum."""
+        if not info.plain and not info.aggregates:
             return
-        rules = self._active.rules
-        plain_rules = [r for r in rules if not r.rule.head.has_aggregates]
-        # In the monotone continuation every predicate behaves as recursive:
-        # any rule touching a delta predicate must refire.
-        all_preds = set(delta)
-        for rule in plain_rules:
-            all_preds.add(rule.rule.head.predicate)
-            for atom in rule.rule.body_atoms():
-                all_preds.add(atom.predicate)
-        self._semi_naive_rounds(store, plain_rules, all_preds, delta)
+        touched = set(changes.predicates())
+        negated = {negation.atom.predicate for _, _, negation in info.negations}
+        agg_touched = {
+            index for index, preds in info.agg_inputs.items() if preds & touched
+        }
+        if not (touched & info.referenced or touched & negated or agg_touched):
+            return
+        scheduler = RetractionScheduler(
+            store, self._supports, info.heads, info.recursive, self.stats
+        )
+        # Phase A: aggregates are recompute-and-diff — their inputs live in
+        # strictly lower strata, so they are final by now.  When the change
+        # is localisable the recompute is restricted to the affected groups.
+        agg_additions: list[tuple[CompiledRule, Tuple_, SupportKey]] = []
+        for rule_index, rule in info.aggregates:
+            if rule_index not in agg_touched:
+                continue
+            head_pred = rule.rule.head.predicate
+            self.stats.rules_fired += 1
+            self.stats.agg_recomputes += 1
+            cached = self._agg_cache.get(rule_index, set())
+            groups = self._affected_agg_groups(rule, changes)
+            if groups is None:
+                old = cached
+                new = _evaluate_aggregate_rule(rule, store, self.stats)
+                self._agg_cache[rule_index] = new
+            elif groups:
+                head = rule.rule.head
+                old = {row for row in cached if _row_group_key(head, row) in groups}
+                new = self._evaluate_agg_groups(rule_index, rule, store, groups)
+                self._agg_cache[rule_index] = (cached - old) | new
+            else:
+                continue
+            support: SupportKey = (rule_index, ())
+            for row in old - new:
+                scheduler.drop_support(head_pred, row, support)
+            for row in new - old:
+                agg_additions.append((rule, row, support))
+        # Phase B: deletions.  Removed input tuples cascade through the
+        # support index; negation-gain triggers drop the exact derivations
+        # the new tuples invalidate.
+        for predicate in changes.predicates():
+            for row in changes.removed(predicate):
+                scheduler.enqueue_removed(predicate, row)
+        for rule_index, rule, negation in info.negations:
+            gained = changes.added(negation.atom.predicate)
+            if not gained:
+                continue
+            head_pred = rule.rule.head.predicate
+            plan = self._negation_trigger_plan(rule_index, rule, negation, gain=True)
+            delta_rel = _relation_from(
+                set(gained), store.maybe(negation.atom.predicate)
+            )
+            self.stats.rules_fired += 1
+            for b in solutions(
+                plan,
+                store,
+                delta_position=0,
+                delta_relation=delta_rel,
+                stats=self.stats,
+            ):
+                scheduler.drop_support(
+                    head_pred,
+                    _head_tuple(rule, b),
+                    self._support_key(rule_index, rule, b),
+                )
+        scheduler.run()
+        for predicate, row in scheduler.deleted:
+            changes.remove(predicate, row)
+        # Phase B': re-derivation.  Over-deleted tuples of the recursive
+        # component are restored when still derivable from what survived;
+        # the addition propagation below rebuilds everything downstream.
+        # Restored tuples net out of the run report (their removal is
+        # cancelled), so they seed the addition delta explicitly.
+        rederived: dict[str, set[Tuple_]] = {}
+        for predicate, row in sorted(scheduler.rederive, key=repr):
+            relation = store.maybe(predicate)
+            if relation is None or row in relation:
+                continue
+            supports: list[SupportKey] = []
+            for rule_index, rule in info.plain:
+                if rule.rule.head.predicate != predicate:
+                    continue
+                initial = _head_bindings(rule, row)
+                if initial is None:
+                    continue
+                self.stats.rules_fired += 1
+                plan = self._rederive_plan(rule_index, rule)
+                for b in solutions(plan, store, initial=initial, stats=self.stats):
+                    if _head_tuple(rule, b) == row:
+                        supports.append(self._support_key(rule_index, rule, b))
+            for rule_index, rule in info.aggregates:
+                if rule.rule.head.predicate == predicate and row in self._agg_cache.get(
+                    rule_index, ()
+                ):
+                    supports.append((rule_index, ()))
+            if supports:
+                for support in supports:
+                    self._record(predicate, row, support)
+                store.get(predicate, len(row)).add(row)
+                self.stats.tuples_rederived += 1
+                changes.add(predicate, row)
+                rederived.setdefault(predicate, set()).add(row)
+        # Phase C: additions.  Seeds: net-added input tuples, aggregate
+        # additions, re-derived tuples and negation-loss derivations.
+        delta: dict[str, set[Tuple_]] = {}
+        for predicate in changes.predicates():
+            if predicate not in info.referenced:
+                continue
+            rows = changes.added(predicate)
+            if rows:
+                delta[predicate] = set(rows)
+        for predicate, rows in rederived.items():
+            if predicate in info.referenced:
+                delta.setdefault(predicate, set()).update(rows)
+        for rule, row, support in agg_additions:
+            head_pred = rule.rule.head.predicate
+            self._record(head_pred, row, support)
+            relation = store.get(head_pred, rule.rule.head.arity)
+            if relation.add(row):
+                self.stats.tuples_derived += 1
+                changes.add(head_pred, row)
+                if head_pred in info.referenced:
+                    delta.setdefault(head_pred, set()).add(row)
+        for rule_index, rule, negation in info.negations:
+            lost = changes.removed(negation.atom.predicate)
+            if not lost:
+                continue
+            head_pred = rule.rule.head.predicate
+            relation = store.get(head_pred, rule.rule.head.arity)
+            plan = self._negation_trigger_plan(rule_index, rule, negation, gain=False)
+            delta_rel = _relation_from(set(lost), store.maybe(negation.atom.predicate))
+            self.stats.rules_fired += 1
+            derived = [
+                (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
+                for b in solutions(
+                    plan,
+                    store,
+                    delta_position=0,
+                    delta_relation=delta_rel,
+                    stats=self.stats,
+                )
+            ]
+            for row, support in derived:
+                self._record(head_pred, row, support)
+                if relation.add(row):
+                    self.stats.tuples_derived += 1
+                    changes.add(head_pred, row)
+                    if head_pred in info.referenced:
+                        delta.setdefault(head_pred, set()).add(row)
+        self._semi_naive_rounds(store, info.plain, delta, changes)
 
 
 def _relation_from(rows: set[Tuple_], template: Relation | None) -> Relation:

@@ -102,6 +102,11 @@ class TupleIndexSet:
         for positions, index in self._indexes.items():
             index.add(tuple(row[p] for p in positions), row)
 
+    def remove(self, row: tuple) -> None:
+        """Drop ``row`` from every registered index (no-op when absent)."""
+        for positions, index in self._indexes.items():
+            index.discard(tuple(row[p] for p in positions), row)
+
     def rows(self, positions: Positions, key: Key) -> frozenset | set:
         """Rows whose ``positions`` project onto ``key`` (live set; do not
         mutate).  The index must have been registered via :meth:`ensure`."""

@@ -29,6 +29,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 from repro.cylog.ast import Program
 from repro.cylog.engine import EngineStats, EvaluationResult, SemiNaiveEngine
 from repro.cylog.errors import CyLogTypeError
+from repro.cylog.incremental import DeltaLedger
 from repro.cylog.open_predicates import (
     TaskRequest,
     build_open_fact,
@@ -52,9 +53,15 @@ class CyLogProcessor:
         self.engine = SemiNaiveEngine(self.compiled)
         self._answered: set[tuple[str, Tuple_]] = set()
         self._seen_requests: dict[tuple[str, Tuple_], TaskRequest] = {}
+        #: Identities demanded by the *current* fixpoint — with retraction
+        #: in play a previously seen demand can silently stop being one.
+        self._current_demands: set[tuple[str, Tuple_]] = set()
         self._listeners: list[DemandListener] = []
         self._dirty = True
         self._batch_depth = 0
+        #: Net change sets accumulated across runs until a consumer (the
+        #: platform round) drains them — first-class deltas, not a cache.
+        self._deltas = DeltaLedger()
 
     @property
     def program(self) -> Program:
@@ -150,13 +157,71 @@ class CyLogProcessor:
         self._dirty = True
         return fact
 
+    def retract_facts(self, predicate: str, rows: Iterable[Tuple_]) -> int:
+        """Retract extensional facts; refreshes demands eagerly.
+
+        Retraction can *resurrect* demand (a key is unanswered again) and
+        invalidate derived state downstream, so unlike the additive paths
+        the processor re-evaluates immediately instead of waiting for the
+        next :meth:`run` — pending task requests are correct the moment
+        this returns (deferred inside a :meth:`batch` block as usual).
+        """
+        removed = self.engine.retract_facts(predicate, [tuple(r) for r in rows])
+        if removed:
+            self._dirty = True
+            if not self._batch_depth:
+                self.run()
+        return removed
+
+    def revoke_answer(
+        self, predicate: str, key_values: Tuple_ | Mapping[str, Any]
+    ) -> int:
+        """Withdraw every stored answer of an open predicate for one key.
+
+        The key is forgotten from the answered set and its task request is
+        dropped from the seen set, so if the (re-evaluated) program still
+        demands it a *fresh* request is emitted to demand listeners — the
+        revoked task reappears.  Returns the number of facts retracted.
+        """
+        decl = self.compiled.open_decls.get(predicate)
+        if decl is None:
+            raise CyLogTypeError(f"{predicate!r} is not an open predicate")
+        if isinstance(key_values, Mapping):
+            key = tuple(key_values[k] for k in decl.key)
+        else:
+            key = tuple(key_values)
+        # Evaluate through self.run() (not the raw engine accessors) so any
+        # queued additions report their deltas into the processor's ledger.
+        self.run()
+        relation = self.engine.store.maybe(predicate)
+        rows = (
+            [tuple(row) for row in relation.lookup(tuple(decl.key_positions), key)]
+            if relation is not None
+            else []
+        )
+        self._answered.discard((predicate, key))
+        self._seen_requests.pop((predicate, key), None)
+        self._dirty = True
+        removed = self.engine.retract_facts(predicate, rows) if rows else 0
+        if not self._batch_depth:
+            self.run()
+        return removed
+
     # -- evaluation & demand ------------------------------------------------------
     def run(self) -> EvaluationResult:
         """Re-evaluate if dirty; returns the current result snapshot.
 
-        Inside a :meth:`batch` block the demand refresh is deferred to the
-        end of the batch, so a burst of answers triggers one refresh."""
+        Every run's reported change sets are folded into the processor's
+        delta ledger (see :meth:`drain_deltas`).  Inside a :meth:`batch`
+        block the demand refresh is deferred to the end of the batch, so a
+        burst of answers triggers one refresh."""
         result = self.engine.run()
+        if result.has_changes():
+            for predicate in result.changed_predicates():
+                for row in result.added(predicate):
+                    self._deltas.add(predicate, row)
+                for row in result.removed(predicate):
+                    self._deltas.remove(predicate, row)
         if self._dirty and not self._batch_depth:
             self._dirty = False
             new_requests = self._refresh_demands()
@@ -165,8 +230,25 @@ class CyLogProcessor:
                     listener(new_requests)
         return result
 
+    def drain_deltas(self) -> dict[str, tuple[frozenset, frozenset]]:
+        """Consume the net (added, removed) sets accumulated since the last
+        drain — the platform round's change feed.  Runs first if dirty so
+        the drained view is current."""
+        if self._dirty:
+            self.run()
+        added, removed = self._deltas.as_mappings()
+        self._deltas = DeltaLedger()
+        return {
+            predicate: (
+                added.get(predicate, frozenset()),
+                removed.get(predicate, frozenset()),
+            )
+            for predicate in sorted(set(added) | set(removed))
+        }
+
     def _refresh_demands(self) -> list[TaskRequest]:
         demands = compute_demands(self.compiled, self.engine.store)
+        self._current_demands = {(r.predicate, r.key_values) for r in demands}
         fresh: list[TaskRequest] = []
         for request in sorted(demands, key=lambda r: (r.predicate, repr(r.key_values))):
             identity = (request.predicate, request.key_values)
@@ -176,12 +258,16 @@ class CyLogProcessor:
         return fresh
 
     def pending_requests(self) -> list[TaskRequest]:
-        """Task requests demanded now and not yet answered (sorted)."""
+        """Task requests demanded now and not yet answered (sorted).
+
+        A request stays pending only while the current fixpoint still
+        demands it — a retraction upstream withdraws the demands it seeded.
+        """
         self.run()
         pending = [
             request
             for identity, request in self._seen_requests.items()
-            if identity not in self._answered
+            if identity not in self._answered and identity in self._current_demands
         ]
         pending.sort(key=lambda r: (r.predicate, repr(r.key_values)))
         return pending

@@ -281,6 +281,7 @@ def build_join_plan(
     cardinalities: Mapping[str, float] | None = None,
     first: BodyLiteral | None = None,
     cost_based: bool = True,
+    initial_bound: Iterable[str] = (),
 ) -> tuple[JoinPlan, set[str]]:
     """Greedily order ``literals`` so every literal is ready when reached.
 
@@ -288,14 +289,17 @@ def build_join_plan(
     selectivity (relation cardinality discounted per bound term) when
     ``cost_based``, else by the legacy bound-count heuristic; filters run as
     soon as their variables are bound.  ``first`` forces one literal to the
-    front (the delta-first semi-naive rewrite).  With ``best_effort=True``
-    the builder stops silently when nothing more is ready (used for seed
-    plans); otherwise unplaceable literals raise :class:`CyLogSafetyError`.
+    front (the delta-first semi-naive rewrite).  ``initial_bound`` names
+    variables the caller will supply at evaluation time (head variables in
+    re-derivation checks, group keys in per-group aggregate maintenance),
+    so index keys can cover them.  With ``best_effort=True`` the builder
+    stops silently when nothing more is ready (used for seed plans);
+    otherwise unplaceable literals raise :class:`CyLogSafetyError`.
     """
     cardinalities = cardinalities if cardinalities is not None else {}
     remaining = [lit for lit in literals if lit is not exclude and lit is not first]
     steps: list[PlanStep] = []
-    bound: set[str] = set()
+    bound: set[str] = set(initial_bound)
     if first is not None:
         steps.append(_make_step(first, bound, cardinalities))
         bound |= _literal_binds(first)

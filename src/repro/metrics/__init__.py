@@ -1,6 +1,6 @@
 """Lightweight instrumentation used by the benches and examples."""
 
 from repro.metrics.collector import Collector
-from repro.metrics.report import format_row, format_table
+from repro.metrics.report import format_row, format_stats_table, format_table
 
-__all__ = ["Collector", "format_row", "format_table"]
+__all__ = ["Collector", "format_row", "format_stats_table", "format_table"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 
 def _format_cell(value: Any, float_digits: int) -> str:
@@ -45,3 +45,25 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(format_row(row, widths, float_digits) for row in materialised)
     return "\n".join(lines)
+
+
+def format_stats_table(
+    sections: Mapping[str, Mapping[str, Any]],
+    title: str | None = None,
+    skip_zero: bool = False,
+) -> str:
+    """One unified counters table across stats sources.
+
+    ``sections`` maps a section label (``"cylog_engine"``,
+    ``"query_cache"``, ``"platform"``, ...) to its ``as_dict()`` counters;
+    the benches feed ``EngineStats`` / ``CacheStats`` / ``PlatformStats``
+    through this so every report prints the same three-column shape.
+    ``skip_zero`` drops zero-valued counters for compact output.
+    """
+    rows = []
+    for section, counters in sections.items():
+        for name, value in counters.items():
+            if skip_zero and not value:
+                continue
+            rows.append((section, name, value))
+    return format_table(("section", "counter", "value"), rows, title=title)

@@ -81,9 +81,16 @@ def save_database(db: Database, directory: str | Path) -> Path:
     """Write ``db`` under ``directory`` (created if needed); returns the path."""
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
+    tables = []
+    for name in db.table_names:
+        entry = _schema_to_dict(db.table(name).schema)
+        # Persist the monotone data version so a reloaded table can never
+        # alias a pre-save version (see the bump-on-load in load_database).
+        entry["version"] = db.table(name).version
+        tables.append(entry)
     catalog = {
         "format_version": _FORMAT_VERSION,
-        "tables": [_schema_to_dict(db.table(name).schema) for name in db.table_names],
+        "tables": tables,
     }
     (root / "catalog.json").write_text(json.dumps(catalog, indent=2, sort_keys=True))
     for name in db.table_names:
@@ -111,19 +118,27 @@ def load_database(directory: str | Path) -> Database:
             f"unsupported snapshot version: {catalog.get('format_version')!r}"
         )
     schemas = [_schema_from_dict(entry) for entry in catalog["tables"]]
+    saved_versions = {
+        entry["name"]: int(entry.get("version", 0)) for entry in catalog["tables"]
+    }
     ordered = _topological_order(schemas)
     db = Database()
     for schema in ordered:
         db.create_table(schema)
     for schema in ordered:
         rows_path = root / f"{schema.name}.jsonl"
-        if not rows_path.exists():
-            continue
-        with rows_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    db.insert(schema.name, json.loads(line))
+        if rows_path.exists():
+            with rows_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        db.insert(schema.name, json.loads(line))
+        # Bump past the saved version: a freshly loaded table must never
+        # re-issue a version number the saved history already used, or a
+        # consumer comparing versions across the save/load boundary (e.g. a
+        # query-cache entry) could mistake reloaded data for an older state.
+        table = db.table(schema.name)
+        table.version = max(table.version, saved_versions.get(schema.name, 0) + 1)
     return db
 
 

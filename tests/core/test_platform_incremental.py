@@ -101,9 +101,9 @@ class TestEligibilityStaleness:
 
     def test_nonmonotone_rule_with_constant_cardinality(self):
         """Regression: with negation the eligible relation can swap members
-        at constant size, so a cardinality fingerprint would miss the
-        change.  One batch bans the only eligible worker while qualifying
-        another — the incremental round must still converge."""
+        at constant size (one batch bans the only eligible worker while
+        qualifying another).  The engine-reported deltas must carry both
+        the revocation and the new eligibility through the round."""
         source = """
             open translate(seg: text, out: text) key (seg) asking "T {seg}".
             segment("s1").

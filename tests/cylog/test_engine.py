@@ -168,7 +168,9 @@ class TestIncremental:
         assert incremental == oracle
         assert engine.runs == 1  # the continuation did not re-run from scratch
 
-    def test_nonmonotone_recomputes(self):
+    def test_nonmonotone_updates_stay_incremental(self):
+        """A fact arriving under negation retracts the defeated derivation
+        in place — no full recomputation, and the run reports the delta."""
         program = parse_program("""
             p(1).
             only(X) :- p(X), not q(X).
@@ -176,8 +178,12 @@ class TestIncremental:
         engine = SemiNaiveEngine(program)
         assert engine.run().facts("only") == {(1,)}
         engine.add_facts("q", [(1,)])
-        assert engine.run().facts("only") == frozenset()
-        assert engine.runs == 2
+        result = engine.run()
+        assert result.facts("only") == frozenset()
+        assert result.removed("only") == {(1,)}
+        assert result.added("q") == {(1,)}
+        assert engine.runs == 1  # the update did not re-run from scratch
+        assert engine.stats.incremental_runs == 1
 
     def test_duplicate_facts_not_counted(self):
         engine = SemiNaiveEngine(parse_program("p(X) :- base(X)."))

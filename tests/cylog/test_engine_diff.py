@@ -9,9 +9,16 @@ aggregation and comparisons, i.e. the paths where a planner bug (wrong
 join order, wrong index key, bad delta rewrite) could silently change
 results.
 
+The incremental-vs-scratch lockstep oracle drives one retained engine
+through randomized add/retract sequences and, after *every* run, compares
+its ``RelationStore.snapshot()`` byte-for-byte against a fresh engine
+evaluated from the same base facts — the gate for the cross-run
+counting/DRed retraction machinery.
+
 The CI ``engine-diff`` job runs this module with
-``ENGINE_DIFF_EXAMPLES=200`` so at least 400 random programs gate every
-merge; the local default keeps the tier-1 suite fast.
+``ENGINE_DIFF_EXAMPLES=200`` / ``INCR_DIFF_EXAMPLES=75`` so hundreds of
+random programs and update streams gate every merge; the local defaults
+keep the tier-1 suite fast.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.cylog.engine import SemiNaiveEngine, naive_evaluate
 from repro.cylog.parser import parse_program
 
 EXAMPLES = int(os.environ.get("ENGINE_DIFF_EXAMPLES", "100"))
+INCR_EXAMPLES = int(os.environ.get("INCR_DIFF_EXAMPLES", "25"))
 
 pytestmark = pytest.mark.engine_diff
 
@@ -113,3 +121,71 @@ def test_fact_arrival_agrees_with_batch_oracle(source: str, extra_edges):
     batch = naive_evaluate(program, {"e1": extra_edges})
     for predicate in program.predicates():
         assert incremental.facts(predicate) == batch.facts(predicate), predicate
+
+
+#: One update operation: (assert?, predicate index, row).
+update_ops = st.lists(
+    st.tuples(st.booleans(), st.sampled_from(_EDB), st.tuples(constants, constants)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(stratified_program(), update_ops)
+@settings(max_examples=INCR_EXAMPLES, deadline=None)
+def test_incremental_add_retract_matches_scratch(source: str, ops):
+    """Lockstep oracle for cross-run incrementality: after every single
+    add/retract + run the retained engine's store must be byte-identical to
+    a from-scratch evaluation over the same base facts, the reported deltas
+    must equal the actual snapshot diff, and no hidden full re-run may
+    have happened."""
+    program = parse_program(source)
+    engine = SemiNaiveEngine(program)
+    previous = engine.run().relations
+    base: dict[str, set] = {pred: set() for pred in _EDB}
+    for fact in program.facts:
+        base.setdefault(fact.atom.predicate, set()).add(
+            tuple(t.value for t in fact.atom.terms)
+        )
+    for is_add, predicate, row in ops:
+        if is_add:
+            engine.add_facts(predicate, [row])
+            base[predicate].add(row)
+        else:
+            engine.retract_facts(predicate, [row])
+            base[predicate].discard(row)
+        result = engine.run()
+        scratch = SemiNaiveEngine(program)
+        # A fresh engine re-loads the program facts; sync to `base` exactly.
+        for pred, rows in base.items():
+            stale = {
+                r
+                for fact in program.facts
+                if fact.atom.predicate == pred
+                for r in [tuple(t.value for t in fact.atom.terms)]
+                if r not in rows
+            }
+            if stale:
+                scratch.retract_facts(pred, stale)
+            extra = rows - {
+                tuple(t.value for t in fact.atom.terms)
+                for fact in program.facts
+                if fact.atom.predicate == pred
+            }
+            if extra:
+                scratch.add_facts(pred, extra)
+        expected = scratch.run().relations
+        current = engine.store.snapshot()
+        all_preds = set(expected) | set(current)
+        for pred in all_preds:
+            assert current.get(pred, frozenset()) == expected.get(
+                pred, frozenset()
+            ), pred
+        # Reported deltas == actual snapshot diff.
+        for pred in set(previous) | set(current):
+            old = previous.get(pred, frozenset())
+            new = current.get(pred, frozenset())
+            assert result.added(pred) == new - old, pred
+            assert result.removed(pred) == old - new, pred
+        previous = current
+    assert engine.runs == 1  # every update stayed incremental

@@ -145,3 +145,75 @@ class TestAnswers:
     def test_relation_sizes(self, processor):
         sizes = processor.relation_sizes()
         assert sizes["segment"] == 2
+
+
+class TestRevocation:
+    def test_revoked_answer_redemands_task(self, processor):
+        """Answer supplied then revoked: the TaskRequest reappears in the
+        pending set *and* is re-announced to demand listeners — the
+        retraction-capable update refreshes demand eagerly."""
+        batches = []
+        processor.add_demand_listener(batches.append)
+        request = processor.request_for("translate", ("s1",))
+        processor.supply_answer(request, {"out": "S1-FR"})
+        assert ("verify", ("s1", "S1-FR")) in {
+            (r.predicate, r.key_values) for r in processor.pending_requests()
+        }
+        batches.clear()
+        removed = processor.revoke_answer("translate", ("s1",))
+        assert removed == 1
+        # Eager refresh: the demand is back before any explicit run().
+        reappeared = [
+            (r.predicate, r.key_values)
+            for batch in batches
+            for r in batch
+        ]
+        assert ("translate", ("s1",)) in reappeared
+        pending = {(r.predicate, r.key_values) for r in processor.pending_requests()}
+        assert ("translate", ("s1",)) in pending
+        # The downstream verify demand died with the retracted answer.
+        assert ("verify", ("s1", "S1-FR")) not in pending
+
+    def test_revoke_by_key_mapping(self, processor):
+        processor.supply_fact("translate", {"seg": "s2"}, {"out": "X"})
+        assert processor.revoke_answer("translate", {"seg": "s2"}) == 1
+        assert processor.facts("translate") == frozenset()
+
+    def test_revoke_removes_all_answers_for_key(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        processor.supply_answer(request, {"out": "v1"})
+        processor.supply_fact("translate", {"seg": "s1"}, {"out": "v2"})
+        assert processor.revoke_answer("translate", ("s1",)) == 2
+        assert processor.facts("translate") == frozenset()
+
+    def test_revoke_non_open_rejected(self, processor):
+        with pytest.raises(CyLogTypeError, match="not an open predicate"):
+            processor.revoke_answer("segment", ("s1",))
+
+    def test_retract_facts_refreshes_derived_state(self, processor):
+        """Retracting a base fact eagerly withdraws the demand it seeded."""
+        processor.retract_facts("segment", [("s2",)])
+        pending = {r.key_values for r in processor.pending_requests()
+                   if r.predicate == "translate"}
+        assert pending == {("s1",)}
+
+    def test_deltas_drain_across_runs(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        processor.supply_answer(request, {"out": "FR"})
+        processor.run()
+        drained = processor.drain_deltas()
+        assert drained["translated"][0] == frozenset({("s1", "FR")})
+        assert processor.drain_deltas() == {}  # consumed
+        processor.revoke_answer("translate", ("s1",))
+        drained = processor.drain_deltas()
+        assert drained["translated"][1] == frozenset({("s1", "FR")})
+
+    def test_batched_revocation_defers_refresh(self, processor):
+        request = processor.request_for("translate", ("s1",))
+        processor.supply_answer(request, {"out": "FR"})
+        with processor.batch():
+            processor.revoke_answer("translate", ("s1",))
+            processor.supply_fact("translate", {"seg": "s2"}, {"out": "Y"})
+        pending = {r.key_values for r in processor.pending_requests()
+                   if r.predicate == "translate"}
+        assert pending == {("s1",)}

@@ -57,6 +57,48 @@ class TestRoundTrip:
         loaded = load_database(tmp_path / "snap")
         assert len(loaded.table("posts")) == 1
 
+    def test_table_versions_bump_past_saved_history(self, populated, tmp_path):
+        """A reloaded table's version must exceed every version the saved
+        history ever used — otherwise a version-tagged consumer (the query
+        cache) could mistake reloaded data for an older state of the same
+        table."""
+        # Advance the version history well past the row count.
+        for index in range(5):
+            populated.insert("posts", {"id": 10 + index, "author": "u1"})
+            populated.delete("posts", (10 + index,))
+        version_at_save = populated.table("posts").version
+        save_database(populated, tmp_path / "snap")
+        loaded = load_database(tmp_path / "snap")
+        # The snapshot holds 1 post row; naive reload would restart at 1.
+        assert loaded.table("posts").version > version_at_save
+
+    def test_save_mutate_load_cached_query(self, populated, tmp_path):
+        """save → mutate → load → cached query: the loaded database serves
+        the snapshot's rows, and its caching stays invalidation-correct
+        through further mutations."""
+        from repro.storage import col
+
+        save_database(populated, tmp_path / "snap")
+        populated.insert("posts", {"id": 2, "author": "u1"})  # post-save mutation
+        loaded = load_database(tmp_path / "snap")
+        query = loaded.query("posts").where(col("author") == "u1").project("id")
+        assert [row["id"] for row in query.execute_cached()] == [1]
+        assert [row["id"] for row in query.execute_cached()] == [1]  # cache hit
+        assert loaded.query_cache.stats.hits == 1
+        loaded.insert("posts", {"id": 3, "author": "u1"})
+        rows = sorted(row["id"] for row in query.execute_cached())
+        assert rows == [1, 3]  # the version bump invalidated the entry
+
+    def test_legacy_snapshot_without_versions_loads(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap")
+        catalog = json.loads((root / "catalog.json").read_text())
+        for entry in catalog["tables"]:
+            entry.pop("version", None)
+        (root / "catalog.json").write_text(json.dumps(catalog))
+        loaded = load_database(root)
+        assert loaded.counts() == populated.counts()
+        assert loaded.table("users").version >= 1
+
     def test_missing_catalog_raises(self, tmp_path):
         with pytest.raises(StorageError):
             load_database(tmp_path / "empty")
