@@ -48,7 +48,7 @@ def _scale_engine(planner: str) -> SemiNaiveEngine:
     return engine
 
 
-def test_e10c_cost_planner_vs_legacy_at_scale(emit):
+def test_e10c_cost_planner_vs_legacy_at_scale(emit, emit_bench_json):
     engines, times, results = {}, {}, {}
     for planner in ("cost", "legacy"):
         engine = _scale_engine(planner)
@@ -100,6 +100,26 @@ def test_e10c_cost_planner_vs_legacy_at_scale(emit):
         ))
     collector = Collector()
     engines["cost"].stats.to_collector(collector)
+    emit_bench_json(
+        "E10c",
+        {
+            "base_facts": SCALE_CHAINS * SCALE_DEPTH + SCALE_WORKERS + 20,
+            "configs": [
+                {
+                    "planner": planner,
+                    "run_ms": round(times[planner] * 1000, 2),
+                    "ops_per_s": round(
+                        (SCALE_CHAINS * SCALE_DEPTH + SCALE_WORKERS + 20)
+                        / times[planner],
+                        1,
+                    ),
+                }
+                for planner in ("cost", "legacy")
+            ],
+            "speedup_cost_vs_legacy": round(speedup, 2),
+            "burst_continuation_ms": round(burst_s * 1000, 3),
+        },
+    )
     emit(format_table(
         ("planner", "run (ms)", "rounds", "rules fired", "tuples joined",
          "index hits", "full scans"),
@@ -129,7 +149,7 @@ DELTA_RULES = """
 """
 
 
-def test_e10d_cross_run_incremental_deltas(emit):
+def test_e10d_cross_run_incremental_deltas(emit, emit_bench_json):
     """The per-platform-round operation after this PR: facts arrive *and*
     get revoked between runs, and the engine propagates only the deltas —
     support counting plus DRed retraction — instead of re-deriving every
@@ -188,6 +208,21 @@ def test_e10d_cross_run_incremental_deltas(emit):
     assert fresh.run().relations == full_result.relations
 
     speedup = full_s / incremental_s if incremental_s else float("inf")
+    ops_per_round = 2 * DELTA_SIZE + 1
+    emit_bench_json(
+        "E10d",
+        {
+            "base_facts": SCALE_CHAINS * SCALE_DEPTH + SCALE_CHAINS,
+            "delta_rounds": DELTA_ROUNDS,
+            "adds_retracts_per_round": ops_per_round,
+            "mean_incremental_run_ms": round(incremental_s * 1000, 3),
+            "full_recompute_ms": round(full_s * 1000, 2),
+            "ops_per_s": round(ops_per_round / incremental_s, 1)
+            if incremental_s
+            else None,
+            "speedup_vs_full": round(speedup, 1),
+        },
+    )
     emit(format_table(
         ("measure", "value"),
         [

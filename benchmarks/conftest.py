@@ -3,15 +3,25 @@
 Every bench prints its paper-style result table straight to the terminal
 (bypassing capture) and appends it to ``benchmarks/results.txt`` so the
 full experiment record survives a ``--benchmark-only`` run.
+
+Benches additionally record a machine-readable trajectory: the
+``emit_bench_json`` fixture writes ``BENCH_<scenario>.json`` at the repo
+root (ops/s, speedups, configuration, fast-mode flag), and the CI
+``bench-smoke`` job uploads those files as artifacts so the perf
+trajectory is tracked per PR.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from fastmode import FAST
+
 RESULTS_PATH = Path(__file__).parent / "results.txt"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -31,3 +41,26 @@ def emit(capsys):
             handle.write(block + "\n\n")
 
     return _emit
+
+
+@pytest.fixture
+def emit_bench_json():
+    """Write one scenario's machine-readable record to the repo root.
+
+    The payload is stamped with the fast-mode flag so a consumer can
+    separate smoke numbers from full-size measurements.
+    """
+
+    def _write(scenario: str, payload: dict) -> Path:
+        record = {"scenario": scenario, "fast_mode": FAST, **payload}
+        # Fast-mode (smoke) numbers go to a separate, gitignored file so a
+        # local BENCH_FAST run can never clobber the committed full-size
+        # trajectory records; CI uploads both spellings as artifacts.
+        suffix = ".smoke.json" if FAST else ".json"
+        path = REPO_ROOT / f"BENCH_{scenario}{suffix}"
+        path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+    return _write

@@ -31,7 +31,7 @@ DEFAULT_TOPICS = (
 def journalism_cylog(topics: list[str]) -> str:
     lines = [
         "% citizen journalism",
-        'open report(topic: text, article: text) key (topic) '
+        "open report(topic: text, article: text) key (topic) "
         'asking "Write a short report on {topic}".',
     ]
     lines.extend(f"topic({json.dumps(topic)})." for topic in topics)

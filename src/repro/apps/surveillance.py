@@ -34,8 +34,8 @@ HYBRID_STAGES = [
 def surveillance_cylog(regions: list[str], periods: list[str]) -> str:
     lines = [
         "% surveillance: facts + testimonials over a region/period grid",
-        'open collect(region: text, period: text, dossier: text) '
-        'key (region, period) asking '
+        "open collect(region: text, period: text, dossier: text) "
+        "key (region, period) asking "
         '"Collect facts and testimonials for {region} during {period}".',
     ]
     lines.extend(f"region({json.dumps(region)})." for region in regions)

@@ -26,9 +26,9 @@ def translation_cylog(clips: list[str], target_language: str = "French") -> str:
     """Build the scenario's CyLog project description."""
     lines = [
         "% video subtitle generation and translation",
-        'open transcribe(clip: text, subtitle: text) key (clip) '
+        "open transcribe(clip: text, subtitle: text) key (clip) "
         'asking "Transcribe the speech in video clip {clip}".',
-        'open translate(seg: text, out: text) key (seg) '
+        "open translate(seg: text, out: text) key (seg) "
         f'asking "Translate subtitle {{seg}} into {target_language}".',
     ]
     lines.extend(f"clip({json.dumps(clip)})." for clip in clips)

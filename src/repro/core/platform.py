@@ -27,6 +27,15 @@ and ``step(cross_check=True)`` runs an engine-diff-style oracle that
 verifies the incrementally maintained ledger against a from-scratch
 recomputation.  Work counters live in :class:`PlatformStats`.
 
+Every project's CyLog engine can be hash-sharded and evaluated in
+parallel (``Crowd4U(shards=8, executor="thread")`` — see
+:class:`repro.cylog.ShardConfig`): the round's eligibility maintenance
+then consumes the engine's change sets *per shard* — the removed-row
+membership probe ``relation.lookup((0,), (worker_id,))`` routes straight
+to the shard owning the worker id instead of touching a global index —
+while snapshots and deltas stay byte-identical to the single-store
+configuration.
+
 >>> from repro.core import Crowd4U, HumanFactors, TeamConstraints
 >>> platform = Crowd4U(seed=1)
 >>> worker = platform.register_worker(
@@ -73,7 +82,7 @@ from repro.core.relationships import (
 from repro.core.tasks import OPEN_STATUSES, Task, TaskKind, TaskPool, TaskStatus
 from repro.core.teams import TeamRegistry
 from repro.core.workers import Worker, WorkerManager
-from repro.cylog import CyLogProcessor, TaskRequest
+from repro.cylog import CyLogProcessor, ShardConfig, TaskRequest
 from repro.errors import CollaborationError, PlatformError
 from repro.storage import Database, col
 from repro.util import IdFactory
@@ -135,10 +144,16 @@ class Crowd4U:
         db: Database | None = None,
         affinity_weights: AffinityWeights | None = None,
         incremental: bool = True,
+        shards: int = 1,
+        executor: str = "serial",
+        max_workers: int | None = None,
     ) -> None:
         self.seed = seed
         self.now = 0.0
         self.incremental = incremental
+        self.shard_config = ShardConfig(
+            shards=shards, executor=executor, max_workers=max_workers
+        )
         self.stats = PlatformStats()
         self.db = db or Database()
         self.events = EventBus()
@@ -366,7 +381,7 @@ class Crowd4U:
             created_at=self.now,
             options=options,
         )
-        processor = CyLogProcessor(cylog_source)
+        processor = CyLogProcessor(cylog_source, shard_config=self.shard_config)
         processor.add_demand_listener(
             lambda requests, pid=project.id: self._materialise_requests(pid, requests)
         )
@@ -834,6 +849,12 @@ class Crowd4U:
             # New facts may demand new tasks immediately.
             self.processor(root_task.project_id).run()
 
+    def close(self) -> None:
+        """Release every project engine's executor threads (no-op when
+        the platform runs the default serial configuration)."""
+        for processor in self._processors.values():
+            processor.close()
+
     # -- observability ------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """Cheap structural summary used by pages, examples and benches."""
@@ -845,6 +866,7 @@ class Crowd4U:
             "teams": len(self.teams),
             "relationships": len(self.ledger),
             "affinity_pairs": len(self.affinity),
+            "engine_shards": self.shard_config.shards,
         }
 
     def stats_summary(self) -> dict[str, dict[str, int]]:

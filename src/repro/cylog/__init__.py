@@ -82,6 +82,14 @@ from repro.cylog.parser import parse_program
 from repro.cylog.pretty import explain_program, program_to_source
 from repro.cylog.processor import CyLogProcessor
 from repro.cylog.safety import JoinPlan, PlanStep, compile_program
+from repro.cylog.sharding import (
+    ExecutorPolicy,
+    SerialExecutor,
+    ShardConfig,
+    ShardedRelationStore,
+    ThreadedExecutor,
+    fingerprint_snapshot,
+)
 
 __all__ = [
     "AggregateTerm",
@@ -94,6 +102,7 @@ __all__ = [
     "CyLogTypeError",
     "EngineStats",
     "EvaluationResult",
+    "ExecutorPolicy",
     "Fact",
     "JoinPlan",
     "Negation",
@@ -102,11 +111,16 @@ __all__ = [
     "Program",
     "Rule",
     "SemiNaiveEngine",
+    "SerialExecutor",
+    "ShardConfig",
+    "ShardedRelationStore",
     "StratificationError",
     "TaskRequest",
+    "ThreadedExecutor",
     "Var",
     "compile_program",
     "explain_program",
+    "fingerprint_snapshot",
     "naive_evaluate",
     "parse_program",
     "program_to_source",

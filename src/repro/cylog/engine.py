@@ -21,6 +21,17 @@ Every run reports what changed through ``EvaluationResult.added`` /
 ``removed``, which the CyLog processor and the platform consume as
 first-class deltas.
 
+The engine is also *shardable* and *parallelisable* (see
+:mod:`repro.cylog.sharding`): with a :class:`ShardConfig` the relation
+store is hash-partitioned by key prefix, the support index shards its
+wildcard reverse index, and evaluation fans out — independent rules (and
+per-shard delta partitions) within a stratum, independent strata within a
+topological batch — to a pluggable executor.  Task results are merged
+serially in submission order, so fixpoints, reported deltas and the
+derivation counters are bit-identical at any worker count; the
+``shard-diff`` CI oracle enforces byte-identical snapshots against the
+single-store engine.
+
 :func:`naive_evaluate` exists as an oracle for differential testing and as
 the baseline for the E10 bench.  Both report work counters through
 :class:`EngineStats`, which plugs into :class:`repro.metrics.Collector`.
@@ -28,8 +39,10 @@ the baseline for the E10 bench.  Both report work counters through
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.cylog.ast import (
     AggregateTerm,
@@ -46,6 +59,7 @@ from repro.cylog.errors import CyLogTypeError
 from repro.cylog.incremental import (
     DeltaLedger,
     RetractionScheduler,
+    ShardedSupportIndex,
     SupportIndex,
     SupportKey,
     partition_recursive,
@@ -60,6 +74,9 @@ from repro.cylog.safety import (
     build_join_plan,
     compile_program,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sharding imports us)
+    from repro.cylog.sharding import ShardConfig
 
 Tuple_ = tuple[Any, ...]
 Bindings = dict[str, Any]
@@ -93,6 +110,7 @@ class EngineStats:
     overdeletions: int = 0
     supports_recorded: int = 0
     agg_recomputes: int = 0
+    shard_tasks: int = 0
     plans: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -111,7 +129,19 @@ class EngineStats:
             "overdeletions": self.overdeletions,
             "supports_recorded": self.supports_recorded,
             "agg_recomputes": self.agg_recomputes,
+            "shard_tasks": self.shard_tasks,
         }
+
+    def absorb(self, other: "EngineStats") -> None:
+        """Fold a scratch stats record (one evaluation task) into this one.
+
+        Parallel tasks count their work locally and the engine absorbs the
+        scratch records serially in submission order, so the cumulative
+        counters are identical at any worker count.
+        """
+        for name, value in other.as_dict().items():
+            if value:
+                setattr(self, name, getattr(self, name) + value)
 
     def to_collector(self, collector, prefix: str = "cylog_engine") -> None:
         """Add every counter to a :class:`repro.metrics.Collector`."""
@@ -207,10 +237,16 @@ class RelationStore:
         self._relations: dict[str, Relation] = {}
         self._index_specs = dict(index_specs or {})
 
+    def _make_relation(self, arity: int, index_specs: Iterable[tuple[int, ...]]):
+        """Factory hook: the sharded store substitutes its own relation."""
+        return Relation(arity, index_specs)
+
     def get(self, predicate: str, arity: int) -> Relation:
         relation = self._relations.get(predicate)
         if relation is None:
-            relation = Relation(arity, self._index_specs.get(predicate, ()))
+            relation = self._make_relation(
+                arity, self._index_specs.get(predicate, ())
+            )
             self._relations[predicate] = relation
         elif relation.arity != arity:
             raise CyLogTypeError(
@@ -227,6 +263,14 @@ class RelationStore:
 
     def snapshot(self) -> dict[str, frozenset]:
         return {name: rel.snapshot() for name, rel in self._relations.items()}
+
+    def fingerprint(self) -> str:
+        """Stable content digest; equal iff snapshots are byte-identical
+        (same digest a :class:`~repro.cylog.sharding.ShardedRelationStore`
+        over the same facts reports)."""
+        from repro.cylog.sharding import fingerprint_snapshot
+
+        return fingerprint_snapshot(self.snapshot())
 
 
 _EMPTY_ROWS: frozenset = frozenset()
@@ -615,11 +659,42 @@ class SemiNaiveEngine:
     updates no longer force a full recomputation.  ``run(full=True)`` is
     the from-scratch escape hatch (it also re-plans joins against the live
     base-fact cardinalities when ``planner="cost"``).
+
+    With a :class:`~repro.cylog.sharding.ShardConfig` (or the ``shards`` /
+    ``executor`` / ``max_workers`` shorthand) the store is hash-sharded by
+    key prefix and evaluation fans out to the configured executor:
+    independent strata inside a topological batch run as one task each,
+    and inside a stratum each (rule, delta shard) partition is one task.
+    Tasks only *read* shared state and count work in scratch
+    ``EngineStats``; the engine merges derived tuples, supports and
+    counters serially in submission order, so results are bit-identical
+    at any worker count.  ``close()`` releases executor threads.
     """
 
     def __init__(
-        self, program: Program | CompiledProgram, planner: str | None = None
+        self,
+        program: Program | CompiledProgram,
+        planner: str | None = None,
+        shard_config: "ShardConfig | None" = None,
+        shards: int | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
     ) -> None:
+        from repro.cylog.sharding import ShardConfig
+
+        if shard_config is None:
+            shard_config = ShardConfig(
+                shards=shards or 1,
+                executor=executor or "serial",
+                max_workers=max_workers,
+            )
+        elif shards is not None or executor is not None or max_workers is not None:
+            raise ValueError(
+                "pass either shard_config or shards/executor/max_workers, not both"
+            )
+        self.shard_config = shard_config
+        self._executor = shard_config.build_executor()
+        self._parallel = self._executor.name != "serial"
         if isinstance(program, CompiledProgram):
             self.planner = planner or program.planner
             if self.planner not in PLANNERS:
@@ -635,6 +710,7 @@ class SemiNaiveEngine:
             self.compiled = compile_program(program, planner=self.planner)
         self._active = self.compiled
         self._strata = self._build_stratum_info()
+        self._batches = self._compute_batches()
         self._planned_cardinalities: dict[str, float] | None = None
         self._base_facts: dict[str, set[Tuple_]] = {}
         #: Arity each base predicate was first used with — retained even
@@ -646,7 +722,7 @@ class SemiNaiveEngine:
             self._base_facts.setdefault(fact.atom.predicate, set()).add(row)
             self._base_arity.setdefault(fact.atom.predicate, len(row))
         self._store: RelationStore | None = None
-        self._supports = SupportIndex()
+        self._supports = self._new_supports()
         self._agg_cache: dict[int, set[Tuple_]] = {}
         self._pending = DeltaLedger()
         self._gain_plans: dict[tuple[int, int], JoinPlan] = {}
@@ -655,6 +731,30 @@ class SemiNaiveEngine:
         self._agg_group_plans: dict[int, JoinPlan] = {}
         self.stats = EngineStats()
         self.runs = 0  # full evaluations performed (observability for benches)
+
+    # -- sharding / executor plumbing --------------------------------------
+    def _new_lock(self) -> threading.Lock | None:
+        return threading.Lock() if self._parallel else None
+
+    def _new_store(self):
+        from repro.cylog.sharding import build_store
+
+        return build_store(self.shard_config, self._active.index_specs())
+
+    def _new_supports(self) -> SupportIndex:
+        if self.shard_config.sharded:
+            return ShardedSupportIndex(self.shard_config.shards, lock=self._new_lock())
+        return SupportIndex(lock=self._new_lock())
+
+    def close(self) -> None:
+        """Release the executor's worker threads (no-op when serial)."""
+        self._executor.close()
+
+    def __enter__(self) -> "SemiNaiveEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- fact management ---------------------------------------------------
     def add_facts(self, predicate: str, rows: Iterable[Tuple_]) -> int:
@@ -750,6 +850,7 @@ class SemiNaiveEngine:
             self.compiled.program, cardinalities=cardinalities, planner=self.planner
         )
         self._strata = self._build_stratum_info()
+        self._batches = self._compute_batches()
         self._gain_plans.clear()
         self._loss_plans.clear()
         self._rederive_plans.clear()
@@ -806,6 +907,36 @@ class SemiNaiveEngine:
                 )
             )
         return tuple(infos)
+
+    def _compute_batches(self) -> tuple[tuple[int, ...], ...]:
+        """Topological batches of mutually independent strata.
+
+        Stratum ``t`` depends on stratum ``s`` when any predicate ``t``
+        reads (positively, under negation or inside an aggregate body) is
+        one of ``s``'s head predicates.  Strata on the same level of the
+        resulting DAG — independent SCC groups of the dependency graph —
+        can evaluate concurrently; batches are emitted in level order and
+        hold stratum indexes in ascending order, which fixes the merge
+        order for parallel execution.
+        """
+        inputs: list[set[str]] = []
+        for info in self._strata:
+            preds = set(info.referenced)
+            preds.update(neg.atom.predicate for _, _, neg in info.negations)
+            for agg_preds in info.agg_inputs.values():
+                preds.update(agg_preds)
+            inputs.append(preds)
+        levels: list[int] = []
+        for t in range(len(self._strata)):
+            level = 0
+            for s in range(t):
+                if inputs[t] & self._strata[s].heads:
+                    level = max(level, levels[s] + 1)
+            levels.append(level)
+        batches: dict[int, list[int]] = {}
+        for stratum, level in enumerate(levels):
+            batches.setdefault(level, []).append(stratum)
+        return tuple(tuple(batches[level]) for level in sorted(batches))
 
     def _negation_trigger_plan(
         self, rule_index: int, rule: CompiledRule, negation: Negation, gain: bool
@@ -892,6 +1023,7 @@ class SemiNaiveEngine:
         rule: CompiledRule,
         store: RelationStore,
         groups: set[Tuple_],
+        stats: EngineStats,
     ) -> set[Tuple_]:
         """Aggregate output restricted to ``groups``, evaluated through a
         group-key-bound plan (indexed probes, not a full body scan)."""
@@ -910,7 +1042,7 @@ class SemiNaiveEngine:
             initial = {v.name: value for v, value in zip(group_vars, group)}
             per_agg: dict[str, set] = {a.var.name: set() for a in aggregates}
             found = False
-            for bindings in solutions(plan, store, initial=initial, stats=self.stats):
+            for bindings in solutions(plan, store, initial=initial, stats=stats):
                 found = True
                 for aggregate in aggregates:
                     per_agg[aggregate.var.name].add(bindings[aggregate.var.name])
@@ -928,9 +1060,60 @@ class SemiNaiveEngine:
         )
         return (rule_index, deps)
 
-    def _record(self, predicate: str, row: Tuple_, key: SupportKey) -> None:
+    def _record(
+        self,
+        predicate: str,
+        row: Tuple_,
+        key: SupportKey,
+        stats: EngineStats | None = None,
+    ) -> None:
         if self._supports.add(predicate, row, key):
-            self.stats.supports_recorded += 1
+            (stats if stats is not None else self.stats).supports_recorded += 1
+
+    # -- task fan-out ------------------------------------------------------
+    def _rule_delta_task(
+        self,
+        rule_index: int,
+        rule: CompiledRule,
+        position: int,
+        delta_plan: JoinPlan | None,
+        delta_rel: Relation,
+        store: RelationStore,
+    ) -> Callable[[], tuple[list[tuple[Tuple_, SupportKey]], EngineStats]]:
+        """One evaluation task: fire ``rule`` against one delta partition.
+
+        The task only *reads* the store and counts work into a scratch
+        stats record; the caller merges derived tuples, supports and
+        counters serially, which keeps results executor-independent.
+        """
+
+        def task() -> tuple[list[tuple[Tuple_, SupportKey]], EngineStats]:
+            scratch = EngineStats()
+            scratch.shard_tasks = 1
+            if delta_plan is not None:
+                # Delta-first rewrite: the delta atom leads the join.
+                bindings_iter = solutions(
+                    delta_plan,
+                    store,
+                    delta_position=0,
+                    delta_relation=delta_rel,
+                    stats=scratch,
+                )
+            else:
+                bindings_iter = solutions(
+                    rule.join_plan,
+                    store,
+                    delta_position=position,
+                    delta_relation=delta_rel,
+                    stats=scratch,
+                )
+            derived = [
+                (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
+                for b in bindings_iter
+            ]
+            return derived, scratch
+
+        return task
 
     def _semi_naive_rounds(
         self,
@@ -938,24 +1121,39 @@ class SemiNaiveEngine:
         plain_rules: Sequence[tuple[int, CompiledRule]],
         delta: dict[str, set[Tuple_]],
         changes: DeltaLedger | None = None,
+        stats: EngineStats | None = None,
+        parallel: bool = True,
     ) -> None:
         """Propagate ``delta`` to fixpoint, recording every derivation.
 
         Rules fire through their delta-first rewrites for any body atom
         whose predicate has a delta; new head tuples feed the next round
         (and ``changes``, when the caller is tracking a run report).
+
+        Each round builds one task per (rule, delta atom) — split further
+        into per-shard delta partitions on a sharded engine — evaluates
+        them through the executor when the round is big enough to pay for
+        dispatch, and merges the derived tuples serially in task order.
         """
+        if stats is None:
+            stats = self.stats
+        n_shards = self.shard_config.shards
+        use_pool = parallel and self._parallel
+        if n_shards > 1:
+            from repro.cylog.sharding import split_rows_by_shard
         while delta:
-            self.stats.rounds += 1
+            stats.rounds += 1
             delta_relations = {
                 predicate: _relation_from(rows, store.maybe(predicate))
                 for predicate, rows in delta.items()
                 if rows
             }
-            next_delta: dict[str, set[Tuple_]] = {}
+            fan_out = use_pool and (
+                sum(len(rows) for rows in delta.values())
+                >= self.shard_config.min_parallel_rows
+            )
+            jobs: list[tuple[CompiledRule, Callable]] = []
             for rule_index, rule in plain_rules:
-                head_pred = rule.rule.head.predicate
-                relation = store.get(head_pred, rule.rule.head.arity)
                 for position, step in enumerate(rule.join_plan.steps):
                     literal = step.literal
                     if not isinstance(literal, Atom):
@@ -964,35 +1162,38 @@ class SemiNaiveEngine:
                         continue
                     delta_rel = delta_relations[literal.predicate]
                     delta_plan = rule.delta_plans.get(position)
-                    self.stats.rules_fired += 1
-                    if delta_plan is not None:
-                        # Delta-first rewrite: the delta atom leads the join.
-                        bindings_iter = solutions(
-                            delta_plan,
-                            store,
-                            delta_position=0,
-                            delta_relation=delta_rel,
-                            stats=self.stats,
+                    stats.rules_fired += 1
+                    parts: list[Relation] = [delta_rel]
+                    if fan_out and n_shards > 1 and len(delta_rel) > 1:
+                        parts = [
+                            _relation_from(rows, delta_rel)
+                            for _, rows in split_rows_by_shard(delta_rel, n_shards)
+                        ]
+                    for part in parts:
+                        jobs.append(
+                            (
+                                rule,
+                                self._rule_delta_task(
+                                    rule_index, rule, position, delta_plan, part, store
+                                ),
+                            )
                         )
-                    else:
-                        bindings_iter = solutions(
-                            rule.join_plan,
-                            store,
-                            delta_position=position,
-                            delta_relation=delta_rel,
-                            stats=self.stats,
-                        )
-                    derived = [
-                        (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
-                        for b in bindings_iter
-                    ]
-                    for row, support in derived:
-                        self._record(head_pred, row, support)
-                        if relation.add(row):
-                            self.stats.tuples_derived += 1
-                            next_delta.setdefault(head_pred, set()).add(row)
-                            if changes is not None:
-                                changes.add(head_pred, row)
+            if fan_out and len(jobs) > 1:
+                results = self._executor.map([job for _, job in jobs])
+            else:
+                results = [job() for _, job in jobs]
+            next_delta: dict[str, set[Tuple_]] = {}
+            for (rule, _), (derived, scratch) in zip(jobs, results):
+                stats.absorb(scratch)
+                head_pred = rule.rule.head.predicate
+                relation = store.get(head_pred, rule.rule.head.arity)
+                for row, support in derived:
+                    self._record(head_pred, row, support, stats)
+                    if relation.add(row):
+                        stats.tuples_derived += 1
+                        next_delta.setdefault(head_pred, set()).add(row)
+                        if changes is not None:
+                            changes.add(head_pred, row)
             delta = next_delta
 
     # -- full evaluation ---------------------------------------------------
@@ -1002,8 +1203,8 @@ class SemiNaiveEngine:
         self._pending = DeltaLedger()  # a from-scratch load covers everything
         self._replan()
         previous = self._store.snapshot() if self._store is not None else {}
-        store = RelationStore(self._active.index_specs())
-        self._supports = SupportIndex()
+        store = self._new_store()
+        self._supports = self._new_supports()
         self._agg_cache = {}
         for predicate, rows in self._base_facts.items():
             if not rows:
@@ -1011,8 +1212,30 @@ class SemiNaiveEngine:
             relation = store.get(predicate, len(next(iter(rows))))
             for row in rows:
                 relation.add(row)
-        for info in self._strata:
-            self._eval_stratum_full(store, info)
+        # Head relations are created up front so parallel stratum tasks
+        # never mutate the store's predicate map concurrently.
+        for rule in self._active.rules:
+            store.get(rule.rule.head.predicate, rule.rule.head.arity)
+        for batch in self._batches:
+            if len(batch) == 1 or not self._parallel:
+                for index in batch:
+                    self._eval_stratum_full(
+                        store, self._strata[index], self.stats, parallel=self._parallel
+                    )
+            else:
+                # Independent strata: one task each, scratch stats merged
+                # in stratum order.
+                def stratum_task(info: _StratumInfo) -> EngineStats:
+                    scratch = EngineStats()
+                    scratch.shard_tasks = 1
+                    self._eval_stratum_full(store, info, scratch, parallel=False)
+                    return scratch
+
+                tasks = [
+                    partial(stratum_task, self._strata[index]) for index in batch
+                ]
+                for scratch in self._executor.map(tasks):
+                    self.stats.absorb(scratch)
         self._store = store
         current = store.snapshot()
         changes = DeltaLedger()
@@ -1026,37 +1249,59 @@ class SemiNaiveEngine:
         added, removed = changes.as_mappings()
         return EvaluationResult(current, added, removed)
 
-    def _eval_stratum_full(self, store: RelationStore, info: _StratumInfo) -> None:
+    def _eval_stratum_full(
+        self,
+        store: RelationStore,
+        info: _StratumInfo,
+        stats: EngineStats,
+        parallel: bool = True,
+    ) -> None:
         for rule_index, rule in info.aggregates:
             head_pred = rule.rule.head.predicate
             relation = store.get(head_pred, rule.rule.head.arity)
-            self.stats.rules_fired += 1
-            self.stats.agg_recomputes += 1
-            out = _evaluate_aggregate_rule(rule, store, self.stats)
+            stats.rules_fired += 1
+            stats.agg_recomputes += 1
+            out = _evaluate_aggregate_rule(rule, store, stats)
             self._agg_cache[rule_index] = out
             support: SupportKey = (rule_index, ())
             for row in out:
-                self._record(head_pred, row, support)
+                self._record(head_pred, row, support, stats)
                 if relation.add(row):
-                    self.stats.tuples_derived += 1
+                    stats.tuples_derived += 1
         # Round 0: full evaluation of each rule.  Solutions are materialised
         # before insertion because recursive rules scan the very relation
-        # they derive into.
+        # they derive into; on a parallel engine independent rules evaluate
+        # concurrently and merge in rule order.
+        def round0_task(rule_index: int, rule: CompiledRule):
+            def task():
+                scratch = EngineStats()
+                derived = [
+                    (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
+                    for b in solutions(rule.join_plan, store, stats=scratch)
+                ]
+                return derived, scratch
+
+            return task
+
+        jobs = [round0_task(rule_index, rule) for rule_index, rule in info.plain]
+        if parallel and self._parallel and len(jobs) > 1:
+            results = self._executor.map(jobs)
+        else:
+            results = [job() for job in jobs]
         delta: dict[str, set[Tuple_]] = {}
-        for rule_index, rule in info.plain:
+        for (rule_index, rule), (derived, scratch) in zip(info.plain, results):
+            stats.absorb(scratch)
+            stats.rules_fired += 1
             head_pred = rule.rule.head.predicate
             relation = store.get(head_pred, rule.rule.head.arity)
-            self.stats.rules_fired += 1
-            derived = [
-                (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
-                for b in solutions(rule.join_plan, store, stats=self.stats)
-            ]
             for row, support in derived:
-                self._record(head_pred, row, support)
+                self._record(head_pred, row, support, stats)
                 if relation.add(row):
-                    self.stats.tuples_derived += 1
+                    stats.tuples_derived += 1
                     delta.setdefault(head_pred, set()).add(row)
-        self._semi_naive_rounds(store, info.plain, delta)
+        self._semi_naive_rounds(
+            store, info.plain, delta, stats=stats, parallel=parallel
+        )
 
     # -- incremental evaluation --------------------------------------------
     def _incremental_run(self) -> EvaluationResult:
@@ -1079,15 +1324,61 @@ class SemiNaiveEngine:
                 for row in added:
                     if relation.add(row):
                         changes.add(predicate, row)
-        for info in self._strata:
-            self._step_stratum(store, info, changes)
+        for batch in self._batches:
+            if len(batch) == 1 or not self._parallel:
+                for index in batch:
+                    self._step_stratum(
+                        store,
+                        self._strata[index],
+                        changes,
+                        self.stats,
+                        parallel=self._parallel,
+                    )
+            else:
+                # Independent strata: each task reads the pre-batch change
+                # ledger and writes into its own scratch ledger + stats;
+                # scratches merge in stratum order (their head predicates
+                # are disjoint, so the merge is order-insensitive anyway).
+                outs = [DeltaLedger() for _ in batch]
+                scratches = [EngineStats() for _ in batch]
+
+                def stratum_task(
+                    info: _StratumInfo, out: DeltaLedger, scratch: EngineStats
+                ) -> None:
+                    self._step_stratum(
+                        store, info, changes, scratch, out=out, parallel=False
+                    )
+
+                tasks = [
+                    partial(stratum_task, self._strata[index], out, scratch)
+                    for index, out, scratch in zip(batch, outs, scratches)
+                ]
+                self._executor.map(tasks)
+                for out, scratch in zip(outs, scratches):
+                    changes.merge(out)
+                    self.stats.absorb(scratch)
         added_map, removed_map = changes.as_mappings()
         return EvaluationResult(store.snapshot(), added_map, removed_map)
 
     def _step_stratum(
-        self, store: RelationStore, info: _StratumInfo, changes: DeltaLedger
+        self,
+        store: RelationStore,
+        info: _StratumInfo,
+        changes: DeltaLedger,
+        stats: EngineStats,
+        out: DeltaLedger | None = None,
+        parallel: bool = True,
     ) -> None:
-        """Propagate the accumulated ``changes`` through one stratum."""
+        """Propagate the accumulated ``changes`` through one stratum.
+
+        ``changes`` is read-only input (base-fact deltas plus everything
+        lower batches produced); this stratum's own additions/removals are
+        written to ``out`` when given (parallel batches: each stratum task
+        gets a scratch ledger merged afterwards) and to ``changes`` itself
+        otherwise — same-batch strata never read each other's heads, so
+        the two modes are equivalent.
+        """
+        sink = out if out is not None else changes
         if not info.plain and not info.aggregates:
             return
         touched = set(changes.predicates())
@@ -1098,7 +1389,7 @@ class SemiNaiveEngine:
         if not (touched & info.referenced or touched & negated or agg_touched):
             return
         scheduler = RetractionScheduler(
-            store, self._supports, info.heads, info.recursive, self.stats
+            store, self._supports, info.heads, info.recursive, stats
         )
         # Phase A: aggregates are recompute-and-diff — their inputs live in
         # strictly lower strata, so they are final by now.  When the change
@@ -1108,18 +1399,18 @@ class SemiNaiveEngine:
             if rule_index not in agg_touched:
                 continue
             head_pred = rule.rule.head.predicate
-            self.stats.rules_fired += 1
-            self.stats.agg_recomputes += 1
+            stats.rules_fired += 1
+            stats.agg_recomputes += 1
             cached = self._agg_cache.get(rule_index, set())
             groups = self._affected_agg_groups(rule, changes)
             if groups is None:
                 old = cached
-                new = _evaluate_aggregate_rule(rule, store, self.stats)
+                new = _evaluate_aggregate_rule(rule, store, stats)
                 self._agg_cache[rule_index] = new
             elif groups:
                 head = rule.rule.head
                 old = {row for row in cached if _row_group_key(head, row) in groups}
-                new = self._evaluate_agg_groups(rule_index, rule, store, groups)
+                new = self._evaluate_agg_groups(rule_index, rule, store, groups, stats)
                 self._agg_cache[rule_index] = (cached - old) | new
             else:
                 continue
@@ -1143,13 +1434,13 @@ class SemiNaiveEngine:
             delta_rel = _relation_from(
                 set(gained), store.maybe(negation.atom.predicate)
             )
-            self.stats.rules_fired += 1
+            stats.rules_fired += 1
             for b in solutions(
                 plan,
                 store,
                 delta_position=0,
                 delta_relation=delta_rel,
-                stats=self.stats,
+                stats=stats,
             ):
                 scheduler.drop_support(
                     head_pred,
@@ -1158,7 +1449,7 @@ class SemiNaiveEngine:
                 )
         scheduler.run()
         for predicate, row in scheduler.deleted:
-            changes.remove(predicate, row)
+            sink.remove(predicate, row)
         # Phase B': re-derivation.  Over-deleted tuples of the recursive
         # component are restored when still derivable from what survived;
         # the addition propagation below rebuilds everything downstream.
@@ -1176,9 +1467,9 @@ class SemiNaiveEngine:
                 initial = _head_bindings(rule, row)
                 if initial is None:
                     continue
-                self.stats.rules_fired += 1
+                stats.rules_fired += 1
                 plan = self._rederive_plan(rule_index, rule)
-                for b in solutions(plan, store, initial=initial, stats=self.stats):
+                for b in solutions(plan, store, initial=initial, stats=stats):
                     if _head_tuple(rule, b) == row:
                         supports.append(self._support_key(rule_index, rule, b))
             for rule_index, rule in info.aggregates:
@@ -1188,10 +1479,10 @@ class SemiNaiveEngine:
                     supports.append((rule_index, ()))
             if supports:
                 for support in supports:
-                    self._record(predicate, row, support)
+                    self._record(predicate, row, support, stats)
                 store.get(predicate, len(row)).add(row)
-                self.stats.tuples_rederived += 1
-                changes.add(predicate, row)
+                stats.tuples_rederived += 1
+                sink.add(predicate, row)
                 rederived.setdefault(predicate, set()).add(row)
         # Phase C: additions.  Seeds: net-added input tuples, aggregate
         # additions, re-derived tuples and negation-loss derivations.
@@ -1207,11 +1498,11 @@ class SemiNaiveEngine:
                 delta.setdefault(predicate, set()).update(rows)
         for rule, row, support in agg_additions:
             head_pred = rule.rule.head.predicate
-            self._record(head_pred, row, support)
+            self._record(head_pred, row, support, stats)
             relation = store.get(head_pred, rule.rule.head.arity)
             if relation.add(row):
-                self.stats.tuples_derived += 1
-                changes.add(head_pred, row)
+                stats.tuples_derived += 1
+                sink.add(head_pred, row)
                 if head_pred in info.referenced:
                     delta.setdefault(head_pred, set()).add(row)
         for rule_index, rule, negation in info.negations:
@@ -1222,7 +1513,7 @@ class SemiNaiveEngine:
             relation = store.get(head_pred, rule.rule.head.arity)
             plan = self._negation_trigger_plan(rule_index, rule, negation, gain=False)
             delta_rel = _relation_from(set(lost), store.maybe(negation.atom.predicate))
-            self.stats.rules_fired += 1
+            stats.rules_fired += 1
             derived = [
                 (_head_tuple(rule, b), self._support_key(rule_index, rule, b))
                 for b in solutions(
@@ -1230,17 +1521,19 @@ class SemiNaiveEngine:
                     store,
                     delta_position=0,
                     delta_relation=delta_rel,
-                    stats=self.stats,
+                    stats=stats,
                 )
             ]
             for row, support in derived:
-                self._record(head_pred, row, support)
+                self._record(head_pred, row, support, stats)
                 if relation.add(row):
-                    self.stats.tuples_derived += 1
-                    changes.add(head_pred, row)
+                    stats.tuples_derived += 1
+                    sink.add(head_pred, row)
                     if head_pred in info.referenced:
                         delta.setdefault(head_pred, set()).add(row)
-        self._semi_naive_rounds(store, info.plain, delta, changes)
+        self._semi_naive_rounds(
+            store, info.plain, delta, sink, stats=stats, parallel=parallel
+        )
 
 
 def _relation_from(rows: set[Tuple_], template: Relation | None) -> Relation:

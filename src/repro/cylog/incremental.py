@@ -25,12 +25,25 @@ changed:
   supports run through the recursive component are *over-deleted* and
   queued for the engine's re-derivation phase, which restores everything
   still derivable from the surviving facts.
+
+Sharding and parallelism (PR 4) extend the support machinery two ways:
+:class:`ShardedSupportIndex` partitions the wildcard reverse index by the
+dependency row's key-prefix shard, so a deletion cascade scans only the
+patterns that could possibly match the retracted row (1/N of them) instead
+of every anonymous-variable pattern of the predicate; and every index
+accepts an optional lock, so independent strata evaluated on worker
+threads can record derivations into the shared index safely
+(:meth:`SupportIndex.merge_from` is the scratch-index alternative for
+executors that cannot share memory).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, ContextManager, Iterable, Mapping
+
+from repro.cylog.indexes import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.cylog.engine import EngineStats, RelationStore
@@ -144,25 +157,50 @@ class SupportIndex:
     support is dropped).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lock: ContextManager | None = None) -> None:
         #: (pred, row) -> its support keys.
         self._supports: dict[tuple[str, Tuple_], set[SupportKey]] = {}
         #: pred -> exact body row -> supports consuming it.
         self._exact: dict[str, dict[Tuple_, set[SupportRef]]] = {}
         #: pred -> wildcard pattern -> supports consuming a matching row.
         self._wild: dict[str, dict[Tuple_, set[SupportRef]]] = {}
+        #: Serialises mutation when strata record/drop supports from worker
+        #: threads; the serial engine passes nothing and pays nothing.
+        self._lock: ContextManager = lock if lock is not None else nullcontext()
 
     def add(self, predicate: str, row: Tuple_, key: SupportKey) -> bool:
         """Record one derivation; returns True when it was not yet known."""
-        entry = self._supports.setdefault((predicate, row), set())
-        if key in entry:
-            return False
-        entry.add(key)
-        ref: SupportRef = (predicate, row, key)
-        for dep_pred, dep_row in key[1]:
-            target = self._wild if _is_wild(dep_row) else self._exact
-            target.setdefault(dep_pred, {}).setdefault(dep_row, set()).add(ref)
-        return True
+        with self._lock:
+            entry = self._supports.setdefault((predicate, row), set())
+            if key in entry:
+                return False
+            entry.add(key)
+            ref: SupportRef = (predicate, row, key)
+            for dep_pred, dep_row in key[1]:
+                if _is_wild(dep_row):
+                    self._wild_add(dep_pred, dep_row, ref)
+                else:
+                    self._exact.setdefault(dep_pred, {}).setdefault(
+                        dep_row, set()
+                    ).add(ref)
+            return True
+
+    def merge_from(self, other: "SupportIndex") -> int:
+        """Fold every derivation recorded in ``other`` into this index.
+
+        Folding is a set union, so merge order cannot change the result;
+        returns how many supports were new.  The engine currently records
+        supports from worker tasks directly into one lock-guarded index —
+        this is the alternative strategy (scratch index per task, folded
+        at merge time) kept for executors that cannot share the index,
+        e.g. the process-based executors on the roadmap.
+        """
+        added = 0
+        for (predicate, row), keys in other._supports.items():
+            for key in keys:
+                if self.add(predicate, row, key):
+                    added += 1
+        return added
 
     def count(self, predicate: str, row: Tuple_) -> int:
         return len(self._supports.get((predicate, row), ()))
@@ -172,15 +210,16 @@ class SupportIndex:
 
     def drop(self, predicate: str, row: Tuple_, key: SupportKey) -> int:
         """Remove one support if present; returns the remaining count."""
-        entry = self._supports.get((predicate, row))
-        if entry is None or key not in entry:
-            return len(entry) if entry is not None else 0
-        entry.discard(key)
-        self._unregister((predicate, row, key))
-        if not entry:
-            del self._supports[(predicate, row)]
-            return 0
-        return len(entry)
+        with self._lock:
+            entry = self._supports.get((predicate, row))
+            if entry is None or key not in entry:
+                return len(entry) if entry is not None else 0
+            entry.discard(key)
+            self._unregister((predicate, row, key))
+            if not entry:
+                del self._supports[(predicate, row)]
+                return 0
+            return len(entry)
 
     def discard_tuple(self, predicate: str, row: Tuple_) -> None:
         """The tuple left the store: forget every derivation *of* it.
@@ -188,16 +227,19 @@ class SupportIndex:
         Supports it participates in (as a body row of other derivations)
         are untouched — the deletion cascade drops those explicitly.
         """
-        entry = self._supports.pop((predicate, row), None)
-        if not entry:
-            return
-        for key in entry:
-            self._unregister((predicate, row, key))
+        with self._lock:
+            entry = self._supports.pop((predicate, row), None)
+            if not entry:
+                return
+            for key in entry:
+                self._unregister((predicate, row, key))
 
     def _unregister(self, ref: SupportRef) -> None:
         for dep_pred, dep_row in ref[2][1]:
-            target = self._wild if _is_wild(dep_row) else self._exact
-            per_pred = target.get(dep_pred)
+            if _is_wild(dep_row):
+                self._wild_discard(dep_pred, dep_row, ref)
+                continue
+            per_pred = self._exact.get(dep_pred)
             if per_pred is None:
                 continue
             refs = per_pred.get(dep_row)
@@ -207,30 +249,142 @@ class SupportIndex:
             if not refs:
                 del per_pred[dep_row]
                 if not per_pred:
-                    del target[dep_pred]
+                    del self._exact[dep_pred]
+
+    # -- wildcard reverse index (overridden by the sharded variant) --------
+    def _wild_add(self, dep_pred: str, pattern: Tuple_, ref: SupportRef) -> None:
+        self._wild.setdefault(dep_pred, {}).setdefault(pattern, set()).add(ref)
+
+    def _wild_discard(
+        self, dep_pred: str, pattern: Tuple_, ref: SupportRef
+    ) -> None:
+        per_pred = self._wild.get(dep_pred)
+        if per_pred is None:
+            return
+        refs = per_pred.get(pattern)
+        if refs is None:
+            return
+        refs.discard(ref)
+        if not refs:
+            del per_pred[pattern]
+            if not per_pred:
+                del self._wild[dep_pred]
+
+    def _wild_matches(
+        self, predicate: str, row: Tuple_
+    ) -> list[tuple[SupportRef, Tuple_]]:
+        per_pred = self._wild.get(predicate)
+        if not per_pred:
+            return []
+        out: list[tuple[SupportRef, Tuple_]] = []
+        for pattern, refs in per_pred.items():
+            if len(pattern) == len(row) and _matches(pattern, row):
+                out.extend((ref, pattern) for ref in refs)
+        return out
 
     def dependents(
         self, predicate: str, row: Tuple_
-    ) -> Iterator[tuple[SupportRef, Tuple_ | None]]:
+    ) -> list[tuple[SupportRef, Tuple_ | None]]:
         """Supports consuming ``row``: ``(ref, pattern)`` pairs.
 
         ``pattern`` is ``None`` for exact dependencies and the wildcard
         pattern (with ``None`` holes) for anonymous-variable dependencies —
-        the caller decides whether another row still satisfies it.
+        the caller decides whether another row still satisfies it.  The
+        result is materialised under the lock, so the caller may mutate
+        the index while consuming it.
         """
-        exact = self._exact.get(predicate)
-        if exact is not None:
-            for ref in list(exact.get(row, ())):
-                yield ref, None
-        wild = self._wild.get(predicate)
-        if wild is not None:
-            for pattern, refs in list(wild.items()):
-                if len(pattern) == len(row) and _matches(pattern, row):
-                    for ref in list(refs):
-                        yield ref, pattern
+        with self._lock:
+            exact = self._exact.get(predicate)
+            out: list[tuple[SupportRef, Tuple_ | None]] = []
+            if exact is not None:
+                out.extend((ref, None) for ref in exact.get(row, ()))
+            out.extend(self._wild_matches(predicate, row))
+            return out
 
     def __len__(self) -> int:
         return sum(len(entry) for entry in self._supports.values())
+
+
+class ShardedSupportIndex(SupportIndex):
+    """A support index whose wildcard reverse index is hash-sharded.
+
+    Plain :class:`SupportIndex` scans *every* anonymous-variable pattern of
+    a predicate on each deletion cascade step — O(distinct patterns) per
+    retracted row.  Here patterns are partitioned by the
+    :func:`~repro.cylog.indexes.stable_hash` shard of their key prefix
+    (first position), with patterns whose prefix is itself anonymous in a
+    catch-all bucket: a retracted row can only match patterns in its own
+    shard or the catch-all, so the scan touches ~1/N of the patterns.
+    This is where sharding pays off on retraction-heavy churn even before
+    any thread is spawned.
+    """
+
+    def __init__(self, n_shards: int, lock: ContextManager | None = None) -> None:
+        super().__init__(lock)
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        #: pred -> shard id (-1 = anonymous prefix) -> pattern -> refs.
+        self._wild_shards: dict[
+            str, dict[int, dict[Tuple_, set[SupportRef]]]
+        ] = {}
+
+    def _pattern_shard(self, pattern: Tuple_) -> int:
+        if pattern and pattern[0] is not None:
+            return stable_hash(pattern[0]) % self.n_shards
+        return -1
+
+    def _wild_add(self, dep_pred: str, pattern: Tuple_, ref: SupportRef) -> None:
+        self._wild_shards.setdefault(dep_pred, {}).setdefault(
+            self._pattern_shard(pattern), {}
+        ).setdefault(pattern, set()).add(ref)
+
+    def _wild_discard(
+        self, dep_pred: str, pattern: Tuple_, ref: SupportRef
+    ) -> None:
+        per_pred = self._wild_shards.get(dep_pred)
+        if per_pred is None:
+            return
+        shard = self._pattern_shard(pattern)
+        per_shard = per_pred.get(shard)
+        if per_shard is None:
+            return
+        refs = per_shard.get(pattern)
+        if refs is None:
+            return
+        refs.discard(ref)
+        if not refs:
+            del per_shard[pattern]
+            if not per_shard:
+                del per_pred[shard]
+                if not per_pred:
+                    del self._wild_shards[dep_pred]
+
+    def _wild_matches(
+        self, predicate: str, row: Tuple_
+    ) -> list[tuple[SupportRef, Tuple_]]:
+        per_pred = self._wild_shards.get(predicate)
+        if not per_pred:
+            return []
+        buckets: list[dict[Tuple_, set[SupportRef]]] = []
+        if row:
+            # A pattern with a concrete prefix only matches rows whose
+            # prefix hashes to the same shard: stable_hash is
+            # equality-consistent, so 1 / 1.0 / True land together and the
+            # strict-equality match below does the bool/int filtering,
+            # exactly as on the single store's conflating buckets.
+            routed = per_pred.get(stable_hash(row[0]) % self.n_shards)
+            if routed:
+                buckets.append(routed)
+        catch_all = per_pred.get(-1)
+        if catch_all:
+            buckets.append(catch_all)
+        out: list[tuple[SupportRef, Tuple_]] = []
+        for bucket in buckets:
+            for pattern, refs in bucket.items():
+                if len(pattern) == len(row) and _matches(pattern, row):
+                    out.extend((ref, pattern) for ref in refs)
+        return out
 
 
 class RetractionScheduler:

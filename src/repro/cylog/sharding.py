@@ -1,0 +1,355 @@
+"""Hash-sharded relation storage and pluggable evaluation executors.
+
+This module is the engine's concurrency story.  Two orthogonal pieces:
+
+* :class:`ShardedRelation` / :class:`ShardedRelationStore` — drop-in
+  replacements for :class:`~repro.cylog.engine.Relation` /
+  :class:`~repro.cylog.engine.RelationStore` that hash-partition every
+  relation by *key prefix* (the tuple's first position, routed through the
+  process-independent :func:`~repro.cylog.indexes.stable_hash`).  Each
+  shard keeps its own tuple set and its own incrementally maintained
+  :class:`~repro.cylog.indexes.MultiKeyHashIndex` family, so lookups whose
+  index key covers position 0 probe exactly one shard and delta
+  propagation can be partitioned shard-by-shard.  ``snapshot()`` unions
+  the shards, so a sharded store is *byte-identical* to the single store
+  it replaces — the property the ``shard-diff`` CI oracle gates on — and
+  ``fingerprint()`` / ``shard_fingerprints()`` give stable digests for
+  cheap cross-configuration comparisons.
+
+* :class:`ExecutorPolicy` — where per-shard / per-stratum evaluation
+  tasks run.  :class:`SerialExecutor` runs them inline;
+  :class:`ThreadedExecutor` fans them out to worker threads.  Both
+  return results in submission order, and the engine merges them
+  serially in that order, so evaluation results (and the derivation
+  counters in ``EngineStats``) are identical at any worker count.  Tiny
+  rounds are kept inline via ``ShardConfig.min_parallel_rows`` — the
+  fan-out must never cost more than it saves on the small-delta churn
+  the incremental engine is optimised for.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
+
+from repro.cylog.engine import Relation, RelationStore
+from repro.cylog.indexes import stable_hash
+
+Tuple_ = tuple[Any, ...]
+T = TypeVar("T")
+
+EXECUTORS = ("serial", "thread")
+
+
+def shard_of(row: Sequence[Any], n_shards: int) -> int:
+    """The shard owning ``row``: its key prefix hashed mod ``n_shards``.
+
+    Zero-arity rows (no prefix to hash) all live in shard 0.
+    """
+    if n_shards <= 1 or not row:
+        return 0
+    return stable_hash(row[0]) % n_shards
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class ExecutorPolicy:
+    """Strategy for running a batch of independent evaluation tasks.
+
+    ``map`` returns the task results **in submission order** regardless of
+    completion order; the engine's serial merge relies on that for
+    bit-identical results at any worker count.
+    """
+
+    name = "executor"
+    workers = 1
+
+    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (no-op for inline executors)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name} executor ({self.workers} workers)>"
+
+
+class SerialExecutor(ExecutorPolicy):
+    """Run every task inline on the calling thread."""
+
+    name = "serial"
+
+    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        return [task() for task in tasks]
+
+
+class ThreadedExecutor(ExecutorPolicy):
+    """Fan tasks out to a lazily created pool of worker threads.
+
+    The pool is created on first use (a serial-sized workload never spawns
+    threads) and shut down by :meth:`close`.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.workers = max_workers
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="cylog-shard"
+                )
+            return self._pool
+
+    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How an engine shards its store and where evaluation tasks run.
+
+    ``min_parallel_rows`` keeps small rounds inline: the thread fan-out is
+    only engaged when the driving delta carries at least this many rows,
+    so steady-state churn (a handful of facts per round) never pays
+    dispatch overhead.
+    """
+
+    shards: int = 1
+    executor: str = "serial"
+    max_workers: int | None = None
+    min_parallel_rows: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+
+    def build_executor(self) -> ExecutorPolicy:
+        if self.executor == "thread":
+            return ThreadedExecutor(self.max_workers or 4)
+        return SerialExecutor()
+
+    @property
+    def sharded(self) -> bool:
+        return self.shards > 1
+
+
+# ---------------------------------------------------------------------------
+# Sharded relations
+# ---------------------------------------------------------------------------
+
+
+class ShardedRelation:
+    """A relation hash-partitioned into N per-shard :class:`Relation` s.
+
+    Mirrors the :class:`~repro.cylog.engine.Relation` API the engine
+    consumes.  Rows are routed by :func:`shard_of` on their first
+    position; an index lookup whose key covers position 0 routes to a
+    single shard, any other probe chains the per-shard buckets (the
+    buckets stay live sets — callers must not mutate the result).
+    """
+
+    __slots__ = ("arity", "n_shards", "_shards", "_index_specs")
+
+    def __init__(
+        self,
+        arity: int,
+        n_shards: int,
+        index_specs: Iterable[tuple[int, ...]] = (),
+    ) -> None:
+        self.arity = arity
+        self.n_shards = n_shards
+        self._index_specs = tuple(index_specs)
+        self._shards = [Relation(arity, self._index_specs) for _ in range(n_shards)]
+
+    def shard_of(self, row: Tuple_) -> int:
+        return shard_of(row, self.n_shards)
+
+    def shard(self, shard_id: int) -> Relation:
+        return self._shards[shard_id]
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        return tuple(len(shard) for shard in self._shards)
+
+    def add(self, row: Tuple_) -> bool:
+        return self._shards[shard_of(row, self.n_shards)].add(row)
+
+    def add_many(self, rows: Iterable[Tuple_]) -> set[Tuple_]:
+        added = set()
+        for row in rows:
+            if self.add(row):
+                added.add(row)
+        return added
+
+    def discard(self, row: Tuple_) -> bool:
+        return self._shards[shard_of(row, self.n_shards)].discard(row)
+
+    def ensure_index(self, positions: tuple[int, ...]) -> None:
+        for shard in self._shards:
+            shard.ensure_index(positions)
+
+    def lookup(self, positions: tuple[int, ...], key: Tuple_):
+        """Rows whose ``positions`` project onto ``key``.
+
+        When the key covers position 0 the shard is known and exactly one
+        per-shard index is probed; otherwise the per-shard buckets are
+        chained (live view, do not mutate).
+        """
+        for offset, position in enumerate(positions):
+            if position == 0:
+                target = shard_of((key[offset],), self.n_shards)
+                return self._shards[target].lookup(positions, key)
+        return _ChainedRows(
+            [shard.lookup(positions, key) for shard in self._shards]
+        )
+
+    def match(self, pattern: Sequence[Any]) -> Iterable[Tuple_]:
+        positions = tuple(i for i, v in enumerate(pattern) if v is not None)
+        return self.lookup(positions, tuple(pattern[p] for p in positions))
+
+    def __contains__(self, row: Tuple_) -> bool:
+        return row in self._shards[shard_of(row, self.n_shards)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        for shard in self._shards:
+            yield from shard
+
+    def snapshot(self) -> frozenset:
+        return frozenset().union(*(shard.snapshot() for shard in self._shards))
+
+
+class _ChainedRows:
+    """A read-only chained view over per-shard row sets.
+
+    Supports exactly what the join layer needs from a lookup result —
+    ``len``, truthiness and iteration — without copying the buckets.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: list) -> None:
+        self._parts = parts
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+    def __bool__(self) -> bool:
+        return any(self._parts)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        for part in self._parts:
+            yield from part
+
+
+class ShardedRelationStore(RelationStore):
+    """Predicate name -> :class:`ShardedRelation`, creating on first use.
+
+    The drop-in sharded counterpart of
+    :class:`~repro.cylog.engine.RelationStore` — a subclass substituting
+    the relation factory, so lookup, arity validation, ``snapshot()``
+    shape (per-shard sets are unioned) and ``fingerprint()`` are literally
+    the single store's code and every byte-identity oracle sees exactly
+    what the single store would produce.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        index_specs: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        super().__init__(index_specs)
+        self.n_shards = n_shards
+
+    def _make_relation(
+        self, arity: int, index_specs: Iterable[tuple[int, ...]]
+    ) -> ShardedRelation:
+        return ShardedRelation(arity, self.n_shards, index_specs)
+
+    def shard_fingerprints(self) -> tuple[str, ...]:
+        """One stable digest per shard (cross-process comparable thanks to
+        :func:`~repro.cylog.indexes.stable_hash` routing)."""
+        return tuple(
+            fingerprint_snapshot(
+                {
+                    name: rel.shard(shard_id).snapshot()
+                    for name, rel in self._relations.items()
+                }
+            )
+            for shard_id in range(self.n_shards)
+        )
+
+    def shard_sizes(self) -> dict[str, tuple[int, ...]]:
+        return {name: rel.shard_sizes() for name, rel in self._relations.items()}
+
+
+def fingerprint_snapshot(snapshot: Mapping[str, frozenset]) -> str:
+    """A stable content digest of a relation snapshot.
+
+    Rows are serialised by ``repr`` and sorted, so two stores agree on the
+    fingerprint exactly when their snapshots are byte-identical —
+    regardless of sharding, worker count or hash randomisation.
+    """
+    digest = hashlib.sha256()
+    for predicate in sorted(snapshot):
+        digest.update(predicate.encode("utf-8"))
+        digest.update(b"\x00")
+        for row in sorted(snapshot[predicate], key=repr):
+            digest.update(repr(row).encode("utf-8"))
+            digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+def split_rows_by_shard(
+    rows: Iterable[Tuple_], n_shards: int
+) -> list[tuple[int, set[Tuple_]]]:
+    """Partition ``rows`` into per-shard sets, ascending shard id.
+
+    Empty shards are omitted, so fanning a delta out produces only tasks
+    with actual work.  The partition is a pure function of the rows, so
+    the engine's merge order (shard id order) is deterministic.
+    """
+    parts: dict[int, set[Tuple_]] = {}
+    for row in rows:
+        parts.setdefault(shard_of(row, n_shards), set()).add(row)
+    return sorted(parts.items())
+
+
+def build_store(
+    config: ShardConfig,
+    index_specs: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
+) -> "RelationStore | ShardedRelationStore":
+    """The store a :class:`ShardConfig` calls for: plain when unsharded."""
+    if config.sharded:
+        return ShardedRelationStore(config.shards, index_specs)
+    return RelationStore(index_specs)

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import os
 
-import hypothesis.strategies as st
 import pytest
+from diffgen import EDB as _EDB
+from diffgen import stratified_program, update_ops
 from hypothesis import given, settings
+
+import hypothesis.strategies as st
 
 from repro.cylog.engine import SemiNaiveEngine, naive_evaluate
 from repro.cylog.parser import parse_program
@@ -37,62 +40,7 @@ INCR_EXAMPLES = int(os.environ.get("INCR_DIFF_EXAMPLES", "25"))
 
 pytestmark = pytest.mark.engine_diff
 
-_EDB = ("e1", "e2")
-_VARS = ("X", "Y", "Z")
-
 constants = st.integers(min_value=0, max_value=4)
-
-
-def _atom(pred: str, left: str, right: str) -> str:
-    return f"{pred}({left}, {right})"
-
-
-@st.composite
-def stratified_program(draw) -> str:
-    """A random stratified program with negation, comparisons and an
-    optional aggregate, safe by construction.
-
-    Stratum discipline: ``d1`` rules read only EDB (negation of EDB
-    allowed); ``d2`` rules read EDB/``d1``/``d2`` positively and may negate
-    ``d1``; the aggregate ``d3`` reads ``d2``.
-    """
-    lines: list[str] = []
-    for pred in _EDB:
-        for _ in range(draw(st.integers(min_value=0, max_value=6))):
-            lines.append(f"{pred}({draw(constants)}, {draw(constants)}).")
-
-    def body_atoms(pool: tuple[str, ...], count: int) -> tuple[list[str], list[str]]:
-        atoms, chain = [], ["X"]
-        for position in range(count):
-            pred = draw(st.sampled_from(pool))
-            left = chain[-1] if position else "X"
-            right = draw(st.sampled_from(_VARS)) if position else "Y"
-            atoms.append(_atom(pred, left, right))
-            chain.extend([left, right])
-        return atoms, chain
-
-    # Stratum 1: d1 from EDB only.
-    for _ in range(draw(st.integers(min_value=1, max_value=2))):
-        atoms, chain = body_atoms(_EDB, draw(st.integers(min_value=1, max_value=2)))
-        if draw(st.booleans()):
-            atoms.append(f"not {_atom(draw(st.sampled_from(_EDB)), chain[0], chain[-1])}")
-        if draw(st.booleans()):
-            atoms.append(f"{chain[0]} <= {chain[-1]}")
-        lines.append(f"d1({chain[0]}, {chain[-1]}) :- " + ", ".join(atoms) + ".")
-
-    # Stratum 2: d2 from EDB, d1 and (recursively) d2; may negate d1.
-    for _ in range(draw(st.integers(min_value=1, max_value=3))):
-        pool = _EDB + ("d1", "d2")
-        atoms, chain = body_atoms(pool, draw(st.integers(min_value=1, max_value=3)))
-        if draw(st.booleans()):
-            atoms.append(f"not {_atom('d1', chain[0], chain[-1])}")
-        lines.append(f"d2({chain[0]}, {chain[-1]}) :- " + ", ".join(atoms) + ".")
-
-    # Stratum 3: one aggregate over d2.
-    if draw(st.booleans()):
-        func = draw(st.sampled_from(("count", "sum", "min", "max")))
-        lines.append(f"d3(X, {func}<Y>) :- d2(X, Y).")
-    return "\n".join(lines)
 
 
 @given(stratified_program())
@@ -121,14 +69,6 @@ def test_fact_arrival_agrees_with_batch_oracle(source: str, extra_edges):
     batch = naive_evaluate(program, {"e1": extra_edges})
     for predicate in program.predicates():
         assert incremental.facts(predicate) == batch.facts(predicate), predicate
-
-
-#: One update operation: (assert?, predicate index, row).
-update_ops = st.lists(
-    st.tuples(st.booleans(), st.sampled_from(_EDB), st.tuples(constants, constants)),
-    min_size=1,
-    max_size=10,
-)
 
 
 @given(stratified_program(), update_ops)

@@ -107,7 +107,7 @@ class TestRules:
 
 class TestOpenDecls:
     SOURCE = (
-        'open verify(seg: text, cand: text, ok: bool) key (seg, cand) '
+        "open verify(seg: text, cand: text, ok: bool) key (seg, cand) "
         'asking "Check {seg} vs {cand}" choices (true, false).'
     )
 

@@ -109,7 +109,7 @@ class TestAnswers:
 
     def test_choice_answer_outside_choice_set_rejected(self):
         processor = CyLogProcessor(
-            'open pick(item: text, colour: text) key (item) '
+            "open pick(item: text, colour: text) key (item) "
             'choices ("red", "blue").\n'
             'item("p").\npicked(I, C) :- item(I), pick(I, C).'
         )

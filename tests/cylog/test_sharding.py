@@ -1,0 +1,407 @@
+"""Sharded store, executors and the shard-diff lockstep oracle.
+
+The unit tests cover the sharded primitives directly; the hypothesis
+tests (marked ``shard_diff``, run with ``SHARD_DIFF_EXAMPLES=60`` by the
+CI ``shard-diff`` job) drive sharded/threaded engines through randomized
+programs and add/retract streams in lockstep with a single-store engine
+and require byte-identical snapshots after every run — the same
+discipline as the ``engine-diff`` and ``platform-diff`` oracles.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from diffgen import EDB, stratified_program, update_ops
+from hypothesis import given, settings
+
+from repro.cylog import (
+    SemiNaiveEngine,
+    SerialExecutor,
+    ShardConfig,
+    ShardedRelationStore,
+    ThreadedExecutor,
+    parse_program,
+)
+from repro.cylog.engine import RelationStore
+from repro.cylog.incremental import ShardedSupportIndex, SupportIndex
+from repro.cylog.sharding import (
+    ShardedRelation,
+    shard_of,
+    split_rows_by_shard,
+)
+
+SHARD_EXAMPLES = int(os.environ.get("SHARD_DIFF_EXAMPLES", "15"))
+
+#: The configurations the oracle compares against the single store.
+SHARD_CONFIGS = (
+    ShardConfig(shards=1),
+    ShardConfig(shards=2),
+    ShardConfig(shards=8),
+    ShardConfig(shards=2, executor="thread", max_workers=2, min_parallel_rows=0),
+    ShardConfig(shards=8, executor="thread", max_workers=4, min_parallel_rows=0),
+)
+
+
+class TestShardedRelation:
+    def test_routing_is_stable_and_partitioning(self):
+        relation = ShardedRelation(2, 4)
+        rows = [(i, i + 1) for i in range(40)]
+        for row in rows:
+            assert relation.add(row)
+            assert not relation.add(row)  # idempotent
+        assert len(relation) == 40
+        assert sum(relation.shard_sizes()) == 40
+        for row in rows:
+            assert row in relation
+            assert row in relation.shard(relation.shard_of(row))
+        assert relation.snapshot() == frozenset(rows)
+
+    def test_lookup_routes_on_key_prefix(self):
+        relation = ShardedRelation(2, 8)
+        relation.ensure_index((0,))
+        relation.ensure_index((1,))
+        for i in range(20):
+            relation.add((i, i % 3))
+        # Key covers position 0: routed probe, same answer as a scan.
+        assert set(relation.lookup((0,), (7,))) == {(7, 1)}
+        # Key does not cover position 0: chained across shards.
+        chained = relation.lookup((1,), (0,))
+        assert set(chained) == {(i, 0) for i in range(0, 20, 3)}
+        assert len(chained) == 7
+        assert bool(chained)
+        # Full scan (no index positions).
+        assert len(relation.lookup((), ())) == 20
+
+    def test_discard_and_match(self):
+        relation = ShardedRelation(2, 4)
+        relation.add((1, 2))
+        relation.add((1, 3))
+        assert set(relation.match((1, None))) == {(1, 2), (1, 3)}
+        assert relation.discard((1, 2))
+        assert not relation.discard((1, 2))
+        assert set(relation.match((1, None))) == {(1, 3)}
+
+    def test_zero_shard_of_empty_row(self):
+        assert shard_of((), 8) == 0
+        assert shard_of(("x",), 1) == 0
+
+    def test_routing_follows_python_equality(self):
+        """The store's sets/buckets conflate 1 == 1.0 == True; routing
+        must agree or a sharded lookup misses rows the single store
+        finds (strict bool/int filtering happens after the probe)."""
+        for n in (2, 3, 8):
+            assert shard_of((1,), n) == shard_of((1.0,), n) == shard_of((True,), n)
+            assert shard_of((0,), n) == shard_of((0.0,), n) == shard_of((False,), n)
+
+    def test_numeric_key_conflation_matches_single_store(self):
+        """Regression: int-keyed lookup must find a float-keyed row (and
+        wildcard retraction must keep strict-equality semantics) exactly
+        as on the single store."""
+        source = "j(X) :- k(X), m(X, Y).\nd(X) :- k(X), m(X, _)."
+        program = parse_program(source)
+        expected = None
+        for config in (ShardConfig(), ShardConfig(shards=8)):
+            engine = SemiNaiveEngine(program, shard_config=config)
+            engine.add_facts("k", [(1,)])
+            engine.add_facts("m", [(1.0, "x"), (True, "y")])
+            engine.run()
+            engine.retract_facts("m", [(1.0, "x")])
+            engine.run()
+            snapshot = engine.store.snapshot()
+            if expected is None:
+                expected = snapshot
+            else:
+                assert snapshot == expected
+
+    def test_split_rows_by_shard_partitions(self):
+        rows = {(i, 0) for i in range(50)}
+        parts = split_rows_by_shard(rows, 8)
+        assert [shard for shard, _ in parts] == sorted(shard for shard, _ in parts)
+        recombined: set = set()
+        for shard, chunk in parts:
+            assert all(shard_of(row, 8) == shard for row in chunk)
+            recombined |= chunk
+        assert recombined == rows
+
+
+class TestShardedRelationStore:
+    def test_snapshot_matches_single_store(self):
+        single = RelationStore()
+        sharded = ShardedRelationStore(8)
+        for store in (single, sharded):
+            rel = store.get("edge", 2)
+            for i in range(30):
+                rel.add((i, i + 1))
+            store.get("empty", 1)
+        assert sharded.snapshot() == single.snapshot()
+        assert sharded.fingerprint() == single.fingerprint()
+        assert sharded.predicates() == single.predicates()
+
+    def test_shard_fingerprints_are_stable(self):
+        a, b = ShardedRelationStore(4), ShardedRelationStore(4)
+        for store in (a, b):
+            rel = store.get("edge", 2)
+            for i in range(30):
+                rel.add((i, i + 1))
+        assert a.shard_fingerprints() == b.shard_fingerprints()
+        assert len(a.shard_fingerprints()) == 4
+
+    def test_arity_mismatch_raises(self):
+        from repro.cylog.errors import CyLogTypeError
+
+        store = ShardedRelationStore(2)
+        store.get("p", 2)
+        with pytest.raises(CyLogTypeError):
+            store.get("p", 3)
+
+
+class TestExecutors:
+    def test_serial_preserves_order(self):
+        executor = SerialExecutor()
+        assert executor.map([lambda i=i: i * i for i in range(10)]) == [
+            i * i for i in range(10)
+        ]
+
+    def test_thread_pool_preserves_order(self):
+        executor = ThreadedExecutor(max_workers=4)
+        try:
+            assert executor.map([lambda i=i: i * i for i in range(50)]) == [
+                i * i for i in range(50)
+            ]
+        finally:
+            executor.close()
+
+    def test_thread_pool_propagates_errors(self):
+        executor = ThreadedExecutor(max_workers=2)
+
+        def boom():
+            raise RuntimeError("task failed")
+
+        try:
+            with pytest.raises(RuntimeError, match="task failed"):
+                executor.map([lambda: 1, boom, lambda: 3])
+        finally:
+            executor.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShardConfig(shards=0)
+        with pytest.raises(ValueError):
+            ShardConfig(executor="fork")
+        with pytest.raises(ValueError):
+            ThreadedExecutor(max_workers=0)
+
+
+class TestShardedSupportIndex:
+    def test_behaves_like_plain_index(self):
+        plain, sharded = SupportIndex(), ShardedSupportIndex(4)
+        key_a = (0, (("e", (1, None)),))
+        key_b = (1, (("e", (1, 2)), ("e", (None, 3))))
+        for index in (plain, sharded):
+            assert index.add("d", (1,), key_a)
+            assert not index.add("d", (1,), key_a)
+            assert index.add("d", (1,), key_b)
+            assert index.count("d", (1,)) == 2
+        for row in [(1, 2), (1, 9), (2, 3), (9, 9)]:
+            expect = sorted(plain.dependents("e", row), key=repr)
+            got = sorted(sharded.dependents("e", row), key=repr)
+            assert got == expect, row
+        for index in (plain, sharded):
+            assert index.drop("d", (1,), key_a) == 1
+            index.discard_tuple("d", (1,))
+            assert index.count("d", (1,)) == 0
+            assert index.dependents("e", (1, 2)) == []
+
+    def test_merge_from_is_a_set_union(self):
+        main, scratch = ShardedSupportIndex(4), SupportIndex()
+        key = (0, (("e", (1, 2)),))
+        scratch.add("d", (1,), key)
+        scratch.add("d", (2,), (0, (("e", (2, None)),)))
+        main.add("d", (1,), key)  # overlap: merge must not double-count
+        assert main.merge_from(scratch) == 1
+        assert len(main) == 2
+
+
+def _engine_with(program, config: ShardConfig) -> SemiNaiveEngine:
+    return SemiNaiveEngine(program, shard_config=config)
+
+
+def _sync_base(engine: SemiNaiveEngine, program, base: dict[str, set]) -> None:
+    """Drive a fresh engine's base facts to exactly ``base``."""
+    program_rows = {
+        pred: {
+            tuple(t.value for t in fact.atom.terms)
+            for fact in program.facts
+            if fact.atom.predicate == pred
+        }
+        for pred in base
+    }
+    for pred, rows in base.items():
+        stale = program_rows.get(pred, set()) - rows
+        if stale:
+            engine.retract_facts(pred, stale)
+        extra = rows - program_rows.get(pred, set())
+        if extra:
+            engine.add_facts(pred, extra)
+
+
+@pytest.mark.shard_diff
+@given(stratified_program())
+@settings(max_examples=SHARD_EXAMPLES, deadline=None)
+def test_sharded_engines_agree_on_fixpoint(source: str):
+    """Every shard/executor configuration lands on the byte-identical
+    fixpoint of the single-store serial engine."""
+    program = parse_program(source)
+    reference = SemiNaiveEngine(program)
+    expected = reference.run().relations
+    expected_fp = reference.store.fingerprint()
+    for config in SHARD_CONFIGS:
+        engine = _engine_with(program, config)
+        try:
+            result = engine.run()
+            assert result.relations == expected, config
+            assert engine.store.fingerprint() == expected_fp, config
+        finally:
+            engine.close()
+
+
+@pytest.mark.shard_diff
+@given(stratified_program(), update_ops)
+@settings(max_examples=SHARD_EXAMPLES, deadline=None)
+def test_sharded_add_retract_lockstep(source: str, ops):
+    """Randomized add/retract streams run in lockstep on every sharded /
+    threaded configuration and on the single store; after *every* run the
+    snapshots and the reported deltas must be byte-identical, and no
+    configuration may fall back to a hidden full re-run."""
+    program = parse_program(source)
+    reference = SemiNaiveEngine(program)
+    engines = [_engine_with(program, config) for config in SHARD_CONFIGS]
+    try:
+        reference.run()
+        for engine in engines:
+            engine.run()
+        for is_add, predicate, row in ops:
+            for engine in (reference, *engines):
+                if is_add:
+                    engine.add_facts(predicate, [row])
+                else:
+                    engine.retract_facts(predicate, [row])
+            expected = reference.run()
+            expected_snapshot = reference.store.snapshot()
+            for engine, config in zip(engines, SHARD_CONFIGS):
+                result = engine.run()
+                assert engine.store.snapshot() == expected_snapshot, config
+                assert result.added_rows == expected.added_rows, config
+                assert result.removed_rows == expected.removed_rows, config
+        assert reference.runs == 1
+        for engine in engines:
+            assert engine.runs == 1  # every update stayed incremental
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+@pytest.mark.shard_diff
+@given(stratified_program(), update_ops)
+@settings(max_examples=max(5, SHARD_EXAMPLES // 3), deadline=None)
+def test_sharded_matches_scratch_reload(source: str, ops):
+    """After the whole stream, a sharded engine's retained store equals a
+    from-scratch single-store evaluation over the same base facts."""
+    program = parse_program(source)
+    engine = _engine_with(
+        program, ShardConfig(shards=8, executor="thread", max_workers=2)
+    )
+    try:
+        engine.run()
+        base: dict[str, set] = {pred: set() for pred in EDB}
+        for fact in program.facts:
+            base.setdefault(fact.atom.predicate, set()).add(
+                tuple(t.value for t in fact.atom.terms)
+            )
+        for is_add, predicate, row in ops:
+            if is_add:
+                engine.add_facts(predicate, [row])
+                base[predicate].add(row)
+            else:
+                engine.retract_facts(predicate, [row])
+                base[predicate].discard(row)
+            engine.run()
+        scratch = SemiNaiveEngine(program)
+        _sync_base(scratch, program, base)
+        expected = scratch.run().relations
+        current = engine.store.snapshot()
+        # A retained engine keeps an emptied relation in its snapshot; a
+        # from-scratch engine never creates it.  Same normalisation as the
+        # engine-diff oracle: missing == empty.
+        for pred in set(expected) | set(current):
+            assert current.get(pred, frozenset()) == expected.get(
+                pred, frozenset()
+            ), pred
+    finally:
+        engine.close()
+
+
+def _determinism_program():
+    source = "\n".join(
+        [
+            *(f"link({i}, {i + 1})." for i in range(60)),
+            *(f"link({i}, {i + 20})." for i in range(0, 40, 3)),
+            "source(0).",
+            "source(7).",
+            "reach(S, Y) :- source(S), link(S, Y).",
+            "reach(S, Y) :- link(X, Y), reach(S, X).",
+            "touched(X) :- link(X, _).",
+            "quiet(X, Y) :- link(X, Y), not reach(X, Y).",
+            "fanout(X, count<Y>) :- link(X, Y).",
+        ]
+    )
+    return parse_program(source)
+
+
+class TestExecutorDeterminism:
+    """Satellite gate: fixed-seed runs at worker counts 1/2/8 produce
+    identical results *and* identical derivation counters."""
+
+    WORKER_COUNTS = (1, 2, 8)
+
+    def _run_all(self):
+        program = _determinism_program()
+        outcomes = []
+        for workers in self.WORKER_COUNTS:
+            engine = SemiNaiveEngine(
+                program,
+                shard_config=ShardConfig(
+                    shards=8,
+                    executor="thread",
+                    max_workers=workers,
+                    min_parallel_rows=0,
+                ),
+            )
+            try:
+                first = engine.run()
+                engine.retract_facts("link", [(5, 6), (9, 10)])
+                engine.add_facts("link", [(100, 101), (5, 100)])
+                second = engine.run()
+                outcomes.append((first, second, engine.stats.as_dict()))
+            finally:
+                engine.close()
+        return outcomes
+
+    def test_results_and_stats_identical_at_any_worker_count(self):
+        outcomes = self._run_all()
+        baseline_first, baseline_second, baseline_stats = outcomes[0]
+        for first, second, stats in outcomes[1:]:
+            assert first.relations == baseline_first.relations
+            assert second.relations == baseline_second.relations
+            assert second.added_rows == baseline_second.added_rows
+            assert second.removed_rows == baseline_second.removed_rows
+            # Derivation counters — not just the fixpoint — must be
+            # executor-independent: the serial merge does all counting.
+            assert stats == baseline_stats
+
+    def test_incremental_runs_stay_incremental(self):
+        for _, second, stats in self._run_all():
+            assert stats["incremental_runs"] == 1
+            assert second.has_changes()

@@ -40,7 +40,7 @@ def platform():
 def project(platform):
     return platform.register_project(
         "news", "req",
-        'open report(topic: text, article: text) key (topic).\n'
+        "open report(topic: text, article: text) key (topic).\n"
         'topic("rain"). published(T, A) :- topic(T), report(T, A).',
         scheme=SchemeKind.SIMULTANEOUS,
         constraints=TeamConstraints(
