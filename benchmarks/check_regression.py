@@ -1,0 +1,172 @@
+"""CI bench-regression gate: fail the job when a smoke speedup collapses.
+
+The bench-smoke job runs every benchmark in fast mode, producing
+``BENCH_<scenario>.smoke.json`` records at the repo root.  This script
+then compares the *speedup ratios* in those fresh records against the
+committed smoke baselines and fails (exit 1) when any gated metric fell
+by more than ``BENCH_REGRESSION_TOLERANCE`` (default 0.30, i.e. >30%).
+
+Two kinds of committed reference exist, used for different things:
+
+* ``BENCH_<scenario>.json`` — the full-size perf trajectory, recorded on
+  developer hardware and committed per PR.  Full-size ratios are *not*
+  comparable to smoke-size ones (e.g. E10d's incremental-vs-full speedup
+  is ~65x full-size but ~6x at smoke sizes), so the gate only checks
+  that the trajectory record still exists for every gated scenario and
+  prints its headline ratios for context.
+* ``benchmarks/baselines/smoke_speedups.json`` — the gate's yardstick:
+  per-scenario speedup floors measured at *smoke* size (the minimum of
+  several local fast-mode runs, so ordinary noise sits above it).
+  Regenerate with ``python benchmarks/check_regression.py --update``
+  after an intentional perf change (it keeps the min of old and fresh
+  unless ``--reset`` is also given).
+
+Gated metrics are an explicit catalog, not a wildcard: hardware-coupled
+ratios (``speedup_process_vs_thread`` needs multiple cores to mean
+anything) are reported for context but never gated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "smoke_speedups.json"
+
+#: scenario -> gated metric keys.  The metric value is the *maximum*
+#: occurrence of the key anywhere in the record (per-config lists report
+#: one value per configuration; the headline is the best one).
+GATED_METRICS: dict[str, tuple[str, ...]] = {
+    "E10c": ("speedup_cost_vs_legacy",),
+    "E10d": ("speedup_vs_full",),
+    "E10e": ("speedup_vs_single",),
+    "E10f": ("speedup_exchange_vs_chained",),
+}
+
+#: Reported next to the gated metrics but never gated (hardware-coupled).
+CONTEXT_METRICS: dict[str, tuple[str, ...]] = {
+    "E10f": ("speedup_process_vs_thread",),
+}
+
+
+def _collect(record, key: str) -> list[float]:
+    """Every numeric value stored under ``key`` anywhere in ``record``."""
+    values: list[float] = []
+    if isinstance(record, dict):
+        for k, v in record.items():
+            if k == key and isinstance(v, (int, float)) and not isinstance(v, bool):
+                values.append(float(v))
+            else:
+                values.extend(_collect(v, key))
+    elif isinstance(record, list):
+        for item in record:
+            values.extend(_collect(item, key))
+    return values
+
+
+def _metric(record, key: str) -> float | None:
+    values = _collect(record, key)
+    return max(values) if values else None
+
+
+def _load(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _update_baselines(reset: bool) -> int:
+    existing = (_load(BASELINE_PATH) or {}) if not reset else {}
+    for scenario, keys in GATED_METRICS.items():
+        fresh = _load(REPO_ROOT / f"BENCH_{scenario}.smoke.json")
+        if fresh is None:
+            print(f"[update] no fresh smoke record for {scenario}, skipping")
+            continue
+        slot = existing.setdefault(scenario, {})
+        for key in keys:
+            value = _metric(fresh, key)
+            if value is None:
+                continue
+            old = slot.get(key)
+            slot[key] = round(min(old, value) if old is not None else value, 3)
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"[update] wrote {BASELINE_PATH.relative_to(REPO_ROOT)}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--update" in argv:
+        return _update_baselines(reset="--reset" in argv)
+
+    tolerance = float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.30"))
+    baselines = _load(BASELINE_PATH)
+    if baselines is None:
+        print(f"error: missing committed baselines at {BASELINE_PATH}")
+        return 1
+
+    failures: list[str] = []
+    for scenario, keys in GATED_METRICS.items():
+        trajectory = _load(REPO_ROOT / f"BENCH_{scenario}.json")
+        if trajectory is None:
+            failures.append(
+                f"{scenario}: committed trajectory BENCH_{scenario}.json is missing"
+            )
+            continue
+        fresh = _load(REPO_ROOT / f"BENCH_{scenario}.smoke.json")
+        if fresh is None:
+            failures.append(
+                f"{scenario}: bench-smoke produced no BENCH_{scenario}.smoke.json"
+            )
+            continue
+        if not fresh.get("fast_mode"):
+            failures.append(f"{scenario}: smoke record was not a fast-mode run")
+            continue
+        for key in keys:
+            value = _metric(fresh, key)
+            floor_base = baselines.get(scenario, {}).get(key)
+            committed = _metric(trajectory, key)
+            if value is None:
+                failures.append(f"{scenario}.{key}: missing from the smoke record")
+                continue
+            if floor_base is None:
+                print(
+                    f"[warn] {scenario}.{key}: no smoke baseline "
+                    f"(smoke={value:.2f}, full-size trajectory="
+                    f"{committed if committed is not None else 'n/a'}) — not gated"
+                )
+                continue
+            floor = floor_base * (1.0 - tolerance)
+            status = "ok" if value >= floor else "REGRESSION"
+            print(
+                f"[{status}] {scenario}.{key}: smoke={value:.2f} "
+                f"floor={floor:.2f} (baseline={floor_base:.2f}, "
+                f"tolerance={tolerance:.0%}, full-size trajectory="
+                f"{committed if committed is not None else 'n/a'})"
+            )
+            if value < floor:
+                failures.append(
+                    f"{scenario}.{key}: {value:.2f} fell below {floor:.2f} "
+                    f"(baseline {floor_base:.2f} - {tolerance:.0%})"
+                )
+        for key in CONTEXT_METRICS.get(scenario, ()):
+            value = _metric(fresh, key)
+            if value is not None:
+                print(f"[info] {scenario}.{key}: smoke={value:.2f} (not gated)")
+
+    if failures:
+        print("\nbench-regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

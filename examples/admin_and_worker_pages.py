@@ -28,8 +28,11 @@ for _ in range(60):
     platform.step()
     driver._declare_interests()
     driver._answer_membership_proposals()
-    joints = [t for t in platform.pool.all()
-              if t.kind.value == "joint" and t.status.value == "pending"]
+    joints = [
+        t
+        for t in platform.pool.all()
+        if t.kind.value == "joint" and t.status.value == "pending"
+    ]
     if joints:
         joint_task = joints[0]
         # a couple of live contributions so the shared document is non-empty

@@ -30,10 +30,9 @@ for topic, article in processor.sorted_facts("published"):
         print(f"  {line}")
 
 # The Figure-5 screen for the last joint task that ran:
-joint_tasks = [
-    t for t in platform.pool.all() if t.kind.value == "joint"
-]
+joint_tasks = [t for t in platform.pool.all() if t.kind.value == "joint"]
 if joint_tasks:
-    page = render_task_ui(platform, joint_tasks[-1].id,
-                          joint_tasks[-1].payload["addressed_to"][0])
+    page = render_task_ui(
+        platform, joint_tasks[-1].id, joint_tasks[-1].payload["addressed_to"][0]
+    )
     print(f"\nFigure-5 style joint-task page rendered: {len(page)} bytes of HTML")

@@ -39,8 +39,10 @@ print("n_reachable:", result.sorted_facts("n_reachable"))
 engine = SemiNaiveEngine(program)
 assert engine.run().facts("reaches") == result.facts("reaches")
 engine.add_facts("worked_with", [("dan", "eve")])
-print("after adding dan->eve, ann reaches eve:",
-      ("ann", "eve2") in engine.run().facts("reaches"))
+print(
+    "after adding dan->eve, ann reaches eve:",
+    ("ann", "eve2") in engine.run().facts("reaches"),
+)
 
 # -- open predicates: demand-driven human tasks ---------------------------------
 processor = CyLogProcessor("""
@@ -64,8 +66,14 @@ rows = [
 source = cylog_from_spreadsheet(
     rows,
     key_column="id",
-    ask=[AskColumn("credible", "Is report {item} credible?",
-                   answer_type="bool", choices=(True, False))],
+    ask=[
+        AskColumn(
+            "credible",
+            "Is report {item} credible?",
+            answer_type="bool",
+            choices=(True, False),
+        )
+    ],
     eligibility='worker_skill(W, "reporting", L), L >= 0.3',
 )
 print("\ngenerated CyLog from spreadsheet:\n" + source)

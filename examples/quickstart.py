@@ -58,8 +58,10 @@ platform.step()
 
 for task in tasks:
     team = platform.teams.get(platform.pool.get(task.id).team_id)
-    print(f"{task.id}: proposed team {team.members} "
-          f"(affinity {team.affinity_score:.2f})")
+    print(
+        f"{task.id}: proposed team {team.members} "
+        f"(affinity {team.affinity_score:.2f})"
+    )
     for member in team.members:
         platform.confirm_membership(member, task.id)  # Undertakes
 
@@ -73,7 +75,9 @@ while True:
     for task in micro:
         worker = task.assignee
         previous = task.payload.get("previous_text", "")
-        text = f"{previous} ->[{worker}]" if previous else f"FR({task.instruction[10:24]})"
+        text = (
+            f"{previous} ->[{worker}]" if previous else f"FR({task.instruction[10:24]})"
+        )
         platform.submit_micro_result(task.id, worker, {"text": text, "quality": 0.9})
 
 # -- 5. results flow back into the CyLog database ------------------------------

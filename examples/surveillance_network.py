@@ -25,5 +25,7 @@ print("\nDossiers (region, period -> first 70 chars):")
 for region, period, dossier in processor.sorted_facts("dossier"):
     print(f"  {region:10s} {period:10s} {dossier[:70]!r}")
 
-print("\nRegion cohesion of finished teams "
-      f"(same-region fraction): {result.extras['region_cohesion']:.2f}")
+print(
+    "\nRegion cohesion of finished teams "
+    f"(same-region fraction): {result.extras['region_cohesion']:.2f}"
+)

@@ -28,7 +28,9 @@ for seg, out in processor.sorted_facts("translated")[:5]:
 print("\nTeams that finished (id, algorithm, affinity, members):")
 for team in platform.teams.all():
     if team.status.value == "finished":
-        print(f"  {team.id}  {team.algorithm:8s} {team.affinity_score:6.2f}  "
-              f"{','.join(team.members)}")
+        print(
+            f"  {team.id}  {team.algorithm:8s} {team.affinity_score:6.2f}  "
+            f"{','.join(team.members)}"
+        )
 
 print(f"\nLearned skill estimates for {result.extras['skill_estimates']} workers")

@@ -28,13 +28,16 @@ verifies the incrementally maintained ledger against a from-scratch
 recomputation.  Work counters live in :class:`PlatformStats`.
 
 Every project's CyLog engine can be hash-sharded and evaluated in
-parallel (``Crowd4U(shards=8, executor="thread")`` — see
-:class:`repro.cylog.ShardConfig`): the round's eligibility maintenance
-then consumes the engine's change sets *per shard* — the removed-row
-membership probe ``relation.lookup((0,), (worker_id,))`` routes straight
-to the shard owning the worker id instead of touching a global index —
-while snapshots and deltas stay byte-identical to the single-store
-configuration.
+parallel (``Crowd4U(shards=8, executor="thread")`` or GIL-free with
+``executor="process"`` — see :class:`repro.cylog.ShardConfig`): the
+round's eligibility maintenance then consumes the engine's change sets
+*per shard* — the removed-row membership probe
+``relation.lookup((0,), (worker_id,))`` routes straight to the shard
+owning the worker id instead of touching a global index — while
+snapshots and deltas stay byte-identical to the single-store
+configuration.  Joins whose index key misses the shard key prefix go
+through the exchange operator (planner-chosen repartitions; disable
+with ``exchange=False``) instead of chaining every shard.
 
 >>> from repro.core import Crowd4U, HumanFactors, TeamConstraints
 >>> platform = Crowd4U(seed=1)
@@ -147,12 +150,16 @@ class Crowd4U:
         shards: int = 1,
         executor: str = "serial",
         max_workers: int | None = None,
+        exchange: bool = True,
     ) -> None:
         self.seed = seed
         self.now = 0.0
         self.incremental = incremental
         self.shard_config = ShardConfig(
-            shards=shards, executor=executor, max_workers=max_workers
+            shards=shards,
+            executor=executor,
+            max_workers=max_workers,
+            exchange=exchange,
         )
         self.stats = PlatformStats()
         self.db = db or Database()

@@ -82,6 +82,7 @@ from repro.cylog.parser import parse_program
 from repro.cylog.pretty import explain_program, program_to_source
 from repro.cylog.processor import CyLogProcessor
 from repro.cylog.safety import JoinPlan, PlanStep, compile_program
+from repro.cylog.procpool import ProcessExecutor
 from repro.cylog.sharding import (
     ExecutorPolicy,
     SerialExecutor,
@@ -108,6 +109,7 @@ __all__ = [
     "Negation",
     "OpenDecl",
     "PlanStep",
+    "ProcessExecutor",
     "Program",
     "Rule",
     "SemiNaiveEngine",

@@ -111,6 +111,8 @@ class EngineStats:
     supports_recorded: int = 0
     agg_recomputes: int = 0
     shard_tasks: int = 0
+    exchange_hits: int = 0
+    chained_lookups: int = 0
     plans: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -130,7 +132,30 @@ class EngineStats:
             "supports_recorded": self.supports_recorded,
             "agg_recomputes": self.agg_recomputes,
             "shard_tasks": self.shard_tasks,
+            "exchange_hits": self.exchange_hits,
+            "chained_lookups": self.chained_lookups,
         }
+
+    def derivation_counters(self) -> dict[str, int]:
+        """The counters that must be identical across every shard count,
+        executor and worker count (they are all merge-side): what was
+        derived, retracted, re-derived and recorded — not how the probes
+        that found it were routed."""
+        keys = (
+            "full_runs",
+            "incremental_runs",
+            "rounds",
+            "rules_fired",
+            "tuples_derived",
+            "retractions",
+            "tuples_retracted",
+            "tuples_rederived",
+            "overdeletions",
+            "supports_recorded",
+            "agg_recomputes",
+        )
+        full = self.as_dict()
+        return {key: full[key] for key in keys}
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a scratch stats record (one evaluation task) into this one.
@@ -237,7 +262,9 @@ class RelationStore:
         self._relations: dict[str, Relation] = {}
         self._index_specs = dict(index_specs or {})
 
-    def _make_relation(self, arity: int, index_specs: Iterable[tuple[int, ...]]):
+    def _make_relation(
+        self, predicate: str, arity: int, index_specs: Iterable[tuple[int, ...]]
+    ):
         """Factory hook: the sharded store substitutes its own relation."""
         return Relation(arity, index_specs)
 
@@ -245,7 +272,7 @@ class RelationStore:
         relation = self._relations.get(predicate)
         if relation is None:
             relation = self._make_relation(
-                arity, self._index_specs.get(predicate, ())
+                predicate, arity, self._index_specs.get(predicate, ())
             )
             self._relations[predicate] = relation
         elif relation.arity != arity:
@@ -395,6 +422,10 @@ def solutions(
             if stats is not None:
                 if step.index_positions:
                     stats.index_hits += 1
+                    if step.exchange_position is not None:
+                        stats.exchange_hits += 1
+                    elif step.chained:
+                        stats.chained_lookups += 1
                 else:
                     stats.full_scans += 1
                 stats.tuples_joined += len(rows)
@@ -413,6 +444,10 @@ def solutions(
                 if stats is not None:
                     if step.index_positions:
                         stats.index_hits += 1
+                        if step.exchange_position is not None:
+                            stats.exchange_hits += 1
+                        elif step.chained:
+                            stats.chained_lookups += 1
                     else:
                         stats.full_scans += 1
                 if rows:
@@ -492,6 +527,20 @@ def _dep_row(atom: Atom, bindings: Bindings) -> Tuple_:
         else:
             values.append(bindings[term.name])
     return tuple(values)
+
+
+def support_key_for(
+    rule_index: int, rule: CompiledRule, bindings: Bindings
+) -> "SupportKey":
+    """The derivation identity of one rule firing: the rule plus the
+    positive body rows it consumed.  A pure function of its arguments, so
+    process workers (see :mod:`repro.cylog.procpool`) compute keys
+    byte-identical to the engine's."""
+    deps = tuple(
+        (atom.predicate, _dep_row(atom, bindings))
+        for atom in rule.rule.body_atoms()
+    )
+    return (rule_index, deps)
 
 
 _AGG_FUNCS = {
@@ -695,19 +744,28 @@ class SemiNaiveEngine:
         self.shard_config = shard_config
         self._executor = shard_config.build_executor()
         self._parallel = self._executor.name != "serial"
+        #: Process-based executors cannot see the engine's store: tasks
+        #: ship as descriptors, stratum fan-out stays inline, and store
+        #: mutations are streamed to worker replicas via ``_unsynced``.
+        self._distributed = self._executor.distributed
+        self._plan_shards = shard_config.plan_shards
         if isinstance(program, CompiledProgram):
             self.planner = planner or program.planner
             if self.planner not in PLANNERS:
                 raise ValueError(
                     f"unknown planner {self.planner!r}; expected one of {PLANNERS}"
                 )
-            if self.planner == program.planner:
+            if self.planner == program.planner and program.shards == self._plan_shards:
                 self.compiled = program
-            else:  # recompile so the requested planner actually takes effect
-                self.compiled = compile_program(program.program, planner=self.planner)
+            else:  # recompile so planner / shard layout actually take effect
+                self.compiled = compile_program(
+                    program.program, planner=self.planner, shards=self._plan_shards
+                )
         else:
             self.planner = planner or "cost"
-            self.compiled = compile_program(program, planner=self.planner)
+            self.compiled = compile_program(
+                program, planner=self.planner, shards=self._plan_shards
+            )
         self._active = self.compiled
         self._strata = self._build_stratum_info()
         self._batches = self._compute_batches()
@@ -729,6 +787,15 @@ class SemiNaiveEngine:
         self._loss_plans: dict[tuple[int, int], JoinPlan] = {}
         self._rederive_plans: dict[int, JoinPlan] = {}
         self._agg_group_plans: dict[int, JoinPlan] = {}
+        #: Exchange repartitions demanded by runtime-built plans (negation
+        #: triggers, re-derivation, per-group aggregates) — folded into
+        #: every store the engine builds, on top of the compiled specs.
+        self._extra_repartitions: dict[str, set[int]] = {}
+        #: Net store mutations not yet streamed to process workers
+        #: (``None`` unless the executor is distributed).
+        self._unsynced: DeltaLedger | None = (
+            DeltaLedger() if self._distributed else None
+        )
         self.stats = EngineStats()
         self.runs = 0  # full evaluations performed (observability for benches)
 
@@ -739,7 +806,61 @@ class SemiNaiveEngine:
     def _new_store(self):
         from repro.cylog.sharding import build_store
 
-        return build_store(self.shard_config, self._active.index_specs())
+        repartitions = {
+            pred: set(positions)
+            for pred, positions in self._active.repartition_specs().items()
+        }
+        for pred, positions in self._extra_repartitions.items():
+            repartitions.setdefault(pred, set()).update(positions)
+        return build_store(
+            self.shard_config, self._active.index_specs(), repartitions
+        )
+
+    def _register_exchange(self, plan: JoinPlan) -> None:
+        """Register a runtime-built plan's exchange repartitions with the
+        live store (and remember them for stores built later)."""
+        if not (self.shard_config.sharded and self.shard_config.exchange):
+            return
+        for step in plan.steps:
+            if step.exchange_position is None:
+                continue
+            literal = step.literal
+            atom = literal.atom if isinstance(literal, Negation) else literal
+            self._extra_repartitions.setdefault(atom.predicate, set()).add(
+                step.exchange_position
+            )
+            if self._store is not None:
+                self._store.ensure_repartition(  # type: ignore[union-attr]
+                    atom.predicate, step.exchange_position
+                )
+
+    # -- process-worker replica sync ---------------------------------------
+    def _note_add(self, predicate: str, row: Tuple_) -> None:
+        if self._unsynced is not None:
+            self._unsynced.add(predicate, row)
+
+    def _note_remove(self, predicate: str, row: Tuple_) -> None:
+        if self._unsynced is not None:
+            self._unsynced.remove(predicate, row)
+
+    def _reset_workers(self) -> None:
+        """Install a fresh baseline in the process workers (full run)."""
+        if self._unsynced is None:
+            return
+        base = {
+            predicate: tuple(rows)
+            for predicate, rows in self._base_facts.items()
+            if rows
+        }
+        self._executor.reset(self._active, base)  # type: ignore[attr-defined]
+        self._unsynced = DeltaLedger()
+
+    def _flush_sync(self) -> None:
+        """Stream accumulated mutations to worker replicas (pre-dispatch)."""
+        if self._unsynced:
+            added, removed = self._unsynced.as_mappings()
+            self._executor.sync(added, removed)  # type: ignore[attr-defined]
+            self._unsynced = DeltaLedger()
 
     def _new_supports(self) -> SupportIndex:
         if self.shard_config.sharded:
@@ -847,7 +968,10 @@ class SemiNaiveEngine:
             return
         self._planned_cardinalities = cardinalities
         self._active = compile_program(
-            self.compiled.program, cardinalities=cardinalities, planner=self.planner
+            self.compiled.program,
+            cardinalities=cardinalities,
+            planner=self.planner,
+            shards=self._plan_shards,
         )
         self._strata = self._build_stratum_info()
         self._batches = self._compute_batches()
@@ -966,10 +1090,18 @@ class SemiNaiveEngine:
                 for literal in rule.rule.body
                 if not isinstance(literal, Negation)
             ]
-            plan, _ = build_join_plan(literals, first=negation.atom, best_effort=True)
+            plan, _ = build_join_plan(
+                literals,
+                first=negation.atom,
+                best_effort=True,
+                shards=self._plan_shards,
+            )
         else:
             literals = list(rule.rule.body)
-            plan, _ = build_join_plan(literals, first=negation.atom)
+            plan, _ = build_join_plan(
+                literals, first=negation.atom, shards=self._plan_shards
+            )
+        self._register_exchange(plan)
         cache[key] = plan  # type: ignore[index]
         return plan
 
@@ -984,7 +1116,12 @@ class SemiNaiveEngine:
                 for term in rule.rule.head.terms
                 if isinstance(term, Var) and not term.is_anonymous
             }
-            plan, _ = build_join_plan(rule.rule.body, initial_bound=head_vars)
+            plan, _ = build_join_plan(
+                rule.rule.body,
+                initial_bound=head_vars,
+                shards=self._plan_shards,
+            )
+            self._register_exchange(plan)
             self._rederive_plans[rule_index] = plan
         return plan
 
@@ -1034,7 +1171,9 @@ class SemiNaiveEngine:
             plan, _ = build_join_plan(
                 rule.rule.body,
                 initial_bound={v.name for v in group_vars},
+                shards=self._plan_shards,
             )
+            self._register_exchange(plan)
             self._agg_group_plans[rule_index] = plan
         aggregates = head.aggregate_terms()
         rows: set[Tuple_] = set()
@@ -1054,11 +1193,7 @@ class SemiNaiveEngine:
     def _support_key(
         self, rule_index: int, rule: CompiledRule, bindings: Bindings
     ) -> SupportKey:
-        deps = tuple(
-            (atom.predicate, _dep_row(atom, bindings))
-            for atom in rule.rule.body_atoms()
-        )
-        return (rule_index, deps)
+        return support_key_for(rule_index, rule, bindings)
 
     def _record(
         self,
@@ -1131,9 +1266,13 @@ class SemiNaiveEngine:
         (and ``changes``, when the caller is tracking a run report).
 
         Each round builds one task per (rule, delta atom) — split further
-        into per-shard delta partitions on a sharded engine — evaluates
-        them through the executor when the round is big enough to pay for
-        dispatch, and merges the derived tuples serially in task order.
+        into per-shard delta partitions on a sharded engine, aligned on
+        the next probe's shard routing key when the delta plan has one
+        (``JoinPlan.route_position``), so every task probes a single
+        target shard — evaluates them through the executor when the round
+        is big enough to pay for dispatch, and merges the derived tuples
+        serially in task order.  On a distributed executor the tasks ship
+        as picklable descriptors after the worker replicas are synced.
         """
         if stats is None:
             stats = self.stats
@@ -1152,7 +1291,8 @@ class SemiNaiveEngine:
                 sum(len(rows) for rows in delta.values())
                 >= self.shard_config.min_parallel_rows
             )
-            jobs: list[tuple[CompiledRule, Callable]] = []
+            #: (rule, rule_index, position, delta_plan, delta partition).
+            jobs: list[tuple[CompiledRule, int, int, JoinPlan | None, Relation]] = []
             for rule_index, rule in plain_rules:
                 for position, step in enumerate(rule.join_plan.steps):
                     literal = step.literal
@@ -1165,25 +1305,43 @@ class SemiNaiveEngine:
                     stats.rules_fired += 1
                     parts: list[Relation] = [delta_rel]
                     if fan_out and n_shards > 1 and len(delta_rel) > 1:
+                        route = 0
+                        if delta_plan is not None and delta_plan.route_position:
+                            route = delta_plan.route_position
                         parts = [
                             _relation_from(rows, delta_rel)
-                            for _, rows in split_rows_by_shard(delta_rel, n_shards)
+                            for _, rows in split_rows_by_shard(
+                                delta_rel, n_shards, route
+                            )
                         ]
                     for part in parts:
-                        jobs.append(
-                            (
-                                rule,
-                                self._rule_delta_task(
-                                    rule_index, rule, position, delta_plan, part, store
-                                ),
-                            )
+                        jobs.append((rule, rule_index, position, delta_plan, part))
+            if fan_out and len(jobs) > 1 and self._distributed:
+                self._flush_sync()
+                results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
+                    [
+                        (rule_index, position, tuple(part))
+                        for _, rule_index, position, _, part in jobs
+                    ]
+                )
+            elif fan_out and len(jobs) > 1:
+                results = self._executor.map(
+                    [
+                        self._rule_delta_task(
+                            rule_index, rule, position, delta_plan, part, store
                         )
-            if fan_out and len(jobs) > 1:
-                results = self._executor.map([job for _, job in jobs])
+                        for rule, rule_index, position, delta_plan, part in jobs
+                    ]
+                )
             else:
-                results = [job() for _, job in jobs]
+                results = [
+                    self._rule_delta_task(
+                        rule_index, rule, position, delta_plan, part, store
+                    )()
+                    for rule, rule_index, position, delta_plan, part in jobs
+                ]
             next_delta: dict[str, set[Tuple_]] = {}
-            for (rule, _), (derived, scratch) in zip(jobs, results):
+            for (rule, *_), (derived, scratch) in zip(jobs, results):
                 stats.absorb(scratch)
                 head_pred = rule.rule.head.predicate
                 relation = store.get(head_pred, rule.rule.head.arity)
@@ -1191,6 +1349,7 @@ class SemiNaiveEngine:
                     self._record(head_pred, row, support, stats)
                     if relation.add(row):
                         stats.tuples_derived += 1
+                        self._note_add(head_pred, row)
                         next_delta.setdefault(head_pred, set()).add(row)
                         if changes is not None:
                             changes.add(head_pred, row)
@@ -1216,8 +1375,11 @@ class SemiNaiveEngine:
         # never mutate the store's predicate map concurrently.
         for rule in self._active.rules:
             store.get(rule.rule.head.predicate, rule.rule.head.arity)
+        # Worker replicas restart from exactly these base facts; everything
+        # derived below streams to them through the unsynced ledger.
+        self._reset_workers()
         for batch in self._batches:
-            if len(batch) == 1 or not self._parallel:
+            if len(batch) == 1 or not self._parallel or self._distributed:
                 for index in batch:
                     self._eval_stratum_full(
                         store, self._strata[index], self.stats, parallel=self._parallel
@@ -1268,6 +1430,7 @@ class SemiNaiveEngine:
                 self._record(head_pred, row, support, stats)
                 if relation.add(row):
                     stats.tuples_derived += 1
+                    self._note_add(head_pred, row)
         # Round 0: full evaluation of each rule.  Solutions are materialised
         # before insertion because recursive rules scan the very relation
         # they derive into; on a parallel engine independent rules evaluate
@@ -1283,11 +1446,19 @@ class SemiNaiveEngine:
 
             return task
 
-        jobs = [round0_task(rule_index, rule) for rule_index, rule in info.plain]
-        if parallel and self._parallel and len(jobs) > 1:
-            results = self._executor.map(jobs)
+        if parallel and self._parallel and len(info.plain) > 1 and self._distributed:
+            self._flush_sync()
+            results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
+                [(rule_index, None, None) for rule_index, _ in info.plain]
+            )
+        elif parallel and self._parallel and len(info.plain) > 1:
+            results = self._executor.map(
+                [round0_task(rule_index, rule) for rule_index, rule in info.plain]
+            )
         else:
-            results = [job() for job in jobs]
+            results = [
+                round0_task(rule_index, rule)() for rule_index, rule in info.plain
+            ]
         delta: dict[str, set[Tuple_]] = {}
         for (rule_index, rule), (derived, scratch) in zip(info.plain, results):
             stats.absorb(scratch)
@@ -1298,6 +1469,7 @@ class SemiNaiveEngine:
                 self._record(head_pred, row, support, stats)
                 if relation.add(row):
                     stats.tuples_derived += 1
+                    self._note_add(head_pred, row)
                     delta.setdefault(head_pred, set()).add(row)
         self._semi_naive_rounds(
             store, info.plain, delta, stats=stats, parallel=parallel
@@ -1316,6 +1488,7 @@ class SemiNaiveEngine:
                 if relation is not None and relation.discard(row):
                     self.stats.tuples_retracted += 1
                     changes.remove(predicate, row)
+                    self._note_remove(predicate, row)
             added = pending.added(predicate)
             if added:
                 # store.get re-validates arity, so a row that slipped past
@@ -1324,8 +1497,9 @@ class SemiNaiveEngine:
                 for row in added:
                     if relation.add(row):
                         changes.add(predicate, row)
+                        self._note_add(predicate, row)
         for batch in self._batches:
-            if len(batch) == 1 or not self._parallel:
+            if len(batch) == 1 or not self._parallel or self._distributed:
                 for index in batch:
                     self._step_stratum(
                         store,
@@ -1450,6 +1624,7 @@ class SemiNaiveEngine:
         scheduler.run()
         for predicate, row in scheduler.deleted:
             sink.remove(predicate, row)
+            self._note_remove(predicate, row)
         # Phase B': re-derivation.  Over-deleted tuples of the recursive
         # component are restored when still derivable from what survived;
         # the addition propagation below rebuilds everything downstream.
@@ -1483,6 +1658,7 @@ class SemiNaiveEngine:
                 store.get(predicate, len(row)).add(row)
                 stats.tuples_rederived += 1
                 sink.add(predicate, row)
+                self._note_add(predicate, row)
                 rederived.setdefault(predicate, set()).add(row)
         # Phase C: additions.  Seeds: net-added input tuples, aggregate
         # additions, re-derived tuples and negation-loss derivations.
@@ -1503,6 +1679,7 @@ class SemiNaiveEngine:
             if relation.add(row):
                 stats.tuples_derived += 1
                 sink.add(head_pred, row)
+                self._note_add(head_pred, row)
                 if head_pred in info.referenced:
                     delta.setdefault(head_pred, set()).add(row)
         for rule_index, rule, negation in info.negations:
@@ -1529,6 +1706,7 @@ class SemiNaiveEngine:
                 if relation.add(row):
                     stats.tuples_derived += 1
                     sink.add(head_pred, row)
+                    self._note_add(head_pred, row)
                     if head_pred in info.referenced:
                         delta.setdefault(head_pred, set()).add(row)
         self._semi_naive_rounds(

@@ -119,12 +119,23 @@ def open_decl_to_source(decl: OpenDecl) -> str:
 
 
 def plan_step_to_source(step) -> str:
-    """Render one plan step with its access path annotation."""
+    """Render one plan step with its access path annotation.
+
+    On plans compiled for a sharded store, keyed probes additionally show
+    their shard routing: ``exchange(p)`` marks a repartition step (the
+    probe routes through a re-hashed copy of the relation keyed on term
+    position ``p``) and ``chained`` a probe that fans over every shard.
+    """
     base = literal_to_source(step.literal)
     if isinstance(step.literal, (Atom, Negation)):
         if step.index_positions:
             positions = ",".join(str(p) for p in step.index_positions)
-            return f"{base} [idx({positions})]"
+            access = f"idx({positions})"
+            if getattr(step, "exchange_position", None) is not None:
+                access += f" exchange({step.exchange_position})"
+            elif getattr(step, "chained", False):
+                access += " chained"
+            return f"{base} [{access}]"
         return f"{base} [scan]"
     return base
 

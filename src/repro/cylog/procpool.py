@@ -1,0 +1,330 @@
+"""Process-based evaluation: GIL-free workers holding replica stores.
+
+The thread pool in :mod:`repro.cylog.sharding` is bound by the
+interpreter lock — per-shard tasks are pure Python joins, so worker
+threads serialise on the GIL and multi-worker speedups stall.  The
+:class:`ProcessExecutor` moves the same tasks into worker *processes*:
+
+* Each worker holds a **replica** of the engine's relation store (a plain
+  :class:`~repro.cylog.engine.RelationStore` — lookups over the same
+  facts return the same row sets as any sharded layout) plus the compiled
+  join plans, installed once per full run by a ``reset`` message.
+* Between dispatches the engine streams its own mutation ledger — the
+  same net deltas it already tracks for incremental evaluation — as
+  ``sync`` messages, so replicas never re-ship the whole store.
+* Tasks travel as **picklable descriptors** ``(rule index, plan
+  position, delta rows)`` — the rows are the shard-aligned delta
+  partitions produced by
+  :func:`~repro.cylog.sharding.split_rows_by_shard`, and the plan is
+  referenced by its position in the already-shipped compiled program
+  (the fingerprint), so per-task payloads stay delta-sized.
+* Results (derived rows + support keys + a scratch
+  :class:`~repro.cylog.engine.EngineStats`) come back tagged with the
+  submission index and are returned **in submission order**, so the
+  engine's serial merge produces bit-identical fixpoints, deltas and
+  derivation counters at any worker count — the same determinism
+  contract the thread pool honours.
+
+Every connection is a FIFO pipe, so a ``sync`` sent before a ``tasks``
+message is always applied first; no acknowledgement round-trips are
+needed.  Workers are spawned lazily (``fork`` where available, falling
+back to ``spawn``) and torn down by ``close()``.
+
+The replica-per-worker layout trades memory for simplicity; a
+shared-memory store (and shard-pruned replicas that only hold the
+partitions a worker's tasks probe) is the recorded follow-up on the
+roadmap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import traceback
+from typing import Any, Sequence
+
+from repro.cylog.sharding import ExecutorPolicy
+
+Tuple_ = tuple[Any, ...]
+#: One shipped task: (rule index, join-plan position of the delta atom —
+#: ``None`` for a full round-0 evaluation — and the delta partition rows).
+TaskDescriptor = tuple[int, "int | None", "tuple[Tuple_, ...] | None"]
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class _WorkerState:
+    """Everything one worker process knows: plans + replica store."""
+
+    __slots__ = ("compiled", "store")
+
+    def __init__(self, compiled, base_facts: dict) -> None:
+        from repro.cylog.engine import RelationStore
+
+        self.compiled = compiled
+        self.store = RelationStore(compiled.index_specs())
+        for predicate, rows in base_facts.items():
+            if not rows:
+                continue
+            relation = self.store.get(predicate, len(next(iter(rows))))
+            for row in rows:
+                relation.add(row)
+        # Mirror the engine's full run: head relations exist (empty) from
+        # the start, so a probe against a not-yet-derived head counts an
+        # index hit exactly as it does on the engine's store — keeping the
+        # scratch counters byte-identical to the thread pool's.
+        for rule in compiled.rules:
+            self.store.get(rule.rule.head.predicate, rule.rule.head.arity)
+
+
+def _apply_sync(state: _WorkerState, adds: dict, removes: dict) -> None:
+    """Apply one net change set to the replica (removals first — a net
+    ledger never holds the same row on both sides)."""
+    for predicate, rows in removes.items():
+        relation = state.store.maybe(predicate)
+        if relation is not None:
+            for row in rows:
+                relation.discard(row)
+    for predicate, rows in adds.items():
+        if not rows:
+            continue
+        relation = state.store.get(predicate, len(next(iter(rows))))
+        for row in rows:
+            relation.add(row)
+
+
+def _run_task(
+    state: _WorkerState,
+    rule_index: int,
+    position: int | None,
+    rows: tuple[Tuple_, ...] | None,
+):
+    """Evaluate one task descriptor — the process twin of the engine's
+    ``_rule_delta_task`` / round-0 closures, against the replica store."""
+    from repro.cylog.engine import (
+        EngineStats,
+        _head_tuple,
+        _relation_from,
+        solutions,
+        support_key_for,
+    )
+
+    rule = state.compiled.rules[rule_index]
+    scratch = EngineStats()
+    if position is None:
+        bindings_iter = solutions(rule.join_plan, state.store, stats=scratch)
+    else:
+        scratch.shard_tasks = 1
+        literal = rule.join_plan.steps[position].literal
+        delta_rel = _relation_from(set(rows), state.store.maybe(literal.predicate))
+        delta_plan = rule.delta_plans.get(position)
+        if delta_plan is not None:
+            bindings_iter = solutions(
+                delta_plan,
+                state.store,
+                delta_position=0,
+                delta_relation=delta_rel,
+                stats=scratch,
+            )
+        else:
+            bindings_iter = solutions(
+                rule.join_plan,
+                state.store,
+                delta_position=position,
+                delta_relation=delta_rel,
+                stats=scratch,
+            )
+    derived = [
+        (_head_tuple(rule, b), support_key_for(rule_index, rule, b))
+        for b in bindings_iter
+    ]
+    return derived, scratch
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: apply resets/syncs in arrival order, evaluate tasks.
+
+    Messages travel as raw pickled bytes (``send_bytes``/``recv_bytes``):
+    the parent serialises each broadcast payload *once* and writes the
+    same bytes to every worker pipe, instead of re-pickling per worker.
+    """
+    state: _WorkerState | None = None
+    while True:
+        try:
+            message = pickle.loads(conn.recv_bytes())
+        except EOFError:  # parent went away
+            return
+        kind = message[0]
+        try:
+            if kind == "stop":
+                return
+            if kind == "reset":
+                state = _WorkerState(message[1], message[2])
+            elif kind == "sync":
+                if state is not None:
+                    _apply_sync(state, message[1], message[2])
+            elif kind == "tasks":
+                if state is None:
+                    raise RuntimeError("process worker received tasks before reset")
+                results = [
+                    (index, *_run_task(state, rule_index, position, rows))
+                    for index, (rule_index, position, rows) in message[1]
+                ]
+                conn.send_bytes(pickle.dumps(("results", results), -1))
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown worker message {kind!r}")
+        except BaseException:
+            try:
+                conn.send_bytes(
+                    pickle.dumps(("error", traceback.format_exc()), -1)
+                )
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                return
+
+
+class ProcessExecutor(ExecutorPolicy):
+    """Fan evaluation tasks out to worker processes with replica stores.
+
+    The engine talks to it through three calls: :meth:`reset` installs a
+    new baseline (compiled program — whose base facts seed the replica),
+    :meth:`sync` queues the engine's net store changes since the last
+    dispatch, and :meth:`run_rule_tasks` ships task descriptors and
+    returns their results in submission order.  Workers are spawned on
+    the first dispatch; pending baseline and syncs are replayed to them
+    through the FIFO pipe before any task, so a replica is always current
+    when it evaluates.
+    """
+
+    name = "process"
+    distributed = True
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.workers = max_workers
+        self._ctx = _mp_context()
+        self._procs: list = []
+        self._conns: list = []
+        self._baseline: bytes | None = None
+        self._pending_syncs: list[bytes] = []
+        #: Set by close() (and by a mid-dispatch worker death).  A closed
+        #: executor refuses to dispatch: respawning from the last baseline
+        #: would silently lose every sync already streamed to the old
+        #: workers.  A fresh reset() re-opens it — the new baseline plus
+        #: later syncs fully determine replica state again.
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- engine-facing protocol -------------------------------------------
+    def reset(self, compiled, base_facts: dict) -> None:
+        """Install a new baseline (full run): plans + live base facts."""
+        # Serialised once; the same bytes go to every (current and future)
+        # worker pipe.
+        self._baseline = pickle.dumps(("reset", compiled, base_facts), -1)
+        self._pending_syncs.clear()
+        self._closed = False
+        for conn in self._conns:
+            conn.send_bytes(self._baseline)
+
+    def sync(self, adds: dict, removes: dict) -> None:
+        """Queue one net change set; broadcast at the next dispatch."""
+        if adds or removes:
+            self._pending_syncs.append(pickle.dumps(("sync", adds, removes), -1))
+
+    def run_rule_tasks(self, descriptors: Sequence[TaskDescriptor]) -> list:
+        """Evaluate descriptors on the pool; results in submission order."""
+        self._ensure_pool()
+        if self._pending_syncs:
+            for payload in self._pending_syncs:
+                for conn in self._conns:
+                    conn.send_bytes(payload)
+            self._pending_syncs.clear()
+        # Stripe tasks across workers; the submission index travels with
+        # each task so the results can be re-ordered deterministically.
+        per_worker: list[list[tuple[int, TaskDescriptor]]] = [
+            [] for _ in self._conns
+        ]
+        for index, descriptor in enumerate(descriptors):
+            per_worker[index % len(per_worker)].append((index, descriptor))
+        busy = []
+        for conn, batch in zip(self._conns, per_worker):
+            if batch:
+                conn.send_bytes(pickle.dumps(("tasks", batch), -1))
+                busy.append(conn)
+        results: list = [None] * len(descriptors)
+        errors: list[str] = []
+        # Every busy pipe is drained even when one worker reports an
+        # error — an unread reply would desync the FIFO protocol and hand
+        # the *next* dispatch a stale result batch.
+        for conn in busy:
+            try:
+                reply = pickle.loads(conn.recv_bytes())
+            except EOFError:
+                self.close()  # a dead worker leaves replicas unrecoverable
+                raise RuntimeError(
+                    "process worker died mid-dispatch; executor closed "
+                    "(a full run / reset() re-opens it)"
+                ) from None
+            if reply[0] == "error":
+                errors.append(reply[1])
+            else:
+                for index, derived, scratch in reply[1]:
+                    results[index] = (derived, scratch)
+        if errors:
+            raise RuntimeError("process worker failed:\n" + "\n".join(errors))
+        return results
+
+    # -- ExecutorPolicy ----------------------------------------------------
+    def map(self, tasks):
+        # Closures cannot cross a process boundary; the engine dispatches
+        # through run_rule_tasks instead and keeps closure-shaped work
+        # (e.g. parallel stratum batches) inline.
+        return [task() for task in tasks]
+
+    def _ensure_pool(self) -> None:
+        with self._lock:
+            if self._procs:
+                return
+            if self._closed:
+                raise RuntimeError(
+                    "ProcessExecutor was closed; syncs streamed to the old "
+                    "workers are gone, so only a fresh reset() (an engine "
+                    "full run) may re-open it"
+                )
+            if self._baseline is None:
+                raise RuntimeError("ProcessExecutor dispatched before reset()")
+            for _ in range(self.workers):
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                parent_conn.send_bytes(self._baseline)
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            procs, self._procs = self._procs, []
+            conns, self._conns = self._conns, []
+        stop = pickle.dumps(("stop",), -1)
+        for conn in conns:
+            try:
+                conn.send_bytes(stop)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in conns:
+            conn.close()

@@ -20,7 +20,7 @@ stratum by stratum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping
 
 from repro.cylog.ast import (
@@ -53,6 +53,22 @@ BOUND_SELECTIVITY = 0.1
 #: implementation for differential testing).
 PLANNERS = ("cost", "legacy")
 
+#: Exchange cost model (only consulted when compiling for a sharded store,
+#: ``shards > 1``).  A probe whose index key misses the shard key prefix
+#: must chain every shard's bucket — ``shards - 1`` extra bucket probes at
+#: this relative overhead each — unless the store keeps an exchange
+#: repartition (a re-hashed copy of the relation routed on the join key).
+#: The repartition costs one extra maintained copy, amortised over the
+#: engine's lifetime of evaluations because it is maintained
+#: incrementally, exactly like the persistent hash indexes.
+CHAINED_PROBE_OVERHEAD = 1.0
+REPARTITION_ROW_COST = 2.0
+EXCHANGE_AMORTIZE_ROUNDS = 50.0
+
+#: Estimated binding tuples flowing into a step are clamped here so deep
+#: bodies cannot overflow the float cost model.
+MAX_INFLOW = 1e9
+
 
 @dataclass(frozen=True)
 class PlanStep:
@@ -62,18 +78,37 @@ class PlanStep:
     be bound (constants, or variables bound by earlier steps) when the step
     runs; the engine keeps a persistent hash index on exactly these
     positions.  Empty positions mean a full scan.
+
+    On a sharded store a keyed probe has one of three access paths, fixed
+    here at plan time: *prefix-routed* (the key covers position 0 — one
+    shard probed, no annotation), *exchanged* (``exchange_position`` names
+    the term position whose registered repartition the probe routes
+    through — one shard probed), or *chained* (``chained`` is True — every
+    shard's bucket probed).  The exchange cost model below decides between
+    the last two.
     """
 
     literal: BodyLiteral
     index_positions: tuple[int, ...] = ()
     estimated_cost: float = 0.0
+    exchange_position: int | None = None
+    chained: bool = False
 
 
 @dataclass(frozen=True)
 class JoinPlan:
-    """An ordered sequence of :class:`PlanStep` for one rule body."""
+    """An ordered sequence of :class:`PlanStep` for one rule body.
+
+    ``route_position`` is only set on delta-first plans: the term position
+    of the *leading delta atom* that binds the next probe's shard routing
+    key.  The engine partitions delta rows by it
+    (:func:`~repro.cylog.sharding.split_rows_by_shard`), so each
+    per-(rule, target-shard) task probes a single shard — the exchange
+    operator's task-alignment half.
+    """
 
     steps: tuple[PlanStep, ...]
+    route_position: int | None = field(default=None, compare=False)
 
     @property
     def literals(self) -> tuple[BodyLiteral, ...]:
@@ -139,7 +174,12 @@ class CompiledRule:
 
 @dataclass(frozen=True)
 class CompiledProgram:
-    """Statically validated program ready for evaluation."""
+    """Statically validated program ready for evaluation.
+
+    ``shards`` records the shard count the plans were compiled for (1 for
+    the single store); engines recompile when their configuration calls
+    for a different value, exactly as for a planner mismatch.
+    """
 
     program: Program
     rules: tuple[CompiledRule, ...]
@@ -147,6 +187,7 @@ class CompiledProgram:
     predicate_strata: dict[str, int] = field(compare=False)
     is_monotone: bool = True
     planner: str = "cost"
+    shards: int = 1
 
     @property
     def open_decls(self) -> dict[str, OpenDecl]:
@@ -178,6 +219,28 @@ class CompiledProgram:
         for decl in self.program.opens:
             if decl.key_positions:
                 specs.setdefault(decl.name, set()).add(tuple(decl.key_positions))
+        return specs
+
+    def repartition_specs(self) -> dict[str, set[int]]:
+        """Every (predicate, route position) exchange repartition any plan
+        decided to probe through, so the sharded store can register and
+        maintain the re-hashed copies before the first probe."""
+        specs: dict[str, set[int]] = {}
+
+        def collect(plan: JoinPlan) -> None:
+            for step in plan.steps:
+                if step.exchange_position is None:
+                    continue
+                literal = step.literal
+                atom = literal.atom if isinstance(literal, Negation) else literal
+                specs.setdefault(atom.predicate, set()).add(step.exchange_position)
+
+        for rule in self.rules:
+            collect(rule.join_plan)
+            for delta_plan in rule.delta_plans.values():
+                collect(delta_plan)
+            for seed in rule.seed_plans:
+                collect(seed.join_plan)
         return specs
 
 
@@ -256,10 +319,42 @@ def _fresh_var_count(atom: Atom, bound: set[str]) -> int:
     )
 
 
+def _exchange_choice(
+    atom: Atom,
+    positions: tuple[int, ...],
+    cardinalities: Mapping[str, float],
+    shards: int,
+    inflow: float,
+) -> tuple[int | None, bool]:
+    """``(exchange_position, chained)`` for one keyed probe.
+
+    Only meaningful when compiling for a sharded store and the index key
+    misses the shard key prefix.  Chaining costs ``shards - 1`` extra
+    bucket probes per binding tuple reaching the step; a repartition costs
+    one extra maintained copy of the relation, amortised over
+    ``EXCHANGE_AMORTIZE_ROUNDS`` evaluations because it is maintained
+    incrementally.  The cheaper side wins; ties go to the repartition
+    (probes recur every round, the copy is built once).
+    """
+    if shards <= 1 or not positions or 0 in positions:
+        return None, False
+    chained_extra = inflow * (shards - 1) * CHAINED_PROBE_OVERHEAD
+    repartition_cost = (
+        cardinalities.get(atom.predicate, DEFAULT_CARDINALITY)
+        * REPARTITION_ROW_COST
+        / EXCHANGE_AMORTIZE_ROUNDS
+    )
+    if chained_extra >= repartition_cost:
+        return positions[0], False
+    return None, True
+
+
 def _make_step(
     literal: BodyLiteral,
     bound: set[str],
     cardinalities: Mapping[str, float] | None,
+    shards: int = 1,
+    inflow: float = 1.0,
 ) -> PlanStep:
     if isinstance(literal, Atom):
         positions = _bound_positions(literal, bound)
@@ -268,9 +363,16 @@ def _make_step(
             if cardinalities is not None
             else 0.0
         )
-        return PlanStep(literal, positions, cost)
+        exchange_position, chained = _exchange_choice(
+            literal, positions, cardinalities or {}, shards, inflow
+        )
+        return PlanStep(literal, positions, cost, exchange_position, chained)
     if isinstance(literal, Negation):
-        return PlanStep(literal, _bound_positions(literal.atom, bound), 0.0)
+        positions = _bound_positions(literal.atom, bound)
+        exchange_position, chained = _exchange_choice(
+            literal.atom, positions, cardinalities or {}, shards, inflow
+        )
+        return PlanStep(literal, positions, 0.0, exchange_position, chained)
     return PlanStep(literal)
 
 
@@ -282,6 +384,7 @@ def build_join_plan(
     first: BodyLiteral | None = None,
     cost_based: bool = True,
     initial_bound: Iterable[str] = (),
+    shards: int = 1,
 ) -> tuple[JoinPlan, set[str]]:
     """Greedily order ``literals`` so every literal is ready when reached.
 
@@ -295,13 +398,25 @@ def build_join_plan(
     so index keys can cover them.  With ``best_effort=True`` the builder
     stops silently when nothing more is ready (used for seed plans);
     otherwise unplaceable literals raise :class:`CyLogSafetyError`.
+
+    ``shards > 1`` compiles for a sharded store: each keyed probe whose
+    index key misses the shard key prefix is resolved into an *exchange*
+    step (route through a repartition of the probed relation) or a
+    *chained* one by the exchange cost model — the literal ordering
+    itself is shard-independent, so plans stay comparable across
+    configurations.
     """
     cardinalities = cardinalities if cardinalities is not None else {}
     remaining = [lit for lit in literals if lit is not exclude and lit is not first]
     steps: list[PlanStep] = []
     bound: set[str] = set(initial_bound)
+    #: Estimated binding tuples reaching the next step — the probe count
+    #: the exchange cost model weighs against a repartition.
+    inflow = 1.0
     if first is not None:
-        steps.append(_make_step(first, bound, cardinalities))
+        step = _make_step(first, bound, cardinalities, shards, inflow)
+        steps.append(step)
+        inflow = min(max(inflow * max(step.estimated_cost, 1.0), 1.0), MAX_INFLOW)
         bound |= _literal_binds(first)
     while remaining:
         ready_filters = [
@@ -338,10 +453,59 @@ def build_join_plan(
                         remaining.index(atom),
                     ),
                 )
-        steps.append(_make_step(chosen, bound, cardinalities))
+        step = _make_step(chosen, bound, cardinalities, shards, inflow)
+        steps.append(step)
+        if isinstance(chosen, Atom):
+            inflow = min(
+                max(inflow * max(step.estimated_cost, 1.0), 1.0), MAX_INFLOW
+            )
         remaining.remove(chosen)
         bound |= _literal_binds(chosen)
     return JoinPlan(tuple(steps)), bound
+
+
+def delta_route_position(plan: JoinPlan) -> int | None:
+    """The leading-atom term position that binds the first probe's shard
+    routing key, or ``None`` when the probes cannot be shard-aligned.
+
+    For a delta-first plan the leading atom is the delta; its rows are the
+    binding source for every later probe.  When the first keyed atom probe
+    routes — on the shard key prefix or through an exchange repartition —
+    and its routing term is a variable the leading atom binds, partitioning
+    the delta rows on that variable's position makes every probe of one
+    partition land on a single target shard.  Purely a performance
+    alignment: any partition of the delta is correct.
+    """
+    steps = plan.steps
+    if not steps or not isinstance(steps[0].literal, Atom):
+        return None
+    lead = steps[0].literal
+    for step in steps[1:]:
+        literal = step.literal
+        if isinstance(literal, Negation):
+            atom = literal.atom
+        elif isinstance(literal, Atom):
+            atom = literal
+        else:
+            continue  # comparisons/assignments neither probe nor bind rows
+        if not step.index_positions:
+            return None  # a full scan cannot be shard-aligned
+        if 0 in step.index_positions:
+            route_term = atom.terms[0]
+        elif step.exchange_position is not None:
+            route_term = atom.terms[step.exchange_position]
+        else:
+            return None  # chained probe touches every shard anyway
+        if isinstance(route_term, Var) and not route_term.is_anonymous:
+            for position, term in enumerate(lead.terms):
+                if (
+                    isinstance(term, Var)
+                    and not term.is_anonymous
+                    and term.name == route_term.name
+                ):
+                    return position
+        return None  # constant key or a variable the delta does not bind
+    return None
 
 
 def build_plan(
@@ -482,6 +646,7 @@ def compile_program(
     program: Program,
     cardinalities: Mapping[str, float] | None = None,
     planner: str = "cost",
+    shards: int = 1,
 ) -> CompiledProgram:
     """Validate and compile ``program`` for evaluation.
 
@@ -491,7 +656,11 @@ def compile_program(
     run, so plans track the actual data.  ``planner`` selects the ``cost``
     planner (cardinality-ordered joins plus delta-first rewrites) or the
     ``legacy`` bound-count ordering kept for benchmarking and differential
-    testing.
+    testing.  ``shards > 1`` compiles for a sharded store with the exchange
+    operator enabled: non-prefix keyed probes are resolved into exchange or
+    chained steps, delta-first plans get their shard-alignment route, and
+    :meth:`CompiledProgram.repartition_specs` reports the repartitions the
+    store must maintain.
     """
     if planner not in PLANNERS:
         raise ValueError(f"unknown planner {planner!r}; expected one of {PLANNERS}")
@@ -507,7 +676,7 @@ def compile_program(
         if rule.head.has_aggregates:
             monotone = False
         join_plan, bound = build_join_plan(
-            rule.body, cardinalities=stats, cost_based=cost_based
+            rule.body, cardinalities=stats, cost_based=cost_based, shards=shards
         )
         _check_head_bound(rule, bound)
         delta_plans: dict[int, JoinPlan] = {}
@@ -519,7 +688,12 @@ def compile_program(
                     rule.body,
                     cardinalities=stats,
                     first=step.literal,
+                    shards=shards,
                 )
+                if shards > 1:
+                    delta_plan = replace(
+                        delta_plan, route_position=delta_route_position(delta_plan)
+                    )
                 delta_plans[position] = delta_plan
         seed_plans: list[SeedPlan] = []
         for literal in rule.body:
@@ -534,6 +708,7 @@ def compile_program(
                 best_effort=True,
                 cardinalities=stats,
                 cost_based=cost_based,
+                shards=shards,
             )
             missing = _unbound_key_vars(literal, decl, seed_bound)
             if missing:
@@ -567,6 +742,7 @@ def compile_program(
         predicate_strata=predicate_strata,
         is_monotone=monotone,
         planner=planner,
+        shards=shards,
     )
 
 

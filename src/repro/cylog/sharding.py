@@ -16,15 +16,32 @@ This module is the engine's concurrency story.  Two orthogonal pieces:
   ``fingerprint()`` / ``shard_fingerprints()`` give stable digests for
   cheap cross-configuration comparisons.
 
+* **Exchange repartitioning** — a :class:`ShardedRelation` can keep, next
+  to its primary key-prefix partitioning, *repartitions*: full copies of
+  the relation re-hashed on another term position, maintained
+  incrementally on every ``add``/``discard`` exactly like the hash
+  indexes.  A lookup whose index key misses position 0 — which would
+  otherwise chain every shard's bucket — routes to a single repartition
+  shard instead.  The join planner decides which repartitions exist
+  (``PlanStep.exchange_position`` / ``CompiledProgram.repartition_specs``
+  in :mod:`repro.cylog.safety`), weighing the duplicate-copy maintenance
+  cost against the per-probe chained-lookup cost; both sides of a
+  non-prefix join then align on the same shard of the join key, which is
+  also what lets per-(rule, target-shard) evaluation tasks ship one
+  partition each to process workers.
+
 * :class:`ExecutorPolicy` — where per-shard / per-stratum evaluation
   tasks run.  :class:`SerialExecutor` runs them inline;
-  :class:`ThreadedExecutor` fans them out to worker threads.  Both
-  return results in submission order, and the engine merges them
-  serially in that order, so evaluation results (and the derivation
-  counters in ``EngineStats``) are identical at any worker count.  Tiny
-  rounds are kept inline via ``ShardConfig.min_parallel_rows`` — the
-  fan-out must never cost more than it saves on the small-delta churn
-  the incremental engine is optimised for.
+  :class:`ThreadedExecutor` fans them out to worker threads;
+  :class:`~repro.cylog.procpool.ProcessExecutor` ships picklable task
+  descriptors to worker processes holding replica stores (GIL-free, see
+  :mod:`repro.cylog.procpool`).  All of them return results in
+  submission order, and the engine merges them serially in that order,
+  so evaluation results (and the derivation counters in ``EngineStats``)
+  are identical at any worker count.  Tiny rounds are kept inline via
+  ``ShardConfig.min_parallel_rows`` — the fan-out must never cost more
+  than it saves on the small-delta churn the incremental engine is
+  optimised for.
 """
 
 from __future__ import annotations
@@ -41,17 +58,26 @@ from repro.cylog.indexes import stable_hash
 Tuple_ = tuple[Any, ...]
 T = TypeVar("T")
 
-EXECUTORS = ("serial", "thread")
+EXECUTORS = ("serial", "thread", "process")
 
 
-def shard_of(row: Sequence[Any], n_shards: int) -> int:
-    """The shard owning ``row``: its key prefix hashed mod ``n_shards``.
+def shard_of_value(value: Any, n_shards: int) -> int:
+    """The shard a single routing value hashes to."""
+    if n_shards <= 1:
+        return 0
+    return stable_hash(value) % n_shards
 
-    Zero-arity rows (no prefix to hash) all live in shard 0.
+
+def shard_of(row: Sequence[Any], n_shards: int, position: int = 0) -> int:
+    """The shard owning ``row``: the value at ``position`` hashed mod
+    ``n_shards``.  Position 0 (the default) is the primary key-prefix
+    routing; exchange repartitions route on other positions.
+
+    Zero-arity rows (no value to hash) all live in shard 0.
     """
     if n_shards <= 1 or not row:
         return 0
-    return stable_hash(row[0]) % n_shards
+    return stable_hash(row[position]) % n_shards
 
 
 # ---------------------------------------------------------------------------
@@ -69,6 +95,10 @@ class ExecutorPolicy:
 
     name = "executor"
     workers = 1
+    #: True when workers live in other processes and cannot see the
+    #: engine's store: tasks must be shipped as picklable descriptors
+    #: (see :mod:`repro.cylog.procpool`), not closures.
+    distributed = False
 
     def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         raise NotImplementedError
@@ -135,12 +165,20 @@ class ShardConfig:
     only engaged when the driving delta carries at least this many rows,
     so steady-state churn (a handful of facts per round) never pays
     dispatch overhead.
+
+    ``exchange`` enables the exchange operator: the join planner may emit
+    repartition steps for probes whose index key misses the shard key
+    prefix, trading one incrementally maintained re-hashed copy of the
+    relation for single-shard probes instead of chained ones.  Disabling
+    it keeps the chained-lookup behaviour (and the single store's join
+    plans) — the A/B knob the E10f bench uses.
     """
 
     shards: int = 1
     executor: str = "serial"
     max_workers: int | None = None
     min_parallel_rows: int = 64
+    exchange: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -153,11 +191,23 @@ class ShardConfig:
     def build_executor(self) -> ExecutorPolicy:
         if self.executor == "thread":
             return ThreadedExecutor(self.max_workers or 4)
+        if self.executor == "process":
+            from repro.cylog.procpool import ProcessExecutor
+
+            return ProcessExecutor(self.max_workers or 4)
         return SerialExecutor()
 
     @property
     def sharded(self) -> bool:
         return self.shards > 1
+
+    @property
+    def plan_shards(self) -> int:
+        """The shard count the join planner should see: repartition steps
+        are only emitted when the exchange operator is enabled, so with
+        ``exchange=False`` plans are compiled exactly as for the single
+        store (the chained baseline keeps plan parity)."""
+        return self.shards if self.exchange else 1
 
 
 # ---------------------------------------------------------------------------
@@ -171,22 +221,30 @@ class ShardedRelation:
     Mirrors the :class:`~repro.cylog.engine.Relation` API the engine
     consumes.  Rows are routed by :func:`shard_of` on their first
     position; an index lookup whose key covers position 0 routes to a
-    single shard, any other probe chains the per-shard buckets (the
-    buckets stay live sets — callers must not mutate the result).
+    single shard.  Other probes chain the per-shard buckets (the buckets
+    stay live sets — callers must not mutate the result) — unless an
+    *exchange repartition* is registered on one of the key's positions
+    via :meth:`ensure_repartition`, in which case the probe routes to a
+    single shard of the re-hashed copy instead.
     """
 
-    __slots__ = ("arity", "n_shards", "_shards", "_index_specs")
+    __slots__ = ("arity", "n_shards", "_shards", "_index_specs", "_repartitions")
 
     def __init__(
         self,
         arity: int,
         n_shards: int,
         index_specs: Iterable[tuple[int, ...]] = (),
+        repartition_positions: Iterable[int] = (),
     ) -> None:
         self.arity = arity
         self.n_shards = n_shards
         self._index_specs = tuple(index_specs)
         self._shards = [Relation(arity, self._index_specs) for _ in range(n_shards)]
+        #: position -> per-shard re-hashed copies of the whole relation.
+        self._repartitions: dict[int, list[Relation]] = {}
+        for position in repartition_positions:
+            self.ensure_repartition(position)
 
     def shard_of(self, row: Tuple_) -> int:
         return shard_of(row, self.n_shards)
@@ -197,8 +255,39 @@ class ShardedRelation:
     def shard_sizes(self) -> tuple[int, ...]:
         return tuple(len(shard) for shard in self._shards)
 
+    def ensure_repartition(self, position: int) -> None:
+        """Register (and backfill) an exchange repartition on ``position``.
+
+        The repartition is a full copy of the relation re-hashed by the
+        value at ``position``, maintained incrementally from then on —
+        the space-for-probes trade the planner's exchange cost model
+        opted into.  Position 0 is the primary partitioning already.
+        """
+        if position == 0 or position in self._repartitions:
+            return
+        if not 0 <= position < self.arity:
+            raise ValueError(
+                f"repartition position {position} out of range for arity "
+                f"{self.arity}"
+            )
+        parts = [Relation(self.arity, self._index_specs) for _ in range(self.n_shards)]
+        for shard in self._shards:
+            for row in shard:
+                parts[shard_of(row, self.n_shards, position)].add(row)
+        self._repartitions[position] = parts
+
+    def repartition_positions(self) -> tuple[int, ...]:
+        return tuple(sorted(self._repartitions))
+
+    def repartition_shard(self, position: int, shard_id: int) -> Relation:
+        return self._repartitions[position][shard_id]
+
     def add(self, row: Tuple_) -> bool:
-        return self._shards[shard_of(row, self.n_shards)].add(row)
+        if not self._shards[shard_of(row, self.n_shards)].add(row):
+            return False
+        for position, parts in self._repartitions.items():
+            parts[shard_of(row, self.n_shards, position)].add(row)
+        return True
 
     def add_many(self, rows: Iterable[Tuple_]) -> set[Tuple_]:
         added = set()
@@ -208,23 +297,38 @@ class ShardedRelation:
         return added
 
     def discard(self, row: Tuple_) -> bool:
-        return self._shards[shard_of(row, self.n_shards)].discard(row)
+        if not self._shards[shard_of(row, self.n_shards)].discard(row):
+            return False
+        for position, parts in self._repartitions.items():
+            parts[shard_of(row, self.n_shards, position)].discard(row)
+        return True
 
     def ensure_index(self, positions: tuple[int, ...]) -> None:
         for shard in self._shards:
             shard.ensure_index(positions)
+        for parts in self._repartitions.values():
+            for part in parts:
+                part.ensure_index(positions)
 
     def lookup(self, positions: tuple[int, ...], key: Tuple_):
         """Rows whose ``positions`` project onto ``key``.
 
         When the key covers position 0 the shard is known and exactly one
-        per-shard index is probed; otherwise the per-shard buckets are
-        chained (live view, do not mutate).
+        per-shard index is probed.  When it covers a registered exchange
+        repartition instead, one shard of the re-hashed copy is probed.
+        Otherwise the per-shard buckets are chained (live view, do not
+        mutate).
         """
         for offset, position in enumerate(positions):
             if position == 0:
-                target = shard_of((key[offset],), self.n_shards)
+                target = shard_of_value(key[offset], self.n_shards)
                 return self._shards[target].lookup(positions, key)
+        if self._repartitions:
+            for offset, position in enumerate(positions):
+                parts = self._repartitions.get(position)
+                if parts is not None:
+                    target = shard_of_value(key[offset], self.n_shards)
+                    return parts[target].lookup(positions, key)
         return _ChainedRows(
             [shard.lookup(positions, key) for shard in self._shards]
         )
@@ -285,16 +389,39 @@ class ShardedRelationStore(RelationStore):
         self,
         n_shards: int,
         index_specs: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
+        repartition_specs: Mapping[str, Iterable[int]] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         super().__init__(index_specs)
         self.n_shards = n_shards
+        #: predicate -> exchange repartition positions, applied to each
+        #: relation as it is created (plus late registrations).
+        self._repartition_specs: dict[str, set[int]] = {
+            pred: set(positions)
+            for pred, positions in (repartition_specs or {}).items()
+        }
 
     def _make_relation(
-        self, arity: int, index_specs: Iterable[tuple[int, ...]]
+        self, predicate: str, arity: int, index_specs: Iterable[tuple[int, ...]]
     ) -> ShardedRelation:
-        return ShardedRelation(arity, self.n_shards, index_specs)
+        positions = self._repartition_specs.get(predicate, ())
+        return ShardedRelation(
+            arity,
+            self.n_shards,
+            index_specs,
+            repartition_positions=sorted(
+                p for p in positions if 0 < p < arity
+            ),
+        )
+
+    def ensure_repartition(self, predicate: str, position: int) -> None:
+        """Register an exchange repartition, now or when the relation is
+        created (runtime-built plans may precede the first fact)."""
+        self._repartition_specs.setdefault(predicate, set()).add(position)
+        relation = self._relations.get(predicate)
+        if relation is not None and 0 < position < relation.arity:
+            relation.ensure_repartition(position)
 
     def shard_fingerprints(self) -> tuple[str, ...]:
         """One stable digest per shard (cross-process comparable thanks to
@@ -331,9 +458,15 @@ def fingerprint_snapshot(snapshot: Mapping[str, frozenset]) -> str:
 
 
 def split_rows_by_shard(
-    rows: Iterable[Tuple_], n_shards: int
+    rows: Iterable[Tuple_], n_shards: int, position: int = 0
 ) -> list[tuple[int, set[Tuple_]]]:
     """Partition ``rows`` into per-shard sets, ascending shard id.
+
+    ``position`` selects the routing value — 0 is the primary key-prefix
+    partition; a delta-first plan whose next probe routes on a join key
+    bound at another position of the leading atom splits there instead,
+    so every task's probes land on a single target shard (the exchange
+    operator's task-alignment half).
 
     Empty shards are omitted, so fanning a delta out produces only tasks
     with actual work.  The partition is a pure function of the rows, so
@@ -341,15 +474,20 @@ def split_rows_by_shard(
     """
     parts: dict[int, set[Tuple_]] = {}
     for row in rows:
-        parts.setdefault(shard_of(row, n_shards), set()).add(row)
+        parts.setdefault(shard_of(row, n_shards, position), set()).add(row)
     return sorted(parts.items())
 
 
 def build_store(
     config: ShardConfig,
     index_specs: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
+    repartition_specs: Mapping[str, Iterable[int]] | None = None,
 ) -> "RelationStore | ShardedRelationStore":
     """The store a :class:`ShardConfig` calls for: plain when unsharded."""
     if config.sharded:
-        return ShardedRelationStore(config.shards, index_specs)
+        return ShardedRelationStore(
+            config.shards,
+            index_specs,
+            repartition_specs if config.exchange else None,
+        )
     return RelationStore(index_specs)

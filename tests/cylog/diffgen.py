@@ -72,6 +72,13 @@ def stratified_program(draw) -> str:
     # patterns the sharded support index partitions.
     if draw(st.booleans()):
         lines.append("d4(X) :- e1(X, _).")
+
+    # A join on the *second* positions: the probed atom's index key misses
+    # the shard key prefix, so sharded engines exercise the exchange
+    # repartition (or the chained-lookup fallback) instead of a routed
+    # prefix probe.
+    if draw(st.booleans()):
+        lines.append("d5(X, Y) :- e1(X, Z), e2(Y, Z).")
     return "\n".join(lines)
 
 

@@ -1,0 +1,194 @@
+"""Process executor: replica sync protocol, lockstep equivalence, lifecycle.
+
+The shard-diff hypothesis oracle (test_sharding.py) covers randomized
+programs; these tests pin the deterministic corners — the reset/sync
+replica protocol across full and incremental runs, retraction cascades
+reaching the replicas, error propagation out of a worker, and executor
+lifecycle (lazy spawn, close, re-dispatch after close).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cylog import (
+    CyLogProcessor,
+    SemiNaiveEngine,
+    ShardConfig,
+    compile_program,
+    parse_program,
+)
+from repro.cylog.procpool import ProcessExecutor
+
+SOURCE = """
+reach(S, Y) :- source(S), link(S, Y).
+reach(S, Y) :- link(X, Y), reach(S, X).
+joined(L, R) :- left(L, K), right(R, K).
+quiet(X, Y) :- link(X, Y), not reach(X, Y).
+fanout(X, count<Y>) :- link(X, Y).
+"""
+
+
+def _process_config(workers: int = 2) -> ShardConfig:
+    return ShardConfig(
+        shards=4, executor="process", max_workers=workers, min_parallel_rows=0
+    )
+
+
+def _load(engine: SemiNaiveEngine) -> None:
+    engine.add_facts("link", [(i, i + 1) for i in range(40)])
+    engine.add_facts("source", [(0,), (10,)])
+    engine.add_facts("left", [(i, i % 6) for i in range(30)])
+    engine.add_facts("right", [(i + 500, i % 6) for i in range(30)])
+
+
+class TestEngineLockstep:
+    def test_full_and_incremental_runs_match_serial(self):
+        program = parse_program(SOURCE)
+        serial = SemiNaiveEngine(program)
+        process = SemiNaiveEngine(program, shard_config=_process_config())
+        try:
+            _load(serial), _load(process)
+            assert process.run().relations == serial.run().relations
+            # Retraction: the deletion cascade happens in the engine; the
+            # replicas must see its outcome through the sync stream.
+            for engine in (serial, process):
+                engine.retract_facts("link", [(3, 4), (20, 21)])
+                engine.retract_facts("right", [(505, 5)])
+                engine.add_facts("link", [(3, 100), (100, 4)])
+            expected = serial.run()
+            result = process.run()
+            assert result.relations == expected.relations
+            assert result.added_rows == expected.added_rows
+            assert result.removed_rows == expected.removed_rows
+            assert process.store.fingerprint() == serial.store.fingerprint()
+            assert process.runs == 1  # updates stayed incremental
+            assert (
+                process.stats.derivation_counters()
+                == serial.stats.derivation_counters()
+            )
+        finally:
+            serial.close()
+            process.close()
+
+    def test_second_full_run_resets_replicas(self):
+        program = parse_program(SOURCE)
+        serial = SemiNaiveEngine(program)
+        process = SemiNaiveEngine(program, shard_config=_process_config())
+        try:
+            _load(serial), _load(process)
+            serial.run(), process.run()
+            for engine in (serial, process):
+                engine.add_facts("link", [(200, 201)])
+                engine.run(full=True)  # new store + replan: replicas reset
+                engine.retract_facts("link", [(200, 201)])
+            assert process.run().relations == serial.run().relations
+            assert process.store.fingerprint() == serial.store.fingerprint()
+        finally:
+            serial.close()
+            process.close()
+
+    def test_processor_plumbs_process_config(self):
+        source = """
+        open translate(seg: text, out: text) key (seg) asking "t {seg}".
+        segment("a"). segment("b").
+        translated(S, T) :- segment(S), translate(S, T).
+        """
+        processor = CyLogProcessor(source, shard_config=_process_config())
+        try:
+            requests = processor.pending_requests()
+            assert sorted(r.key_values for r in requests) == [("a",), ("b",)]
+            processor.supply_answer(
+                processor.request_for("translate", ("a",)), {"out": "A"}
+            )
+            assert processor.facts("translated") == frozenset({("a", "A")})
+        finally:
+            processor.close()
+
+
+class TestProtocol:
+    def test_dispatch_before_reset_raises(self):
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="before reset"):
+                executor.run_rule_tasks([(0, None, None)])
+        finally:
+            executor.close()
+
+    def test_worker_error_propagates(self):
+        compiled = compile_program(parse_program("d(X) :- e(X)."))
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            executor.reset(compiled, {"e": ((1,),)})
+            with pytest.raises(RuntimeError, match="process worker failed"):
+                executor.run_rule_tasks([(99, None, None)])  # no such rule
+        finally:
+            executor.close()
+
+    def test_error_path_drains_other_workers(self):
+        """One failing task must not desync the pipe protocol: the other
+        workers' replies are drained, and the next dispatch returns fresh
+        (not stale) results."""
+        compiled = compile_program(parse_program("d(X) :- e(X).\nf(X) :- g(X)."))
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            executor.reset(compiled, {"e": ((1,),), "g": ((9,),)})
+            with pytest.raises(RuntimeError, match="process worker failed"):
+                executor.run_rule_tasks([(99, None, None), (1, None, None)])
+            first, second = executor.run_rule_tasks(
+                [(0, None, None), (0, None, None)]
+            )
+            assert {row for row, _ in first[0]} == {(1,)}
+            assert {row for row, _ in second[0]} == {(1,)}
+        finally:
+            executor.close()
+
+    def test_results_come_back_in_submission_order(self):
+        compiled = compile_program(parse_program("d(X) :- e(X).\nf(X) :- g(X)."))
+        executor = ProcessExecutor(max_workers=3)
+        try:
+            executor.reset(compiled, {"e": ((1,), (2,)), "g": ((9,),)})
+            results = executor.run_rule_tasks(
+                [(0, None, None), (1, None, None), (0, None, None)]
+            )
+            assert len(results) == 3
+            first, second, third = results
+            assert {row for row, _ in first[0]} == {(1,), (2,)}
+            assert {row for row, _ in second[0]} == {(9,)}
+            assert {row for row, _ in third[0]} == {(1,), (2,)}
+        finally:
+            executor.close()
+
+    def test_sync_reaches_replicas_spawned_later(self):
+        """Syncs queued before the pool spawns are replayed on first
+        dispatch — the lazy-spawn path."""
+        compiled = compile_program(parse_program("d(X) :- e(X)."))
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            executor.reset(compiled, {"e": ((1,),)})
+            executor.sync({"e": ((2,), (3,))}, {})
+            executor.sync({}, {"e": ((1,),)})
+            (result,) = executor.run_rule_tasks([(0, None, None)])
+            assert {row for row, _ in result[0]} == {(2,), (3,)}
+        finally:
+            executor.close()
+
+    def test_close_is_idempotent_and_terminal_until_reset(self):
+        """Dispatching after close() must raise — respawning from the old
+        baseline would silently drop every already-streamed sync — while a
+        fresh reset() (what an engine full run issues) re-opens the pool."""
+        executor = ProcessExecutor(max_workers=1)
+        compiled = compile_program(parse_program("d(X) :- e(X)."))
+        executor.reset(compiled, {"e": ((1,),)})
+        executor.sync({"e": ((2,),)}, {})
+        executor.run_rule_tasks([(0, None, None)])
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run_rule_tasks([(0, None, None)])
+        try:
+            executor.reset(compiled, {"e": ((1,), (2,), (3,))})
+            (result,) = executor.run_rule_tasks([(0, None, None)])
+            assert {row for row, _ in result[0]} == {(1,), (2,), (3,)}
+        finally:
+            executor.close()

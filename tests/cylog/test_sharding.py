@@ -34,14 +34,33 @@ from repro.cylog.sharding import (
 
 SHARD_EXAMPLES = int(os.environ.get("SHARD_DIFF_EXAMPLES", "15"))
 
-#: The configurations the oracle compares against the single store.
-SHARD_CONFIGS = (
+#: Serial / thread-pool configurations, with and without the exchange
+#: operator (``exchange=False`` keeps the chained-lookup fallback and the
+#: single store's plans on non-prefix join keys).
+THREAD_CONFIGS = (
     ShardConfig(shards=1),
     ShardConfig(shards=2),
     ShardConfig(shards=8),
+    ShardConfig(shards=8, exchange=False),
     ShardConfig(shards=2, executor="thread", max_workers=2, min_parallel_rows=0),
     ShardConfig(shards=8, executor="thread", max_workers=4, min_parallel_rows=0),
 )
+
+#: Process-pool configurations: replica stores synced by the engine's
+#: mutation ledger, tasks shipped as picklable descriptors.
+PROCESS_CONFIGS = (
+    ShardConfig(shards=2, executor="process", max_workers=2, min_parallel_rows=0),
+    ShardConfig(shards=8, executor="process", max_workers=2, min_parallel_rows=0),
+)
+
+#: The configurations the oracle compares against the single store.  The
+#: CI ``shard-diff`` job matrix runs the thread and process suites as
+#: separate entries (``SHARD_DIFF_SUITE``); everything runs by default.
+SHARD_CONFIGS = {
+    "threads": THREAD_CONFIGS,
+    "process": PROCESS_CONFIGS,
+    "all": THREAD_CONFIGS + PROCESS_CONFIGS,
+}[os.environ.get("SHARD_DIFF_SUITE", "all")]
 
 
 class TestShardedRelation:
@@ -125,6 +144,109 @@ class TestShardedRelation:
             recombined |= chunk
         assert recombined == rows
 
+    def test_split_rows_by_shard_empty_delta(self):
+        assert split_rows_by_shard(set(), 8) == []
+        assert split_rows_by_shard([], 1) == []
+
+    def test_split_rows_by_shard_single_shard(self):
+        rows = {(i, i + 1) for i in range(20)}
+        parts = split_rows_by_shard(rows, 1)
+        assert parts == [(0, rows)]
+
+    def test_split_rows_by_shard_all_rows_to_one_shard(self):
+        # Identical routing values land every row in one shard — the skew
+        # extreme: one task carries the whole delta, none are empty.
+        rows = {("hot", i) for i in range(30)}
+        parts = split_rows_by_shard(rows, 8)
+        assert len(parts) == 1
+        shard, chunk = parts[0]
+        assert shard == shard_of(("hot", 0), 8)
+        assert chunk == rows
+
+    def test_split_rows_by_shard_position_routes_on_join_key(self):
+        rows = {(i, i % 5) for i in range(40)}
+        parts = split_rows_by_shard(rows, 8, position=1)
+        assert {shard for shard, _ in parts} == {
+            shard_of(row, 8, 1) for row in rows
+        }
+        for shard, chunk in parts:
+            assert all(shard_of(row, 8, 1) == shard for row in chunk)
+        assert set().union(*(chunk for _, chunk in parts)) == rows
+
+
+class TestExchangeRepartition:
+    def _filled(self, repartition: bool) -> ShardedRelation:
+        relation = ShardedRelation(
+            2, 8, index_specs=((1,),), repartition_positions=(1,) if repartition else ()
+        )
+        for i in range(60):
+            relation.add((i, i % 7))
+        return relation
+
+    def test_routed_lookup_equals_chained_lookup(self):
+        """The repartition answers non-prefix probes with exactly the rows
+        the chained per-shard scan finds — for every key, hit or miss."""
+        chained, routed = self._filled(False), self._filled(True)
+        assert routed.repartition_positions() == (1,)
+        for key in range(-2, 10):
+            expect = set(chained.lookup((1,), (key,)))
+            assert set(routed.lookup((1,), (key,))) == expect, key
+            assert len(routed.lookup((1,), (key,))) == len(expect)
+
+    def test_repartition_maintained_on_add_and_discard(self):
+        relation = self._filled(True)
+        assert relation.add((100, 3))
+        assert set(relation.lookup((1,), (3,))) == {
+            (i, 3) for i in range(3, 60, 7)
+        } | {(100, 3)}
+        assert relation.discard((100, 3))
+        assert relation.discard((3, 3))
+        assert set(relation.lookup((1,), (3,))) == {(i, 3) for i in range(10, 60, 7)}
+
+    def test_late_registration_backfills(self):
+        relation = self._filled(False)
+        relation.ensure_repartition(1)
+        chained = self._filled(False)
+        for key in range(7):
+            assert set(relation.lookup((1,), (key,))) == set(
+                chained.lookup((1,), (key,))
+            )
+
+    def test_prefix_keys_still_route_primary(self):
+        relation = self._filled(True)
+        assert set(relation.lookup((0,), (7,))) == {(7, 0)}
+        assert set(relation.lookup((0, 1), (7, 0))) == {(7, 0)}
+
+    def test_position_validation(self):
+        relation = ShardedRelation(2, 4)
+        relation.ensure_repartition(0)  # the primary partition: a no-op
+        assert relation.repartition_positions() == ()
+        with pytest.raises(ValueError):
+            relation.ensure_repartition(2)
+        with pytest.raises(ValueError):
+            relation.ensure_repartition(-1)
+
+    def test_store_registers_specs_and_late_repartitions(self):
+        store = ShardedRelationStore(4, repartition_specs={"edge": (1,)})
+        edge = store.get("edge", 2)
+        assert edge.repartition_positions() == (1,)
+        other = store.get("other", 3)
+        assert other.repartition_positions() == ()
+        for i in range(20):
+            other.add((i, i % 3, i % 5))
+        store.ensure_repartition("other", 2)
+        assert other.repartition_positions() == (2,)
+        assert set(other.lookup((2,), (4,))) == {(i, i % 3, 4) for i in range(4, 20, 5)}
+        # Registration for a predicate that does not exist yet applies on
+        # creation (runtime-built plans may precede the first fact).
+        store.ensure_repartition("later", 1)
+        assert store.get("later", 2).repartition_positions() == (1,)
+
+    def test_snapshot_ignores_repartitions(self):
+        plain, repartitioned = self._filled(False), self._filled(True)
+        assert repartitioned.snapshot() == plain.snapshot()
+        assert len(repartitioned) == len(plain)
+
 
 class TestShardedRelationStore:
     def test_snapshot_matches_single_store(self):
@@ -192,6 +314,25 @@ class TestExecutors:
             ShardConfig(executor="fork")
         with pytest.raises(ValueError):
             ThreadedExecutor(max_workers=0)
+
+    def test_process_executor_config(self):
+        from repro.cylog import ProcessExecutor
+
+        config = ShardConfig(shards=4, executor="process", max_workers=2)
+        executor = config.build_executor()
+        try:
+            assert isinstance(executor, ProcessExecutor)
+            assert executor.distributed
+            assert executor.workers == 2
+        finally:
+            executor.close()
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+    def test_plan_shards_follows_exchange_flag(self):
+        assert ShardConfig(shards=8).plan_shards == 8
+        assert ShardConfig(shards=8, exchange=False).plan_shards == 1
+        assert ShardConfig().plan_shards == 1
 
 
 class TestShardedSupportIndex:
@@ -362,11 +503,12 @@ def _determinism_program():
 
 class TestExecutorDeterminism:
     """Satellite gate: fixed-seed runs at worker counts 1/2/8 produce
-    identical results *and* identical derivation counters."""
+    identical results *and* identical derivation counters — on the thread
+    pool and on the process pool."""
 
     WORKER_COUNTS = (1, 2, 8)
 
-    def _run_all(self):
+    def _run_all(self, executor: str = "thread"):
         program = _determinism_program()
         outcomes = []
         for workers in self.WORKER_COUNTS:
@@ -374,7 +516,7 @@ class TestExecutorDeterminism:
                 program,
                 shard_config=ShardConfig(
                     shards=8,
-                    executor="thread",
+                    executor=executor,
                     max_workers=workers,
                     min_parallel_rows=0,
                 ),
@@ -400,6 +542,27 @@ class TestExecutorDeterminism:
             # Derivation counters — not just the fixpoint — must be
             # executor-independent: the serial merge does all counting.
             assert stats == baseline_stats
+
+    def test_process_pool_matches_thread_pool_bit_for_bit(self):
+        """Same program, same updates: every process-pool run must equal
+        the thread-pool baseline — results, deltas and the full counter
+        record except ``shard_tasks`` (the thread pool additionally fans
+        out whole stratum batches, which the process pool keeps inline)."""
+        thread_outcomes = self._run_all("thread")
+        process_outcomes = self._run_all("process")
+        for (t_first, t_second, t_stats), (p_first, p_second, p_stats) in zip(
+            thread_outcomes, process_outcomes
+        ):
+            assert p_first.relations == t_first.relations
+            assert p_second.relations == t_second.relations
+            assert p_second.added_rows == t_second.added_rows
+            assert p_second.removed_rows == t_second.removed_rows
+            t_stats, p_stats = dict(t_stats), dict(p_stats)
+            t_stats.pop("shard_tasks"), p_stats.pop("shard_tasks")
+            assert p_stats == t_stats
+        baseline = process_outcomes[0][2]
+        for _, _, stats in process_outcomes[1:]:
+            assert stats == baseline  # worker-count independent
 
     def test_incremental_runs_stay_incremental(self):
         for _, second, stats in self._run_all():
