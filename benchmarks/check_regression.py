@@ -44,11 +44,13 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "E10d": ("speedup_vs_full",),
     "E10e": ("speedup_vs_single",),
     "E10f": ("speedup_exchange_vs_chained",),
+    "E11": ("speedup_snapshot_vs_replay",),
 }
 
 #: Reported next to the gated metrics but never gated (hardware-coupled).
 CONTEXT_METRICS: dict[str, tuple[str, ...]] = {
     "E10f": ("speedup_process_vs_thread",),
+    "E11": ("mutation_ops_per_s", "listing_query_ops_per_s"),
 }
 
 

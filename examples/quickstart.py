@@ -8,9 +8,20 @@ the derived facts back out.
 Run:  python examples/quickstart.py
 """
 
-from repro import Crowd4U, HumanFactors, SchemeKind, SkillRequirement, TeamConstraints
+from repro import (
+    Crowd4U,
+    HumanFactors,
+    RuntimeConfig,
+    SchemeKind,
+    SkillRequirement,
+    TeamConstraints,
+)
 
-platform = Crowd4U(seed=42)
+# RuntimeConfig gathers every deployment knob (storage backend, engine
+# sharding/executor, memory budgets); the defaults are an in-memory,
+# single-store serial deployment — see examples/durable_storage.py for a
+# platform that survives restarts.
+platform = Crowd4U(seed=42, config=RuntimeConfig())
 
 # -- 1. workers join with their human factors (Figure 4) --------------------
 for name, skill in [("ann", 0.9), ("bob", 0.7), ("eve", 0.8), ("joe", 0.5)]:

@@ -22,6 +22,7 @@ The package layout mirrors the paper's architecture (Figure 2):
 * :mod:`repro.storage` — the embedded relational engine underneath it all.
 """
 
+from repro.config import RuntimeConfig
 from repro.core import (
     AffinityMatrix,
     Crowd4U,
@@ -42,6 +43,7 @@ __all__ = [
     "CyLogProcessor",
     "HumanFactors",
     "ReproError",
+    "RuntimeConfig",
     "SchemeKind",
     "SkillRequirement",
     "TeamConstraints",

@@ -1,0 +1,101 @@
+"""Runtime configuration for platform and processor construction.
+
+:class:`RuntimeConfig` gathers every knob that used to travel as separate
+keyword arguments on ``Crowd4U(...)`` and ``CyLogProcessor(...)`` —
+storage backend, sharding/executor layout, the exchange operator and the
+support-index memory budget — into one validated value object:
+
+>>> from repro import Crowd4U, RuntimeConfig
+>>> platform = Crowd4U(config=RuntimeConfig(shards=4, executor="thread"))
+
+The old per-knob keywords still work but emit :class:`DeprecationWarning`;
+mixing them with ``config=`` is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cylog.sharding import ShardConfig
+    from repro.storage.database import Database
+
+_BACKENDS = ("memory", "wal", "sqlite")
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One value object describing how a deployment runs.
+
+    Storage: ``backend`` picks the durability layer (``"memory"``,
+    ``"wal"`` or ``"sqlite"``; see :mod:`repro.storage.backends`) and
+    ``path`` the WAL directory / SQLite file — required for the durable
+    backends.  ``backend_options`` is forwarded to the backend
+    constructor (e.g. ``{"compact_every": 1000}``).
+
+    Evaluation: ``shards`` / ``executor`` / ``max_workers`` /
+    ``exchange`` configure the CyLog engine exactly like
+    :class:`~repro.cylog.sharding.ShardConfig`.
+
+    Memory: ``support_budget`` caps how many support entries the
+    incremental engine's provenance index may hold; past the cap the
+    engine degrades affected strata to recompute-on-removal instead of
+    growing without bound (``None`` means unbounded).
+    """
+
+    backend: str = "memory"
+    path: str | Path | None = None
+    backend_options: dict[str, Any] = field(default_factory=dict)
+    shards: int = 1
+    executor: str = "serial"
+    max_workers: int | None = None
+    exchange: bool = True
+    support_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {_BACKENDS}"
+            )
+        if self.backend != "memory" and self.path is None:
+            raise ValueError(f"backend {self.backend!r} requires a path")
+        if self.backend == "memory" and self.path is not None:
+            raise ValueError("the memory backend takes no path")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {_EXECUTORS}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.support_budget is not None and self.support_budget < 0:
+            raise ValueError(
+                f"support_budget must be >= 0 or None, got {self.support_budget}"
+            )
+
+    def with_changes(self, **changes: Any) -> "RuntimeConfig":
+        """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""
+        return replace(self, **changes)
+
+    def to_shard_config(self) -> "ShardConfig":
+        """The engine-facing slice of this configuration."""
+        from repro.cylog.sharding import ShardConfig
+
+        return ShardConfig(
+            shards=self.shards,
+            executor=self.executor,
+            max_workers=self.max_workers,
+            exchange=self.exchange,
+        )
+
+    def build_database(self) -> "Database":
+        """Open the database this configuration describes."""
+        from repro.storage.backends import open_database
+
+        if self.backend == "memory":
+            return open_database(backend="memory", **self.backend_options)
+        return open_database(
+            self.path, backend=self.backend, **self.backend_options
+        )

@@ -47,8 +47,11 @@ with ``exchange=False``) instead of chaining every shard.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
+
+from repro.config import RuntimeConfig
 
 from repro.core.affinity import (
     AffinityMatrix,
@@ -85,7 +88,7 @@ from repro.core.relationships import (
 from repro.core.tasks import OPEN_STATUSES, Task, TaskKind, TaskPool, TaskStatus
 from repro.core.teams import TeamRegistry
 from repro.core.workers import Worker, WorkerManager
-from repro.cylog import CyLogProcessor, ShardConfig, TaskRequest
+from repro.cylog import CyLogProcessor, TaskRequest
 from repro.errors import CollaborationError, PlatformError
 from repro.storage import Database, col
 from repro.util import IdFactory
@@ -147,22 +150,53 @@ class Crowd4U:
         db: Database | None = None,
         affinity_weights: AffinityWeights | None = None,
         incremental: bool = True,
-        shards: int = 1,
-        executor: str = "serial",
+        shards: int | None = None,
+        executor: str | None = None,
         max_workers: int | None = None,
-        exchange: bool = True,
+        exchange: bool | None = None,
+        *,
+        config: RuntimeConfig | None = None,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("shards", shards),
+                ("executor", executor),
+                ("max_workers", max_workers),
+                ("exchange", exchange),
+            )
+            if value is not None
+        }
+        if legacy:
+            if config is not None:
+                raise ValueError(
+                    "pass the engine layout through config=RuntimeConfig(...), "
+                    f"not the deprecated keywords {sorted(legacy)}"
+                )
+            warnings.warn(
+                f"Crowd4U({', '.join(sorted(legacy))}) keywords are deprecated; "
+                "pass config=RuntimeConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = RuntimeConfig(
+                shards=shards if shards is not None else 1,
+                executor=executor if executor is not None else "serial",
+                max_workers=max_workers,
+                exchange=exchange if exchange is not None else True,
+            )
+        elif config is None:
+            config = RuntimeConfig()
+        self.config = config
         self.seed = seed
         self.now = 0.0
         self.incremental = incremental
-        self.shard_config = ShardConfig(
-            shards=shards,
-            executor=executor,
-            max_workers=max_workers,
-            exchange=exchange,
-        )
+        self.shard_config = config.to_shard_config()
         self.stats = PlatformStats()
-        self.db = db or Database()
+        #: An explicitly supplied database wins; otherwise the config
+        #: opens one on its chosen storage backend (restoring persisted
+        #: state when the backend has any).
+        self.db = db if db is not None else config.build_database()
         self.events = EventBus()
         self.workers = WorkerManager(self.db)
         self.affinity = AffinityMatrix()
@@ -388,7 +422,7 @@ class Crowd4U:
             created_at=self.now,
             options=options,
         )
-        processor = CyLogProcessor(cylog_source, shard_config=self.shard_config)
+        processor = CyLogProcessor(cylog_source, config=self.config)
         processor.add_demand_listener(
             lambda requests, pid=project.id: self._materialise_requests(pid, requests)
         )
@@ -857,10 +891,11 @@ class Crowd4U:
             self.processor(root_task.project_id).run()
 
     def close(self) -> None:
-        """Release every project engine's executor threads (no-op when
-        the platform runs the default serial configuration)."""
+        """Release every project engine's executor threads and flush the
+        storage backend (both no-ops in the default configuration)."""
         for processor in self._processors.values():
             processor.close()
+        self.db.close()
 
     # -- observability ------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
@@ -874,6 +909,9 @@ class Crowd4U:
             "relationships": len(self.ledger),
             "affinity_pairs": len(self.affinity),
             "engine_shards": self.shard_config.shards,
+            "storage_backend": (
+                self.db.backend.name if self.db.backend is not None else "memory"
+            ),
         }
 
     def stats_summary(self) -> dict[str, dict[str, int]]:

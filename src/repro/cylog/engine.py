@@ -109,6 +109,8 @@ class EngineStats:
     tuples_rederived: int = 0
     overdeletions: int = 0
     supports_recorded: int = 0
+    supports_evicted: int = 0
+    stratum_recomputes: int = 0
     agg_recomputes: int = 0
     shard_tasks: int = 0
     exchange_hits: int = 0
@@ -130,6 +132,8 @@ class EngineStats:
             "tuples_rederived": self.tuples_rederived,
             "overdeletions": self.overdeletions,
             "supports_recorded": self.supports_recorded,
+            "supports_evicted": self.supports_evicted,
+            "stratum_recomputes": self.stratum_recomputes,
             "agg_recomputes": self.agg_recomputes,
             "shard_tasks": self.shard_tasks,
             "exchange_hits": self.exchange_hits,
@@ -728,6 +732,7 @@ class SemiNaiveEngine:
         shards: int | None = None,
         executor: str | None = None,
         max_workers: int | None = None,
+        support_budget: int | None = None,
     ) -> None:
         from repro.cylog.sharding import ShardConfig
 
@@ -780,6 +785,12 @@ class SemiNaiveEngine:
             self._base_facts.setdefault(fact.atom.predicate, set()).add(row)
             self._base_arity.setdefault(fact.atom.predicate, len(row))
         self._store: RelationStore | None = None
+        #: Support-index memory budget (None = unbounded); see
+        #: SupportIndex.budget for the degradation semantics.
+        self._support_budget = support_budget
+        #: Evictions charged to support indexes already discarded by a
+        #: full run, so stats.supports_evicted stays cumulative.
+        self._evicted_base = 0
         self._supports = self._new_supports()
         self._agg_cache: dict[int, set[Tuple_]] = {}
         self._pending = DeltaLedger()
@@ -864,8 +875,12 @@ class SemiNaiveEngine:
 
     def _new_supports(self) -> SupportIndex:
         if self.shard_config.sharded:
-            return ShardedSupportIndex(self.shard_config.shards, lock=self._new_lock())
-        return SupportIndex(lock=self._new_lock())
+            return ShardedSupportIndex(
+                self.shard_config.shards,
+                lock=self._new_lock(),
+                budget=self._support_budget,
+            )
+        return SupportIndex(lock=self._new_lock(), budget=self._support_budget)
 
     def close(self) -> None:
         """Release the executor's worker threads (no-op when serial)."""
@@ -931,10 +946,13 @@ class SemiNaiveEngine:
         recomputation — the escape hatch and the oracle baseline.
         """
         if full or self._store is None:
-            return self._full_run()
-        if not self._pending:
-            return EvaluationResult(self._store.snapshot())
-        return self._incremental_run()
+            result = self._full_run()
+        elif not self._pending:
+            result = EvaluationResult(self._store.snapshot())
+        else:
+            result = self._incremental_run()
+        self.stats.supports_evicted = self._evicted_base + self._supports.evicted
+        return result
 
     def facts(self, predicate: str) -> frozenset:
         """Current tuples of ``predicate`` (after the last :meth:`run`)."""
@@ -1363,6 +1381,7 @@ class SemiNaiveEngine:
         self._replan()
         previous = self._store.snapshot() if self._store is not None else {}
         store = self._new_store()
+        self._evicted_base += self._supports.evicted
         self._supports = self._new_supports()
         self._agg_cache = {}
         for predicate, rows in self._base_facts.items():
@@ -1534,6 +1553,47 @@ class SemiNaiveEngine:
         added_map, removed_map = changes.as_mappings()
         return EvaluationResult(store.snapshot(), added_map, removed_map)
 
+    def _recompute_stratum(
+        self,
+        store: RelationStore,
+        info: _StratumInfo,
+        sink: DeltaLedger,
+        stats: EngineStats,
+    ) -> None:
+        """Re-derive one stratum from scratch and net-diff into ``sink``.
+
+        The escape hatch for budget-degraded provenance: clear the
+        stratum's head relations (and their remaining supports), re-run
+        the full per-stratum evaluation against the already-updated lower
+        strata, and report only the net row changes.  The stratum's
+        provenance is whole again afterwards — until the budget refuses
+        another record.
+        """
+        stats.stratum_recomputes += 1
+        before: dict[str, frozenset] = {}
+        for predicate in sorted(info.heads):
+            relation = store.maybe(predicate)
+            if relation is None:
+                before[predicate] = frozenset()
+                continue
+            rows = relation.snapshot()
+            before[predicate] = rows
+            for row in rows:
+                relation.discard(row)
+                self._note_remove(predicate, row)
+                self._supports.discard_tuple(predicate, row)
+        for rule_index, _ in info.aggregates:
+            self._agg_cache.pop(rule_index, None)
+        self._supports.clear_degraded(info.heads)
+        self._eval_stratum_full(store, info, stats, parallel=False)
+        for predicate, old_rows in before.items():
+            relation = store.maybe(predicate)
+            new_rows = relation.snapshot() if relation is not None else frozenset()
+            for row in old_rows - new_rows:
+                sink.remove(predicate, row)
+            for row in new_rows - old_rows:
+                sink.add(predicate, row)
+
     def _step_stratum(
         self,
         store: RelationStore,
@@ -1561,6 +1621,20 @@ class SemiNaiveEngine:
             index for index, preds in info.agg_inputs.items() if preds & touched
         }
         if not (touched & info.referenced or touched & negated or agg_touched):
+            return
+        # Degraded provenance (the support budget refused derivations for
+        # this stratum's heads) is only unsound for removal-side work: a
+        # missing support can make a head tuple wrongly *survive* a
+        # cascade, never wrongly die.  When removals, negation gains or
+        # aggregate changes reach a degraded stratum, fall back to a full
+        # per-stratum recompute; pure additions stay incremental.
+        removal_work = (
+            any(changes.removed(p) for p in touched & info.referenced)
+            or any(changes.added(p) for p in touched & negated)
+            or bool(agg_touched)
+        )
+        if removal_work and self._supports.degraded_any(info.heads):
+            self._recompute_stratum(store, info, sink, stats)
             return
         scheduler = RetractionScheduler(
             store, self._supports, info.heads, info.recursive, stats

@@ -155,9 +155,20 @@ class SupportIndex:
     are indexed per predicate and matched by pattern on deletion (the engine
     re-checks whether *another* row still satisfies the hole before the
     support is dropped).
+
+    ``budget`` caps the number of supports held (``None`` = unbounded).
+    The cap is *admission-based*: once full, new derivations are not
+    recorded — ``evicted`` counts them — and the head predicate is marked
+    *degraded*.  Dropping provenance can only make a head tuple wrongly
+    **survive** a deletion cascade (never wrongly die), so the engine
+    compensates by recomputing degraded strata whenever removal work
+    reaches them (see ``SemiNaiveEngine._recompute_stratum``); pure
+    additions never need provenance and stay incremental.
     """
 
-    def __init__(self, lock: ContextManager | None = None) -> None:
+    def __init__(
+        self, lock: ContextManager | None = None, budget: int | None = None
+    ) -> None:
         #: (pred, row) -> its support keys.
         self._supports: dict[tuple[str, Tuple_], set[SupportKey]] = {}
         #: pred -> exact body row -> supports consuming it.
@@ -167,14 +178,43 @@ class SupportIndex:
         #: Serialises mutation when strata record/drop supports from worker
         #: threads; the serial engine passes nothing and pays nothing.
         self._lock: ContextManager = lock if lock is not None else nullcontext()
+        self.budget = budget
+        self._size = 0
+        #: Derivations refused because the index was at budget.
+        self.evicted = 0
+        #: Head predicates with incomplete provenance.
+        self._degraded: set[str] = set()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def degraded_any(self, predicates: Iterable[str]) -> bool:
+        """Does any of ``predicates`` have incomplete provenance?"""
+        return not self._degraded.isdisjoint(predicates)
+
+    def clear_degraded(self, predicates: Iterable[str]) -> None:
+        """The engine recomputed these heads from scratch; their provenance
+        is whole again (until the budget refuses another record)."""
+        self._degraded.difference_update(predicates)
 
     def add(self, predicate: str, row: Tuple_, key: SupportKey) -> bool:
-        """Record one derivation; returns True when it was not yet known."""
+        """Record one derivation; returns True when it was not yet known.
+
+        At budget the derivation is refused (and the head predicate marked
+        degraded) instead of recorded.
+        """
         with self._lock:
             entry = self._supports.setdefault((predicate, row), set())
             if key in entry:
                 return False
+            if self.budget is not None and self._size >= self.budget:
+                if not entry:
+                    del self._supports[(predicate, row)]
+                self.evicted += 1
+                self._degraded.add(predicate)
+                return False
             entry.add(key)
+            self._size += 1
             ref: SupportRef = (predicate, row, key)
             for dep_pred, dep_row in key[1]:
                 if _is_wild(dep_row):
@@ -215,6 +255,7 @@ class SupportIndex:
             if entry is None or key not in entry:
                 return len(entry) if entry is not None else 0
             entry.discard(key)
+            self._size -= 1
             self._unregister((predicate, row, key))
             if not entry:
                 del self._supports[(predicate, row)]
@@ -231,6 +272,7 @@ class SupportIndex:
             entry = self._supports.pop((predicate, row), None)
             if not entry:
                 return
+            self._size -= len(entry)
             for key in entry:
                 self._unregister((predicate, row, key))
 
@@ -319,8 +361,13 @@ class ShardedSupportIndex(SupportIndex):
     any thread is spawned.
     """
 
-    def __init__(self, n_shards: int, lock: ContextManager | None = None) -> None:
-        super().__init__(lock)
+    def __init__(
+        self,
+        n_shards: int,
+        lock: ContextManager | None = None,
+        budget: int | None = None,
+    ) -> None:
+        super().__init__(lock, budget=budget)
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = n_shards

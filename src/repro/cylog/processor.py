@@ -24,11 +24,13 @@ frozenset({('s1', 'S1-FR')})
 from __future__ import annotations
 
 import contextlib
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.cylog.ast import Program
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import RuntimeConfig
     from repro.cylog.sharding import ShardConfig
 from repro.cylog.engine import EngineStats, EvaluationResult, SemiNaiveEngine
 from repro.cylog.errors import CyLogTypeError
@@ -50,20 +52,41 @@ DemandListener = Callable[[list[TaskRequest]], None]
 class CyLogProcessor:
     """Interprets one CyLog project description (paper §2.1).
 
-    ``shard_config`` (see :class:`repro.cylog.sharding.ShardConfig`)
-    selects a hash-sharded relation store and a parallel executor for the
-    underlying engine; results are identical to the default single-store
-    serial configuration — the shard-diff CI oracle gates on it.
+    ``config`` (a :class:`repro.config.RuntimeConfig`) selects a
+    hash-sharded relation store, a parallel executor and a support-index
+    memory budget for the underlying engine; results are identical to the
+    default single-store serial configuration — the shard-diff CI oracle
+    gates on it.  ``shard_config`` is the deprecated spelling of the
+    engine-layout slice and will be removed.
     """
 
     def __init__(
         self,
         source: str | Program,
         shard_config: "ShardConfig | None" = None,
+        *,
+        config: "RuntimeConfig | None" = None,
     ) -> None:
+        support_budget = None
+        if config is not None:
+            if shard_config is not None:
+                raise ValueError(
+                    "pass either config= or the deprecated shard_config=, not both"
+                )
+            shard_config = config.to_shard_config()
+            support_budget = config.support_budget
+        elif shard_config is not None:
+            warnings.warn(
+                "CyLogProcessor(shard_config=...) is deprecated; pass "
+                "config=RuntimeConfig(shards=..., executor=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         program = parse_program(source) if isinstance(source, str) else source
         self.compiled = compile_program(program)
-        self.engine = SemiNaiveEngine(self.compiled, shard_config=shard_config)
+        self.engine = SemiNaiveEngine(
+            self.compiled, shard_config=shard_config, support_budget=support_budget
+        )
         self._answered: set[tuple[str, Tuple_]] = set()
         self._seen_requests: dict[tuple[str, Tuple_], TaskRequest] = {}
         #: Identities demanded by the *current* fixpoint — with retraction

@@ -25,6 +25,12 @@ Quick tour:
 [{'id': 'w1', 'skill': 0.9}]
 """
 
+from repro.storage.backends import (
+    MemoryBackend,
+    Mutation,
+    StorageBackend,
+    open_database,
+)
 from repro.storage.cache import CacheStats, QueryCache
 from repro.storage.database import Database
 from repro.storage.errors import (
@@ -38,7 +44,7 @@ from repro.storage.errors import (
     UnknownTableError,
 )
 from repro.storage.expr import Expr, col, lit
-from repro.storage.persistence import load_database, save_database
+from repro.storage.persistence import dump_canonical, load_database, save_database
 from repro.storage.query import Query
 from repro.storage.schema import Column, ForeignKey, TableSchema
 from repro.storage.table import Table
@@ -50,21 +56,26 @@ __all__ = [
     "ColumnType",
     "ConstraintViolation",
     "Database",
-    "QueryCache",
     "DuplicateKeyError",
     "Expr",
     "ForeignKey",
     "ForeignKeyError",
+    "MemoryBackend",
+    "Mutation",
     "NotNullViolation",
     "Query",
+    "QueryCache",
     "SchemaError",
+    "StorageBackend",
     "Table",
     "TableSchema",
     "TypeMismatchError",
     "UnknownColumnError",
     "UnknownTableError",
     "col",
+    "dump_canonical",
     "lit",
     "load_database",
+    "open_database",
     "save_database",
 ]

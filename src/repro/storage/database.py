@@ -4,17 +4,23 @@ Responsibilities beyond what :class:`~repro.storage.table.Table` provides:
 
 * table lifecycle (create / drop / lookup),
 * foreign-key enforcement on insert, update and delete,
-* undo-log transactions (see :mod:`repro.storage.transactions`).
+* undo-log transactions (see :mod:`repro.storage.transactions`),
+* durability through an attached :class:`~repro.storage.backends.base.StorageBackend`
+  (see :mod:`repro.storage.backends`): every physical mutation streams to
+  the backend, and :func:`~repro.storage.backends.open_database` rebuilds
+  an identical database — rows, versions, insertion order — on restart.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.storage.backends.base import StorageBackend
 from repro.storage.cache import QueryCache
 from repro.storage.errors import (
     ForeignKeyError,
     SchemaError,
+    StorageError,
     TransactionError,
     UnknownTableError,
 )
@@ -25,12 +31,53 @@ from repro.storage.table import Table
 class Database:
     """A named collection of tables with referential integrity."""
 
-    def __init__(self) -> None:
+    def __init__(self, backend: StorageBackend | None = None) -> None:
         self._tables: dict[str, Table] = {}
         self._undo_log_stack: list[list[Callable[[], None]]] = []
         #: Shared result cache for the serving path; entries self-invalidate
         #: via table versions (see :mod:`repro.storage.cache`).
         self.query_cache = QueryCache()
+        #: Durability mirror, wired by :meth:`attach_backend`.
+        self.backend: StorageBackend | None = None
+        if backend is not None:
+            self.attach_backend(backend)
+
+    # -- durability backend ------------------------------------------------------
+    def attach_backend(self, backend: StorageBackend) -> bool:
+        """Wire ``backend`` as this database's durability mirror.
+
+        The backend either restores its persisted state into this (empty)
+        database or, when it has none, adopts the database's current
+        contents as the initial persisted state.  Afterwards every table's
+        mutation stream — including undo-log rollbacks — is forwarded to
+        the backend.  Returns ``True`` when persisted state was restored.
+        """
+        if self.backend is not None:
+            raise StorageError("database already has a storage backend attached")
+        if self.in_transaction:
+            raise StorageError("cannot attach a backend inside a transaction")
+        had_tables = bool(self._tables)
+        restored = backend.attach(self)
+        if restored and had_tables:
+            raise StorageError(
+                "backend restored persisted state into a non-empty database; "
+                "attach backends before creating tables"
+            )
+        self.backend = backend
+        for table in self._tables.values():
+            table.mutation_sink = backend.on_mutation
+        return restored
+
+    def close(self) -> None:
+        """Flush and release the attached backend (no-op without one)."""
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- catalogue ---------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> Table:
@@ -49,6 +96,9 @@ class Database:
         self._tables[schema.name] = table
         if self._undo_log_stack:
             table.undo_sink = self._record_undo
+        if self.backend is not None:
+            self.backend.on_create_table(schema)
+            table.mutation_sink = self.backend.on_mutation
         return table
 
     def drop_table(self, name: str) -> None:
@@ -68,6 +118,9 @@ class Database:
         # never detach its sink: detach here or a later mutation through the
         # orphaned handle records undo entries into a dead (or wrong) log.
         table.undo_sink = None
+        table.mutation_sink = None
+        if self.backend is not None:
+            self.backend.on_drop_table(name)
         # A same-named table created later restarts versions at zero, which
         # could collide with entries recorded against this table.
         self.query_cache.invalidate_all()

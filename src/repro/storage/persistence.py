@@ -23,7 +23,7 @@ from repro.storage.types import ColumnType
 _FORMAT_VERSION = 1
 
 
-def _schema_to_dict(schema: TableSchema) -> dict[str, Any]:
+def schema_to_dict(schema: TableSchema) -> dict[str, Any]:
     columns = []
     for column in schema.columns:
         entry: dict[str, Any] = {
@@ -50,7 +50,7 @@ def _schema_to_dict(schema: TableSchema) -> dict[str, Any]:
     }
 
 
-def _schema_from_dict(payload: dict[str, Any]) -> TableSchema:
+def schema_from_dict(payload: dict[str, Any]) -> TableSchema:
     columns = [
         Column(
             name=entry["name"],
@@ -83,7 +83,7 @@ def save_database(db: Database, directory: str | Path) -> Path:
     root.mkdir(parents=True, exist_ok=True)
     tables = []
     for name in db.table_names:
-        entry = _schema_to_dict(db.table(name).schema)
+        entry = schema_to_dict(db.table(name).schema)
         # Persist the monotone data version so a reloaded table can never
         # alias a pre-save version (see the bump-on-load in load_database).
         entry["version"] = db.table(name).version
@@ -117,11 +117,11 @@ def load_database(directory: str | Path) -> Database:
         raise StorageError(
             f"unsupported snapshot version: {catalog.get('format_version')!r}"
         )
-    schemas = [_schema_from_dict(entry) for entry in catalog["tables"]]
+    schemas = [schema_from_dict(entry) for entry in catalog["tables"]]
     saved_versions = {
         entry["name"]: int(entry.get("version", 0)) for entry in catalog["tables"]
     }
-    ordered = _topological_order(schemas)
+    ordered = topological_order(schemas)
     db = Database()
     for schema in ordered:
         db.create_table(schema)
@@ -142,7 +142,7 @@ def load_database(directory: str | Path) -> Database:
     return db
 
 
-def _topological_order(schemas: list[TableSchema]) -> list[TableSchema]:
+def topological_order(schemas: list[TableSchema]) -> list[TableSchema]:
     """Order schemas so every FK target precedes its referrer."""
     by_name = {schema.name: schema for schema in schemas}
     ordered: list[TableSchema] = []
@@ -164,6 +164,31 @@ def _topological_order(schemas: list[TableSchema]) -> list[TableSchema]:
     for schema in schemas:
         visit(schema.name)
     return ordered
+
+
+def dump_canonical(db: Database) -> bytes:
+    """Serialise the whole database to canonical, order-independent bytes.
+
+    Two databases holding the same schemas, rows and ``Table.version``
+    counters produce byte-identical output regardless of row insertion
+    order — the equality yardstick of the backend-diff oracle and the
+    crash-recovery tests.  Rows are sorted by the ``repr`` of their primary
+    key (total order even for mixed-type keys); all JSON is emitted with
+    sorted keys and fixed separators.
+    """
+    tables = []
+    for name in sorted(db.table_names):
+        table = db.table(name)
+        rows = [
+            row
+            for _, row in sorted(table._rows.items(), key=lambda kv: repr(kv[0]))
+        ]
+        entry = schema_to_dict(table.schema)
+        entry["version"] = table.version
+        entry["rows"] = rows
+        tables.append(entry)
+    payload = {"format_version": _FORMAT_VERSION, "tables": tables}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
 def export_table_csv(db: Database, table_name: str, path: str | Path) -> Path:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from repro.storage.backends.base import Mutation
 from repro.storage.errors import (
     DuplicateKeyError,
     NotNullViolation,
@@ -15,6 +16,7 @@ from repro.storage.schema import TableSchema
 from repro.storage.types import coerce_value
 
 UndoSink = Callable[[Callable[[], None]], None]
+MutationSink = Callable[[Mutation], None]
 
 
 class Table:
@@ -40,6 +42,22 @@ class Table:
         self._sorted_indexes: dict[str, SortedIndex] = {}
         #: Installed by the owning Database while a transaction is active.
         self.undo_sink: UndoSink | None = None
+        #: Installed by the owning Database when a storage backend is
+        #: attached: receives one Mutation per physical mutation — undo-log
+        #: rollbacks included — in exactly the order they were applied, so
+        #: a backend replaying the stream reproduces rows, insertion order
+        #: and version counters.
+        self.mutation_sink: MutationSink | None = None
+
+    def _emit(
+        self,
+        op: str,
+        pk: PkTuple | None = None,
+        row: dict[str, Any] | None = None,
+        new_pk: PkTuple | None = None,
+    ) -> None:
+        if self.mutation_sink is not None:
+            self.mutation_sink(Mutation(op, self.schema.name, pk, row, new_pk))
 
     # -- row normalisation ----------------------------------------------------
     def _normalise(self, values: Mapping[str, Any]) -> dict[str, Any]:
@@ -77,6 +95,7 @@ class Table:
         self._index_add(row, pk)
         self._rows[pk] = row
         self.version += 1
+        self._emit("insert", pk, row)
         if self.undo_sink is not None:
             self.undo_sink(lambda: self._raw_delete(pk))
         return dict(row)
@@ -107,6 +126,7 @@ class Table:
         del self._rows[pk]
         self._rows[new_pk] = new_row
         self.version += 1
+        self._emit("replace", pk, new_row, new_pk)
         if self.undo_sink is not None:
             old_copy = dict(old)
             self.undo_sink(lambda: self._raw_replace(new_pk, pk, old_copy))
@@ -123,6 +143,7 @@ class Table:
         self._index_remove(row, pk)
         del self._rows[pk]
         self.version += 1
+        self._emit("delete", pk)
         if self.undo_sink is not None:
             row_copy = dict(row)
             self.undo_sink(lambda: self._raw_insert(row_copy))
@@ -143,19 +164,25 @@ class Table:
         self.version += 1
         for index in self._all_indexes():
             index.clear()
+        self._emit("truncate")
         return removed
 
     # -- raw (no undo, no validation) ops used by the undo log -----------------
+    # These are physical mutations too, so they emit to the mutation sink:
+    # a backend replaying the stream reproduces rollbacks exactly (same
+    # rows, same version bumps) instead of persisting the rolled-back state.
     def _raw_insert(self, row: dict[str, Any]) -> None:
         pk = self.schema.pk_tuple(row)
         self._index_add(row, pk)
         self._rows[pk] = row
         self.version += 1
+        self._emit("insert", pk, row)
 
     def _raw_delete(self, pk: PkTuple) -> None:
         row = self._rows.pop(pk)
         self._index_remove(row, pk)
         self.version += 1
+        self._emit("delete", pk)
 
     def _raw_replace(self, current_pk: PkTuple, old_pk: PkTuple, old_row: dict) -> None:
         current = self._rows.pop(current_pk)
@@ -163,6 +190,15 @@ class Table:
         self._index_add(old_row, old_pk)
         self._rows[old_pk] = old_row
         self.version += 1
+        self._emit("replace", current_pk, old_row, old_pk)
+
+    def _raw_truncate(self) -> None:
+        """Replay-side truncate: clear rows and indexes, one version bump,
+        no undo entry and no re-emission."""
+        self._rows.clear()
+        self.version += 1
+        for index in self._all_indexes():
+            index.clear()
 
     # -- reads ------------------------------------------------------------------
     def get(self, pk: Sequence[Any]) -> dict[str, Any] | None:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import RuntimeConfig
 from repro.core import Crowd4U, HumanFactors, SkillRequirement, TeamConstraints
 from repro.core.projects import SchemeKind
 from repro.core.relationships import RelationshipStatus
@@ -240,7 +241,9 @@ class TestShardedPlatform:
 
     def test_sharded_rounds_match_single_store(self):
         single = self._populated()
-        sharded = self._populated(shards=4, executor="thread", max_workers=2)
+        sharded = self._populated(
+            config=RuntimeConfig(shards=4, executor="thread", max_workers=2)
+        )
         try:
             for _ in range(3):
                 # cross_check runs the built-in eligibility oracle too.
@@ -263,7 +266,7 @@ class TestShardedPlatform:
             single.close()
 
     def test_sharded_answer_and_revoke_flow(self):
-        crowd = self._populated(shards=4)
+        crowd = self._populated(config=RuntimeConfig(shards=4))
         try:
             project = next(iter(crowd.projects.active()))
             crowd.step()

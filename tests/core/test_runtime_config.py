@@ -1,0 +1,149 @@
+"""RuntimeConfig: validation, equivalence with the deprecated keywords,
+and the deprecation shims themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core import Crowd4U, HumanFactors
+from repro.cylog import CyLogProcessor, ShardConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.backend == "memory"
+        assert config.to_shard_config() == ShardConfig()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            RuntimeConfig(backend="etcd", path="/tmp/x")
+
+    def test_durable_backend_requires_path(self):
+        with pytest.raises(ValueError, match="requires a path"):
+            RuntimeConfig(backend="wal")
+
+    def test_memory_backend_rejects_path(self):
+        with pytest.raises(ValueError, match="takes no path"):
+            RuntimeConfig(path="/tmp/x")
+
+    def test_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            RuntimeConfig(executor="gpu")
+
+    def test_bad_shards_and_budget(self):
+        with pytest.raises(ValueError, match="shards"):
+            RuntimeConfig(shards=0)
+        with pytest.raises(ValueError, match="support_budget"):
+            RuntimeConfig(support_budget=-1)
+
+    def test_with_changes(self):
+        config = RuntimeConfig().with_changes(shards=4, executor="thread")
+        assert config.shards == 4
+        assert config.to_shard_config().executor == "thread"
+
+    def test_build_database_durable(self, tmp_path):
+        config = RuntimeConfig(backend="wal", path=tmp_path / "d")
+        db = config.build_database()
+        assert db.backend.name == "wal"
+        db.close()
+
+    def test_backend_options_forwarded(self, tmp_path):
+        config = RuntimeConfig(
+            backend="wal", path=tmp_path / "d", backend_options={"compact_every": 3}
+        )
+        db = config.build_database()
+        assert db.backend.compact_every == 3
+        db.close()
+
+
+class TestCrowd4UShim:
+    def _factors(self):
+        return HumanFactors(
+            native_languages=frozenset({"en"}),
+            languages={"fr": 0.8},
+            skills={"translation": 0.7},
+            reliability=0.9,
+        )
+
+    def test_config_path_is_warning_free(self, recwarn):
+        platform = Crowd4U(seed=1, config=RuntimeConfig(shards=2))
+        assert platform.shard_config.shards == 2
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+        platform.close()
+
+    def test_deprecated_kwargs_still_work(self):
+        with pytest.deprecated_call():
+            platform = Crowd4U(seed=1, shards=2, executor="thread", max_workers=2)
+        assert platform.shard_config.shards == 2
+        assert platform.shard_config.executor == "thread"
+        platform.close()
+
+    def test_deprecated_exchange_kwarg(self):
+        with pytest.deprecated_call():
+            platform = Crowd4U(seed=1, exchange=False)
+        assert platform.shard_config.exchange is False
+        platform.close()
+
+    def test_mixing_config_and_deprecated_kwargs_raises(self):
+        with pytest.raises(ValueError, match="deprecated keywords"):
+            Crowd4U(seed=1, shards=2, config=RuntimeConfig())
+
+    def test_deprecated_and_config_paths_equivalent(self):
+        with pytest.deprecated_call():
+            old = Crowd4U(seed=5, shards=2, executor="thread", max_workers=2)
+        new = Crowd4U(
+            seed=5, config=RuntimeConfig(shards=2, executor="thread", max_workers=2)
+        )
+        for platform in (old, new):
+            platform.register_worker("ann", self._factors())
+            platform.register_project(
+                name="p",
+                requester="r",
+                cylog_source="""
+                    open translate(seg: text, out: text) key (seg) asking "t {seg}".
+                    segment("s1").
+                    eligible(W) :- worker_language(W, "fr", P), P >= 0.5.
+                    translated(S, T) :- segment(S), translate(S, T).
+                """,
+            )
+            platform.step()
+        old_snapshot = old.snapshot()
+        assert old_snapshot == new.snapshot()
+        assert old.shard_config == new.shard_config
+        old.close()
+        new.close()
+
+    def test_durable_config_platform_restores(self, tmp_path):
+        from repro.storage import dump_canonical
+
+        config = RuntimeConfig(backend="sqlite", path=tmp_path / "d.sqlite")
+        platform = Crowd4U(seed=2, config=config)
+        platform.register_worker("ann", self._factors())
+        state = dump_canonical(platform.db)
+        platform.close()
+        reopened = config.build_database()
+        assert dump_canonical(reopened) == state
+        reopened.close()
+
+
+class TestProcessorShim:
+    def test_config_plumbs_support_budget(self):
+        processor = CyLogProcessor(
+            "p(1). q(X) :- p(X).", config=RuntimeConfig(support_budget=7)
+        )
+        assert processor.engine._support_budget == 7
+        processor.close()
+
+    def test_shard_config_deprecated(self):
+        with pytest.deprecated_call():
+            processor = CyLogProcessor("p(1).", shard_config=ShardConfig(shards=2))
+        assert processor.engine.shard_config.shards == 2
+        processor.close()
+
+    def test_mixing_raises(self):
+        with pytest.raises(ValueError, match="not both"):
+            CyLogProcessor(
+                "p(1).", shard_config=ShardConfig(), config=RuntimeConfig()
+            )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import RuntimeConfig
 from repro.cylog import (
     CyLogProcessor,
     SemiNaiveEngine,
@@ -94,14 +95,27 @@ class TestEngineLockstep:
         segment("a"). segment("b").
         translated(S, T) :- segment(S), translate(S, T).
         """
-        processor = CyLogProcessor(source, shard_config=_process_config())
+        processor = CyLogProcessor(
+            source,
+            config=RuntimeConfig(shards=2, executor="process", max_workers=2),
+        )
         try:
+            assert processor.engine.shard_config.executor == "process"
+            assert processor.engine.shard_config.shards == 2
             requests = processor.pending_requests()
             assert sorted(r.key_values for r in requests) == [("a",), ("b",)]
             processor.supply_answer(
                 processor.request_for("translate", ("a",)), {"out": "A"}
             )
             assert processor.facts("translated") == frozenset({("a", "A")})
+        finally:
+            processor.close()
+
+    def test_processor_shard_config_deprecated(self):
+        with pytest.deprecated_call():
+            processor = CyLogProcessor("p(1).", shard_config=_process_config())
+        try:
+            assert processor.engine.shard_config.executor == "process"
         finally:
             processor.close()
 

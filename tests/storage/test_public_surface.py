@@ -1,0 +1,100 @@
+"""The curated public surface of ``repro.storage`` must not drift.
+
+``__all__`` is the contract: everything in it must resolve and be
+importable from the package root, and every public attribute the package
+actually exposes must be either listed or a submodule — so an export
+added without updating ``__all__`` (or vice versa) fails here instead of
+surfacing as an undocumented API.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro
+import repro.storage as storage
+from repro.storage import backends
+
+#: The intended top-level surface, spelled out so a drive-by export
+#: changes this file too (review bait, on purpose).
+EXPECTED_STORAGE_ALL = {
+    "CacheStats",
+    "Column",
+    "ColumnType",
+    "ConstraintViolation",
+    "Database",
+    "DuplicateKeyError",
+    "Expr",
+    "ForeignKey",
+    "ForeignKeyError",
+    "MemoryBackend",
+    "Mutation",
+    "NotNullViolation",
+    "Query",
+    "QueryCache",
+    "SchemaError",
+    "StorageBackend",
+    "Table",
+    "TableSchema",
+    "TypeMismatchError",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "col",
+    "dump_canonical",
+    "lit",
+    "load_database",
+    "open_database",
+    "save_database",
+}
+
+EXPECTED_BACKENDS_ALL = {
+    "ListingSpec",
+    "MemoryBackend",
+    "Mutation",
+    "SqliteBackend",
+    "StorageBackend",
+    "WalBackend",
+    "open_database",
+}
+
+
+def test_storage_all_matches_expected():
+    assert set(storage.__all__) == EXPECTED_STORAGE_ALL
+    assert storage.__all__ == sorted(storage.__all__), "keep __all__ sorted"
+
+
+def test_backends_all_matches_expected():
+    assert set(backends.__all__) == EXPECTED_BACKENDS_ALL
+    assert backends.__all__ == sorted(backends.__all__), "keep __all__ sorted"
+
+
+def test_every_export_resolves():
+    for name in storage.__all__:
+        assert getattr(storage, name) is not None
+    for name in backends.__all__:
+        # Exercises the lazy PEP 562 path for WalBackend/SqliteBackend too.
+        assert getattr(backends, name) is not None
+
+
+def test_no_unlisted_public_attributes():
+    listed = set(storage.__all__)
+    for name, value in vars(storage).items():
+        if name.startswith("_") or name in listed:
+            continue
+        assert inspect.ismodule(value), (
+            f"repro.storage.{name} is public but not in __all__ "
+            f"(and not a submodule)"
+        )
+
+
+def test_repro_root_exports_runtime_config():
+    assert "RuntimeConfig" in repro.__all__
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_lazy_backend_attr_errors_cleanly():
+    import pytest
+
+    with pytest.raises(AttributeError, match="no attribute"):
+        backends.NoSuchBackend
