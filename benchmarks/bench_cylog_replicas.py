@@ -1,0 +1,208 @@
+"""E12 — shard-pruned and shared-memory worker replicas (PR 7).
+
+The process pool's full-replica protocol broadcasts every engine mutation
+to every worker and rebuilds complete replica stores on each full run.
+This bench measures what the shard-pruned layouts save, on a skew-free
+two-relation join churned from the ``left`` side:
+
+* **Sync bytes per round, per replica mode.**  ``joined`` deltas dominate
+  the engine's change sets; no rule probes ``joined``, so the pruned
+  modes never ship it at all, and the base-relation slices go only to the
+  workers whose task classes probe those partitions.  The headline gate
+  — ``speedup_pruned_vs_full_sync`` — is the ratio of bytes actually
+  written to worker pipes for syncs (full / pruned): a pure byte count,
+  independent of the hardware the bench runs on.  The acceptance target
+  at 8 shards x 8 workers is >= 5x.
+
+* **Per-worker replica residency.**  Full replicas hold every base row on
+  every worker; pruned replicas hold only the subscribed partitions
+  (reported as the max resident rows across workers, from the executor's
+  exact ledger-derived counts).
+
+* **Churn throughput per mode.**  Same adds/retracts, same fixpoints —
+  the shard-diff oracle gates bit-identity in CI, and the bench
+  re-checks the store fingerprints across all modes plus a serial
+  reference.
+
+``shared`` mode additionally publishes the baseline base-fact partitions
+as sealed shared-memory row blocks: its backfills map segments instead of
+copying rows through pipes, which the trajectory records as
+``shared_mem_remaps`` and reduced backfill pipe traffic.
+"""
+
+import time
+
+from repro.cylog import SemiNaiveEngine, ShardConfig, parse_program
+from repro.metrics import format_table
+
+from fastmode import pick
+
+N_KEYS = pick(2000, 60)
+RIGHT_FANOUT = pick(6, 3)
+N_LEFT = pick(8000, 150)
+CHURN_ROUNDS = pick(30, 4)
+CHURN_BATCH = pick(400, 30)
+SHARDS = 8
+WORKERS = 8
+
+RULES = """
+    joined(L, R) :- left(L, K), right(K, R).
+    heavy(L) :- joined(L, R), R >= 0.
+"""
+
+#: (label, replica_mode) — identical engine layout, only the replica
+#: protocol differs.
+MODES = ("full", "pruned", "shared")
+
+
+def _config(replica_mode: str) -> ShardConfig:
+    return ShardConfig(
+        shards=SHARDS,
+        executor="process",
+        max_workers=WORKERS,
+        min_parallel_rows=0,  # every round dispatches: sync traffic is the point
+        replica_mode=replica_mode,
+    )
+
+
+def _build_engine(config: ShardConfig | None) -> SemiNaiveEngine:
+    engine = SemiNaiveEngine(
+        parse_program(RULES),
+        shard_config=config or ShardConfig(),
+    )
+    engine.add_facts("left", [(i, i % N_KEYS) for i in range(N_LEFT)])
+    engine.add_facts(
+        "right",
+        [(k, k * RIGHT_FANOUT + f) for k in range(N_KEYS) for f in range(RIGHT_FANOUT)],
+    )
+    return engine
+
+
+def _churn_rows(round_index: int) -> list[tuple[int, int]]:
+    base = 1_000_000 + round_index * CHURN_BATCH
+    return [(base + j, (base + j) % N_KEYS) for j in range(CHURN_BATCH)]
+
+
+def _run_mode(replica_mode: str) -> dict:
+    engine = _build_engine(_config(replica_mode))
+    try:
+        start = time.perf_counter()
+        engine.run()
+        initial_s = time.perf_counter() - start
+
+        churn_ops = 0
+        start = time.perf_counter()
+        for round_index in range(CHURN_ROUNDS):
+            rows = _churn_rows(round_index)
+            engine.add_facts("left", rows)
+            engine.run()
+            engine.retract_facts("left", rows)
+            engine.run()
+            churn_ops += 2 * len(rows)
+        churn_s = time.perf_counter() - start
+
+        assert engine.runs == 1  # every churn round stayed incremental
+        telemetry = engine._executor.telemetry()
+        rounds = 2 * CHURN_ROUNDS
+        return {
+            "mode": replica_mode,
+            "initial_run_ms": round(initial_s * 1000, 2),
+            "churn_ops_per_s": round(churn_ops / churn_s, 1) if churn_s else 0.0,
+            # Engine-side canonical change-set volume: identical across
+            # modes (what the engine mutated, not what was shipped).
+            "sync_rows_canonical": engine.stats.sync_rows,
+            "sync_bytes_canonical": engine.stats.sync_bytes,
+            # Executor-side shipped volume: what actually crossed pipes.
+            "sync_bytes_shipped": telemetry["sync_bytes_shipped"],
+            "sync_rows_shipped": telemetry["sync_rows_shipped"],
+            "sync_bytes_per_round": round(telemetry["sync_bytes_shipped"] / rounds, 1),
+            "replica_backfills": telemetry["replica_backfills"],
+            "backfill_rows": telemetry["backfill_rows"],
+            "shared_mem_remaps": telemetry["shared_mem_remaps"],
+            "bytes_to_workers": telemetry["bytes_to_workers"],
+            "max_replica_rows": max(telemetry["replica_rows"]),
+            "derived_joined": len(engine.facts("joined")),
+            "fingerprint": engine.store.fingerprint(),
+        }
+    finally:
+        engine.close()
+
+
+def test_e12_replica_modes(emit, emit_bench_json):
+    serial = _build_engine(None)
+    try:
+        serial.run()
+        for round_index in range(CHURN_ROUNDS):
+            rows = _churn_rows(round_index)
+            serial.add_facts("left", rows)
+            serial.run()
+            serial.retract_facts("left", rows)
+            serial.run()
+        reference_fp = serial.store.fingerprint()
+    finally:
+        serial.close()
+
+    records = [_run_mode(mode) for mode in MODES]
+    by_mode = {r["mode"]: r for r in records}
+
+    # Bit-identity: every replica mode lands on the serial fixpoint.
+    for record in records:
+        assert record.pop("fingerprint") == reference_fp, record["mode"]
+    # The canonical change sets are mode-independent by construction.
+    assert len({r["sync_rows_canonical"] for r in records}) == 1
+    assert len({r["sync_bytes_canonical"] for r in records}) == 1
+
+    full, pruned, shared = (by_mode[m] for m in MODES)
+    speedup_pruned = (
+        full["sync_bytes_shipped"] / pruned["sync_bytes_shipped"]
+        if pruned["sync_bytes_shipped"]
+        else float("inf")
+    )
+    speedup_shared = (
+        full["sync_bytes_shipped"] / shared["sync_bytes_shipped"]
+        if shared["sync_bytes_shipped"]
+        else float("inf")
+    )
+
+    # Pruned workers hold strictly less than full replicas; shared mode
+    # actually mapped baseline segments.
+    assert pruned["max_replica_rows"] < full["max_replica_rows"]
+    assert shared["shared_mem_remaps"] > 0
+    assert full["replica_backfills"] == 0
+    assert pruned["replica_backfills"] > 0
+
+    emit_bench_json(
+        "E12",
+        {
+            "workload": {
+                "keys": N_KEYS,
+                "right_fanout": RIGHT_FANOUT,
+                "left_rows": N_LEFT,
+                "churn_rounds": CHURN_ROUNDS,
+                "churn_batch": CHURN_BATCH,
+                "shards": SHARDS,
+                "workers": WORKERS,
+            },
+            "speedup_pruned_vs_full_sync": round(speedup_pruned, 2),
+            "speedup_shared_vs_full_sync": round(speedup_shared, 2),
+            "modes": records,
+        },
+    )
+    emit(format_table(
+        ("mode", "churn ops/s", "sync B/round", "shipped sync B",
+         "backfills", "shm remaps", "max replica rows"),
+        [
+            (r["mode"], r["churn_ops_per_s"], r["sync_bytes_per_round"],
+             r["sync_bytes_shipped"], r["replica_backfills"],
+             r["shared_mem_remaps"], r["max_replica_rows"])
+            for r in records
+        ],
+        title=(
+            f"E12 — replica modes at {SHARDS} shards x {WORKERS} workers "
+            f"(churn {CHURN_ROUNDS}x{2 * CHURN_BATCH} ops)"
+        ),
+    ))
+    # The headline gate: pruned sync traffic is a byte count, so the
+    # >=5x reduction holds on any hardware, smoke mode included.
+    assert speedup_pruned >= 5.0, (full, pruned)
+    assert speedup_shared >= 5.0, (full, shared)

@@ -45,12 +45,15 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "E10e": ("speedup_vs_single",),
     "E10f": ("speedup_exchange_vs_chained",),
     "E11": ("speedup_snapshot_vs_replay",),
+    # Sync-byte ratio, not a timing: deterministic on any hardware.
+    "E12": ("speedup_pruned_vs_full_sync",),
 }
 
 #: Reported next to the gated metrics but never gated (hardware-coupled).
 CONTEXT_METRICS: dict[str, tuple[str, ...]] = {
     "E10f": ("speedup_process_vs_thread",),
     "E11": ("mutation_ops_per_s", "listing_query_ops_per_s"),
+    "E12": ("speedup_shared_vs_full_sync",),
 }
 
 

@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _BACKENDS = ("memory", "wal", "sqlite")
 _EXECUTORS = ("serial", "thread", "process")
+_REPLICA_MODES = ("full", "pruned", "shared")
 
 
 @dataclass(frozen=True)
@@ -38,7 +39,14 @@ class RuntimeConfig:
 
     Evaluation: ``shards`` / ``executor`` / ``max_workers`` /
     ``exchange`` configure the CyLog engine exactly like
-    :class:`~repro.cylog.sharding.ShardConfig`.
+    :class:`~repro.cylog.sharding.ShardConfig`.  ``replica_mode``
+    selects the process-worker replica layout — ``"full"`` (every worker
+    holds a complete replica store), ``"pruned"`` (each worker holds only
+    the (relation, shard) partitions its tasks probe, backfilled lazily)
+    or ``"shared"`` (pruned subscriptions with baseline partitions mapped
+    from ``multiprocessing.shared_memory`` instead of copied through
+    pipes).  All three are bit-identical; the knob trades replica memory
+    and sync bytes only.  Ignored unless ``executor="process"``.
 
     Memory: ``support_budget`` caps how many support entries the
     incremental engine's provenance index may hold; past the cap the
@@ -53,6 +61,7 @@ class RuntimeConfig:
     executor: str = "serial"
     max_workers: int | None = None
     exchange: bool = True
+    replica_mode: str = "full"
     support_budget: int | None = None
 
     def __post_init__(self) -> None:
@@ -70,6 +79,11 @@ class RuntimeConfig:
             )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.replica_mode not in _REPLICA_MODES:
+            raise ValueError(
+                f"unknown replica_mode {self.replica_mode!r}; expected one of "
+                f"{_REPLICA_MODES}"
+            )
         if self.support_budget is not None and self.support_budget < 0:
             raise ValueError(
                 f"support_budget must be >= 0 or None, got {self.support_budget}"
@@ -88,6 +102,7 @@ class RuntimeConfig:
             executor=self.executor,
             max_workers=self.max_workers,
             exchange=self.exchange,
+            replica_mode=self.replica_mode,
         )
 
     def build_database(self) -> "Database":

@@ -86,7 +86,7 @@ from repro.core.relationships import (
     RelationshipStatus,
 )
 from repro.core.tasks import OPEN_STATUSES, Task, TaskKind, TaskPool, TaskStatus
-from repro.core.teams import TeamRegistry
+from repro.core.teams import TeamRegistry, TeamStatus
 from repro.core.workers import Worker, WorkerManager
 from repro.cylog import CyLogProcessor, TaskRequest
 from repro.errors import CollaborationError, PlatformError
@@ -426,6 +426,9 @@ class Crowd4U:
         processor.add_demand_listener(
             lambda requests, pid=project.id: self._materialise_requests(pid, requests)
         )
+        processor.add_revocation_listener(
+            lambda requests, pid=project.id: self._retire_requests(pid, requests)
+        )
         self._processors[project.id] = processor
         # Inject the whole worker fact base as one batch: the batch exit
         # performs the single evaluation + demand refresh for the project.
@@ -601,6 +604,37 @@ class Crowd4U:
                 predicate=request.predicate,
                 key=list(request.key_values),
             )
+
+    def _retire_requests(self, project_id: str, requests: list[TaskRequest]) -> None:
+        """Revocation listener: an upstream retraction withdrew open-
+        predicate demand before anyone answered it — cancel the tasks it
+        materialised.  Only unstarted (PENDING / team-PROPOSED) tasks are
+        cancelled: an ACTIVE team is already working and its answer will
+        simply land in a relation nothing derives from any more."""
+        identities = {(r.predicate, r.key_values) for r in requests}
+        for status in (TaskStatus.PENDING, TaskStatus.PROPOSED):
+            for task in self.pool.by_status(status, project_id):
+                if task.kind is not TaskKind.OPEN_FILL:
+                    continue
+                if (task.predicate, task.key_values) not in identities:
+                    continue
+                if task.team_id is not None:
+                    self.teams.set_status(task.team_id, TeamStatus.DISSOLVED)
+                    self.events.publish(
+                        "team.dissolved", self.now,
+                        team_id=task.team_id, task_id=task.id,
+                        reason="demand retracted",
+                    )
+                    self.pool.clear_team(task.id)
+                self.pool.set_status(task.id, TaskStatus.CANCELLED)
+                self.controller.clear_dirty(task.id)
+                self.events.publish(
+                    "task.cancelled", self.now,
+                    task_id=task.id, project_id=project_id,
+                    predicate=task.predicate,
+                    key=list(task.key_values),
+                    reason="demand retracted",
+                )
 
     # -- eligibility (full + delta-driven incremental) ----------------------
     def _mark_worker_dirty(self, worker_id: str) -> None:

@@ -82,7 +82,7 @@ from repro.cylog.parser import parse_program
 from repro.cylog.pretty import explain_program, program_to_source
 from repro.cylog.processor import CyLogProcessor
 from repro.cylog.safety import JoinPlan, PlanStep, compile_program
-from repro.cylog.procpool import ProcessExecutor
+from repro.cylog.procpool import ProcessExecutor, ProcessPoolBrokenError
 from repro.cylog.sharding import (
     ExecutorPolicy,
     SerialExecutor,
@@ -110,6 +110,7 @@ __all__ = [
     "OpenDecl",
     "PlanStep",
     "ProcessExecutor",
+    "ProcessPoolBrokenError",
     "Program",
     "Rule",
     "SemiNaiveEngine",

@@ -81,6 +81,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sharding imports us)
 Tuple_ = tuple[Any, ...]
 Bindings = dict[str, Any]
 
+#: Write-aware exchange costing: observed per-relation delta rows per run
+#: are smoothed with this EWMA weight (new sample vs history), and decayed
+#: by the same factor on runs that touch nothing of the relation; rates
+#: below the floor are forgotten entirely.  Purely a function of the
+#: reported run deltas, so the rates — and any replan they trigger — are
+#: identical on every executor at any worker count.
+WRITE_RATE_ALPHA = 0.5
+WRITE_RATE_FLOOR = 0.5
+
 
 @dataclass
 class EngineStats:
@@ -115,6 +124,21 @@ class EngineStats:
     shard_tasks: int = 0
     exchange_hits: int = 0
     chained_lookups: int = 0
+    #: Replica-sync telemetry (distributed executors only; zero elsewhere).
+    #: ``sync_rows`` / ``sync_bytes`` measure the engine-side mutation
+    #: stream — net rows flushed to worker replicas and the canonical
+    #: payload size — so they are identical at any worker count and in any
+    #: replica mode.  ``replica_backfills`` / ``shared_mem_remaps`` count
+    #: executor-side partition movements (lazy backfills on subscription
+    #: growth, shared-memory segment rebuilds) and depend on how many
+    #: workers the partitions are spread over.
+    sync_rows: int = 0
+    sync_bytes: int = 0
+    replica_backfills: int = 0
+    shared_mem_remaps: int = 0
+    #: Mid-stream recompilations triggered by an observed write rate
+    #: crossing an exchange break-even (write-aware exchange costing).
+    write_replans: int = 0
     plans: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -138,6 +162,11 @@ class EngineStats:
             "shard_tasks": self.shard_tasks,
             "exchange_hits": self.exchange_hits,
             "chained_lookups": self.chained_lookups,
+            "sync_rows": self.sync_rows,
+            "sync_bytes": self.sync_bytes,
+            "replica_backfills": self.replica_backfills,
+            "shared_mem_remaps": self.shared_mem_remaps,
+            "write_replans": self.write_replans,
         }
 
     def derivation_counters(self) -> dict[str, int]:
@@ -802,11 +831,16 @@ class SemiNaiveEngine:
         #: triggers, re-derivation, per-group aggregates) — folded into
         #: every store the engine builds, on top of the compiled specs.
         self._extra_repartitions: dict[str, set[int]] = {}
-        #: Net store mutations not yet streamed to process workers
-        #: (``None`` unless the executor is distributed).
-        self._unsynced: DeltaLedger | None = (
-            DeltaLedger() if self._distributed else None
-        )
+        #: Net store mutations not yet streamed to process workers,
+        #: partitioned by (predicate, primary shard) at mutation time so
+        #: flushes ship per-worker slices (``None`` unless the executor is
+        #: distributed).
+        self._unsynced = self._new_unsynced() if self._distributed else None
+        #: Observed write rates (EWMA of net delta rows per run, per
+        #: predicate) feeding the write-aware exchange cost model, and the
+        #: rates the active plans were compiled against.
+        self._write_rates: dict[str, float] = {}
+        self._planned_write_rates: dict[str, float] = {}
         self.stats = EngineStats()
         self.runs = 0  # full evaluations performed (observability for benches)
 
@@ -846,6 +880,11 @@ class SemiNaiveEngine:
                 )
 
     # -- process-worker replica sync ---------------------------------------
+    def _new_unsynced(self):
+        from repro.cylog.sharding import PartitionedLedger
+
+        return PartitionedLedger(self.shard_config.shards)
+
     def _note_add(self, predicate: str, row: Tuple_) -> None:
         if self._unsynced is not None:
             self._unsynced.add(predicate, row)
@@ -854,7 +893,29 @@ class SemiNaiveEngine:
         if self._unsynced is not None:
             self._unsynced.remove(predicate, row)
 
-    def _reset_workers(self) -> None:
+    def _partition_provider(
+        self, store: RelationStore
+    ) -> "Callable[[str, int], tuple[int, tuple] | None]":
+        """``(arity, rows)`` of one (predicate, primary shard) partition,
+        read authoritatively from ``store`` (``None`` when the relation
+        does not exist) — the source for lazy replica backfills.  Only
+        consulted at dispatch time, right after a flush, so the store and
+        the synced replica state agree."""
+        n_shards = self.shard_config.shards
+
+        def provider(predicate: str, shard: int) -> tuple | None:
+            relation = store.maybe(predicate)
+            if relation is None:
+                return None  # replicas must also lack it (existence parity)
+            if n_shards > 1:
+                rows = tuple(relation.shard(shard))  # type: ignore[union-attr]
+            else:
+                rows = tuple(relation) if shard == 0 else ()
+            return relation.arity, rows
+
+        return provider
+
+    def _reset_workers(self, store: RelationStore) -> None:
         """Install a fresh baseline in the process workers (full run)."""
         if self._unsynced is None:
             return
@@ -863,15 +924,30 @@ class SemiNaiveEngine:
             for predicate, rows in self._base_facts.items()
             if rows
         }
-        self._executor.reset(self._active, base)  # type: ignore[attr-defined]
-        self._unsynced = DeltaLedger()
+        self._executor.reset(  # type: ignore[attr-defined]
+            self._active,
+            base,
+            n_shards=self.shard_config.shards,
+            partition_provider=self._partition_provider(store),
+        )
+        self._unsynced = self._new_unsynced()
 
     def _flush_sync(self) -> None:
-        """Stream accumulated mutations to worker replicas (pre-dispatch)."""
+        """Stream accumulated mutations to worker replicas (pre-dispatch).
+
+        ``sync_rows`` counts the net rows flushed and ``sync_bytes`` the
+        canonical payload size the executor reports — both are functions
+        of the mutation stream alone, identical at any worker count and
+        in any replica mode (what each *worker* actually receives is the
+        executor's per-mode telemetry).
+        """
         if self._unsynced:
-            added, removed = self._unsynced.as_mappings()
-            self._executor.sync(added, removed)  # type: ignore[attr-defined]
-            self._unsynced = DeltaLedger()
+            added, removed = self._unsynced.as_partition_mappings()
+            self.stats.sync_rows += self._unsynced.row_count()
+            self.stats.sync_bytes += self._executor.sync(  # type: ignore[attr-defined]
+                added, removed
+            )
+            self._unsynced = self._new_unsynced()
 
     def _new_supports(self) -> SupportIndex:
         if self.shard_config.sharded:
@@ -881,6 +957,26 @@ class SemiNaiveEngine:
                 budget=self._support_budget,
             )
         return SupportIndex(lock=self._new_lock(), budget=self._support_budget)
+
+    def _demote_to_serial(self) -> None:
+        """Permanently fall back to inline evaluation after the process
+        pool broke (a worker died mid-dispatch).
+
+        The engine store was authoritative all along — replicas were
+        read-only mirrors — so no state is lost; the engine simply stops
+        shipping tasks and syncs.  ``shard_config`` keeps describing the
+        requested layout for observability.
+        """
+        from repro.cylog.sharding import SerialExecutor
+
+        try:
+            self._executor.close()
+        except Exception:
+            pass  # the pool is already broken; closing is best-effort
+        self._executor = SerialExecutor()
+        self._parallel = False
+        self._distributed = False
+        self._unsynced = None
 
     def close(self) -> None:
         """Release the executor's worker threads (no-op when serial)."""
@@ -952,6 +1048,11 @@ class SemiNaiveEngine:
         else:
             result = self._incremental_run()
         self.stats.supports_evicted = self._evicted_base + self._supports.evicted
+        telemetry = getattr(self._executor, "telemetry", None)
+        if telemetry is not None:
+            counters = telemetry()
+            self.stats.replica_backfills = counters["replica_backfills"]
+            self.stats.shared_mem_remaps = counters["shared_mem_remaps"]
         return result
 
     def facts(self, predicate: str) -> frozenset:
@@ -982,14 +1083,24 @@ class SemiNaiveEngine:
             predicate: float(len(rows))
             for predicate, rows in self._base_facts.items()
         }
-        if cardinalities == self._planned_cardinalities:
+        if (
+            cardinalities == self._planned_cardinalities
+            and self._write_rates == self._planned_write_rates
+        ):
             return
         self._planned_cardinalities = cardinalities
+        self._recompile_active(cardinalities)
+
+    def _recompile_active(self, cardinalities: Mapping[str, float] | None) -> None:
+        """Swap in freshly compiled plans (live cardinalities + observed
+        write rates) and drop every plan-derived cache."""
+        self._planned_write_rates = dict(self._write_rates)
         self._active = compile_program(
             self.compiled.program,
             cardinalities=cardinalities,
             planner=self.planner,
             shards=self._plan_shards,
+            write_rates=self._write_rates or None,
         )
         self._strata = self._build_stratum_info()
         self._batches = self._compute_batches()
@@ -998,6 +1109,93 @@ class SemiNaiveEngine:
         self._rederive_plans.clear()
         self._agg_group_plans.clear()
         self._record_plans()
+
+    # -- write-aware exchange costing ---------------------------------------
+    def _observe_write_rates(
+        self,
+        added: Mapping[str, frozenset],
+        removed: Mapping[str, frozenset],
+    ) -> None:
+        """Fold one incremental run's net deltas into the per-predicate
+        write-rate EWMA (see ``WRITE_RATE_ALPHA``)."""
+        if self.planner != "cost":
+            return
+        samples: dict[str, float] = {}
+        for mapping in (added, removed):
+            for predicate, rows in mapping.items():
+                samples[predicate] = samples.get(predicate, 0.0) + float(len(rows))
+        rates = self._write_rates
+        for predicate in list(rates):
+            if predicate not in samples:
+                decayed = rates[predicate] * (1.0 - WRITE_RATE_ALPHA)
+                if decayed < WRITE_RATE_FLOOR:
+                    del rates[predicate]
+                else:
+                    rates[predicate] = decayed
+        for predicate, sample in samples.items():
+            previous = rates.get(predicate)
+            rates[predicate] = (
+                sample
+                if previous is None
+                else (1.0 - WRITE_RATE_ALPHA) * previous + WRITE_RATE_ALPHA * sample
+            )
+
+    def _write_replan_due(self) -> bool:
+        """True when an observed write rate crossed the break-even of an
+        exchange/chained decision in the active plans, i.e. recompiling
+        with the rates would flip at least one access path."""
+        if self.planner != "cost" or not self.shard_config.exchange:
+            return False
+        if not self._write_rates and not self._planned_write_rates:
+            return False
+        for rule in self._active.rules:
+            plans = [rule.join_plan, *rule.delta_plans.values()]
+            plans.extend(seed.join_plan for seed in rule.seed_plans)
+            for plan in plans:
+                for step in plan.steps:
+                    if step.exchange_break_even is None:
+                        continue
+                    literal = step.literal
+                    atom = (
+                        literal.atom if isinstance(literal, Negation) else literal
+                    )
+                    rate = self._write_rates.get(atom.predicate)
+                    if rate is None:
+                        continue
+                    if (
+                        step.exchange_position is not None
+                        and rate > step.exchange_break_even
+                    ):
+                        return True  # maintenance now outweighs probe savings
+                    if step.chained and rate < step.exchange_break_even:
+                        return True  # repartition would now pay its way
+        return False
+
+    def _replan_for_writes(self) -> None:
+        """Mid-stream replan when observed write rates cross a break-even.
+
+        Recompiles against the live rates, registers any newly promoted
+        repartitions on the live store (demoted ones stay — unused but
+        correct), and ships the new plans to process workers so engine-
+        and worker-side probe counters keep agreeing.  Purely cost-level:
+        fixpoints and reported deltas are unchanged.
+        """
+        if not self._write_replan_due():
+            return
+        self.stats.write_replans += 1
+        self._recompile_active(self._planned_cardinalities)
+        if (
+            self._store is not None
+            and self.shard_config.sharded
+            and self.shard_config.exchange
+        ):
+            for predicate, positions in self._active.repartition_specs().items():
+                for position in positions:
+                    self._store.ensure_repartition(  # type: ignore[union-attr]
+                        predicate, position
+                    )
+        if self._distributed:
+            self._executor.replan(self._active)  # type: ignore[attr-defined]
 
     def _record_plans(self) -> None:
         self.stats.plans = {
@@ -1113,11 +1311,15 @@ class SemiNaiveEngine:
                 first=negation.atom,
                 best_effort=True,
                 shards=self._plan_shards,
+                write_rates=self._write_rates or None,
             )
         else:
             literals = list(rule.rule.body)
             plan, _ = build_join_plan(
-                literals, first=negation.atom, shards=self._plan_shards
+                literals,
+                first=negation.atom,
+                shards=self._plan_shards,
+                write_rates=self._write_rates or None,
             )
         self._register_exchange(plan)
         cache[key] = plan  # type: ignore[index]
@@ -1138,6 +1340,7 @@ class SemiNaiveEngine:
                 rule.rule.body,
                 initial_bound=head_vars,
                 shards=self._plan_shards,
+                write_rates=self._write_rates or None,
             )
             self._register_exchange(plan)
             self._rederive_plans[rule_index] = plan
@@ -1190,6 +1393,7 @@ class SemiNaiveEngine:
                 rule.rule.body,
                 initial_bound={v.name for v in group_vars},
                 shards=self._plan_shards,
+                write_rates=self._write_rates or None,
             )
             self._register_exchange(plan)
             self._agg_group_plans[rule_index] = plan
@@ -1309,8 +1513,12 @@ class SemiNaiveEngine:
                 sum(len(rows) for rows in delta.values())
                 >= self.shard_config.min_parallel_rows
             )
-            #: (rule, rule_index, position, delta_plan, delta partition).
-            jobs: list[tuple[CompiledRule, int, int, JoinPlan | None, Relation]] = []
+            #: (rule, rule_index, position, delta_plan, delta shard — the
+            #: shard id the partition's aligned probes land on, ``None``
+            #: when unsplit — and the delta partition itself).
+            jobs: list[
+                tuple[CompiledRule, int, int, JoinPlan | None, int | None, Relation]
+            ] = []
             for rule_index, rule in plain_rules:
                 for position, step in enumerate(rule.join_plan.steps):
                     literal = step.literal
@@ -1321,34 +1529,51 @@ class SemiNaiveEngine:
                     delta_rel = delta_relations[literal.predicate]
                     delta_plan = rule.delta_plans.get(position)
                     stats.rules_fired += 1
-                    parts: list[Relation] = [delta_rel]
+                    parts: list[tuple[int | None, Relation]] = [(None, delta_rel)]
                     if fan_out and n_shards > 1 and len(delta_rel) > 1:
                         route = 0
                         if delta_plan is not None and delta_plan.route_position:
                             route = delta_plan.route_position
                         parts = [
-                            _relation_from(rows, delta_rel)
-                            for _, rows in split_rows_by_shard(
+                            (shard_id, _relation_from(rows, delta_rel))
+                            for shard_id, rows in split_rows_by_shard(
                                 delta_rel, n_shards, route
                             )
                         ]
-                    for part in parts:
-                        jobs.append((rule, rule_index, position, delta_plan, part))
+                    for shard_id, part in parts:
+                        jobs.append(
+                            (rule, rule_index, position, delta_plan, shard_id, part)
+                        )
             if fan_out and len(jobs) > 1 and self._distributed:
+                from repro.cylog.procpool import ProcessPoolBrokenError
+
                 self._flush_sync()
-                results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
-                    [
-                        (rule_index, position, tuple(part))
-                        for _, rule_index, position, _, part in jobs
+                try:
+                    results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
+                        [
+                            (rule_index, position, shard_id, tuple(part))
+                            for _, rule_index, position, _, shard_id, part in jobs
+                        ]
+                    )
+                except ProcessPoolBrokenError:
+                    # A worker died mid-dispatch.  The replicas only ever
+                    # mirrored the engine store, so the same tasks re-run
+                    # inline against it are equivalent; finish this and
+                    # every later round serially.
+                    self._demote_to_serial()
+                    results = [
+                        self._rule_delta_task(
+                            rule_index, rule, position, delta_plan, part, store
+                        )()
+                        for rule, rule_index, position, delta_plan, _, part in jobs
                     ]
-                )
             elif fan_out and len(jobs) > 1:
                 results = self._executor.map(
                     [
                         self._rule_delta_task(
                             rule_index, rule, position, delta_plan, part, store
                         )
-                        for rule, rule_index, position, delta_plan, part in jobs
+                        for rule, rule_index, position, delta_plan, _, part in jobs
                     ]
                 )
             else:
@@ -1356,7 +1581,7 @@ class SemiNaiveEngine:
                     self._rule_delta_task(
                         rule_index, rule, position, delta_plan, part, store
                     )()
-                    for rule, rule_index, position, delta_plan, part in jobs
+                    for rule, rule_index, position, delta_plan, _, part in jobs
                 ]
             next_delta: dict[str, set[Tuple_]] = {}
             for (rule, *_), (derived, scratch) in zip(jobs, results):
@@ -1396,7 +1621,7 @@ class SemiNaiveEngine:
             store.get(rule.rule.head.predicate, rule.rule.head.arity)
         # Worker replicas restart from exactly these base facts; everything
         # derived below streams to them through the unsynced ledger.
-        self._reset_workers()
+        self._reset_workers(store)
         for batch in self._batches:
             if len(batch) == 1 or not self._parallel or self._distributed:
                 for index in batch:
@@ -1466,10 +1691,18 @@ class SemiNaiveEngine:
             return task
 
         if parallel and self._parallel and len(info.plain) > 1 and self._distributed:
+            from repro.cylog.procpool import ProcessPoolBrokenError
+
             self._flush_sync()
-            results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
-                [(rule_index, None, None) for rule_index, _ in info.plain]
-            )
+            try:
+                results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
+                    [(rule_index, None, None, None) for rule_index, _ in info.plain]
+                )
+            except ProcessPoolBrokenError:
+                self._demote_to_serial()
+                results = [
+                    round0_task(rule_index, rule)() for rule_index, rule in info.plain
+                ]
         elif parallel and self._parallel and len(info.plain) > 1:
             results = self._executor.map(
                 [round0_task(rule_index, rule) for rule_index, rule in info.plain]
@@ -1499,6 +1732,10 @@ class SemiNaiveEngine:
         store = self._store
         assert store is not None
         self.stats.incremental_runs += 1
+        # Rates observed over previous runs may have crossed an exchange
+        # break-even; replan before propagating so this run's probes
+        # already take the cheaper access path.
+        self._replan_for_writes()
         pending, self._pending = self._pending, DeltaLedger()
         changes = DeltaLedger()
         for predicate in pending.predicates():
@@ -1551,6 +1788,7 @@ class SemiNaiveEngine:
                     changes.merge(out)
                     self.stats.absorb(scratch)
         added_map, removed_map = changes.as_mappings()
+        self._observe_write_rates(added_map, removed_map)
         return EvaluationResult(store.snapshot(), added_map, removed_map)
 
     def _recompute_stratum(

@@ -48,6 +48,13 @@ Tuple_ = tuple[Any, ...]
 #: Called with the batch of newly demanded task requests after each re-run.
 DemandListener = Callable[[list[TaskRequest]], None]
 
+#: Called with the batch of *withdrawn* task requests after each re-run —
+#: previously emitted demands that the current fixpoint no longer derives
+#: (an upstream retraction removed their seed) and that were never
+#: answered.  A consumer that materialised work for the request (e.g. a
+#: platform task) should cancel it.
+RevocationListener = Callable[[list[TaskRequest]], None]
+
 
 class CyLogProcessor:
     """Interprets one CyLog project description (paper §2.1).
@@ -93,6 +100,7 @@ class CyLogProcessor:
         #: in play a previously seen demand can silently stop being one.
         self._current_demands: set[tuple[str, Tuple_]] = set()
         self._listeners: list[DemandListener] = []
+        self._revocation_listeners: list[RevocationListener] = []
         self._dirty = True
         self._batch_depth = 0
         #: Net change sets accumulated across runs until a consumer (the
@@ -111,6 +119,12 @@ class CyLogProcessor:
     def add_demand_listener(self, listener: DemandListener) -> None:
         """Register a callback receiving each batch of *new* task requests."""
         self._listeners.append(listener)
+
+    def add_revocation_listener(self, listener: RevocationListener) -> None:
+        """Register a callback receiving each batch of *withdrawn* task
+        requests — emitted demands the fixpoint stopped deriving before
+        they were answered (retraction-aware demand maintenance)."""
+        self._revocation_listeners.append(listener)
 
     # -- fact input ------------------------------------------------------------
     @contextlib.contextmanager
@@ -264,7 +278,13 @@ class CyLogProcessor:
                     self._deltas.remove(predicate, row)
         if self._dirty and not self._batch_depth:
             self._dirty = False
-            new_requests = self._refresh_demands()
+            new_requests, revoked = self._refresh_demands()
+            # Withdrawals first: a consumer reacting to the fresh batch
+            # must never observe a stale materialisation of a demand the
+            # same fixpoint just withdrew.
+            if revoked:
+                for listener in self._revocation_listeners:
+                    listener(revoked)
             if new_requests:
                 for listener in self._listeners:
                     listener(new_requests)
@@ -286,16 +306,30 @@ class CyLogProcessor:
             for predicate in sorted(set(added) | set(removed))
         }
 
-    def _refresh_demands(self) -> list[TaskRequest]:
+    def _refresh_demands(self) -> tuple[list[TaskRequest], list[TaskRequest]]:
         demands = compute_demands(self.compiled, self.engine.store)
+        previous = self._current_demands
         self._current_demands = {(r.predicate, r.key_values) for r in demands}
+        # Unanswered demands that vanished were withdrawn by retraction
+        # (an answered demand disappearing is just the normal lifecycle).
+        # Dropping them from the seen set means a later resurrection is
+        # emitted as a fresh request again — same as a retracted answer.
+        revoked: list[TaskRequest] = []
+        for identity in sorted(
+            previous - self._current_demands, key=lambda i: (i[0], repr(i[1]))
+        ):
+            if identity in self._answered:
+                continue
+            request = self._seen_requests.pop(identity, None)
+            if request is not None:
+                revoked.append(request)
         fresh: list[TaskRequest] = []
         for request in sorted(demands, key=lambda r: (r.predicate, repr(r.key_values))):
             identity = (request.predicate, request.key_values)
             if identity not in self._seen_requests:
                 self._seen_requests[identity] = request
                 fresh.append(request)
-        return fresh
+        return fresh, revoked
 
     def pending_requests(self) -> list[TaskRequest]:
         """Task requests demanded now and not yet answered (sorted).

@@ -10,14 +10,16 @@ threads serialise on the GIL and multi-worker speedups stall.  The
   facts return the same row sets as any sharded layout) plus the compiled
   join plans, installed once per full run by a ``reset`` message.
 * Between dispatches the engine streams its own mutation ledger — the
-  same net deltas it already tracks for incremental evaluation — as
-  ``sync`` messages, so replicas never re-ship the whole store.
+  same net deltas it already tracks for incremental evaluation, now
+  partitioned by (relation, primary shard) at mutation time
+  (:class:`~repro.cylog.sharding.PartitionedLedger`) — as ``sync``
+  messages, so replicas never re-ship the whole store.
 * Tasks travel as **picklable descriptors** ``(rule index, plan
-  position, delta rows)`` — the rows are the shard-aligned delta
-  partitions produced by
+  position, delta shard, delta rows)`` — the rows are the shard-aligned
+  delta partitions produced by
   :func:`~repro.cylog.sharding.split_rows_by_shard`, and the plan is
-  referenced by its position in the already-shipped compiled program
-  (the fingerprint), so per-task payloads stay delta-sized.
+  referenced by its position in the already-shipped compiled program, so
+  per-task payloads stay delta-sized.
 * Results (derived rows + support keys + a scratch
   :class:`~repro.cylog.engine.EngineStats`) come back tagged with the
   submission index and are returned **in submission order**, so the
@@ -25,15 +27,39 @@ threads serialise on the GIL and multi-worker speedups stall.  The
   derivation counters at any worker count — the same determinism
   contract the thread pool honours.
 
+Replica layout is shaped by ``replica_mode``:
+
+* ``"full"`` — every worker holds the complete replica and every sync is
+  broadcast verbatim (one pickled payload, written to each pipe).
+* ``"pruned"`` — each worker *subscribes* to exactly the (relation,
+  primary shard) partitions its assigned task classes can probe
+  (:func:`~repro.cylog.sharding.probe_partitions`).  Tasks are routed by
+  a content hash of their (rule, position, delta shard) class so the
+  same class keeps landing on the same worker, sync messages are sliced
+  to each worker's subscriptions, and when the planner routes a new
+  shape to a worker the missing partitions are *backfilled* lazily from
+  the engine's authoritative store.
+* ``"shared"`` — pruned subscriptions, plus the baseline base-fact
+  partitions are published once per full run as sealed row blocks
+  (:func:`~repro.cylog.sharding.seal_rows` — marshal, not pickle) in
+  ``multiprocessing.shared_memory`` segments.  A backfill of a partition
+  that nothing has mutated since the baseline maps the segment instead
+  of copying rows through the pipe; mutated partitions (version bumped
+  by a sync) fall back to pipe backfill, and segments are rebuilt on the
+  next reset.
+
+All three modes are bit-identical — pruning is computed from the same
+compiled plans the tasks execute, so every probe a task performs sees
+exactly the rows the engine's own store would serve.  The shard-diff CI
+oracle runs the full matrix.
+
 Every connection is a FIFO pipe, so a ``sync`` sent before a ``tasks``
 message is always applied first; no acknowledgement round-trips are
 needed.  Workers are spawned lazily (``fork`` where available, falling
-back to ``spawn``) and torn down by ``close()``.
-
-The replica-per-worker layout trades memory for simplicity; a
-shared-memory store (and shard-pruned replicas that only hold the
-partitions a worker's tasks probe) is the recorded follow-up on the
-roadmap.
+back to ``spawn``) and torn down by ``close()``.  A worker death
+mid-dispatch raises :class:`ProcessPoolBrokenError` after closing the
+pool; the engine reacts by demoting itself to inline serial evaluation
+(its own store was authoritative all along).
 """
 
 from __future__ import annotations
@@ -42,14 +68,41 @@ import multiprocessing
 import pickle
 import threading
 import traceback
-from typing import Any, Sequence
+from multiprocessing import shared_memory
+from typing import Any, Callable, Mapping, Sequence
 
-from repro.cylog.sharding import ExecutorPolicy
+from repro.cylog.indexes import stable_hash
+from repro.cylog.sharding import (
+    REPLICA_MODES,
+    ExecutorPolicy,
+    probe_partitions,
+    seal_rows,
+    unseal_rows,
+)
 
 Tuple_ = tuple[Any, ...]
 #: One shipped task: (rule index, join-plan position of the delta atom —
-#: ``None`` for a full round-0 evaluation — and the delta partition rows).
-TaskDescriptor = tuple[int, "int | None", "tuple[Tuple_, ...] | None"]
+#: ``None`` for a full round-0 evaluation — the delta shard the partition
+#: was split on (``None`` when unsplit), and the delta partition rows).
+#: The legacy 3-tuple without the delta shard is still accepted.
+TaskDescriptor = tuple[int, "int | None", "int | None", "tuple[Tuple_, ...] | None"]
+#: (predicate, primary shard) — the unit of subscription, sync slicing,
+#: backfill and shared-memory publication.
+PartitionKey = tuple[str, int]
+#: Published shared-memory baseline partition: (segment, sealed-blob
+#: length in bytes, relation arity).
+SegmentRecord = tuple[shared_memory.SharedMemory, int, int]
+
+
+class ProcessPoolBrokenError(RuntimeError):
+    """A worker process died mid-dispatch and the pool was closed.
+
+    Replica state streamed to the dead pool is unrecoverable, so the
+    executor refuses further dispatches until a ``reset()`` (an engine
+    full run).  The engine catches exactly this error to fall back to
+    inline serial evaluation without losing any state — its own store is
+    the authority; replicas were read-only mirrors.
+    """
 
 
 def _mp_context():
@@ -59,12 +112,42 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup duty.
+
+    The parent created the segment and unlinks it; a worker only maps
+    it.  Python < 3.13 has no ``track`` parameter and registers every
+    attach with the resource tracker.  Under the fork context all
+    processes talk to ONE tracker, whose cache is a name *set* — so
+    undoing the registration afterwards would erase the parent's own
+    entry (noisy KeyErrors at unlink time).  Instead the registration is
+    suppressed for the duration of the attach; workers are
+    single-threaded, so nothing else registers concurrently.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
 class _WorkerState:
     """Everything one worker process knows: plans + replica store."""
 
     __slots__ = ("compiled", "store")
 
-    def __init__(self, compiled, base_facts: dict) -> None:
+    def __init__(
+        self,
+        compiled,
+        base_facts: dict,
+        base_arities: Mapping[str, int] | None = None,
+    ) -> None:
         from repro.cylog.engine import RelationStore
 
         self.compiled = compiled
@@ -75,6 +158,12 @@ class _WorkerState:
             relation = self.store.get(predicate, len(next(iter(rows))))
             for row in rows:
                 relation.add(row)
+        # Pruned/shared baselines ship arities instead of rows: the
+        # relations exist (empty) from the start and partitions arrive by
+        # backfill, so relation *existence* — which probe bookkeeping can
+        # observe — matches the engine store exactly.
+        for predicate, arity in (base_arities or {}).items():
+            self.store.get(predicate, arity)
         # Mirror the engine's full run: head relations exist (empty) from
         # the start, so a probe against a not-yet-derived head counts an
         # index hit exactly as it does on the engine's store — keeping the
@@ -85,18 +174,30 @@ class _WorkerState:
 
 def _apply_sync(state: _WorkerState, adds: dict, removes: dict) -> None:
     """Apply one net change set to the replica (removals first — a net
-    ledger never holds the same row on both sides)."""
-    for predicate, rows in removes.items():
+    ledger never holds the same row on both sides).  Keys may be plain
+    predicate names (full-mode broadcast, legacy callers) or (predicate,
+    shard) partition keys (sliced pruned/shared syncs)."""
+    for key, rows in removes.items():
+        predicate = key if isinstance(key, str) else key[0]
         relation = state.store.maybe(predicate)
         if relation is not None:
             for row in rows:
                 relation.discard(row)
-    for predicate, rows in adds.items():
+    for key, rows in adds.items():
         if not rows:
             continue
+        predicate = key if isinstance(key, str) else key[0]
         relation = state.store.get(predicate, len(next(iter(rows))))
         for row in rows:
             relation.add(row)
+
+
+def _apply_backfill(state: _WorkerState, predicate: str, arity: int, rows) -> None:
+    """Install one authoritative partition (the partition was never
+    subscribed before, so the replica holds none of its rows)."""
+    relation = state.store.get(predicate, arity)
+    for row in rows:
+        relation.add(row)
 
 
 def _run_task(
@@ -147,8 +248,19 @@ def _run_task(
     return derived, scratch
 
 
+def _normalize_descriptor(descriptor) -> tuple[int, "int | None", Any]:
+    """(rule_index, position, rows) out of a 4-tuple (with delta shard)
+    or legacy 3-tuple descriptor."""
+    if len(descriptor) == 4:
+        rule_index, position, _, rows = descriptor
+    else:
+        rule_index, position, rows = descriptor
+    return rule_index, position, rows
+
+
 def _worker_main(conn) -> None:
-    """Worker loop: apply resets/syncs in arrival order, evaluate tasks.
+    """Worker loop: apply resets/syncs/backfills in arrival order,
+    evaluate tasks.
 
     Messages travel as raw pickled bytes (``send_bytes``/``recv_bytes``):
     the parent serialises each broadcast payload *once* and writes the
@@ -165,16 +277,38 @@ def _worker_main(conn) -> None:
             if kind == "stop":
                 return
             if kind == "reset":
-                state = _WorkerState(message[1], message[2])
+                base_arities = message[3] if len(message) > 3 else None
+                state = _WorkerState(message[1], message[2], base_arities)
             elif kind == "sync":
                 if state is not None:
                     _apply_sync(state, message[1], message[2])
+            elif kind == "replan":
+                if state is not None:
+                    state.compiled = message[1]
+            elif kind == "backfill":
+                if state is None:
+                    raise RuntimeError(
+                        "process worker received backfill before reset"
+                    )
+                _apply_backfill(state, message[1], message[2], message[3])
+            elif kind == "load_shm":
+                if state is None:
+                    raise RuntimeError(
+                        "process worker received load_shm before reset"
+                    )
+                _, predicate, arity, name, size = message
+                segment = _attach_shm(name)
+                try:
+                    rows = unseal_rows(segment.buf[:size])
+                finally:
+                    segment.close()
+                _apply_backfill(state, predicate, arity, rows)
             elif kind == "tasks":
                 if state is None:
                     raise RuntimeError("process worker received tasks before reset")
                 results = [
-                    (index, *_run_task(state, rule_index, position, rows))
-                    for index, (rule_index, position, rows) in message[1]
+                    (index, *_run_task(state, *_normalize_descriptor(descriptor)))
+                    for index, descriptor in message[1]
                 ]
                 conn.send_bytes(pickle.dumps(("results", results), -1))
             else:  # pragma: no cover - protocol guard
@@ -191,28 +325,69 @@ def _worker_main(conn) -> None:
 class ProcessExecutor(ExecutorPolicy):
     """Fan evaluation tasks out to worker processes with replica stores.
 
-    The engine talks to it through three calls: :meth:`reset` installs a
-    new baseline (compiled program — whose base facts seed the replica),
-    :meth:`sync` queues the engine's net store changes since the last
-    dispatch, and :meth:`run_rule_tasks` ships task descriptors and
-    returns their results in submission order.  Workers are spawned on
-    the first dispatch; pending baseline and syncs are replayed to them
+    The engine talks to it through four calls: :meth:`reset` installs a
+    new baseline (compiled program, base facts, shard layout and the
+    authoritative partition provider), :meth:`sync` queues the engine's
+    net store changes since the last dispatch (returning the canonical
+    payload size for telemetry), :meth:`replan` queues a mid-stream plan
+    swap, and :meth:`run_rule_tasks` ships task descriptors and returns
+    their results in submission order.  Workers are spawned on the first
+    dispatch; pending baseline, syncs and replans are replayed to them
     through the FIFO pipe before any task, so a replica is always current
-    when it evaluates.
+    when it evaluates.  ``replica_mode`` selects full, pruned or
+    shared-memory replicas (module docstring); every mode is
+    bit-identical.
     """
 
     name = "process"
     distributed = True
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(self, max_workers: int = 4, replica_mode: str = "full") -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if replica_mode not in REPLICA_MODES:
+            raise ValueError(
+                f"unknown replica_mode {replica_mode!r}; expected one of "
+                f"{REPLICA_MODES}"
+            )
         self.workers = max_workers
+        self.replica_mode = replica_mode
         self._ctx = _mp_context()
         self._procs: list = []
         self._conns: list = []
         self._baseline: bytes | None = None
-        self._pending_syncs: list[bytes] = []
+        #: Messages queued since the last dispatch, in order: ("sync",
+        #: adds, removes, broadcast_blob) and ("replan", blob).  Order
+        #: matters — a replan between two syncs must reach workers
+        #: between them.
+        self._pending: list[tuple] = []
+        self._compiled = None
+        self._n_shards = 1
+        self._partition_provider: Callable[[str, int], Any] | None = None
+        #: Per-worker subscription sets (pruned/shared modes).  Invariant:
+        #: a subscribed partition is fully current on that worker — every
+        #: sync is sliced against the subscriptions and shipped at every
+        #: dispatch, and a partition is only added after an authoritative
+        #: backfill in the same pipe batch.
+        self._subscribed: list[set[PartitionKey]] = []
+        #: Rows currently resident in each worker's replica (exact: the
+        #: ledger only ships truly-new adds and truly-present removes).
+        self._replica_rows: list[int] = []
+        #: Shared-memory segments of baseline partitions, and per-partition
+        #: mutation versions (0 = untouched since baseline, so the segment
+        #: is still authoritative).
+        self._segments: dict[PartitionKey, SegmentRecord] = {}
+        self._segment_rows: dict[PartitionKey, int] = {}
+        self._versions: dict[PartitionKey, int] = {}
+        self._baseline_rows = 0
+        self._telemetry = {
+            "sync_bytes_shipped": 0,
+            "sync_rows_shipped": 0,
+            "replica_backfills": 0,
+            "backfill_rows": 0,
+            "shared_mem_remaps": 0,
+            "bytes_to_workers": 0,
+        }
         #: Set by close() (and by a mid-dispatch worker death).  A closed
         #: executor refuses to dispatch: respawning from the last baseline
         #: would silently lose every sync already streamed to the old
@@ -221,42 +396,131 @@ class ProcessExecutor(ExecutorPolicy):
         self._closed = False
         self._lock = threading.Lock()
 
+    @property
+    def _pruned(self) -> bool:
+        return self.replica_mode != "full"
+
     # -- engine-facing protocol -------------------------------------------
-    def reset(self, compiled, base_facts: dict) -> None:
-        """Install a new baseline (full run): plans + live base facts."""
+    def reset(
+        self,
+        compiled,
+        base_facts: dict,
+        n_shards: int = 1,
+        partition_provider: "Callable[[str, int], Any] | None" = None,
+    ) -> None:
+        """Install a new baseline (full run): plans + live base facts.
+
+        In pruned/shared modes the baseline ships only the base-fact
+        *arities* — rows reach each worker later, as subscriptions demand
+        them (pipe backfill, or a shared-memory map of the sealed
+        baseline partition in ``shared`` mode).
+        """
+        self._compiled = compiled
+        self._n_shards = n_shards
+        self._partition_provider = partition_provider
+        self._drop_segments()
+        self._versions = {}
+        baseline_rows = 0
+        if self._pruned:
+            arities = {
+                predicate: len(next(iter(rows)))
+                for predicate, rows in base_facts.items()
+                if rows
+            }
+            payload = ("reset", compiled, {}, arities)
+            if self.replica_mode == "shared":
+                self._publish_segments(base_facts)
+        else:
+            payload = ("reset", compiled, base_facts, None)
+            baseline_rows = sum(len(rows) for rows in base_facts.values())
         # Serialised once; the same bytes go to every (current and future)
         # worker pipe.
-        self._baseline = pickle.dumps(("reset", compiled, base_facts), -1)
-        self._pending_syncs.clear()
+        self._baseline = pickle.dumps(payload, -1)
+        self._baseline_rows = baseline_rows
+        self._pending.clear()
+        self._subscribed = [set() for _ in range(self.workers)]
+        self._replica_rows = [0] * self.workers
         self._closed = False
-        for conn in self._conns:
-            conn.send_bytes(self._baseline)
+        for worker_id, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(self._baseline)
+            except (BrokenPipeError, OSError):
+                # A worker died between dispatches.  The fresh baseline
+                # (plus later syncs) fully determines replica state, so
+                # the pool can simply be discarded and respawned lazily.
+                self._discard_pool()
+                break
+            self._telemetry["bytes_to_workers"] += len(self._baseline)
+            self._replica_rows[worker_id] = baseline_rows
 
-    def sync(self, adds: dict, removes: dict) -> None:
-        """Queue one net change set; broadcast at the next dispatch."""
-        if adds or removes:
-            self._pending_syncs.append(pickle.dumps(("sync", adds, removes), -1))
+    def sync(self, adds: dict, removes: dict) -> int:
+        """Queue one net change set; shipped at the next dispatch.
+
+        Keys may be (predicate, shard) partition keys (what the engine's
+        :class:`~repro.cylog.sharding.PartitionedLedger` produces) or
+        plain predicate names (legacy callers — never pruned, every
+        worker receives them).  Returns the canonical payload size in
+        bytes — a pure function of the change set, independent of worker
+        count and replica mode (per-worker shipping is telemetry).
+        """
+        if not adds and not removes:
+            return 0
+        blob = pickle.dumps(("sync", adds, removes), -1)
+        for mapping in (adds, removes):
+            for key in mapping:
+                if isinstance(key, tuple):
+                    self._versions[key] = self._versions.get(key, 0) + 1
+        self._pending.append(("sync", adds, removes, blob))
+        return len(blob)
+
+    def replan(self, compiled) -> None:
+        """Queue a mid-stream plan swap (write-aware exchange costing):
+        workers keep their stores and swap the compiled program, exactly
+        like the engine does."""
+        self._compiled = compiled
+        self._pending.append(("replan", pickle.dumps(("replan", compiled), -1)))
+
+    def telemetry(self) -> dict:
+        """Cumulative executor-side counters (see module docstring) plus
+        the exact per-worker resident row counts."""
+        counters = dict(self._telemetry)
+        counters["replica_rows"] = tuple(self._replica_rows)
+        return counters
 
     def run_rule_tasks(self, descriptors: Sequence[TaskDescriptor]) -> list:
         """Evaluate descriptors on the pool; results in submission order."""
         self._ensure_pool()
-        if self._pending_syncs:
-            for payload in self._pending_syncs:
-                for conn in self._conns:
-                    conn.send_bytes(payload)
-            self._pending_syncs.clear()
-        # Stripe tasks across workers; the submission index travels with
-        # each task so the results can be re-ordered deterministically.
         per_worker: list[list[tuple[int, TaskDescriptor]]] = [
             [] for _ in self._conns
         ]
         for index, descriptor in enumerate(descriptors):
-            per_worker[index % len(per_worker)].append((index, descriptor))
+            per_worker[self._assign(index, descriptor)].append((index, descriptor))
+        # Every worker first drains the queued syncs/replans (sliced to
+        # its subscriptions when pruned) so replicas advance in lockstep,
+        # then receives backfills for newly needed partitions, then its
+        # tasks — one FIFO pipe, no acknowledgement round-trips.  A send
+        # to a dead worker breaks the pipe; replica state streamed to the
+        # old pool is unrecoverable, so the pool closes.
         busy = []
-        for conn, batch in zip(self._conns, per_worker):
-            if batch:
-                conn.send_bytes(pickle.dumps(("tasks", batch), -1))
+        try:
+            for worker_id, conn in enumerate(self._conns):
+                self._ship_pending(worker_id, conn)
+            self._pending.clear()
+            for worker_id, (conn, batch) in enumerate(zip(self._conns, per_worker)):
+                if not batch:
+                    continue
+                if self._pruned:
+                    self._ship_backfills(worker_id, conn, (d for _, d in batch))
+                payload = pickle.dumps(("tasks", batch), -1)
+                conn.send_bytes(payload)
+                self._telemetry["bytes_to_workers"] += len(payload)
                 busy.append(conn)
+        except (BrokenPipeError, OSError):
+            self.close()
+            raise ProcessPoolBrokenError(
+                "process worker died mid-dispatch; executor closed "
+                "(a full run / reset() re-opens it)"
+            ) from None
         results: list = [None] * len(descriptors)
         errors: list[str] = []
         # Every busy pipe is drained even when one worker reports an
@@ -267,7 +531,7 @@ class ProcessExecutor(ExecutorPolicy):
                 reply = pickle.loads(conn.recv_bytes())
             except EOFError:
                 self.close()  # a dead worker leaves replicas unrecoverable
-                raise RuntimeError(
+                raise ProcessPoolBrokenError(
                     "process worker died mid-dispatch; executor closed "
                     "(a full run / reset() re-opens it)"
                 ) from None
@@ -279,6 +543,139 @@ class ProcessExecutor(ExecutorPolicy):
         if errors:
             raise RuntimeError("process worker failed:\n" + "\n".join(errors))
         return results
+
+    # -- pruned/shared internals -------------------------------------------
+    def _assign(self, index: int, descriptor) -> int:
+        """Worker for one task.  Full mode stripes by submission index;
+        pruned/shared route by a stable content hash of the task *class*
+        (rule, position, delta shard), so a class keeps hitting the
+        worker already subscribed to its partitions."""
+        if not self._pruned:
+            return index % len(self._conns)
+        if len(descriptor) == 4:
+            rule_index, position, delta_shard, _ = descriptor
+        else:
+            rule_index, position, _ = descriptor
+            delta_shard = None
+        return stable_hash((rule_index, position, delta_shard)) % len(self._conns)
+
+    def _slice(self, mapping: dict, subscribed: set[PartitionKey]) -> dict:
+        return {
+            key: rows
+            for key, rows in mapping.items()
+            if isinstance(key, str) or key in subscribed
+        }
+
+    def _ship_pending(self, worker_id: int, conn) -> None:
+        """Drain queued syncs/replans to one worker, in queue order."""
+        for entry in self._pending:
+            if entry[0] == "replan":
+                conn.send_bytes(entry[1])
+                self._telemetry["bytes_to_workers"] += len(entry[1])
+                continue
+            _, adds, removes, blob = entry
+            if self._pruned:
+                subscribed = self._subscribed[worker_id]
+                sliced_adds = self._slice(adds, subscribed)
+                sliced_removes = self._slice(removes, subscribed)
+                if not sliced_adds and not sliced_removes:
+                    continue
+                payload = pickle.dumps(("sync", sliced_adds, sliced_removes), -1)
+            else:
+                sliced_adds, sliced_removes = adds, removes
+                payload = blob
+            conn.send_bytes(payload)
+            added = sum(len(rows) for rows in sliced_adds.values())
+            removed = sum(len(rows) for rows in sliced_removes.values())
+            self._telemetry["sync_bytes_shipped"] += len(payload)
+            self._telemetry["bytes_to_workers"] += len(payload)
+            self._telemetry["sync_rows_shipped"] += added + removed
+            self._replica_rows[worker_id] += added - removed
+
+    def _ship_backfills(self, worker_id: int, conn, descriptors) -> None:
+        """Subscribe ``worker_id`` to every partition its new tasks can
+        probe, backfilling each missing one authoritatively — from the
+        baseline's shared-memory segment when it is still current, else
+        from the engine store through the pipe."""
+        assert self._compiled is not None
+        needed: set[PartitionKey] = set()
+        seen: set[tuple] = set()
+        for descriptor in descriptors:
+            if len(descriptor) == 4:
+                rule_index, position, delta_shard, _ = descriptor
+            else:
+                rule_index, position, _ = descriptor
+                delta_shard = None
+            task_class = (rule_index, position, delta_shard)
+            if task_class in seen:
+                continue
+            seen.add(task_class)
+            needed |= probe_partitions(
+                self._compiled, self._n_shards, rule_index, position, delta_shard
+            )
+        subscribed = self._subscribed[worker_id]
+        missing = sorted(needed - subscribed)
+        for key in missing:
+            self._backfill(worker_id, conn, key)
+        subscribed.update(missing)
+
+    def _backfill(self, worker_id: int, conn, key: PartitionKey) -> None:
+        predicate, shard = key
+        segment = self._segments.get(key)
+        if segment is not None and self._versions.get(key, 0) == 0:
+            shm, size, arity = segment
+            payload = pickle.dumps(("load_shm", predicate, arity, shm.name, size), -1)
+            conn.send_bytes(payload)
+            rows = self._segment_rows[key]
+            self._telemetry["replica_backfills"] += 1
+            self._telemetry["backfill_rows"] += rows
+            self._telemetry["bytes_to_workers"] += len(payload)
+            self._replica_rows[worker_id] += rows
+            return
+        provider = self._partition_provider
+        partition = provider(predicate, shard) if provider is not None else None
+        if partition is None:
+            return  # relation absent on the engine store too
+        arity, rows = partition
+        payload = pickle.dumps(("backfill", predicate, arity, rows), -1)
+        conn.send_bytes(payload)
+        self._telemetry["replica_backfills"] += 1
+        self._telemetry["backfill_rows"] += len(rows)
+        self._telemetry["bytes_to_workers"] += len(payload)
+        self._replica_rows[worker_id] += len(rows)
+
+    # -- shared-memory segments --------------------------------------------
+    def _publish_segments(self, base_facts: dict) -> None:
+        """Seal every non-empty baseline base-fact partition into a
+        shared-memory segment (rebuilt each reset — a version bump)."""
+        from repro.cylog.sharding import shard_of
+
+        self._segment_rows: dict[PartitionKey, int] = {}
+        for predicate, rows in base_facts.items():
+            if not rows:
+                continue
+            arity = len(next(iter(rows)))
+            partitions: dict[int, list] = {}
+            for row in rows:
+                partitions.setdefault(shard_of(row, self._n_shards), []).append(row)
+            for shard, part_rows in partitions.items():
+                blob = seal_rows(part_rows)
+                shm = shared_memory.SharedMemory(create=True, size=max(len(blob), 1))
+                shm.buf[: len(blob)] = blob
+                key = (predicate, shard)
+                self._segments[key] = (shm, len(blob), arity)
+                self._segment_rows[key] = len(part_rows)
+                self._telemetry["shared_mem_remaps"] += 1
+
+    def _drop_segments(self) -> None:
+        for shm, _, _ in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._segments = {}
+        self._segment_rows = {}
 
     # -- ExecutorPolicy ----------------------------------------------------
     def map(self, tasks):
@@ -307,8 +704,25 @@ class ProcessExecutor(ExecutorPolicy):
                 proc.start()
                 child_conn.close()
                 parent_conn.send_bytes(self._baseline)
+                self._telemetry["bytes_to_workers"] += len(self._baseline)
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
+            self._subscribed = [set() for _ in range(self.workers)]
+            self._replica_rows = [self._baseline_rows] * self.workers
+
+    def _discard_pool(self) -> None:
+        """Tear the worker processes down without closing the executor —
+        only safe right after a reset(), when the fresh baseline (plus
+        queued syncs) fully determines replica state and _ensure_pool may
+        respawn from it."""
+        with self._lock:
+            procs, self._procs = self._procs, []
+            conns, self._conns = self._conns, []
+        for proc in procs:
+            proc.terminate()
+            proc.join(timeout=1)
+        for conn in conns:
+            conn.close()
 
     def close(self) -> None:
         with self._lock:
@@ -328,3 +742,4 @@ class ProcessExecutor(ExecutorPolicy):
                 proc.join(timeout=1)
         for conn in conns:
             conn.close()
+        self._drop_segments()

@@ -58,9 +58,16 @@ PLANNERS = ("cost", "legacy")
 #: must chain every shard's bucket — ``shards - 1`` extra bucket probes at
 #: this relative overhead each — unless the store keeps an exchange
 #: repartition (a re-hashed copy of the relation routed on the join key).
-#: The repartition costs one extra maintained copy, amortised over the
-#: engine's lifetime of evaluations because it is maintained
-#: incrementally, exactly like the persistent hash indexes.
+#: The repartition costs one extra maintained copy.  Statically (no
+#: observed traffic yet) that copy is amortised over
+#: ``EXCHANGE_AMORTIZE_ROUNDS`` evaluations because it is maintained
+#: incrementally, exactly like the persistent hash indexes.  Once the
+#: engine has *observed* per-relation write rates (delta rows per run,
+#: see ``SemiNaiveEngine`` ``write_rates``) the maintenance charge becomes
+#: ``REPARTITION_ROW_COST × write_rate`` — a repartition on a write-hot
+#: relation pays for every delta row twice (primary + copy), so heavy
+#: inflow can demote it back to chained probes, and a repartition on a
+#: cold relation is nearly free regardless of its cardinality.
 CHAINED_PROBE_OVERHEAD = 1.0
 REPARTITION_ROW_COST = 2.0
 EXCHANGE_AMORTIZE_ROUNDS = 50.0
@@ -93,6 +100,12 @@ class PlanStep:
     estimated_cost: float = 0.0
     exchange_position: int | None = None
     chained: bool = False
+    #: Write-rate break-even of the exchange/chained decision (rows per
+    #: run): with an observed write rate *above* it chaining is cheaper,
+    #: *below* it the repartition pays its way.  ``None`` for prefix-routed
+    #: and unkeyed steps, where there is no decision to revisit.  Excluded
+    #: from comparison so plans stay comparable across cost inputs.
+    exchange_break_even: float | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -325,28 +338,38 @@ def _exchange_choice(
     cardinalities: Mapping[str, float],
     shards: int,
     inflow: float,
-) -> tuple[int | None, bool]:
-    """``(exchange_position, chained)`` for one keyed probe.
+    write_rates: Mapping[str, float] | None = None,
+) -> tuple[int | None, bool, float | None]:
+    """``(exchange_position, chained, break_even)`` for one keyed probe.
 
     Only meaningful when compiling for a sharded store and the index key
     misses the shard key prefix.  Chaining costs ``shards - 1`` extra
-    bucket probes per binding tuple reaching the step; a repartition costs
-    one extra maintained copy of the relation, amortised over
-    ``EXCHANGE_AMORTIZE_ROUNDS`` evaluations because it is maintained
-    incrementally.  The cheaper side wins; ties go to the repartition
-    (probes recur every round, the copy is built once).
+    bucket probes per binding tuple reaching the step.  A repartition
+    costs one extra maintained copy of the relation: charged
+    ``REPARTITION_ROW_COST × write_rate`` per run when the engine has
+    observed how many delta rows the relation takes per run
+    (``write_rates``), else the static cardinality-over-
+    ``EXCHANGE_AMORTIZE_ROUNDS`` amortization.  The cheaper side wins;
+    ties go to the repartition (probes recur every round).  ``break_even``
+    is the write rate at which the two sides meet — the engine replans
+    when an observed rate crosses it.
     """
     if shards <= 1 or not positions or 0 in positions:
-        return None, False
+        return None, False, None
     chained_extra = inflow * (shards - 1) * CHAINED_PROBE_OVERHEAD
-    repartition_cost = (
-        cardinalities.get(atom.predicate, DEFAULT_CARDINALITY)
-        * REPARTITION_ROW_COST
-        / EXCHANGE_AMORTIZE_ROUNDS
-    )
+    break_even = chained_extra / REPARTITION_ROW_COST
+    rate = None if write_rates is None else write_rates.get(atom.predicate)
+    if rate is not None:
+        repartition_cost = REPARTITION_ROW_COST * rate
+    else:
+        repartition_cost = (
+            cardinalities.get(atom.predicate, DEFAULT_CARDINALITY)
+            * REPARTITION_ROW_COST
+            / EXCHANGE_AMORTIZE_ROUNDS
+        )
     if chained_extra >= repartition_cost:
-        return positions[0], False
-    return None, True
+        return positions[0], False, break_even
+    return None, True, break_even
 
 
 def _make_step(
@@ -355,6 +378,7 @@ def _make_step(
     cardinalities: Mapping[str, float] | None,
     shards: int = 1,
     inflow: float = 1.0,
+    write_rates: Mapping[str, float] | None = None,
 ) -> PlanStep:
     if isinstance(literal, Atom):
         positions = _bound_positions(literal, bound)
@@ -363,16 +387,20 @@ def _make_step(
             if cardinalities is not None
             else 0.0
         )
-        exchange_position, chained = _exchange_choice(
-            literal, positions, cardinalities or {}, shards, inflow
+        exchange_position, chained, break_even = _exchange_choice(
+            literal, positions, cardinalities or {}, shards, inflow, write_rates
         )
-        return PlanStep(literal, positions, cost, exchange_position, chained)
+        return PlanStep(
+            literal, positions, cost, exchange_position, chained, break_even
+        )
     if isinstance(literal, Negation):
         positions = _bound_positions(literal.atom, bound)
-        exchange_position, chained = _exchange_choice(
-            literal.atom, positions, cardinalities or {}, shards, inflow
+        exchange_position, chained, break_even = _exchange_choice(
+            literal.atom, positions, cardinalities or {}, shards, inflow, write_rates
         )
-        return PlanStep(literal, positions, 0.0, exchange_position, chained)
+        return PlanStep(
+            literal, positions, 0.0, exchange_position, chained, break_even
+        )
     return PlanStep(literal)
 
 
@@ -385,6 +413,7 @@ def build_join_plan(
     cost_based: bool = True,
     initial_bound: Iterable[str] = (),
     shards: int = 1,
+    write_rates: Mapping[str, float] | None = None,
 ) -> tuple[JoinPlan, set[str]]:
     """Greedily order ``literals`` so every literal is ready when reached.
 
@@ -404,7 +433,9 @@ def build_join_plan(
     step (route through a repartition of the probed relation) or a
     *chained* one by the exchange cost model — the literal ordering
     itself is shard-independent, so plans stay comparable across
-    configurations.
+    configurations.  ``write_rates`` (predicate -> observed delta rows
+    per run) switches the repartition maintenance charge from the static
+    amortization to the observed write path; see :func:`_exchange_choice`.
     """
     cardinalities = cardinalities if cardinalities is not None else {}
     remaining = [lit for lit in literals if lit is not exclude and lit is not first]
@@ -414,7 +445,7 @@ def build_join_plan(
     #: the exchange cost model weighs against a repartition.
     inflow = 1.0
     if first is not None:
-        step = _make_step(first, bound, cardinalities, shards, inflow)
+        step = _make_step(first, bound, cardinalities, shards, inflow, write_rates)
         steps.append(step)
         inflow = min(max(inflow * max(step.estimated_cost, 1.0), 1.0), MAX_INFLOW)
         bound |= _literal_binds(first)
@@ -453,7 +484,7 @@ def build_join_plan(
                         remaining.index(atom),
                     ),
                 )
-        step = _make_step(chosen, bound, cardinalities, shards, inflow)
+        step = _make_step(chosen, bound, cardinalities, shards, inflow, write_rates)
         steps.append(step)
         if isinstance(chosen, Atom):
             inflow = min(
@@ -647,6 +678,7 @@ def compile_program(
     cardinalities: Mapping[str, float] | None = None,
     planner: str = "cost",
     shards: int = 1,
+    write_rates: Mapping[str, float] | None = None,
 ) -> CompiledProgram:
     """Validate and compile ``program`` for evaluation.
 
@@ -660,7 +692,11 @@ def compile_program(
     operator enabled: non-prefix keyed probes are resolved into exchange or
     chained steps, delta-first plans get their shard-alignment route, and
     :meth:`CompiledProgram.repartition_specs` reports the repartitions the
-    store must maintain.
+    store must maintain.  ``write_rates`` (predicate -> observed delta
+    rows per run) makes the exchange cost model write-aware: repartitions
+    are charged their observed maintenance instead of the static
+    amortization, so a write-hot relation's repartition is demoted to
+    chained probes when maintaining the copy costs more than it saves.
     """
     if planner not in PLANNERS:
         raise ValueError(f"unknown planner {planner!r}; expected one of {PLANNERS}")
@@ -676,7 +712,11 @@ def compile_program(
         if rule.head.has_aggregates:
             monotone = False
         join_plan, bound = build_join_plan(
-            rule.body, cardinalities=stats, cost_based=cost_based, shards=shards
+            rule.body,
+            cardinalities=stats,
+            cost_based=cost_based,
+            shards=shards,
+            write_rates=write_rates,
         )
         _check_head_bound(rule, bound)
         delta_plans: dict[int, JoinPlan] = {}
@@ -689,6 +729,7 @@ def compile_program(
                     cardinalities=stats,
                     first=step.literal,
                     shards=shards,
+                    write_rates=write_rates,
                 )
                 if shards > 1:
                     delta_plan = replace(
@@ -709,6 +750,7 @@ def compile_program(
                 cardinalities=stats,
                 cost_based=cost_based,
                 shards=shards,
+                write_rates=write_rates,
             )
             missing = _unbound_key_vars(literal, decl, seed_bound)
             if missing:

@@ -48,17 +48,33 @@ from __future__ import annotations
 
 import concurrent.futures
 import hashlib
+import marshal
+import pickle
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    TypeVar,
+)
 
+from repro.cylog.ast import Atom, BodyLiteral, Negation
 from repro.cylog.engine import Relation, RelationStore
 from repro.cylog.indexes import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cylog.safety import CompiledProgram
 
 Tuple_ = tuple[Any, ...]
 T = TypeVar("T")
 
 EXECUTORS = ("serial", "thread", "process")
+REPLICA_MODES = ("full", "pruned", "shared")
 
 
 def shard_of_value(value: Any, n_shards: int) -> int:
@@ -172,6 +188,15 @@ class ShardConfig:
     relation for single-shard probes instead of chained ones.  Disabling
     it keeps the chained-lookup behaviour (and the single store's join
     plans) — the A/B knob the E10f bench uses.
+
+    ``replica_mode`` shapes the process-worker replicas (ignored by the
+    serial and thread executors, which share the engine's store):
+    ``"full"`` gives every worker a complete replica synced by broadcast;
+    ``"pruned"`` subscribes each worker to only the (relation, shard)
+    partitions its task classes probe, with lazy partition backfill;
+    ``"shared"`` additionally maps baseline partitions out of
+    ``multiprocessing.shared_memory`` sealed row blocks instead of
+    copying them through pipes.  All modes are bit-identical.
     """
 
     shards: int = 1
@@ -179,6 +204,7 @@ class ShardConfig:
     max_workers: int | None = None
     min_parallel_rows: int = 64
     exchange: bool = True
+    replica_mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -187,6 +213,11 @@ class ShardConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
             )
+        if self.replica_mode not in REPLICA_MODES:
+            raise ValueError(
+                f"unknown replica_mode {self.replica_mode!r}; expected one of "
+                f"{REPLICA_MODES}"
+            )
 
     def build_executor(self) -> ExecutorPolicy:
         if self.executor == "thread":
@@ -194,7 +225,9 @@ class ShardConfig:
         if self.executor == "process":
             from repro.cylog.procpool import ProcessExecutor
 
-            return ProcessExecutor(self.max_workers or 4)
+            return ProcessExecutor(
+                self.max_workers or 4, replica_mode=self.replica_mode
+            )
         return SerialExecutor()
 
     @property
@@ -491,3 +524,198 @@ def build_store(
             repartition_specs if config.exchange else None,
         )
     return RelationStore(index_specs)
+
+
+# ---------------------------------------------------------------------------
+# Partition coverage, partitioned sync ledger, sealed row blocks
+# ---------------------------------------------------------------------------
+#
+# The three building blocks of shard-pruned worker replicas
+# (:mod:`repro.cylog.procpool`): :func:`probe_partitions` computes which
+# (relation, primary shard) partitions one evaluation task can read, the
+# :class:`PartitionedLedger` records engine mutations already split into
+# those partitions, and :func:`seal_rows` / :func:`unseal_rows` give a
+# pickle-free wire/shared-memory format for whole partitions.
+
+
+def _probed_atom(literal: BodyLiteral) -> Atom | None:
+    """The atom a plan step reads from the store, if any (comparisons and
+    assignments filter bindings without touching relations)."""
+    if isinstance(literal, Negation):
+        return literal.atom
+    if isinstance(literal, Atom):
+        return literal
+    return None
+
+
+def probe_partitions(
+    compiled: "CompiledProgram",
+    n_shards: int,
+    rule_index: int,
+    position: int | None,
+    delta_shard: int | None = None,
+) -> set[tuple[str, int]]:
+    """The exact set of (predicate, primary shard) partitions the probes
+    of one evaluation task can touch.
+
+    A task is ``(rule_index, position, delta_shard)`` exactly as shipped
+    to process workers: ``position`` is ``None`` for a round-0 full
+    evaluation (every body atom is scanned — all partitions of every
+    probed predicate), else the plan position whose semi-naive delta
+    drives the join.  The delta rows themselves travel with the task, so
+    the leading delta atom is never read from the replica.
+
+    Pruning comes from shard alignment: when the delta plan has a
+    ``route_position`` (the engine partitioned delta rows by it) and the
+    plan's first keyed probe routes on the shard key prefix via that same
+    variable, every probe key's position-0 value hashes to
+    ``delta_shard`` — only that one partition of the probed predicate is
+    reachable.  Probes through exchange repartitions stay conservative:
+    a repartition shard re-hashes rows drawn from *every* primary
+    partition, so the worker must hold them all to rebuild it.  All
+    later probes take their keys from join bindings and may land
+    anywhere.
+    """
+    rule = compiled.rules[rule_index]
+    needed: set[tuple[str, int]] = set()
+
+    def need_all(predicate: str) -> None:
+        needed.update((predicate, shard) for shard in range(n_shards))
+
+    if position is None:
+        for step in rule.join_plan.steps:
+            atom = _probed_atom(step.literal)
+            if atom is not None:
+                need_all(atom.predicate)
+        return needed
+
+    plan = rule.delta_plans.get(position)
+    if plan is None:
+        # Join-plan fallback: the shipped delta substitutes for the step
+        # at ``position``; every other probe may touch any shard.
+        for index, step in enumerate(rule.join_plan.steps):
+            if index == position:
+                continue
+            atom = _probed_atom(step.literal)
+            if atom is not None:
+                need_all(atom.predicate)
+        return needed
+
+    prune_first = (
+        n_shards > 1 and delta_shard is not None and plan.route_position is not None
+    )
+    first_probe = True
+    for step in plan.steps[1:]:
+        atom = _probed_atom(step.literal)
+        if atom is None:
+            continue
+        # ``route_position`` is derived from the first probe: with 0 in
+        # the index key it is prefix-aligned (only ``delta_shard``
+        # reachable); an exchange-routed first probe reads a repartition
+        # rebuilt from every primary partition, so no pruning.
+        if first_probe and prune_first and 0 in step.index_positions:
+            needed.add((atom.predicate, delta_shard))
+        else:
+            need_all(atom.predicate)
+        first_probe = False
+    return needed
+
+
+class PartitionedLedger:
+    """Net added/removed rows keyed by ``(predicate, primary shard)``.
+
+    The distributed engine's unsynced-mutation ledger: rows are routed to
+    their primary partition **at mutation time** (``shard_of`` on
+    position 0), so flushing to process workers can ship each worker only
+    the partitions it subscribes to instead of one broadcast blob.
+    ``add`` and ``remove`` cancel each other exactly like
+    :class:`~repro.cylog.incremental.DeltaLedger`, leaving the net
+    difference against the workers' last-synced state.
+    """
+
+    __slots__ = ("n_shards", "_added", "_removed")
+
+    def __init__(self, n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self._added: dict[tuple[str, int], set[Tuple_]] = {}
+        self._removed: dict[tuple[str, int], set[Tuple_]] = {}
+
+    def add(self, predicate: str, row: Tuple_) -> None:
+        key = (predicate, shard_of(row, self.n_shards))
+        removed = self._removed.get(key)
+        if removed is not None and row in removed:
+            removed.discard(row)
+            if not removed:
+                del self._removed[key]
+            return
+        self._added.setdefault(key, set()).add(row)
+
+    def remove(self, predicate: str, row: Tuple_) -> None:
+        key = (predicate, shard_of(row, self.n_shards))
+        added = self._added.get(key)
+        if added is not None and row in added:
+            added.discard(row)
+            if not added:
+                del self._added[key]
+            return
+        self._removed.setdefault(key, set()).add(row)
+
+    def __bool__(self) -> bool:
+        return bool(self._added or self._removed)
+
+    def row_count(self) -> int:
+        """Net rows awaiting sync (adds plus removes) — the engine-side
+        ``sync_rows`` telemetry, identical at any worker count."""
+        return sum(len(rows) for rows in self._added.values()) + sum(
+            len(rows) for rows in self._removed.values()
+        )
+
+    def as_partition_mappings(
+        self,
+    ) -> tuple[
+        dict[tuple[str, int], frozenset], dict[tuple[str, int], frozenset]
+    ]:
+        """Immutable (added, removed) partition-keyed views for
+        ``ProcessExecutor.sync``."""
+        return (
+            {key: frozenset(rows) for key, rows in self._added.items() if rows},
+            {key: frozenset(rows) for key, rows in self._removed.items() if rows},
+        )
+
+
+#: Sealed-block tags: marshal for the plain-value rows CyLog programs are
+#: made of (str/int/float/bool/None and nested tuples — loaded with zero
+#: object-graph walking), pickle only as the fallback for exotic constants.
+_SEAL_MARSHAL = b"M"
+_SEAL_PICKLE = b"P"
+
+
+def seal_rows(rows: Iterable[Tuple_]) -> bytes:
+    """Serialize ``rows`` into a self-describing sealed block.
+
+    The block is deterministic (rows are sorted by ``repr``, matching the
+    store fingerprint's canonical order) and marshal-encoded when the rows
+    allow it, so workers mapping a block out of
+    ``multiprocessing.shared_memory`` never unpickle parent memory.
+    """
+    block = sorted(rows, key=repr)
+    try:
+        return _SEAL_MARSHAL + marshal.dumps(block, 2)
+    except ValueError:
+        return _SEAL_PICKLE + pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unseal_rows(blob: bytes | bytearray | memoryview) -> list[Tuple_]:
+    """Rows back out of a :func:`seal_rows` block (accepts the raw
+    shared-memory buffer)."""
+    data = bytes(blob)
+    tag, payload = data[:1], data[1:]
+    if tag == _SEAL_MARSHAL:
+        rows = marshal.loads(payload)
+    elif tag == _SEAL_PICKLE:
+        rows = pickle.loads(payload)
+    else:
+        raise ValueError(f"unknown sealed-block tag {tag!r}")
+    return [tuple(row) for row in rows]

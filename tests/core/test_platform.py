@@ -94,6 +94,39 @@ class TestTaskGeneration:
         assert newcomer.id in platform.ledger.eligible_workers(task.id)
 
 
+class TestDemandRevocation:
+    """Retraction-aware demand maintenance: when the fixpoint stops
+    demanding an open key, the task it materialised is cancelled."""
+
+    def test_retracted_demand_cancels_pending_task(self, platform, project):
+        platform.step()
+        tasks = platform.pool.pending_root_tasks(project.id)
+        assert {t.key_values for t in tasks} == {("s1",), ("s2",)}
+        doomed = next(t for t in tasks if t.key_values == ("s2",))
+        platform.processor(project.id).retract_facts("segment", [("s2",)])
+        assert platform.pool.get(doomed.id).status is TaskStatus.CANCELLED
+        assert {
+            t.key_values for t in platform.pool.pending_root_tasks(project.id)
+        } == {("s1",)}
+        assert platform.events.count("task.cancelled") == 1
+        # Cancelled tasks leave the assignment round entirely.
+        assert not platform.controller.is_dirty(doomed.id)
+
+    def test_resurrected_demand_gets_a_fresh_task(self, platform, project):
+        platform.step()
+        processor = platform.processor(project.id)
+        processor.retract_facts("segment", [("s2",)])
+        processor.add_facts("segment", [("s2",)])
+        processor.run()
+        live = [
+            t for t in platform.pool.pending_root_tasks(project.id)
+            if t.key_values == ("s2",)
+        ]
+        assert len(live) == 1
+        assert platform.events.count("task.generated") == 3
+        assert platform.events.count("task.cancelled") == 1
+
+
 class TestAssignmentLoop:
     def test_interest_then_team_then_active(self, platform, project):
         platform.step()

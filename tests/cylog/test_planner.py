@@ -208,6 +208,52 @@ class TestExchangePlanning:
             assert lone.index_positions == sharded_step.index_positions
 
 
+class TestWriteAwareCosting:
+    """The exchange cost model's write-aware half: observed per-relation
+    delta inflow replaces the static amortization window."""
+
+    JOIN = "j(L, R) :- left(L, K), right(R, K)."
+
+    def _probe(self, write_rates=None, cardinalities=None):
+        compiled = compile_program(
+            parse_program(self.JOIN),
+            cardinalities=cardinalities,
+            shards=8,
+            write_rates=write_rates,
+        )
+        return compiled.rules[0].join_plan.steps[1]
+
+    def test_exchange_steps_record_break_even(self):
+        probe = self._probe()
+        assert probe.exchange_position == 1
+        # inflow × (shards-1) × CHAINED_PROBE_OVERHEAD / REPARTITION_ROW_COST
+        assert probe.exchange_break_even is not None
+        assert probe.exchange_break_even > 0
+
+    def test_hot_writes_demote_repartition_to_chained(self):
+        cold = self._probe()
+        hot = self._probe(write_rates={cold.literal.predicate: 1e9})
+        assert cold.exchange_position == 1
+        assert hot.exchange_position is None
+        assert hot.chained
+
+    def test_cold_writes_keep_repartition(self):
+        probe = self._probe(write_rates={"right": 0.01})
+        assert probe.exchange_position == 1
+        assert not probe.chained
+
+    def test_observed_rate_overrides_static_amortization(self):
+        # Static heuristic says chained (tiny inflow, huge relation); a
+        # near-zero observed write rate makes the repartition almost free
+        # and promotes it back to exchange.
+        cards = {"left": 1.0, "right": 1_000_000.0}
+        static = self._probe(cardinalities=cards)
+        assert static.chained
+        promoted = self._probe(cardinalities=cards, write_rates={"right": 0.001})
+        assert promoted.exchange_position == 1
+        assert not promoted.chained
+
+
 class TestExplain:
     def test_explain_rule_shows_access_paths(self):
         rule = _first_rule("r(X, Y) :- a(X), b(X, Y).")

@@ -19,7 +19,7 @@ from repro.cylog import (
     compile_program,
     parse_program,
 )
-from repro.cylog.procpool import ProcessExecutor
+from repro.cylog.procpool import ProcessExecutor, ProcessPoolBrokenError
 
 SOURCE = """
 reach(S, Y) :- source(S), link(S, Y).
@@ -85,6 +85,37 @@ class TestEngineLockstep:
                 engine.retract_facts("link", [(200, 201)])
             assert process.run().relations == serial.run().relations
             assert process.store.fingerprint() == serial.store.fingerprint()
+        finally:
+            serial.close()
+            process.close()
+
+    def test_killed_workers_demote_engine_to_serial(self):
+        """Satellite gate: kill every child mid-stream — the next run must
+        not hang or corrupt state.  The engine catches the broken pool,
+        demotes itself to inline serial evaluation (its own store was
+        authoritative all along) and keeps answering correctly."""
+        program = parse_program(SOURCE)
+        serial = SemiNaiveEngine(program)
+        process = SemiNaiveEngine(program, shard_config=_process_config())
+        try:
+            _load(serial), _load(process)
+            assert process.run().relations == serial.run().relations
+            for proc in process._executor._procs:
+                proc.terminate()
+                proc.join(timeout=5)
+            for engine in (serial, process):
+                engine.retract_facts("link", [(3, 4)])
+                engine.add_facts("link", [(3, 100), (100, 4)])
+            expected = serial.run()
+            result = process.run()  # survives the dead pool
+            assert result.relations == expected.relations
+            assert result.added_rows == expected.added_rows
+            assert result.removed_rows == expected.removed_rows
+            assert process.store.fingerprint() == serial.store.fingerprint()
+            # The engine is durably usable after the fallback.
+            for engine in (serial, process):
+                engine.add_facts("link", [(200, 201), (201, 202)])
+            assert process.run().relations == serial.run().relations
         finally:
             serial.close()
             process.close()
@@ -184,6 +215,24 @@ class TestProtocol:
             executor.sync({}, {"e": ((1,),)})
             (result,) = executor.run_rule_tasks([(0, None, None)])
             assert {row for row, _ in result[0]} == {(2,), (3,)}
+        finally:
+            executor.close()
+
+    def test_killed_worker_raises_broken_pool(self):
+        """A worker death mid-dispatch surfaces as ProcessPoolBrokenError
+        (not a hang, not a pickle error) and closes the pool."""
+        compiled = compile_program(parse_program("d(X) :- e(X)."))
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            executor.reset(compiled, {"e": ((1,),)})
+            executor.run_rule_tasks([(0, None, None)])  # spawn the pool
+            for proc in executor._procs:
+                proc.terminate()
+                proc.join(timeout=5)
+            with pytest.raises(ProcessPoolBrokenError, match="worker died"):
+                executor.run_rule_tasks([(0, None, None)])
+            with pytest.raises(RuntimeError, match="closed"):
+                executor.run_rule_tasks([(0, None, None)])
         finally:
             executor.close()
 

@@ -82,6 +82,66 @@ class TestDemand:
         assert len(batches) == 2
         assert batches[1][0].predicate == "verify"
 
+    def test_revocation_listener_sees_withdrawn_demand(self):
+        """Retracting the seed fact withdraws the unanswered demand it
+        created — the revocation listener hears exactly that request."""
+        revoked = []
+        processor = CyLogProcessor(CHAIN)
+        processor.add_revocation_listener(revoked.extend)
+        processor.run()
+        assert revoked == []
+        processor.retract_facts("segment", [("s2",)])
+        assert [(r.predicate, r.key_values) for r in revoked] == [
+            ("translate", ("s2",))
+        ]
+        pending = {r.key_values for r in processor.pending_requests()}
+        assert ("s2",) not in pending
+
+    def test_answered_demand_is_never_revoked(self):
+        """The normal lifecycle — a demand disappearing because it was
+        answered — must not look like a withdrawal."""
+        revoked = []
+        processor = CyLogProcessor(CHAIN)
+        processor.add_revocation_listener(revoked.extend)
+        processor.supply_answer(
+            processor.request_for("translate", ("s1",)), {"out": "x"}
+        )
+        processor.run()
+        assert revoked == []
+
+    def test_revoked_demand_resurrects_as_fresh_request(self):
+        """Retract the seed, revoke the demand, re-add the seed: the
+        demand comes back as a *new* request batch (the old
+        materialisation was cancelled; a consumer needs a new one)."""
+        batches, revoked = [], []
+        processor = CyLogProcessor(CHAIN)
+        processor.add_demand_listener(batches.append)
+        processor.add_revocation_listener(revoked.extend)
+        processor.run()
+        processor.retract_facts("segment", [("s2",)])
+        assert len(revoked) == 1
+        processor.add_facts("segment", [("s2",)])
+        processor.run()
+        fresh = [r for batch in batches[1:] for r in batch]
+        assert [(r.predicate, r.key_values) for r in fresh] == [
+            ("translate", ("s2",))
+        ]
+
+    def test_cascading_retraction_revokes_downstream_demand(self):
+        """An answer whose upstream seed is retracted takes the chained
+        verify demand down with it."""
+        revoked = []
+        processor = CyLogProcessor(CHAIN)
+        processor.add_revocation_listener(revoked.extend)
+        processor.supply_answer(
+            processor.request_for("translate", ("s1",)), {"out": "X"}
+        )
+        processor.run()
+        processor.retract_facts("segment", [("s1",)])
+        assert ("verify", ("s1", "X")) in {
+            (r.predicate, r.key_values) for r in revoked
+        }
+
 
 class TestAnswers:
     def test_answer_type_checked(self, processor):

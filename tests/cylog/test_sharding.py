@@ -53,13 +53,39 @@ PROCESS_CONFIGS = (
     ShardConfig(shards=8, executor="process", max_workers=2, min_parallel_rows=0),
 )
 
+#: Shard-pruned replica layouts: workers subscribe to the (relation,
+#: shard) partitions their task classes probe, backfilled lazily —
+#: ``shared`` additionally maps baseline partitions from shared memory.
+#: Must be bit-identical to every other configuration.
+PRUNED_CONFIGS = (
+    ShardConfig(
+        shards=8,
+        executor="process",
+        max_workers=2,
+        min_parallel_rows=0,
+        replica_mode="pruned",
+    ),
+)
+SHARED_CONFIGS = (
+    ShardConfig(
+        shards=8,
+        executor="process",
+        max_workers=2,
+        min_parallel_rows=0,
+        replica_mode="shared",
+    ),
+)
+
 #: The configurations the oracle compares against the single store.  The
-#: CI ``shard-diff`` job matrix runs the thread and process suites as
-#: separate entries (``SHARD_DIFF_SUITE``); everything runs by default.
+#: CI ``shard-diff`` job matrix runs the thread, process and replica-mode
+#: suites as separate entries (``SHARD_DIFF_SUITE``); everything runs by
+#: default.
 SHARD_CONFIGS = {
     "threads": THREAD_CONFIGS,
     "process": PROCESS_CONFIGS,
-    "all": THREAD_CONFIGS + PROCESS_CONFIGS,
+    "pruned": PRUNED_CONFIGS,
+    "shared": SHARED_CONFIGS,
+    "all": THREAD_CONFIGS + PROCESS_CONFIGS + PRUNED_CONFIGS + SHARED_CONFIGS,
 }[os.environ.get("SHARD_DIFF_SUITE", "all")]
 
 
@@ -365,6 +391,70 @@ class TestShardedSupportIndex:
         assert len(main) == 2
 
 
+class TestWriteAwareReplan:
+    """Acceptance gate for write-aware exchange costing: a write-heavy
+    stream on a repartitioned relation demotes the repartition to chained
+    probes mid-stream — without changing a single derived row."""
+
+    SOURCE = "j(L, R) :- left(L, K), right(R, K)."
+
+    def _probe_for(self, engine, predicate):
+        for rule in engine._active.rules:
+            for step in rule.join_plan.steps:
+                if step.literal.predicate == predicate:
+                    return step
+        raise AssertionError(predicate)
+
+    def test_write_heavy_stream_demotes_repartition(self):
+        program = parse_program(self.SOURCE)
+        reference = SemiNaiveEngine(program)
+        engine = SemiNaiveEngine(program, shard_config=ShardConfig(shards=8))
+        try:
+            for e in (reference, engine):
+                e.add_facts("left", [(i, i % 4) for i in range(4)])
+                e.add_facts("right", [(i, i % 4) for i in range(8)])
+                e.run()
+            # The non-prefix probe on ``right`` starts repartition-routed.
+            assert self._probe_for(engine, "right").exchange_position == 1
+            previous: list = []
+            for round_ in range(5):
+                adds = [(1000 + round_ * 100 + i, i % 4) for i in range(60)]
+                for e in (reference, engine):
+                    e.add_facts("right", adds)
+                    if previous:
+                        e.retract_facts("right", previous)
+                previous = adds
+                expected = reference.run()
+                result = engine.run()
+                assert result.added_rows == expected.added_rows
+                assert result.removed_rows == expected.removed_rows
+                assert engine.store.snapshot() == reference.store.snapshot()
+            # The observed churn on ``right`` crossed the break-even and
+            # the planner dropped its repartitioned copy.
+            assert engine.stats.write_replans >= 1
+            demoted = self._probe_for(engine, "right")
+            assert demoted.exchange_position is None
+            assert demoted.chained
+            assert engine.runs == 1  # every update stayed incremental
+        finally:
+            reference.close()
+            engine.close()
+
+    def test_quiet_stream_never_replans(self):
+        program = parse_program(self.SOURCE)
+        engine = SemiNaiveEngine(program, shard_config=ShardConfig(shards=8))
+        try:
+            engine.add_facts("left", [(i, i % 4) for i in range(40)])
+            engine.add_facts("right", [(i, i % 4) for i in range(40)])
+            engine.run()
+            engine.add_facts("right", [(100, 0)])
+            engine.run()
+            assert engine.stats.write_replans == 0
+            assert self._probe_for(engine, "right").exchange_position == 1
+        finally:
+            engine.close()
+
+
 def _engine_with(program, config: ShardConfig) -> SemiNaiveEngine:
     return SemiNaiveEngine(program, shard_config=config)
 
@@ -501,14 +591,35 @@ def _determinism_program():
     return parse_program(source)
 
 
+#: Executor-transport telemetry: how rows *moved*, not what was derived.
+#: ``sync_rows``/``sync_bytes`` count the engine's canonical change sets
+#: (zero on non-distributed executors); ``replica_backfills`` /
+#: ``shared_mem_remaps`` count per-executor replica work and legitimately
+#: vary across executors, replica modes and worker counts.  Everything
+#: *outside* this set must be byte-identical everywhere.
+TRANSPORT_KEYS = (
+    "sync_rows",
+    "sync_bytes",
+    "replica_backfills",
+    "shared_mem_remaps",
+)
+
+
+def _derivation_only(stats: dict) -> dict:
+    stats = dict(stats)
+    for key in TRANSPORT_KEYS:
+        stats.pop(key)
+    return stats
+
+
 class TestExecutorDeterminism:
     """Satellite gate: fixed-seed runs at worker counts 1/2/8 produce
     identical results *and* identical derivation counters — on the thread
-    pool and on the process pool."""
+    pool and on the process pool, in every replica mode."""
 
     WORKER_COUNTS = (1, 2, 8)
 
-    def _run_all(self, executor: str = "thread"):
+    def _run_all(self, executor: str = "thread", replica_mode: str = "full"):
         program = _determinism_program()
         outcomes = []
         for workers in self.WORKER_COUNTS:
@@ -519,6 +630,7 @@ class TestExecutorDeterminism:
                     executor=executor,
                     max_workers=workers,
                     min_parallel_rows=0,
+                    replica_mode=replica_mode,
                 ),
             )
             try:
@@ -547,7 +659,8 @@ class TestExecutorDeterminism:
         """Same program, same updates: every process-pool run must equal
         the thread-pool baseline — results, deltas and the full counter
         record except ``shard_tasks`` (the thread pool additionally fans
-        out whole stratum batches, which the process pool keeps inline)."""
+        out whole stratum batches, which the process pool keeps inline)
+        and the transport telemetry (threads never ship rows)."""
         thread_outcomes = self._run_all("thread")
         process_outcomes = self._run_all("process")
         for (t_first, t_second, t_stats), (p_first, p_second, p_stats) in zip(
@@ -557,12 +670,54 @@ class TestExecutorDeterminism:
             assert p_second.relations == t_second.relations
             assert p_second.added_rows == t_second.added_rows
             assert p_second.removed_rows == t_second.removed_rows
-            t_stats, p_stats = dict(t_stats), dict(p_stats)
+            t_stats = _derivation_only(t_stats)
+            p_stats = _derivation_only(p_stats)
             t_stats.pop("shard_tasks"), p_stats.pop("shard_tasks")
             assert p_stats == t_stats
         baseline = process_outcomes[0][2]
         for _, _, stats in process_outcomes[1:]:
-            assert stats == baseline  # worker-count independent
+            # Full mode: even the transport counters are worker-count
+            # independent (sync volume is canonical; no backfills).
+            assert stats == baseline
+
+    def test_replica_modes_bit_identical(self):
+        """Pruned and shared replicas produce the same results, deltas,
+        derivation counters *and canonical sync volume* as full replicas
+        at every worker count — pruning changes what each worker holds,
+        never what the engine derives or how much it mutated."""
+        by_mode = {
+            mode: self._run_all("process", replica_mode=mode)
+            for mode in ("full", "pruned", "shared")
+        }
+        for full, pruned, shared in zip(*by_mode.values()):
+            f_first, f_second, f_stats = full
+            for first, second, stats in (pruned, shared):
+                assert first.relations == f_first.relations
+                assert second.relations == f_second.relations
+                assert second.added_rows == f_second.added_rows
+                assert second.removed_rows == f_second.removed_rows
+                assert _derivation_only(stats) == _derivation_only(f_stats)
+                # Sync volume counts the engine's change sets, not the
+                # per-worker shipping — identical across replica modes.
+                assert stats["sync_rows"] == f_stats["sync_rows"]
+                assert stats["sync_bytes"] == f_stats["sync_bytes"]
+        for mode, outcomes in by_mode.items():
+            baseline = _derivation_only(outcomes[0][2])
+            for _, _, stats in outcomes[1:]:
+                assert _derivation_only(stats) == baseline, mode
+
+    def test_replica_telemetry_deterministic(self):
+        """Pruned/shared transport telemetry is exercised (backfills
+        happen, shared memory maps happen) and a repeated identical run
+        reproduces every counter byte-for-byte — transport included."""
+        pruned_a = self._run_all("process", replica_mode="pruned")
+        pruned_b = self._run_all("process", replica_mode="pruned")
+        for (_, _, stats_a), (_, _, stats_b) in zip(pruned_a, pruned_b):
+            assert stats_a == stats_b
+        assert all(stats["sync_rows"] > 0 for _, _, stats in pruned_a)
+        assert all(stats["replica_backfills"] > 0 for _, _, stats in pruned_a)
+        shared = self._run_all("process", replica_mode="shared")
+        assert all(stats["shared_mem_remaps"] > 0 for _, _, stats in shared)
 
     def test_incremental_runs_stay_incremental(self):
         for _, second, stats in self._run_all():
