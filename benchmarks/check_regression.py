@@ -47,6 +47,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "E11": ("speedup_snapshot_vs_replay",),
     # Sync-byte ratio, not a timing: deterministic on any hardware.
     "E12": ("speedup_pruned_vs_full_sync",),
+    "E13": ("speedup_interval_vs_fixpoint",),
 }
 
 #: Reported next to the gated metrics but never gated (hardware-coupled).
@@ -54,6 +55,7 @@ CONTEXT_METRICS: dict[str, tuple[str, ...]] = {
     "E10f": ("speedup_process_vs_thread",),
     "E11": ("mutation_ops_per_s", "listing_query_ops_per_s"),
     "E12": ("speedup_shared_vs_full_sync",),
+    "E13": ("speedup_build_interval_vs_fixpoint",),
 }
 
 

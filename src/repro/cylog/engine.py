@@ -64,12 +64,13 @@ from repro.cylog.incremental import (
     SupportKey,
     partition_recursive,
 )
-from repro.cylog.indexes import TupleIndexSet
+from repro.cylog.indexes import IntervalHierarchyIndex, TupleIndexSet
 from repro.cylog.pretty import explain_rule
 from repro.cylog.safety import (
     PLANNERS,
     CompiledProgram,
     CompiledRule,
+    IntervalSpec,
     JoinPlan,
     build_join_plan,
     compile_program,
@@ -139,6 +140,13 @@ class EngineStats:
     #: Mid-stream recompilations triggered by an observed write rate
     #: crossing an exchange break-even (write-aware exchange costing).
     write_replans: int = 0
+    #: Interval access path: range scans served by the engine-side
+    #: hierarchy index (descendant queries, closure enumerations, subtree
+    #: collections under churn) and nodes relabelled *beyond* the moved
+    #: subtree when gap allocation ran out of slots.  Both are engine-side
+    #: serial work, so they are identical at any worker count.
+    interval_scans: int = 0
+    interval_renumbers: int = 0
     plans: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -167,6 +175,8 @@ class EngineStats:
             "replica_backfills": self.replica_backfills,
             "shared_mem_remaps": self.shared_mem_remaps,
             "write_replans": self.write_replans,
+            "interval_scans": self.interval_scans,
+            "interval_renumbers": self.interval_renumbers,
         }
 
     def derivation_counters(self) -> dict[str, int]:
@@ -186,6 +196,8 @@ class EngineStats:
             "overdeletions",
             "supports_recorded",
             "agg_recomputes",
+            "interval_scans",
+            "interval_renumbers",
         )
         full = self.as_dict()
         return {key: full[key] for key in keys}
@@ -618,6 +630,21 @@ def _row_group_key(head, row: Tuple_) -> Tuple_:
     )
 
 
+def _agg_support_pred(head: str, rule_index: int) -> str:
+    """Synthetic support-index predicate recording which aggregate *groups*
+    consumed which body rows (join bodies only).  The section-sign
+    separator cannot appear in a parsed predicate name, so the synthetic
+    namespace never collides with user relations."""
+    return f"{head}§agg{rule_index}"
+
+
+def _agg_body_is_join(rule: CompiledRule) -> bool:
+    """True when the aggregate rule's body joins two or more positive
+    atoms — the case whose group localisation needs recorded provenance
+    (a single atom binds its group keys directly from the changed rows)."""
+    return sum(1 for literal in rule.rule.body if isinstance(literal, Atom)) > 1
+
+
 def _evaluate_aggregate_rule(
     rule: CompiledRule, store: RelationStore, stats: EngineStats | None = None
 ) -> set[Tuple_]:
@@ -783,22 +810,33 @@ class SemiNaiveEngine:
         #: mutations are streamed to worker replicas via ``_unsynced``.
         self._distributed = self._executor.distributed
         self._plan_shards = shard_config.plan_shards
+        self._interval_enabled = shard_config.interval
         if isinstance(program, CompiledProgram):
             self.planner = planner or program.planner
             if self.planner not in PLANNERS:
                 raise ValueError(
                     f"unknown planner {self.planner!r}; expected one of {PLANNERS}"
                 )
-            if self.planner == program.planner and program.shards == self._plan_shards:
+            if (
+                self.planner == program.planner
+                and program.shards == self._plan_shards
+                and program.interval == self._interval_enabled
+            ):
                 self.compiled = program
             else:  # recompile so planner / shard layout actually take effect
                 self.compiled = compile_program(
-                    program.program, planner=self.planner, shards=self._plan_shards
+                    program.program,
+                    planner=self.planner,
+                    shards=self._plan_shards,
+                    interval=self._interval_enabled,
                 )
         else:
             self.planner = planner or "cost"
             self.compiled = compile_program(
-                program, planner=self.planner, shards=self._plan_shards
+                program,
+                planner=self.planner,
+                shards=self._plan_shards,
+                interval=self._interval_enabled,
             )
         self._active = self.compiled
         self._strata = self._build_stratum_info()
@@ -841,6 +879,13 @@ class SemiNaiveEngine:
         #: rates the active plans were compiled against.
         self._write_rates: dict[str, float] = {}
         self._planned_write_rates: dict[str, float] = {}
+        #: Engine-side interval hierarchy indexes, one per eligible
+        #: transitive-closure head (never shipped to worker replicas:
+        #: interval-answered strata do not dispatch).  ``_interval_seen``
+        #: remembers each index's cumulative scan/renumber counters at the
+        #: last stats fold, so engine stats absorb exact increments.
+        self._interval: dict[str, IntervalHierarchyIndex] = {}
+        self._interval_seen: dict[str, tuple[int, int]] = {}
         self.stats = EngineStats()
         self.runs = 0  # full evaluations performed (observability for benches)
 
@@ -1101,6 +1146,7 @@ class SemiNaiveEngine:
             planner=self.planner,
             shards=self._plan_shards,
             write_rates=self._write_rates or None,
+            interval=self._interval_enabled,
         )
         self._strata = self._build_stratum_info()
         self._batches = self._compute_batches()
@@ -1346,34 +1392,321 @@ class SemiNaiveEngine:
             self._rederive_plans[rule_index] = plan
         return plan
 
+    # -- interval access path ----------------------------------------------
+    def _interval_specs_for(self, info: _StratumInfo) -> tuple[IntervalSpec, ...]:
+        """The stratum's interval-eligible transitive-closure specs.
+
+        Eligibility is the compile-time syntactic check
+        (:func:`~repro.cylog.safety.detect_interval_specs`); whether the
+        edge rows actually form a forest is decided per run by the index
+        monitor.  The indexes live engine-side and are maintained by the
+        serial merge path only, so interval-answered heads never dispatch
+        work to the executor pool.
+        """
+        if not self._interval_enabled or not self._active.interval_specs:
+            return ()
+        return tuple(
+            spec
+            for head, spec in sorted(self._active.interval_specs.items())
+            if head in info.heads
+        )
+
+    def _interval_index_for(self, head: str) -> IntervalHierarchyIndex:
+        index = self._interval.get(head)
+        if index is None:
+            index = self._interval[head] = IntervalHierarchyIndex()
+            self._interval_seen[head] = (0, 0)
+        return index
+
+    def _interval_fold_stats(
+        self, head: str, index: IntervalHierarchyIndex, stats: EngineStats
+    ) -> None:
+        """Fold the index's cumulative counters into ``stats`` as exact
+        increments since the last fold.  Index maintenance is engine-side
+        serial work, so the folded counters are identical at any worker
+        count on any executor."""
+        seen_scans, seen_renumbers = self._interval_seen.get(head, (0, 0))
+        stats.interval_scans += index.scans - seen_scans
+        stats.interval_renumbers += index.renumbers - seen_renumbers
+        self._interval_seen[head] = (index.scans, index.renumbers)
+
+    def _interval_answer_full(
+        self, store: RelationStore, spec: IntervalSpec, stats: EngineStats
+    ) -> bool:
+        """Answer one closure head for a full evaluation.
+
+        Rebuilds the index from the live edge rows and, when they form a
+        forest, emits every closure pair as one range scan per node —
+        returning True so the caller drops the head's rules from the
+        fixpoint.  Interval-owned rows carry *no* supports: the index
+        itself produces exact added/removed sets under churn, and the
+        support machinery must never cascade rows it does not own.
+        """
+        index = self._interval_index_for(spec.head)
+        edge_rel = store.maybe(spec.edge)
+        if edge_rel is not None and edge_rel.arity != 2:
+            index.valid = False
+            return False  # malformed edge data: the fixpoint path reports it
+        rows = sorted(edge_rel.snapshot(), key=repr) if edge_rel is not None else []
+        answered = index.rebuild(rows)
+        if answered:
+            relation = store.get(spec.head, 2)
+            for row in index.pairs():
+                if relation.add(row):
+                    stats.tuples_derived += 1
+                    self._note_add(spec.head, row)
+        self._interval_fold_stats(spec.head, index, stats)
+        return answered
+
+    def _interval_step(
+        self,
+        store: RelationStore,
+        spec: IntervalSpec,
+        changes: DeltaLedger,
+        sink: DeltaLedger,
+        stats: EngineStats,
+        removed_out: list[Tuple_],
+        added_out: list[Tuple_],
+    ) -> bool | None:
+        """Advance one closure head through an incremental step.
+
+        Returns True when the head is interval-owned and its exact deltas
+        were applied to the store and ``sink`` (and collected into
+        ``removed_out`` / ``added_out`` for the caller's cascade/seed
+        wiring); False when the head stays on the fixpoint path; ``None``
+        when an edge change broke the forest shape mid-step — the caller
+        must fall back to a full stratum recompute, which re-decides the
+        access path from the rebuilt state.
+        """
+        index = self._interval_index_for(spec.head)
+        edge_removed = changes.removed(spec.edge)
+        edge_added = changes.added(spec.edge)
+        if not index.valid:
+            if not (edge_removed or edge_added):
+                return False  # nothing changed; no reason to re-probe
+            edge_rel = store.maybe(spec.edge)
+            if edge_rel is not None and edge_rel.arity != 2:
+                return False
+            rows = (
+                sorted(edge_rel.snapshot(), key=repr)
+                if edge_rel is not None
+                else []
+            )
+            if not index.rebuild(rows):
+                self._interval_fold_stats(spec.head, index, stats)
+                return False
+            # Re-enabling mid-run: the stored closure rows were fixpoint-
+            # derived and carry supports the index will not maintain —
+            # purge them so no later cascade can delete index-owned rows —
+            # then net-diff the stored closure against the rebuilt one.
+            # The edge deltas are already in the edge relation, so the
+            # diff IS this step's exact delta.
+            relation = store.get(spec.head, 2)
+            current = relation.snapshot()
+            for row in current:
+                self._supports.discard_tuple(spec.head, row)
+            desired = set(index.pairs())
+            self._interval_fold_stats(spec.head, index, stats)
+            self._interval_apply(
+                store,
+                spec,
+                current - desired,
+                desired - current,
+                sink,
+                stats,
+                removed_out,
+                added_out,
+            )
+            return True
+        if not (edge_removed or edge_added):
+            return True  # interval-owned and untouched this step
+        # Net removals before net additions: any subgraph of a valid final
+        # forest is a forest, so a batch that lands on one never trips the
+        # monitor spuriously; a batch that does not always trips an op.
+        ledger = DeltaLedger()
+        for parent, child in sorted(edge_removed, key=repr):
+            lost = index.detach(parent, child)
+            if lost is None:
+                self._interval_fold_stats(spec.head, index, stats)
+                return None
+            for pair in lost:
+                ledger.remove(spec.head, pair)
+        for parent, child in sorted(edge_added, key=repr):
+            gained = index.attach(parent, child)
+            if gained is None:
+                self._interval_fold_stats(spec.head, index, stats)
+                return None
+            for pair in gained:
+                ledger.add(spec.head, pair)
+        self._interval_fold_stats(spec.head, index, stats)
+        self._interval_apply(
+            store,
+            spec,
+            set(ledger.removed(spec.head)),
+            set(ledger.added(spec.head)),
+            sink,
+            stats,
+            removed_out,
+            added_out,
+        )
+        return True
+
+    def _interval_apply(
+        self,
+        store: RelationStore,
+        spec: IntervalSpec,
+        removed: set[Tuple_],
+        added: set[Tuple_],
+        sink: DeltaLedger,
+        stats: EngineStats,
+        removed_out: list[Tuple_],
+        added_out: list[Tuple_],
+    ) -> None:
+        """Apply one interval-computed closure delta to the store, the run
+        report and the worker-replica sync stream, in sorted order so the
+        reported counters are deterministic."""
+        relation = store.get(spec.head, 2)
+        for row in sorted(removed, key=repr):
+            if relation.discard(row):
+                stats.tuples_retracted += 1
+                sink.remove(spec.head, row)
+                self._note_remove(spec.head, row)
+                removed_out.append(row)
+        for row in sorted(added, key=repr):
+            if relation.add(row):
+                stats.tuples_derived += 1
+                sink.add(spec.head, row)
+                self._note_add(spec.head, row)
+                added_out.append(row)
+
     # -- aggregate maintenance ---------------------------------------------
     def _affected_agg_groups(
-        self, rule: CompiledRule, changes: DeltaLedger
+        self,
+        rule_index: int,
+        rule: CompiledRule,
+        store: RelationStore,
+        changes: DeltaLedger,
+        stats: EngineStats,
     ) -> set[Tuple_] | None:
         """Group keys whose aggregate output may have moved, or ``None``
-        when the change cannot be localised (multi-atom body, changed
-        negated input, group variables outside the atom) and the rule must
-        recompute in full."""
+        when the change cannot be localised and the rule must recompute in
+        full.
+
+        A single-atom body binds its group keys directly from the changed
+        rows.  A join body localises removals through the synthetic group
+        supports recorded at evaluation time (which groups consumed the
+        removed row) and additions through the rule's delta-first plans
+        (every solution a new row participates in names its group).  A
+        changed *negated* input stays a full recompute — provenance only
+        covers positive rows — as do a degraded synthetic support index
+        and the ``legacy`` planner (it compiles no delta-first rewrites).
+        """
         body = rule.rule.body
         atoms = [literal for literal in body if isinstance(literal, Atom)]
-        if len(atoms) != 1:
-            return None
-        atom = atoms[0]
         for literal in body:
             if isinstance(literal, Negation):
                 pred = literal.atom.predicate
                 if changes.added(pred) or changes.removed(pred):
                     return None
         group_vars = rule.rule.head.group_by_vars()
-        atom_vars = {v.name for v in atom.variables()}
-        if any(v.name not in atom_vars for v in group_vars):
-            return None
-        groups: set[Tuple_] = set()
-        for row in (*changes.added(atom.predicate), *changes.removed(atom.predicate)):
-            bindings = _bind_atom(atom, row, {})
-            if bindings is not None:
-                groups.add(tuple(bindings[v.name] for v in group_vars))
+        if len(atoms) == 1:
+            atom = atoms[0]
+            atom_vars = {v.name for v in atom.variables()}
+            if any(v.name not in atom_vars for v in group_vars):
+                return None
+            groups: set[Tuple_] = set()
+            for row in (
+                *changes.added(atom.predicate),
+                *changes.removed(atom.predicate),
+            ):
+                bindings = _bind_atom(atom, row, {})
+                if bindings is not None:
+                    groups.add(tuple(bindings[v.name] for v in group_vars))
+            return groups
+        agg_pred = _agg_support_pred(rule.rule.head.predicate, rule_index)
+        if self._supports.degraded_any((agg_pred,)):
+            return None  # incomplete provenance could miss a group
+        groups = set()
+        for atom_pred in sorted({atom.predicate for atom in atoms}):
+            for row in changes.removed(atom_pred):
+                for ref, _pattern in self._supports.dependents(atom_pred, row):
+                    if ref[0] == agg_pred:
+                        groups.add(ref[1])
+            added = changes.added(atom_pred)
+            if not added:
+                continue
+            delta_rel = _relation_from(set(added), store.maybe(atom_pred))
+            localized = False
+            for position, step in enumerate(rule.join_plan.steps):
+                literal = step.literal
+                if not isinstance(literal, Atom) or literal.predicate != atom_pred:
+                    continue
+                plan = rule.delta_plans.get(position)
+                if plan is None:
+                    return None  # legacy planner: no delta-first rewrites
+                localized = True
+                for bindings in solutions(
+                    plan,
+                    store,
+                    delta_position=0,
+                    delta_relation=delta_rel,
+                    stats=stats,
+                ):
+                    groups.add(tuple(bindings[v.name] for v in group_vars))
+            if not localized:
+                return None
         return groups
+
+    def _evaluate_aggregate_tracked(
+        self,
+        rule_index: int,
+        rule: CompiledRule,
+        store: RelationStore,
+        stats: EngineStats,
+    ) -> set[Tuple_]:
+        """Full aggregate evaluation that, for join bodies, also records
+        one synthetic support per contributing solution — group key ->
+        consumed body rows — so later removals localise their affected
+        groups through the support index instead of recomputing every
+        group (see :meth:`_affected_agg_groups`)."""
+        if not _agg_body_is_join(rule):
+            return _evaluate_aggregate_rule(rule, store, stats)
+        head = rule.rule.head
+        agg_pred = _agg_support_pred(head.predicate, rule_index)
+        aggregates = head.aggregate_terms()
+        group_vars = head.group_by_vars()
+        groups: dict[Tuple_, dict[str, set]] = {}
+        for bindings in solutions(rule.join_plan, store, stats=stats):
+            key = tuple(bindings[v.name] for v in group_vars)
+            per_agg = groups.setdefault(
+                key, {a.var.name: set() for a in aggregates}
+            )
+            for aggregate in aggregates:
+                per_agg[aggregate.var.name].add(bindings[aggregate.var.name])
+            self._record(
+                agg_pred, key, support_key_for(rule_index, rule, bindings), stats
+            )
+        return {
+            _fold_aggregate_row(head, key, per_agg)
+            for key, per_agg in groups.items()
+        }
+
+    def _clear_agg_supports(
+        self, rule_index: int, rule: CompiledRule, cached: Iterable[Tuple_]
+    ) -> None:
+        """Forget a join-body aggregate rule's synthetic group supports.
+
+        The cached output rows name exactly the groups that hold any
+        (every group with at least one solution emits a row), so the purge
+        is proportional to the rule's live groups, not the support index.
+        """
+        if not _agg_body_is_join(rule):
+            return
+        head = rule.rule.head
+        agg_pred = _agg_support_pred(head.predicate, rule_index)
+        for row in cached:
+            self._supports.discard_tuple(agg_pred, _row_group_key(head, row))
+        self._supports.clear_degraded((agg_pred,))
 
     def _evaluate_agg_groups(
         self,
@@ -1384,7 +1717,9 @@ class SemiNaiveEngine:
         stats: EngineStats,
     ) -> set[Tuple_]:
         """Aggregate output restricted to ``groups``, evaluated through a
-        group-key-bound plan (indexed probes, not a full body scan)."""
+        group-key-bound plan (indexed probes, not a full body scan).  For
+        join bodies each group's synthetic supports are replaced by the
+        surviving solutions' as a side effect."""
         head = rule.rule.head
         group_vars = head.group_by_vars()
         plan = self._agg_group_plans.get(rule_index)
@@ -1397,14 +1732,28 @@ class SemiNaiveEngine:
             )
             self._register_exchange(plan)
             self._agg_group_plans[rule_index] = plan
+        agg_pred = (
+            _agg_support_pred(head.predicate, rule_index)
+            if _agg_body_is_join(rule)
+            else None
+        )
         aggregates = head.aggregate_terms()
         rows: set[Tuple_] = set()
         for group in sorted(groups, key=repr):
+            if agg_pred is not None:
+                self._supports.discard_tuple(agg_pred, group)
             initial = {v.name: value for v, value in zip(group_vars, group)}
             per_agg: dict[str, set] = {a.var.name: set() for a in aggregates}
             found = False
             for bindings in solutions(plan, store, initial=initial, stats=stats):
                 found = True
+                if agg_pred is not None:
+                    self._record(
+                        agg_pred,
+                        group,
+                        support_key_for(rule_index, rule, bindings),
+                        stats,
+                    )
                 for aggregate in aggregates:
                     per_agg[aggregate.var.name].add(bindings[aggregate.var.name])
             if found:
@@ -1667,7 +2016,7 @@ class SemiNaiveEngine:
             relation = store.get(head_pred, rule.rule.head.arity)
             stats.rules_fired += 1
             stats.agg_recomputes += 1
-            out = _evaluate_aggregate_rule(rule, store, stats)
+            out = self._evaluate_aggregate_tracked(rule_index, rule, store, stats)
             self._agg_cache[rule_index] = out
             support: SupportKey = (rule_index, ())
             for row in out:
@@ -1675,6 +2024,15 @@ class SemiNaiveEngine:
                 if relation.add(row):
                     stats.tuples_derived += 1
                     self._note_add(head_pred, row)
+        # Interval-eligible closure heads are answered straight from the
+        # hierarchy index when their edge rows form a forest: one range
+        # scan per node instead of one join round per level, and their
+        # rules drop out of the fixpoint below.
+        plain = info.plain
+        for spec in self._interval_specs_for(info):
+            if self._interval_answer_full(store, spec, stats):
+                skip = (spec.base_rule, spec.recursive_rule)
+                plain = tuple((i, r) for i, r in plain if i not in skip)
         # Round 0: full evaluation of each rule.  Solutions are materialised
         # before insertion because recursive rules scan the very relation
         # they derive into; on a parallel engine independent rules evaluate
@@ -1690,29 +2048,27 @@ class SemiNaiveEngine:
 
             return task
 
-        if parallel and self._parallel and len(info.plain) > 1 and self._distributed:
+        if parallel and self._parallel and len(plain) > 1 and self._distributed:
             from repro.cylog.procpool import ProcessPoolBrokenError
 
             self._flush_sync()
             try:
                 results = self._executor.run_rule_tasks(  # type: ignore[attr-defined]
-                    [(rule_index, None, None, None) for rule_index, _ in info.plain]
+                    [(rule_index, None, None, None) for rule_index, _ in plain]
                 )
             except ProcessPoolBrokenError:
                 self._demote_to_serial()
                 results = [
-                    round0_task(rule_index, rule)() for rule_index, rule in info.plain
+                    round0_task(rule_index, rule)() for rule_index, rule in plain
                 ]
-        elif parallel and self._parallel and len(info.plain) > 1:
+        elif parallel and self._parallel and len(plain) > 1:
             results = self._executor.map(
-                [round0_task(rule_index, rule) for rule_index, rule in info.plain]
+                [round0_task(rule_index, rule) for rule_index, rule in plain]
             )
         else:
-            results = [
-                round0_task(rule_index, rule)() for rule_index, rule in info.plain
-            ]
+            results = [round0_task(rule_index, rule)() for rule_index, rule in plain]
         delta: dict[str, set[Tuple_]] = {}
-        for (rule_index, rule), (derived, scratch) in zip(info.plain, results):
+        for (rule_index, rule), (derived, scratch) in zip(plain, results):
             stats.absorb(scratch)
             stats.rules_fired += 1
             head_pred = rule.rule.head.predicate
@@ -1723,9 +2079,7 @@ class SemiNaiveEngine:
                     stats.tuples_derived += 1
                     self._note_add(head_pred, row)
                     delta.setdefault(head_pred, set()).add(row)
-        self._semi_naive_rounds(
-            store, info.plain, delta, stats=stats, parallel=parallel
-        )
+        self._semi_naive_rounds(store, plain, delta, stats=stats, parallel=parallel)
 
     # -- incremental evaluation --------------------------------------------
     def _incremental_run(self) -> EvaluationResult:
@@ -1820,8 +2174,10 @@ class SemiNaiveEngine:
                 relation.discard(row)
                 self._note_remove(predicate, row)
                 self._supports.discard_tuple(predicate, row)
-        for rule_index, _ in info.aggregates:
-            self._agg_cache.pop(rule_index, None)
+        for rule_index, rule in info.aggregates:
+            cached = self._agg_cache.pop(rule_index, None)
+            if cached:
+                self._clear_agg_supports(rule_index, rule, cached)
         self._supports.clear_degraded(info.heads)
         self._eval_stratum_full(store, info, stats, parallel=False)
         for predicate, old_rows in before.items():
@@ -1874,6 +2230,36 @@ class SemiNaiveEngine:
         if removal_work and self._supports.degraded_any(info.heads):
             self._recompute_stratum(store, info, sink, stats)
             return
+        # Interval-owned closure heads step first: the index turns the
+        # edge deltas into the head's exact added/removed closure pairs
+        # before any fixpoint machinery runs, so the removals can cascade
+        # through same-stratum consumers below and the additions seed the
+        # propagation.  An edge change that breaks the forest shape falls
+        # back to the full per-stratum recompute, which re-decides the
+        # access path from the rebuilt state.
+        interval_heads: set[str] = set()
+        interval_removed: list[tuple[str, Tuple_]] = []
+        interval_added: dict[str, list[Tuple_]] = {}
+        plain = info.plain
+        for spec in self._interval_specs_for(info):
+            removed_rows: list[Tuple_] = []
+            added_rows: list[Tuple_] = []
+            owned = self._interval_step(
+                store, spec, changes, sink, stats, removed_rows, added_rows
+            )
+            if owned is None:
+                self._recompute_stratum(store, info, sink, stats)
+                return
+            if owned:
+                interval_heads.add(spec.head)
+                plain = tuple(
+                    (i, r)
+                    for i, r in plain
+                    if i not in (spec.base_rule, spec.recursive_rule)
+                )
+                interval_removed.extend((spec.head, row) for row in removed_rows)
+                if added_rows:
+                    interval_added[spec.head] = added_rows
         scheduler = RetractionScheduler(
             store, self._supports, info.heads, info.recursive, stats
         )
@@ -1888,10 +2274,11 @@ class SemiNaiveEngine:
             stats.rules_fired += 1
             stats.agg_recomputes += 1
             cached = self._agg_cache.get(rule_index, set())
-            groups = self._affected_agg_groups(rule, changes)
+            groups = self._affected_agg_groups(rule_index, rule, store, changes, stats)
             if groups is None:
                 old = cached
-                new = _evaluate_aggregate_rule(rule, store, stats)
+                self._clear_agg_supports(rule_index, rule, cached)
+                new = self._evaluate_aggregate_tracked(rule_index, rule, store, stats)
                 self._agg_cache[rule_index] = new
             elif groups:
                 head = rule.rule.head
@@ -1907,10 +2294,16 @@ class SemiNaiveEngine:
                 agg_additions.append((rule, row, support))
         # Phase B: deletions.  Removed input tuples cascade through the
         # support index; negation-gain triggers drop the exact derivations
-        # the new tuples invalidate.
+        # the new tuples invalidate.  Interval-owned heads enqueue from
+        # their collected deltas — never from the shared ledger, which
+        # only sees them when this stratum writes ``changes`` directly.
         for predicate in changes.predicates():
+            if predicate in interval_heads:
+                continue
             for row in changes.removed(predicate):
                 scheduler.enqueue_removed(predicate, row)
+        for predicate, row in interval_removed:
+            scheduler.enqueue_removed(predicate, row)
         for rule_index, rule, negation in info.negations:
             gained = changes.added(negation.atom.predicate)
             if not gained:
@@ -1948,7 +2341,7 @@ class SemiNaiveEngine:
             if relation is None or row in relation:
                 continue
             supports: list[SupportKey] = []
-            for rule_index, rule in info.plain:
+            for rule_index, rule in plain:
                 if rule.rule.head.predicate != predicate:
                     continue
                 initial = _head_bindings(rule, row)
@@ -1976,11 +2369,25 @@ class SemiNaiveEngine:
         # additions, re-derived tuples and negation-loss derivations.
         delta: dict[str, set[Tuple_]] = {}
         for predicate in changes.predicates():
-            if predicate not in info.referenced:
+            if predicate not in info.referenced or predicate in interval_heads:
                 continue
             rows = changes.added(predicate)
             if rows:
                 delta[predicate] = set(rows)
+        # Interval-owned additions only seed the delta when a surviving
+        # plain rule actually consumes the head — downstream strata read
+        # them from the sink ledger regardless, and seeding an unconsumed
+        # head would skew the round counter between serial and parallel
+        # batch modes (only serial mode aliases ``sink`` and ``changes``).
+        if interval_added:
+            consumed = {
+                atom.predicate
+                for _, rule in plain
+                for atom in rule.rule.body_atoms()
+            }
+            for predicate, rows in interval_added.items():
+                if predicate in consumed:
+                    delta.setdefault(predicate, set()).update(rows)
         for predicate, rows in rederived.items():
             if predicate in info.referenced:
                 delta.setdefault(predicate, set()).update(rows)
@@ -2022,7 +2429,7 @@ class SemiNaiveEngine:
                     if head_pred in info.referenced:
                         delta.setdefault(head_pred, set()).add(row)
         self._semi_naive_rounds(
-            store, info.plain, delta, sink, stats=stats, parallel=parallel
+            store, plain, delta, sink, stats=stats, parallel=parallel
         )
 
 

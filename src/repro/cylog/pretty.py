@@ -125,6 +125,10 @@ def plan_step_to_source(step) -> str:
     their shard routing: ``exchange(p)`` marks a repartition step (the
     probe routes through a re-hashed copy of the relation keyed on term
     position ``p``) and ``chained`` a probe that fans over every shard.
+    ``interval`` marks a step whose rule belongs to an interval-answered
+    closure: the engine serves the stratum from the
+    :class:`~repro.cylog.indexes.IntervalHierarchyIndex` range scans
+    while the annotated plan stays behind as the fixpoint fallback.
     """
     base = literal_to_source(step.literal)
     if isinstance(step.literal, (Atom, Negation)):
@@ -135,7 +139,11 @@ def plan_step_to_source(step) -> str:
                 access += f" exchange({step.exchange_position})"
             elif getattr(step, "chained", False):
                 access += " chained"
+            if getattr(step, "interval", False):
+                access += " interval"
             return f"{base} [{access}]"
+        if getattr(step, "interval", False):
+            return f"{base} [scan interval]"
         return f"{base} [scan]"
     return base
 

@@ -197,6 +197,17 @@ class ShardConfig:
     ``"shared"`` additionally maps baseline partitions out of
     ``multiprocessing.shared_memory`` sealed row blocks instead of
     copying them through pipes.  All modes are bit-identical.
+
+    ``interval`` enables the interval access path: eligible
+    transitive-closure strata are answered from an engine-side
+    :class:`~repro.cylog.indexes.IntervalHierarchyIndex` (single range
+    scans) instead of fixpoint joins, whenever the edge relation is a
+    forest at run time.  The index lives beside the engine and bypasses
+    worker replicas entirely — interval-answered strata never dispatch to
+    the pool — so the flag composes with every executor and replica mode.
+    Disabling it keeps the fixpoint behaviour (the A/B knob the E13 bench
+    and the interval diff-oracle legs use).  Either way results are
+    bit-identical.
     """
 
     shards: int = 1
@@ -205,6 +216,7 @@ class ShardConfig:
     min_parallel_rows: int = 64
     exchange: bool = True
     replica_mode: str = "full"
+    interval: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:

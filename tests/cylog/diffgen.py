@@ -95,3 +95,69 @@ update_ops = st.lists(
     min_size=1,
     max_size=10,
 )
+
+
+# ---------------------------------------------------------------------------
+# Tree-shaped programs for the interval access path
+# ---------------------------------------------------------------------------
+
+#: The canonical interval-eligible program: a linear transitive closure
+#: over ``edge``, plus downstream consumers in higher strata (a plain
+#: join, a negation and an aggregate) so the oracles verify that
+#: interval-produced deltas propagate exactly like fixpoint-produced
+#: ones.  ``unreach`` keeps a non-interval recursive head in the same
+#: program so mixed strata are exercised.
+TREE_PROGRAM = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+pair(X, Z) :- tc(X, Y), tc(Y, Z).
+leafless(X) :- tc(X, Y), not edge(X, Y).
+fanout(X, count<Y>) :- tc(X, Y).
+unreach(X, Y) :- edge(X, Y), not tc(Y, X).
+"""
+
+#: Node ids for forest churn.  Small enough that random attach streams
+#: routinely create second parents, self-loops and cycles — every op
+#: stream exercises both the interval path and its sound-disable fallback.
+_NODES = st.integers(min_value=0, max_value=11)
+
+
+@st.composite
+def forest_ops(draw) -> list[tuple[str, int, int]]:
+    """A random churn stream over ``edge``: attaches, detaches and
+    subtree moves (detach + re-attach under a new parent in one batch).
+
+    Ops are structural intents, not guaranteed-valid tree mutations —
+    duplicate attaches, detaches of absent edges and forest-breaking
+    edges are all left in deliberately.
+    """
+    ops: list[tuple[str, int, int]] = []
+    edges: list[tuple[int, int]] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        kind = draw(st.sampled_from(("attach", "attach", "attach", "detach", "move")))
+        if kind == "attach" or not edges:
+            parent, child = draw(_NODES), draw(_NODES)
+            ops.append(("attach", parent, child))
+            edges.append((parent, child))
+        elif kind == "detach":
+            parent, child = draw(st.sampled_from(edges))
+            ops.append(("detach", parent, child))
+            edges.remove((parent, child))
+        else:  # move: re-root an existing child under a fresh parent
+            parent, child = draw(st.sampled_from(edges))
+            new_parent = draw(_NODES)
+            ops.append(("detach", parent, child))
+            ops.append(("attach", new_parent, child))
+            edges.remove((parent, child))
+            edges.append((new_parent, child))
+    return ops
+
+
+def apply_forest_op(engine, op: tuple[str, int, int]) -> None:
+    """Apply one ``forest_ops`` element to an engine-like object exposing
+    ``add_facts`` / ``retract_facts``."""
+    kind, parent, child = op
+    if kind == "attach":
+        engine.add_facts("edge", [(parent, child)])
+    else:
+        engine.retract_facts("edge", [(parent, child)])

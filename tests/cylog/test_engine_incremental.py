@@ -15,10 +15,16 @@ import pytest
 from repro.cylog.engine import SemiNaiveEngine, naive_evaluate
 from repro.cylog.errors import CyLogTypeError
 from repro.cylog.parser import parse_program
+from repro.cylog.sharding import ShardConfig
 
 
-def _engine(source: str) -> SemiNaiveEngine:
-    engine = SemiNaiveEngine(parse_program(source))
+def _engine(source: str, interval: bool = True) -> SemiNaiveEngine:
+    """``interval=False`` pins the fixpoint path for tests that assert the
+    counting/DRed internals a closure served from the interval index would
+    (correctly) bypass."""
+    engine = SemiNaiveEngine(
+        parse_program(source), shard_config=ShardConfig(interval=interval)
+    )
     engine.run()
     return engine
 
@@ -127,12 +133,17 @@ class TestRecursiveRetraction:
         """Deleting the only *grounded* support of path(1,3) forces a DRed
         over-delete; the tuple is re-derived through the recursive
         path(1,2) + edge(2,3) derivation and the net report shows only the
-        base edge leaving."""
-        engine = _engine("""
+        base edge leaving.  Interval is pinned off: the retraction leaves a
+        forest, so the index would otherwise serve the exact delta with no
+        over-delete at all."""
+        engine = _engine(
+            """
             edge(1, 2). edge(2, 3). edge(1, 3).
             path(X, Y) :- edge(X, Y).
             path(X, Y) :- path(X, Z), edge(Z, Y).
-        """)
+            """,
+            interval=False,
+        )
         engine.retract_facts("edge", [(1, 3)])
         result = engine.run()
         assert result.facts("path") == {(1, 2), (2, 3), (1, 3)}
@@ -275,9 +286,10 @@ class TestAggregateRetraction:
         assert result.facts("big") == {("g2",)}
         assert engine.runs == 1
 
-    def test_multi_atom_aggregate_falls_back_to_full_recompute(self):
-        """Join bodies cannot be localised per group — the fallback must
-        still produce the exact diff."""
+    def test_multi_atom_aggregate_localised_exact_diff(self):
+        """Join bodies are localised through the support index: retracting
+        a fact touching only group "t" recomputes only that group and the
+        diff is exact."""
         engine = _engine("""
             score("t", "a", 10). score("t", "b", 20). score("u", "a", 5).
             active("a"). active("b").
@@ -289,6 +301,52 @@ class TestAggregateRetraction:
         assert result.facts("total") == {("t", 10), ("u", 5)}
         assert result.removed("total") == {("t", 30)}
         assert result.added("total") == {("t", 10)}
+
+    def test_multi_atom_aggregate_localises_additions_and_removals(self):
+        """Every delta side of every body atom lands on the same fixpoint
+        as a from-scratch evaluation, group by group."""
+        engine = _engine(
+            "\n".join(
+                [
+                    # a fat "t" group localisation must avoid re-joining
+                    *(f'score("t", "a", {i}).' for i in range(50)),
+                    'score("u", "a", 5).',
+                    'active("a").',
+                    "total(G, sum<S>) :- score(G, W, S), active(W).",
+                ]
+            )
+        )
+        joined_baseline = engine.stats.tuples_joined
+        engine.add_facts("score", [("u", "a", 7)])
+        result = engine.run()
+        assert result.facts("total") == {("t", 1225), ("u", 12)}
+        assert result.added("total") == {("u", 12)}
+        assert result.removed("total") == {("u", 5)}
+        # Localisation: the untouched fat "t" group's join was not re-run.
+        assert engine.stats.tuples_joined - joined_baseline < 20
+        engine.add_facts("active", [("b",)])
+        engine.add_facts("score", [("t", "b", 1000)])
+        result = engine.run()
+        assert result.facts("total") == {("t", 2225), ("u", 12)}
+        engine.retract_facts("score", [("u", "a", 5)])
+        result = engine.run()
+        assert result.facts("total") == {("t", 2225), ("u", 7)}
+        assert result.removed("total") == {("u", 12)}
+        assert engine.runs == 1
+
+    def test_multi_atom_aggregate_group_vanishes(self):
+        """Removing the last contributing row deletes the group's output
+        tuple entirely (no empty-group ghost)."""
+        engine = _engine("""
+            score("t", "a", 10). score("u", "a", 5).
+            active("a").
+            total(G, count<S>) :- score(G, W, S), active(W).
+        """)
+        engine.retract_facts("score", [("u", "a", 5)])
+        result = engine.run()
+        assert result.facts("total") == {("t", 1)}
+        assert result.removed("total") == {("u", 1)}
+        assert result.added("total") == frozenset()
 
 
 class TestDeltaReports:

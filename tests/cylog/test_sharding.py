@@ -13,7 +13,14 @@ from __future__ import annotations
 import os
 
 import pytest
-from diffgen import EDB, stratified_program, update_ops
+from diffgen import (
+    EDB,
+    TREE_PROGRAM,
+    apply_forest_op,
+    forest_ops,
+    stratified_program,
+    update_ops,
+)
 from hypothesis import given, settings
 
 from repro.cylog import (
@@ -574,6 +581,40 @@ def test_sharded_matches_scratch_reload(source: str, ops):
         engine.close()
 
 
+@pytest.mark.shard_diff
+@given(forest_ops())
+@settings(max_examples=SHARD_EXAMPLES, deadline=None)
+def test_interval_leg_sharded_lockstep(ops):
+    """Interval leg of the shard-diff oracle: random forest churn runs in
+    lockstep on every sharded/threaded/process configuration (interval on,
+    the default) and on a single-store *fixpoint-only* reference.  After
+    every run the snapshots and reported deltas must be byte-identical —
+    the interval index lives engine-side, so no executor, shard count or
+    replica mode may perturb what it derives."""
+    program = parse_program(TREE_PROGRAM)
+    reference = SemiNaiveEngine(program, shard_config=ShardConfig(interval=False))
+    engines = [_engine_with(program, config) for config in SHARD_CONFIGS]
+    try:
+        reference.run()
+        for engine in engines:
+            engine.run()
+        for op in ops:
+            for engine in (reference, *engines):
+                apply_forest_op(engine, op)
+            expected = reference.run()
+            expected_snapshot = reference.store.snapshot()
+            for engine, config in zip(engines, SHARD_CONFIGS):
+                result = engine.run()
+                assert engine.store.snapshot() == expected_snapshot, (config, op)
+                assert result.added_rows == expected.added_rows, (config, op)
+                assert result.removed_rows == expected.removed_rows, (config, op)
+        for engine in (reference, *engines):
+            assert engine.runs == 1  # every update stayed incremental
+    finally:
+        for engine in engines:
+            engine.close()
+
+
 def _determinism_program():
     source = "\n".join(
         [
@@ -723,3 +764,50 @@ class TestExecutorDeterminism:
         for _, second, stats in self._run_all():
             assert stats["incremental_runs"] == 1
             assert second.has_changes()
+
+    def _run_interval(self, executor: str):
+        """Fixed tree churn on an interval-eligible program at worker
+        counts 1/2/8."""
+        program = parse_program(TREE_PROGRAM)
+        outcomes = []
+        for workers in self.WORKER_COUNTS:
+            engine = SemiNaiveEngine(
+                program,
+                shard_config=ShardConfig(
+                    shards=8,
+                    executor=executor,
+                    max_workers=workers,
+                    min_parallel_rows=0,
+                ),
+            )
+            try:
+                engine.add_facts("edge", [(i, i + 1) for i in range(40)])
+                engine.add_facts("edge", [(i, i + 100) for i in range(0, 40, 5)])
+                first = engine.run()
+                engine.retract_facts("edge", [(10, 11)])
+                engine.add_facts("edge", [(200, 10), (39, 40)])
+                second = engine.run()
+                outcomes.append((first, second, engine.stats.as_dict()))
+            finally:
+                engine.close()
+        return outcomes
+
+    def test_interval_stats_identical_at_any_worker_count(self):
+        """The interval index lives engine-side and steps serially, so its
+        counters — like every other derivation counter — are worker-count
+        and executor independent."""
+        by_executor = {
+            executor: self._run_interval(executor)
+            for executor in ("serial", "thread", "process")
+        }
+        serial_first, serial_second, serial_stats = by_executor["serial"][0]
+        assert serial_stats["interval_scans"] > 0  # the path actually engaged
+        for executor, outcomes in by_executor.items():
+            for first, second, stats in outcomes:
+                assert first.relations == serial_first.relations, executor
+                assert second.added_rows == serial_second.added_rows, executor
+                assert second.removed_rows == serial_second.removed_rows, executor
+                derivation = _derivation_only(stats)
+                baseline = _derivation_only(serial_stats)
+                derivation.pop("shard_tasks"), baseline.pop("shard_tasks")
+                assert derivation == baseline, executor

@@ -15,8 +15,13 @@ from __future__ import annotations
 import pytest
 
 from repro.config import RuntimeConfig
-from repro.cylog import CyLogProcessor, SemiNaiveEngine, parse_program
+from repro.cylog import CyLogProcessor, SemiNaiveEngine, ShardConfig, parse_program
 from repro.cylog.incremental import SupportIndex
+
+#: Interval pinned off throughout: the ``path`` closure below is
+#: interval-eligible, and interval-owned rows carry no supports — the
+#: budget these tests exist to exercise would never fill.
+_NO_INTERVAL = ShardConfig(interval=False)
 
 _PROGRAM = """
 edge("a","b"). edge("b","c"). edge("c","d"). edge("d","e").
@@ -82,8 +87,10 @@ class TestSupportIndexBudget:
 class TestBudgetedEngineLockstep:
     def test_snapshots_identical_and_budget_bites(self):
         program = parse_program(_PROGRAM)
-        reference = SemiNaiveEngine(program)
-        budgeted = SemiNaiveEngine(program, support_budget=3)
+        reference = SemiNaiveEngine(program, shard_config=_NO_INTERVAL)
+        budgeted = SemiNaiveEngine(
+            program, shard_config=_NO_INTERVAL, support_budget=3
+        )
         assert _drive(reference) == _drive(budgeted)
         assert budgeted.stats.supports_evicted > 0
         assert budgeted.stats.stratum_recomputes > 0
@@ -94,31 +101,39 @@ class TestBudgetedEngineLockstep:
 
     def test_zero_budget_disables_provenance_entirely(self):
         program = parse_program(_PROGRAM)
-        reference = SemiNaiveEngine(program)
-        budgeted = SemiNaiveEngine(program, support_budget=0)
+        reference = SemiNaiveEngine(program, shard_config=_NO_INTERVAL)
+        budgeted = SemiNaiveEngine(
+            program, shard_config=_NO_INTERVAL, support_budget=0
+        )
         assert _drive(reference) == _drive(budgeted)
         assert len(budgeted._supports) == 0
 
     @pytest.mark.parametrize("budget", [1, 5, 25])
     def test_budget_sweep(self, budget):
         program = parse_program(_PROGRAM)
-        reference = SemiNaiveEngine(program)
-        budgeted = SemiNaiveEngine(program, support_budget=budget)
+        reference = SemiNaiveEngine(program, shard_config=_NO_INTERVAL)
+        budgeted = SemiNaiveEngine(
+            program, shard_config=_NO_INTERVAL, support_budget=budget
+        )
         assert _drive(reference) == _drive(budgeted)
         assert len(budgeted._supports) <= budget
 
     def test_sharded_budgeted_engine_matches(self):
         program = parse_program(_PROGRAM)
-        reference = SemiNaiveEngine(program)
+        reference = SemiNaiveEngine(program, shard_config=_NO_INTERVAL)
         budgeted = SemiNaiveEngine(
-            program, shards=4, support_budget=3
+            program,
+            shard_config=ShardConfig(shards=4, interval=False),
+            support_budget=3,
         )
         assert _drive(reference) == _drive(budgeted)
         assert budgeted.stats.supports_evicted > 0
 
     def test_full_run_resets_index_but_not_cumulative_evictions(self):
         program = parse_program(_PROGRAM)
-        engine = SemiNaiveEngine(program, support_budget=3)
+        engine = SemiNaiveEngine(
+            program, shard_config=_NO_INTERVAL, support_budget=3
+        )
         _drive(engine)
         evicted_before = engine.stats.supports_evicted
         assert evicted_before > 0
