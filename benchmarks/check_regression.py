@@ -48,6 +48,9 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     # Sync-byte ratio, not a timing: deterministic on any hardware.
     "E12": ("speedup_pruned_vs_full_sync",),
     "E13": ("speedup_interval_vs_fixpoint",),
+    # Absolute throughput, not a ratio: the committed smoke floor is set
+    # conservatively low so only a serving-path collapse trips it.
+    "E14": ("sustained_rps",),
 }
 
 #: Reported next to the gated metrics but never gated (hardware-coupled).
@@ -56,6 +59,7 @@ CONTEXT_METRICS: dict[str, tuple[str, ...]] = {
     "E11": ("mutation_ops_per_s", "listing_query_ops_per_s"),
     "E12": ("speedup_shared_vs_full_sync",),
     "E13": ("speedup_build_interval_vs_fixpoint",),
+    "E14": ("p99_ms", "coalescing_x"),
 }
 
 

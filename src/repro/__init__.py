@@ -19,10 +19,15 @@ The package layout mirrors the paper's architecture (Figure 2):
   the spreadsheet→CyLog requester tools,
 * :mod:`repro.sim` — the simulated volunteer crowd,
 * :mod:`repro.apps` — the three demo scenarios (§2.5),
-* :mod:`repro.storage` — the embedded relational engine underneath it all.
+* :mod:`repro.storage` — the embedded relational engine underneath it all,
+* :mod:`repro.serving` — the asyncio HTTP front-end with admission
+  batching (cache-fed reads, queue-coalesced writes, backpressure);
+  configure through ``RuntimeConfig(serving=ServingConfig(...))`` and
+  build with :meth:`RuntimeConfig.build_server`.
 """
 
 from repro.config import RuntimeConfig
+from repro.serving import ServingConfig
 from repro.core import (
     AffinityMatrix,
     Crowd4U,
@@ -45,6 +50,7 @@ __all__ = [
     "ReproError",
     "RuntimeConfig",
     "SchemeKind",
+    "ServingConfig",
     "SkillRequirement",
     "TeamConstraints",
     "Worker",

@@ -1,15 +1,20 @@
-"""Runtime configuration for platform and processor construction.
+"""Runtime configuration for platform, processor and server construction.
 
 :class:`RuntimeConfig` gathers every knob that used to travel as separate
 keyword arguments on ``Crowd4U(...)`` and ``CyLogProcessor(...)`` —
-storage backend, sharding/executor layout, the exchange operator and the
-support-index memory budget — into one validated value object:
+storage backend, sharding/executor layout, the exchange operator, the
+support-index memory budget and the serving front-end — into one
+validated value object:
 
 >>> from repro import Crowd4U, RuntimeConfig
 >>> platform = Crowd4U(config=RuntimeConfig(shards=4, executor="thread"))
 
-The old per-knob keywords still work but emit :class:`DeprecationWarning`;
-mixing them with ``config=`` is an error.
+``config=`` is the only spelling: the per-knob keywords deprecated in
+the PR-6 redesign have been removed.  The serving slice nests as a
+frozen :class:`~repro.serving.config.ServingConfig`
+(``RuntimeConfig(serving=ServingConfig(port=8080))``), and
+:meth:`RuntimeConfig.build_server` is the one way to construct a
+:class:`~repro.serving.server.PlatformServer`.
 """
 
 from __future__ import annotations
@@ -18,8 +23,11 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.serving.config import ServingConfig
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cylog.sharding import ShardConfig
+    from repro.serving.server import PlatformServer
     from repro.storage.database import Database
 
 _BACKENDS = ("memory", "wal", "sqlite")
@@ -52,6 +60,11 @@ class RuntimeConfig:
     incremental engine's provenance index may hold; past the cap the
     engine degrades affected strata to recompute-on-removal instead of
     growing without bound (``None`` means unbounded).
+
+    Serving: ``serving`` is the nested frozen
+    :class:`~repro.serving.config.ServingConfig` — bind address,
+    admission batch window, queue depth and backpressure thresholds for
+    the HTTP front-end built by :meth:`build_server`.
     """
 
     backend: str = "memory"
@@ -63,6 +76,7 @@ class RuntimeConfig:
     exchange: bool = True
     replica_mode: str = "full"
     support_budget: int | None = None
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -87,6 +101,10 @@ class RuntimeConfig:
         if self.support_budget is not None and self.support_budget < 0:
             raise ValueError(
                 f"support_budget must be >= 0 or None, got {self.support_budget}"
+            )
+        if not isinstance(self.serving, ServingConfig):
+            raise TypeError(
+                f"serving must be a ServingConfig, got {type(self.serving).__name__}"
             )
 
     def with_changes(self, **changes: Any) -> "RuntimeConfig":
@@ -114,3 +132,20 @@ class RuntimeConfig:
         return open_database(
             self.path, backend=self.backend, **self.backend_options
         )
+
+    def build_server(self, platform=None, **server_options: Any) -> "PlatformServer":
+        """The one way to get a :class:`~repro.serving.server.PlatformServer`.
+
+        Builds a :class:`~repro.core.platform.Crowd4U` from this
+        configuration when ``platform`` is not supplied; the server's
+        knobs come from the nested :attr:`serving` slice.
+        ``server_options`` are forwarded to the server constructor
+        (e.g. ``record_journal=True`` for the serving-diff oracle).
+        """
+        from repro.serving.server import PlatformServer
+
+        if platform is None:
+            from repro.core.platform import Crowd4U
+
+            platform = Crowd4U(config=self)
+        return PlatformServer(platform, self.serving, **server_options)

@@ -28,8 +28,9 @@ verifies the incrementally maintained ledger against a from-scratch
 recomputation.  Work counters live in :class:`PlatformStats`.
 
 Every project's CyLog engine can be hash-sharded and evaluated in
-parallel (``Crowd4U(shards=8, executor="thread")`` or GIL-free with
-``executor="process"`` — see :class:`repro.cylog.ShardConfig`): the
+parallel (``Crowd4U(config=RuntimeConfig(shards=8, executor="thread"))``
+or GIL-free with ``executor="process"`` — see
+:class:`repro.cylog.ShardConfig`): the
 round's eligibility maintenance then consumes the engine's change sets
 *per shard* — the removed-row membership probe
 ``relation.lookup((0,), (worker_id,))`` routes straight to the shard
@@ -47,9 +48,9 @@ with ``exchange=False``) instead of chaining every shard.
 
 from __future__ import annotations
 
-import warnings
+import contextlib
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from repro.config import RuntimeConfig
 
@@ -150,44 +151,10 @@ class Crowd4U:
         db: Database | None = None,
         affinity_weights: AffinityWeights | None = None,
         incremental: bool = True,
-        shards: int | None = None,
-        executor: str | None = None,
-        max_workers: int | None = None,
-        exchange: bool | None = None,
         *,
         config: RuntimeConfig | None = None,
     ) -> None:
-        legacy = {
-            name: value
-            for name, value in (
-                ("shards", shards),
-                ("executor", executor),
-                ("max_workers", max_workers),
-                ("exchange", exchange),
-            )
-            if value is not None
-        }
-        if legacy:
-            if config is not None:
-                raise ValueError(
-                    "pass the engine layout through config=RuntimeConfig(...), "
-                    f"not the deprecated keywords {sorted(legacy)}"
-                )
-            warnings.warn(
-                f"Crowd4U({', '.join(sorted(legacy))}) keywords are deprecated; "
-                "pass config=RuntimeConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = RuntimeConfig(
-                shards=shards if shards is not None else 1,
-                executor=executor if executor is not None else "serial",
-                max_workers=max_workers,
-                exchange=exchange if exchange is not None else True,
-            )
-        elif config is None:
-            config = RuntimeConfig()
-        self.config = config
+        self.config = config = config if config is not None else RuntimeConfig()
         self.seed = seed
         self.now = 0.0
         self.incremental = incremental
@@ -395,6 +362,24 @@ class Crowd4U:
                 f"scheme {scheme.kind!r} does not accept parallel contributions"
             )
         contribute(ctx, worker_id, content, self.now)
+
+    @contextlib.contextmanager
+    def batch_writes(self) -> Iterator["Crowd4U"]:
+        """Coalesce a burst of worker-facing mutations into one engine
+        continuation per project.
+
+        Enters every project processor's :meth:`CyLogProcessor.batch`
+        context (in sorted project order, exited in reverse), so worker
+        registrations, factor updates and answer submissions performed
+        inside the block queue their facts and fold in with a single
+        incremental evaluation — and one demand refresh — per project at
+        block exit.  The serving front-end's admission drainer wraps each
+        drained tick in this; it is equally useful for bulk imports.
+        """
+        with contextlib.ExitStack() as stack:
+            for project_id in sorted(self._processors):
+                stack.enter_context(self._processors[project_id].batch())
+            yield self
 
     # ------------------------------------------------------------------
     # Requester-side API (admin pages)

@@ -2314,13 +2314,19 @@ class SemiNaiveEngine:
                 set(gained), store.maybe(negation.atom.predicate)
             )
             stats.rules_fired += 1
-            for b in solutions(
-                plan,
-                store,
-                delta_position=0,
-                delta_relation=delta_rel,
-                stats=stats,
-            ):
+            # Materialized before dropping: drop_support deletes rows from
+            # the store eagerly, and solutions() iterates its live index
+            # buckets lazily.
+            triggered = list(
+                solutions(
+                    plan,
+                    store,
+                    delta_position=0,
+                    delta_relation=delta_rel,
+                    stats=stats,
+                )
+            )
+            for b in triggered:
                 scheduler.drop_support(
                     head_pred,
                     _head_tuple(rule, b),

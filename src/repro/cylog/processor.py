@@ -24,7 +24,6 @@ frozenset({('s1', 'S1-FR')})
 from __future__ import annotations
 
 import contextlib
-import warnings
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.cylog.ast import Program
@@ -63,32 +62,23 @@ class CyLogProcessor:
     hash-sharded relation store, a parallel executor and a support-index
     memory budget for the underlying engine; results are identical to the
     default single-store serial configuration — the shard-diff CI oracle
-    gates on it.  ``shard_config`` is the deprecated spelling of the
-    engine-layout slice and will be removed.
+    gates on it.  (The PR-6 ``shard_config=`` spelling has been removed;
+    engine-level code can still hand a raw
+    :class:`~repro.cylog.sharding.ShardConfig` to
+    :class:`~repro.cylog.engine.SemiNaiveEngine` directly.)
     """
 
     def __init__(
         self,
         source: str | Program,
-        shard_config: "ShardConfig | None" = None,
         *,
         config: "RuntimeConfig | None" = None,
     ) -> None:
+        shard_config: "ShardConfig | None" = None
         support_budget = None
         if config is not None:
-            if shard_config is not None:
-                raise ValueError(
-                    "pass either config= or the deprecated shard_config=, not both"
-                )
             shard_config = config.to_shard_config()
             support_budget = config.support_budget
-        elif shard_config is not None:
-            warnings.warn(
-                "CyLogProcessor(shard_config=...) is deprecated; pass "
-                "config=RuntimeConfig(shards=..., executor=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         program = parse_program(source) if isinstance(source, str) else source
         self.compiled = compile_program(program)
         self.engine = SemiNaiveEngine(

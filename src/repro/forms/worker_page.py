@@ -12,6 +12,7 @@ from repro.core.human_factors import HumanFactors
 from repro.forms.model import FormField, FormModel
 from repro.forms.render import render_form, render_page, render_table
 from repro.storage import col
+from repro.storage.cache import CacheStats, observe_cache
 
 
 def build_factors_form(factors: HumanFactors) -> FormModel:
@@ -47,14 +48,27 @@ def build_factors_form(factors: HumanFactors) -> FormModel:
     )
 
 
-def render_worker_page(platform, worker_id: str) -> str:
+def render_worker_page(
+    platform, worker_id: str, cache_stats: CacheStats | None = None
+) -> str:
     """The full worker page: factors + eligible collaborative tasks.
 
     The task list and per-task statuses render from cached storage queries
     (see :mod:`repro.storage.cache`): between platform mutations, repeated
     page loads are served from memoised results instead of re-scanning the
     relationship and task tables.
+
+    ``cache_stats`` makes the read path's cache effectiveness observable
+    instead of inferred: when supplied, exactly the hits/misses/
+    invalidations this render incurred are absorbed into it (the serving
+    front-end passes its per-server block so ``GET /stats`` reports the
+    cache-fed read path directly).
     """
+    with observe_cache(platform.db.query_cache, cache_stats):
+        return _render_worker_page(platform, worker_id)
+
+
+def _render_worker_page(platform, worker_id: str) -> str:
     worker = platform.workers.get(worker_id)
     factors = worker.factors
     form_html = render_form(build_factors_form(factors))

@@ -1,0 +1,309 @@
+"""A minimal, dependency-free HTTP/1.1 layer over asyncio streams.
+
+Just enough protocol for the serving front-end: request-line + headers +
+``Content-Length`` bodies in, status + headers + body out, persistent
+connections by default (``Connection: close`` honoured both ways).  No
+chunked transfer, no TLS, no compression — requests asking for them get
+a clean 4xx/5xx instead of undefined behaviour.  Limits are enforced
+*before* any platform state is touched: an oversized header block is 431
+and an oversized body 413.
+
+:func:`http_request` is the matching one-shot client used by the tests,
+the serving bench and the example driver.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "encode_response",
+    "http_request",
+    "read_request",
+]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol violation that maps to one error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON (400 on malformed input)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from None
+
+    def form(self) -> dict[str, str]:
+        """The body parsed as ``application/x-www-form-urlencoded``."""
+        try:
+            text = self.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, f"malformed form body: {exc}") from None
+        return dict(parse_qsl(text, keep_blank_values=True))
+
+    def payload(self) -> dict[str, Any]:
+        """JSON object or urlencoded form, by content type; must be a
+        mapping (the write handlers' uniform input)."""
+        ctype = self.headers.get("content-type", "").split(";")[0].strip()
+        if ctype == "application/x-www-form-urlencoded":
+            return self.form()
+        value = self.json()
+        if not isinstance(value, Mapping):
+            raise HttpError(400, "request body must be a JSON object")
+        return dict(value)
+
+
+@dataclass
+class HttpResponse:
+    """One response to serialize."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def json(
+        cls, value: Any, status: int = 200, headers: dict[str, str] | None = None
+    ) -> "HttpResponse":
+        body = json.dumps(value, sort_keys=True).encode("utf-8")
+        out = dict(headers or {})
+        out.setdefault("Content-Type", "application/json; charset=utf-8")
+        return cls(status=status, headers=out, body=body)
+
+    @classmethod
+    def html(cls, text: str, status: int = 200) -> "HttpResponse":
+        return cls(
+            status=status,
+            headers={"Content-Type": "text/html; charset=utf-8"},
+            body=text.encode("utf-8"),
+        )
+
+    @classmethod
+    def error(
+        cls, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> "HttpResponse":
+        return cls.json({"ok": False, "error": message}, status=status,
+                        headers=headers)
+
+    def parsed_json(self) -> Any:
+        """Decode the body as JSON (client-side convenience)."""
+        return json.loads(self.body.decode("utf-8")) if self.body else None
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = 32768,
+    max_body_bytes: int = 1 << 20,
+) -> HttpRequest | None:
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on protocol violations (the caller answers
+    with the error's status and closes the connection).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head too large") from None
+    if len(head) > max_header_bytes:
+        raise HttpError(431, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(501, f"unsupported protocol version {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise HttpError(501, "transfer-encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad content-length {length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, f"bad content-length {length_text!r}")
+        if length > max_body_bytes:
+            raise HttpError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+    elif method in ("POST", "PUT", "PATCH"):
+        # No body is fine; a body without a length is not.
+        pass
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(response: HttpResponse, *, keep_alive: bool = True) -> bytes:
+    """Serialize ``response`` with Content-Length and Connection headers."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers["Content-Length"] = str(len(response.body))
+    headers.setdefault("Connection", "keep-alive" if keep_alive else "close")
+    for name, value in headers.items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response off ``reader`` (the client half)."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+class HttpClient:
+    """A persistent keep-alive connection issuing sequential requests."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "HttpClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Any = None,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> HttpResponse:
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        out = {"Host": f"{self.host}:{self.port}"}
+        if headers:
+            out.update(headers)
+        payload = body or b""
+        if json_body is not None:
+            payload = json.dumps(json_body, sort_keys=True).encode("utf-8")
+            out.setdefault("Content-Type", "application/json; charset=utf-8")
+        if payload or method in ("POST", "PUT", "PATCH"):
+            out["Content-Length"] = str(len(payload))
+        head = [f"{method} {path} HTTP/1.1"]
+        head.extend(f"{name}: {value}" for name, value in out.items())
+        self._writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+        )
+        await self._writer.drain()
+        return await read_response(self._reader)
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    json_body: Any = None,
+    body: bytes | None = None,
+    headers: Mapping[str, str] | None = None,
+) -> HttpResponse:
+    """One-shot request on a fresh connection (closed afterwards)."""
+    async with HttpClient(host, port) as client:
+        return await client.request(
+            method, path, json_body=json_body, body=body, headers=headers
+        )

@@ -1,0 +1,228 @@
+"""The serving write vocabulary and its burst-coalesced apply.
+
+Every state-changing HTTP endpoint decodes into one :class:`WriteOp` — a
+plain (kind, JSON payload) record — and :func:`apply_ops` is the *only*
+code that turns admitted operations into platform mutations.  The
+server's drainer calls it once per tick, and the serving-diff oracle
+replays a server's admission journal through the very same function, so
+"what the HTTP surface did" and "what the library would have done" are
+the same code path by construction; the oracle then checks the states
+are byte-identical.
+
+Coalescing: consecutive non-barrier operations apply inside
+:meth:`repro.core.Crowd4U.batch_writes` — every project processor in
+batch mode — so a burst of submissions costs one engine continuation per
+project instead of one per request.  ``step`` is a *barrier*: it must
+observe the world exactly as a direct ``platform.step()`` call would, so
+the surrounding burst is flushed before it runs.
+
+Per-operation failures (unknown ids, invalid forms) are captured as
+:class:`OpOutcome` errors — the rest of the burst proceeds, mirroring a
+sequence of direct library calls where one raises and the caller moves
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.human_factors import HumanFactors
+from repro.errors import FormError, PlatformError
+
+__all__ = ["BARRIER_KINDS", "OP_KINDS", "OpOutcome", "WriteOp", "apply_ops"]
+
+#: Operation kinds whose apply must not sit inside a write burst.
+BARRIER_KINDS = frozenset({"step"})
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One admitted write: an operation kind plus its JSON payload."""
+
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown write op kind {self.kind!r}; expected one of "
+                f"{sorted(OP_KINDS)}"
+            )
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def as_record(self) -> dict[str, Any]:
+        """JSON-serializable journal record."""
+        return {"kind": self.kind, "payload": self.payload}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "WriteOp":
+        return cls(kind=record["kind"], payload=dict(record["payload"]))
+
+
+@dataclass
+class OpOutcome:
+    """What applying one :class:`WriteOp` produced."""
+
+    ok: bool
+    value: Any = None
+    status: int = 200
+    error: str | None = None
+
+    def as_response_value(self) -> dict[str, Any]:
+        if self.ok:
+            return {"ok": True, "result": self.value}
+        return {"ok": False, "error": self.error}
+
+
+def factors_from_payload(payload: Mapping[str, Any]) -> HumanFactors:
+    """Build :class:`HumanFactors` from a JSON object (validated there)."""
+    data = dict(payload)
+    if "native_languages" in data:
+        data["native_languages"] = frozenset(data["native_languages"])
+    if data.get("coordinates") is not None:
+        coords = data["coordinates"]
+        data["coordinates"] = (float(coords[0]), float(coords[1]))
+    try:
+        return HumanFactors(**data)
+    except TypeError as exc:
+        raise FormError(f"invalid factors payload: {exc}") from None
+
+
+def _require(payload: Mapping[str, Any], *keys: str) -> list[Any]:
+    values = []
+    for key in keys:
+        if key not in payload:
+            raise FormError(f"missing required field {key!r}")
+        values.append(payload[key])
+    return values
+
+
+def _op_register_worker(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    (name,) = _require(payload, "name")
+    factors = factors_from_payload(payload.get("factors") or {})
+    worker = platform.register_worker(str(name), factors)
+    return {"worker_id": worker.id}
+
+
+def _op_update_factors(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    from repro.forms.worker_page import parse_factors_form
+
+    worker_id, fields = _require(payload, "worker_id", "fields")
+    base = platform.workers.get(worker_id).factors
+    platform.update_worker_factors(worker_id, parse_factors_form(dict(fields), base))
+    return {"worker_id": worker_id}
+
+
+def _op_declare_interest(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    worker_id, task_id = _require(payload, "worker_id", "task_id")
+    platform.declare_interest(worker_id, task_id)
+    return {"worker_id": worker_id, "task_id": task_id}
+
+
+def _op_confirm(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    worker_id, task_id = _require(payload, "worker_id", "task_id")
+    platform.confirm_membership(worker_id, task_id)
+    return {"worker_id": worker_id, "task_id": task_id}
+
+
+def _op_decline(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    worker_id, task_id = _require(payload, "worker_id", "task_id")
+    platform.decline_membership(worker_id, task_id)
+    return {"worker_id": worker_id, "task_id": task_id}
+
+
+def _op_submit_result(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    task_id, worker_id, result = _require(payload, "task_id", "worker_id", "result")
+    if not isinstance(result, Mapping):
+        raise FormError("result must be a JSON object")
+    platform.submit_micro_result(task_id, worker_id, dict(result))
+    return {"task_id": task_id}
+
+
+def _op_contribute(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    task_id, worker_id, content = _require(
+        payload, "task_id", "worker_id", "content"
+    )
+    platform.contribute(task_id, worker_id, str(content))
+    return {"task_id": task_id}
+
+
+def _op_supply_answer(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    project_id, predicate, key_values, fill_values = _require(
+        payload, "project_id", "predicate", "key_values", "fill_values"
+    )
+    if not isinstance(key_values, Mapping) or not isinstance(fill_values, Mapping):
+        raise FormError("key_values and fill_values must be JSON objects")
+    fact = platform.processor(project_id).supply_fact(
+        predicate, dict(key_values), dict(fill_values)
+    )
+    return {"predicate": predicate, "fact": list(fact)}
+
+
+def _op_post_task(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    project_id, instruction = _require(payload, "project_id", "instruction")
+    task = platform.post_task(project_id, str(instruction))
+    return {"task_id": task.id}
+
+
+def _op_step(platform, payload: Mapping[str, Any]) -> dict[str, Any]:
+    counts = platform.step(dt=float(payload.get("dt", 1.0)))
+    return dict(counts)
+
+
+_APPLY = {
+    "register_worker": _op_register_worker,
+    "update_factors": _op_update_factors,
+    "declare_interest": _op_declare_interest,
+    "confirm_membership": _op_confirm,
+    "decline_membership": _op_decline,
+    "submit_result": _op_submit_result,
+    "contribute": _op_contribute,
+    "supply_answer": _op_supply_answer,
+    "post_task": _op_post_task,
+    "step": _op_step,
+}
+
+OP_KINDS = frozenset(_APPLY)
+
+
+def _status_for(exc: Exception) -> int:
+    if isinstance(exc, FormError) or isinstance(exc, (KeyError, ValueError)):
+        return 400
+    if isinstance(exc, PlatformError) and "unknown" in str(exc):
+        return 404
+    return 409
+
+
+def _apply_one(platform, op: WriteOp) -> OpOutcome:
+    try:
+        value = _APPLY[op.kind](platform, op.payload)
+    except Exception as exc:  # noqa: BLE001 - one bad op must not kill the burst
+        return OpOutcome(
+            ok=False,
+            status=_status_for(exc),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return OpOutcome(ok=True, value=value)
+
+
+def apply_ops(platform, ops: Iterable[WriteOp]) -> list[OpOutcome]:
+    """Apply ``ops`` in order, coalescing runs between barriers into one
+    write burst each; returns one :class:`OpOutcome` per operation."""
+    pending = list(ops)
+    outcomes: list[OpOutcome] = []
+    index = 0
+    while index < len(pending):
+        if pending[index].kind in BARRIER_KINDS:
+            outcomes.append(_apply_one(platform, pending[index]))
+            index += 1
+            continue
+        end = index
+        while end < len(pending) and pending[end].kind not in BARRIER_KINDS:
+            end += 1
+        with platform.batch_writes():
+            for op in pending[index:end]:
+                outcomes.append(_apply_one(platform, op))
+        index = end
+    return outcomes

@@ -1,0 +1,97 @@
+"""Serving telemetry, ``EngineStats``-style.
+
+:class:`ServingStats` counts what the front-end did — requests served
+from the cache-fed read path, writes admitted/coalesced/rejected, drain
+ticks (engine continuations) and their latency — so the admission
+batcher's effectiveness is a measured surface.  The counters feed
+:func:`repro.metrics.format_stats_table` via :meth:`as_dict` and a
+:class:`repro.metrics.Collector` via :meth:`to_collector`, exactly like
+``PlatformStats`` and ``CacheStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.cache import CacheStats
+
+__all__ = ["ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Work counters for one :class:`~repro.serving.server.PlatformServer`.
+
+    ``reads`` are GETs served without touching the engine (worker pages,
+    task UIs, stats).  ``admitted`` writes entered the admission queue;
+    ``applied`` of them were executed by the drainer; ``op_errors`` of
+    those raised (reported per-request as 4xx, the rest of the burst
+    proceeds).  ``rejected_depth`` / ``rejected_lag`` are 429s from the
+    two backpressure triggers, ``rejected_closed`` are 503s during
+    drain/close.  ``ticks`` counts drainer bursts — one engine
+    continuation per project per tick — so ``admitted / ticks``
+    (:attr:`coalescing`) is the batching win.  Tick latency is the wall
+    time one burst took to apply.  ``read_cache`` aggregates the query
+    cache hits/misses incurred by this server's renders only (see
+    :func:`repro.forms.worker_page.render_worker_page`).
+    """
+
+    reads: int = 0
+    admitted: int = 0
+    applied: int = 0
+    op_errors: int = 0
+    rejected_depth: int = 0
+    rejected_lag: int = 0
+    rejected_closed: int = 0
+    ticks: int = 0
+    max_queue_depth: int = 0
+    tick_latency_total_s: float = 0.0
+    tick_latency_max_s: float = 0.0
+    read_cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def rejected(self) -> int:
+        """Total writes refused admission (both 429 triggers + 503s)."""
+        return self.rejected_depth + self.rejected_lag + self.rejected_closed
+
+    @property
+    def coalescing(self) -> float:
+        """Writes admitted per engine continuation (the batching win)."""
+        return self.admitted / self.ticks if self.ticks else 0.0
+
+    def record_tick(self, batch_size: int, latency_s: float) -> None:
+        """Account one drainer burst."""
+        self.ticks += 1
+        self.applied += batch_size
+        self.tick_latency_total_s += latency_s
+        self.tick_latency_max_s = max(self.tick_latency_max_s, latency_s)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "reads": self.reads,
+            "admitted": self.admitted,
+            "applied": self.applied,
+            "op_errors": self.op_errors,
+            "rejected_depth": self.rejected_depth,
+            "rejected_lag": self.rejected_lag,
+            "rejected_closed": self.rejected_closed,
+            "ticks": self.ticks,
+            "coalescing_x": round(self.coalescing, 3),
+            "max_queue_depth": self.max_queue_depth,
+            "tick_latency_total_s": round(self.tick_latency_total_s, 6),
+            "tick_latency_max_s": round(self.tick_latency_max_s, 6),
+        }
+
+    def sections(self) -> dict[str, dict[str, float]]:
+        """The :func:`repro.metrics.format_stats_table` sections this
+        server contributes (serving counters + its read-path cache)."""
+        return {
+            "serving": self.as_dict(),
+            "serving_read_cache": self.read_cache.as_dict(),
+        }
+
+    def to_collector(self, collector, prefix: str = "serving") -> None:
+        """Add every counter to a :class:`repro.metrics.Collector`."""
+        for name, value in self.as_dict().items():
+            collector.count(f"{prefix}.{name}", value)
+        self.read_cache.to_collector(collector, prefix=f"{prefix}.read_cache")

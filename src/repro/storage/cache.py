@@ -15,9 +15,10 @@ benches and the metrics collector can report hit/miss/invalidation rates.
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable, Iterator, Mapping, Sequence
 
 
 @dataclass
@@ -51,6 +52,41 @@ class CacheStats:
     @property
     def fetches(self) -> int:
         return self.hits + self.misses + self.invalidations
+
+    def absorb(self, counters: "CacheStats | Mapping[str, int]") -> None:
+        """Add another stats block's counters into this one.
+
+        Lets a consumer keep its own attribution slice of a shared cache:
+        the worker page absorbs exactly the hits/misses its renders
+        incurred into a caller-supplied block (see
+        :func:`repro.forms.worker_page.render_worker_page`), so the
+        serving read path's cache effectiveness is observable per server
+        rather than inferred from the database-wide totals.
+        """
+        if isinstance(counters, CacheStats):
+            counters = counters.as_dict()
+        self.hits += counters.get("hits", 0)
+        self.misses += counters.get("misses", 0)
+        self.invalidations += counters.get("invalidations", 0)
+        self.evictions += counters.get("evictions", 0)
+
+
+@contextlib.contextmanager
+def observe_cache(cache: "QueryCache", stats: CacheStats | None) -> Iterator[None]:
+    """Attribute the cache activity inside the block to ``stats``.
+
+    ``stats=None`` observes nothing (the zero-overhead default); the
+    global :attr:`QueryCache.stats` totals keep counting either way.
+    """
+    if stats is None:
+        yield
+        return
+    before = cache.stats.as_dict()
+    try:
+        yield
+    finally:
+        after = cache.stats.as_dict()
+        stats.absorb({name: after[name] - before[name] for name in after})
 
 
 class QueryCache:

@@ -1,5 +1,5 @@
-"""RuntimeConfig: validation, equivalence with the deprecated keywords,
-and the deprecation shims themselves."""
+"""RuntimeConfig: validation, the nested serving slice, and the removal
+of the PR-6 deprecated keyword shims (config= is the only spelling)."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ import pytest
 from repro.config import RuntimeConfig
 from repro.core import Crowd4U, HumanFactors
 from repro.cylog import CyLogProcessor, ShardConfig
+from repro.serving import ServingConfig
 
 
 class TestValidation:
@@ -73,26 +74,20 @@ class TestCrowd4UShim:
         assert not [w for w in recwarn if w.category is DeprecationWarning]
         platform.close()
 
-    def test_deprecated_kwargs_still_work(self):
-        with pytest.deprecated_call():
-            platform = Crowd4U(seed=1, shards=2, executor="thread", max_workers=2)
-        assert platform.shard_config.shards == 2
-        assert platform.shard_config.executor == "thread"
-        platform.close()
+    def test_legacy_kwargs_removed(self):
+        # The PR-6 deprecation shims graduated to removal: the old
+        # per-knob keywords are hard TypeErrors now, not warnings.
+        for kwargs in (
+            {"shards": 2},
+            {"executor": "thread"},
+            {"max_workers": 2},
+            {"exchange": False},
+        ):
+            with pytest.raises(TypeError):
+                Crowd4U(seed=1, **kwargs)
 
-    def test_deprecated_exchange_kwarg(self):
-        with pytest.deprecated_call():
-            platform = Crowd4U(seed=1, exchange=False)
-        assert platform.shard_config.exchange is False
-        platform.close()
-
-    def test_mixing_config_and_deprecated_kwargs_raises(self):
-        with pytest.raises(ValueError, match="deprecated keywords"):
-            Crowd4U(seed=1, shards=2, config=RuntimeConfig())
-
-    def test_deprecated_and_config_paths_equivalent(self):
-        with pytest.deprecated_call():
-            old = Crowd4U(seed=5, shards=2, executor="thread", max_workers=2)
+    def test_config_paths_equivalent_across_layouts(self):
+        old = Crowd4U(seed=5, config=RuntimeConfig())
         new = Crowd4U(
             seed=5, config=RuntimeConfig(shards=2, executor="thread", max_workers=2)
         )
@@ -110,8 +105,11 @@ class TestCrowd4UShim:
             )
             platform.step()
         old_snapshot = old.snapshot()
-        assert old_snapshot == new.snapshot()
-        assert old.shard_config == new.shard_config
+        new_snapshot = new.snapshot()
+        # Execution layout may differ; the platform state must not.
+        for snapshot in (old_snapshot, new_snapshot):
+            snapshot.pop("engine_shards", None)
+        assert old_snapshot == new_snapshot
         old.close()
         new.close()
 
@@ -136,14 +134,48 @@ class TestProcessorShim:
         assert processor.engine._support_budget == 7
         processor.close()
 
-    def test_shard_config_deprecated(self):
-        with pytest.deprecated_call():
-            processor = CyLogProcessor("p(1).", shard_config=ShardConfig(shards=2))
+    def test_shard_config_kwarg_removed(self):
+        with pytest.raises(TypeError):
+            CyLogProcessor("p(1).", shard_config=ShardConfig(shards=2))
+
+    def test_config_plumbs_shards(self):
+        processor = CyLogProcessor("p(1).", config=RuntimeConfig(shards=2))
         assert processor.engine.shard_config.shards == 2
         processor.close()
 
-    def test_mixing_raises(self):
-        with pytest.raises(ValueError, match="not both"):
-            CyLogProcessor(
-                "p(1).", shard_config=ShardConfig(), config=RuntimeConfig()
-            )
+
+class TestServingSlice:
+    def test_default_serving_config(self):
+        config = RuntimeConfig()
+        assert config.serving == ServingConfig()
+        assert config.serving.port == 0
+
+    def test_serving_composes(self):
+        config = RuntimeConfig(serving=ServingConfig(queue_depth=7, max_batch=3))
+        assert config.serving.queue_depth == 7
+        assert config.serving.max_batch == 3
+
+    def test_serving_type_checked(self):
+        with pytest.raises(TypeError, match="serving"):
+            RuntimeConfig(serving={"port": 80})
+
+    def test_with_changes_preserves_serving(self):
+        config = RuntimeConfig(serving=ServingConfig(queue_depth=7))
+        assert config.with_changes(shards=2).serving.queue_depth == 7
+
+    def test_build_server_uses_serving_slice(self):
+        config = RuntimeConfig(serving=ServingConfig(max_batch=3))
+        server = config.build_server()
+        try:
+            assert server.config.max_batch == 3
+            assert server.platform.config is config
+        finally:
+            server.platform.close()
+
+    def test_build_server_accepts_existing_platform(self):
+        platform = Crowd4U(seed=1)
+        try:
+            server = RuntimeConfig().build_server(platform)
+            assert server.platform is platform
+        finally:
+            platform.close()

@@ -142,13 +142,9 @@ class TestEngineLockstep:
         finally:
             processor.close()
 
-    def test_processor_shard_config_deprecated(self):
-        with pytest.deprecated_call():
-            processor = CyLogProcessor("p(1).", shard_config=_process_config())
-        try:
-            assert processor.engine.shard_config.executor == "process"
-        finally:
-            processor.close()
+    def test_processor_shard_config_kwarg_removed(self):
+        with pytest.raises(TypeError):
+            CyLogProcessor("p(1).", shard_config=_process_config())
 
 
 class TestProtocol:

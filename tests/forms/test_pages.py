@@ -116,6 +116,26 @@ class TestWorkerPage:
         assert "skill:reporting" in html
         assert "task000000" in html  # eligible task listed
 
+    def test_render_reports_cache_stats(self, platform, project):
+        from repro.storage.cache import CacheStats
+
+        platform.step()
+        stats = CacheStats()
+        render_worker_page(platform, "w00000", cache_stats=stats)
+        assert stats.fetches > 0
+        assert stats.hits == 0, "cold render must be all misses"
+        warm = CacheStats()
+        html = render_worker_page(platform, "w00000", cache_stats=warm)
+        assert warm.hits > 0 and warm.misses == 0
+        assert html == render_worker_page(platform, "w00000")
+        # The caller-supplied block is an attribution slice, not a
+        # replacement: the database-wide totals keep counting too.
+        assert platform.db.query_cache.stats.hits >= warm.hits
+
+    def test_render_without_stats_unchanged(self, platform, project):
+        platform.step()
+        assert "Worker page" in render_worker_page(platform, "w00000")
+
     def test_factors_form_round_trip(self, platform):
         worker = platform.workers.get("w00000")
         updated = parse_factors_form(

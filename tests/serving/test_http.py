@@ -1,0 +1,157 @@
+"""The stdlib HTTP/1.1 layer: parsing, limits, encoding, client round-trip."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serving.http import (
+    HttpError,
+    HttpResponse,
+    encode_response,
+    read_request,
+    read_response,
+)
+
+
+def parse(raw: bytes, **limits):
+    """Feed ``raw`` into a fresh stream and parse one request off it."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(
+            b"GET /tasks/t1/ui?worker=w1&lang=fr%20ca HTTP/1.1\r\n"
+            b"Host: x\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/tasks/t1/ui"
+        assert request.query == {"worker": "w1", "lang": "fr ca"}
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"name": "ann"}).encode()
+        request = parse(
+            b"POST /workers HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.payload() == {"name": "ann"}
+
+    def test_post_with_form_body(self):
+        body = b"region=paris&sns_id="
+        request = parse(
+            b"POST /workers/w1/factors HTTP/1.1\r\n"
+            b"Content-Type: application/x-www-form-urlencoded\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.payload() == {"region": "paris", "sns_id": ""}
+
+    def test_connection_close_honoured(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTT")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET/\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_version(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/2\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_transfer_encoding_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_bad_content_length(self):
+        for value in (b"nan", b"-5"):
+            with pytest.raises(HttpError) as excinfo:
+                parse(b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n")
+            assert excinfo.value.status == 400
+
+    def test_body_too_large_is_413(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body_bytes=10,
+            )
+        assert excinfo.value.status == 413
+
+    def test_head_too_large_is_431(self):
+        raw = b"GET / HTTP/1.1\r\nX-Pad: " + b"p" * 500 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw, max_header_bytes=64)
+        assert excinfo.value.status == 431
+
+    def test_malformed_json_payload_is_400(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            request.payload()
+        assert excinfo.value.status == 400
+
+    def test_non_object_json_payload_is_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]")
+        with pytest.raises(HttpError) as excinfo:
+            request.payload()
+        assert excinfo.value.status == 400
+
+
+class TestEncodeResponse:
+    def test_round_trip(self):
+        response = HttpResponse.json({"b": 2, "a": 1}, status=201)
+        raw = encode_response(response)
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_response(reader)
+
+        parsed = asyncio.run(go())
+        assert parsed.status == 201
+        assert parsed.parsed_json() == {"a": 1, "b": 2}
+        assert parsed.headers["connection"] == "keep-alive"
+        assert parsed.headers["content-length"] == str(len(response.body))
+
+    def test_json_body_is_canonical(self):
+        # sort_keys means identical values encode to identical bytes —
+        # what the serving-diff oracle's byte-identity leans on.
+        one = HttpResponse.json({"b": 2, "a": 1}).body
+        two = HttpResponse.json({"a": 1, "b": 2}).body
+        assert one == two
+
+    def test_connection_close(self):
+        raw = encode_response(HttpResponse.html("<p>hi</p>"), keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_error_shape(self):
+        response = HttpResponse.error(429, "slow down", headers={"Retry-After": "1"})
+        assert response.status == 429
+        assert response.headers["Retry-After"] == "1"
+        assert response.parsed_json() == {"ok": False, "error": "slow down"}

@@ -12,6 +12,7 @@ from __future__ import annotations
 import inspect
 
 import repro
+import repro.serving as serving
 import repro.storage as storage
 from repro.storage import backends
 
@@ -47,6 +48,17 @@ EXPECTED_STORAGE_ALL = {
     "save_database",
 }
 
+EXPECTED_SERVING_ALL = {
+    "OpOutcome",
+    "PlatformServer",
+    "ServerClosed",
+    "ServingConfig",
+    "ServingStats",
+    "WriteOp",
+    "apply_ops",
+    "http_request",
+}
+
 EXPECTED_BACKENDS_ALL = {
     "ListingSpec",
     "MemoryBackend",
@@ -61,6 +73,34 @@ EXPECTED_BACKENDS_ALL = {
 def test_storage_all_matches_expected():
     assert set(storage.__all__) == EXPECTED_STORAGE_ALL
     assert storage.__all__ == sorted(storage.__all__), "keep __all__ sorted"
+
+
+def test_serving_all_matches_expected():
+    assert set(serving.__all__) == EXPECTED_SERVING_ALL
+    assert serving.__all__ == sorted(serving.__all__), "keep __all__ sorted"
+
+
+def test_serving_exports_resolve_lazily():
+    # Only ServingConfig is imported eagerly (it feeds RuntimeConfig);
+    # the rest resolve through the PEP 562 hook without import cycles.
+    for name in serving.__all__:
+        assert getattr(serving, name) is not None
+    assert set(serving.__all__) <= set(dir(serving))
+
+
+def test_importing_repro_does_not_pull_the_server():
+    import subprocess
+    import sys
+
+    code = "import repro, sys; assert 'repro.serving.server' not in sys.modules"
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+def test_serving_lazy_attr_errors_cleanly():
+    import pytest
+
+    with pytest.raises(AttributeError, match="no attribute"):
+        serving.NoSuchThing
 
 
 def test_backends_all_matches_expected():
@@ -89,6 +129,7 @@ def test_no_unlisted_public_attributes():
 
 def test_repro_root_exports_runtime_config():
     assert "RuntimeConfig" in repro.__all__
+    assert "ServingConfig" in repro.__all__
     for name in repro.__all__:
         assert getattr(repro, name) is not None
 
