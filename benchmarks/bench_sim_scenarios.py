@@ -1,0 +1,134 @@
+"""E15 — the delta-stream scenario packs at large populations (PR 10).
+
+Three packs exercise the delta-mode :class:`SimulationDriver` against
+live traffic: (a) streaming content moderation with revocation storms,
+(b) disaster-mapping surges under serving backpressure, (c) multilingual
+pipelines with worker churn and demand resurrection.
+
+Each pack runs twice on identical seeded traffic — once riding the
+platform's round-delta feed, once in snapshot mode (full scans every
+tick, the lockstep oracle).  The headline ``speedup_delta_vs_snapshot``
+is the ratio of the two modes' mean *steady-state* tick cost over a
+common prefix: revisit-boundary ticks are excluded (the once-per-window
+full interest scan is identical work in both modes), and the snapshot
+run only needs enough ticks to measure its per-tick floor — its cost is
+population-proportional, so full-length snapshot runs at 10^5 workers
+would be pure waste.
+
+Full-size runs use a raised eligibility ``skill_floor``: with 10^5
+workers a permissive rule makes everyone eligible for everything, which
+floods the relationship ledger identically in both modes and measures
+ledger churn rather than scan avoidance.  Real deployments scope tasks
+to qualified audiences; the floor models that.
+"""
+
+from __future__ import annotations
+
+from repro.apps import (
+    run_disaster_pack,
+    run_moderation_pack,
+    run_multilingual_pack,
+)
+from repro.metrics import format_table
+
+from fastmode import FAST, pick
+
+N_WORKERS = pick(100_000, 250)
+TICKS = pick(40, 14)
+#: Snapshot-oracle prefix: enough steady ticks to measure the per-tick
+#: floor; must stay below the first revisit boundary (revisit_period=25).
+SNAP_TICKS = pick(10, 14)
+SKILL_FLOOR = pick(0.93, 0.05)
+SEED = 7
+
+
+def _steady_mean_ms(driver, upto: int) -> float:
+    boundaries = set(driver.boundary_ticks)
+    samples = [
+        s
+        for i, s in enumerate(driver.tick_seconds[:upto])
+        if i not in boundaries
+    ]
+    return 1000.0 * sum(samples) / len(samples) if samples else 0.0
+
+
+def _run_pair(run_pack, scenario: str, title: str, emit, emit_bench_json, **kwargs):
+    delta = run_pack(
+        n_workers=N_WORKERS, ticks=TICKS, seed=SEED, delta=True, **kwargs
+    )
+    snapshot = run_pack(
+        n_workers=N_WORKERS, ticks=SNAP_TICKS, seed=SEED, delta=False, **kwargs
+    )
+    if TICKS == SNAP_TICKS:
+        # Equal-length runs must agree exactly (the sim-diff invariant).
+        assert delta.facts == snapshot.facts
+        assert delta.report == snapshot.report
+
+    delta_steady = _steady_mean_ms(delta.extras["driver"], SNAP_TICKS)
+    snap_steady = _steady_mean_ms(snapshot.extras["driver"], SNAP_TICKS)
+    speedup = snap_steady / delta_steady if delta_steady > 0 else float("inf")
+    timing = delta.extras["timing"]
+
+    rows = [
+        ("workers", f"{N_WORKERS:,}"),
+        ("ticks (delta/snapshot)", f"{TICKS}/{SNAP_TICKS}"),
+        ("delta steady tick", f"{delta_steady:.2f} ms"),
+        ("snapshot steady tick", f"{snap_steady:.2f} ms"),
+        ("delta vs snapshot", f"{speedup:.1f}x"),
+        ("delta ticks/s", f"{timing['ticks_per_s']:.1f}"),
+        ("delta p99 tick", f"{timing['p99_tick_ms']:.2f} ms"),
+    ] + [(key, str(value)) for key, value in sorted(delta.facts.items())]
+    emit(format_table(("metric", "value"), rows, title=f"{scenario}: {title}"))
+
+    emit_bench_json(
+        scenario,
+        {
+            "n_workers": N_WORKERS,
+            "ticks": TICKS,
+            "snapshot_ticks": SNAP_TICKS,
+            "seed": SEED,
+            "skill_floor": kwargs.get("skill_floor"),
+            "speedup_delta_vs_snapshot": round(speedup, 3),
+            "delta_steady_tick_ms": round(delta_steady, 4),
+            "snapshot_steady_tick_ms": round(snap_steady, 4),
+            "timing": timing,
+            "facts": delta.facts,
+        },
+    )
+    if not FAST:
+        # Acceptance floor: >= 5x at 10^5+ workers.
+        assert speedup >= 5.0, f"{scenario}: only {speedup:.1f}x at {N_WORKERS:,}"
+    return speedup
+
+
+def test_e15a_moderation_revocation_storms(emit, emit_bench_json):
+    _run_pair(
+        run_moderation_pack,
+        "E15a",
+        "streaming moderation with revocation storms",
+        emit,
+        emit_bench_json,
+        skill_floor=SKILL_FLOOR,
+    )
+
+
+def test_e15b_disaster_traffic_surges(emit, emit_bench_json):
+    _run_pair(
+        run_disaster_pack,
+        "E15b",
+        "disaster-mapping surges under backpressure",
+        emit,
+        emit_bench_json,
+        skill_floor=SKILL_FLOOR,
+    )
+
+
+def test_e15c_multilingual_attrition(emit, emit_bench_json):
+    _run_pair(
+        run_multilingual_pack,
+        "E15c",
+        "multilingual pipelines with worker attrition",
+        emit,
+        emit_bench_json,
+        skill_floor=SKILL_FLOOR,
+    )

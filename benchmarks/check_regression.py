@@ -51,6 +51,11 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     # Absolute throughput, not a ratio: the committed smoke floor is set
     # conservatively low so only a serving-path collapse trips it.
     "E14": ("sustained_rps",),
+    # Delta-stream scenario packs: steady-state tick cost, delta vs the
+    # snapshot-scan oracle on the same traffic.
+    "E15a": ("speedup_delta_vs_snapshot",),
+    "E15b": ("speedup_delta_vs_snapshot",),
+    "E15c": ("speedup_delta_vs_snapshot",),
 }
 
 #: Reported next to the gated metrics but never gated (hardware-coupled).
@@ -60,6 +65,9 @@ CONTEXT_METRICS: dict[str, tuple[str, ...]] = {
     "E12": ("speedup_shared_vs_full_sync",),
     "E13": ("speedup_build_interval_vs_fixpoint",),
     "E14": ("p99_ms", "coalescing_x"),
+    "E15a": ("ticks_per_s", "p99_tick_ms"),
+    "E15b": ("ticks_per_s", "p99_tick_ms"),
+    "E15c": ("ticks_per_s", "p99_tick_ms"),
 }
 
 
@@ -169,6 +177,23 @@ def main(argv: list[str]) -> int:
             value = _metric(fresh, key)
             if value is not None:
                 print(f"[info] {scenario}.{key}: smoke={value:.2f} (not gated)")
+
+    # Orphaned baselines fail loudly: a baseline entry whose scenario or
+    # key is no longer in the gated catalog would otherwise never be
+    # visited — a renamed scenario could silently lose its gate.
+    for scenario, slot in sorted(baselines.items()):
+        gated_keys = GATED_METRICS.get(scenario)
+        if gated_keys is None:
+            failures.append(
+                f"{scenario}: baseline entry in {BASELINE_PATH.name} matches no "
+                "gated scenario — remove it or restore the GATED_METRICS entry"
+            )
+            continue
+        for key in sorted(set(slot) - set(gated_keys)):
+            failures.append(
+                f"{scenario}.{key}: baseline key in {BASELINE_PATH.name} is not "
+                "a gated metric — remove it or add it to GATED_METRICS"
+            )
 
     if failures:
         print("\nbench-regression gate FAILED:")

@@ -11,9 +11,29 @@
 Each module exposes ``build_*_project`` (wire the scenario into an
 existing platform) and ``run_*_demo`` (a full seeded run on a simulated
 crowd returning a metrics dict), which the examples and benches share.
+
+Alongside the demos live the E15 *scenario packs* — delta-stream runs
+that scale toward million-worker crowds on the explicit tick loop:
+
+* :mod:`moderation` — streaming content moderation with revocation
+  storms (bulk ``retract_facts`` cancelling in-flight tasks),
+* :mod:`disaster` — disaster-mapping traffic surges replayed through
+  the serving admission gate (counted backpressure),
+* :mod:`multilingual` — per-language pipelines under worker churn, with
+  ``revoke_answer`` demand resurrection.
+
+Each exposes ``run_*_pack(n_workers, ticks, seed, delta=...)``; running
+with ``delta=False`` replays the same traffic in snapshot mode, the
+lockstep oracle the sim-diff CI job compares against.
 """
 
+from repro.apps.disaster import build_disaster_project, run_disaster_pack
 from repro.apps.journalism import build_journalism_project, run_journalism_demo
+from repro.apps.moderation import build_moderation_project, run_moderation_pack
+from repro.apps.multilingual import (
+    build_multilingual_project,
+    run_multilingual_pack,
+)
 from repro.apps.surveillance import (
     build_surveillance_project,
     run_surveillance_demo,
@@ -24,10 +44,16 @@ from repro.apps.translation import (
 )
 
 __all__ = [
+    "build_disaster_project",
     "build_journalism_project",
+    "build_moderation_project",
+    "build_multilingual_project",
     "build_surveillance_project",
     "build_translation_project",
+    "run_disaster_pack",
     "run_journalism_demo",
+    "run_moderation_pack",
+    "run_multilingual_pack",
     "run_surveillance_demo",
     "run_translation_demo",
 ]

@@ -1,17 +1,30 @@
-"""Shared scenario plumbing."""
+"""Shared scenario plumbing.
+
+Two tiers live here:
+
+* the original demo helpers (:func:`build_crowd`, :func:`drive`) used by
+  the §2.5 scenarios, and
+* the *scenario-pack* helpers used by the E15 delta-stream packs, which
+  scale toward 10^5–10^6 workers: population-independent behaviour knobs
+  (:func:`pack_behavior`), bounded affinity (:func:`pack_platform`), an
+  explicit tick loop with per-tick injection (:func:`run_ticks`) and
+  wall-clock trajectory metrics (:func:`timing_metrics`).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
-from repro.core import Crowd4U
+from repro.core import AffinityWeights, Crowd4U
 from repro.sim import (
+    BehaviorConfig,
     BehaviorModel,
     OutcomeModel,
     PopulationConfig,
     SimulationDriver,
     SimulationReport,
+    TickTimer,
     populate,
 )
 
@@ -39,10 +52,13 @@ class ScenarioResult:
 
 
 def build_crowd(
-    n_workers: int, seed: int, config: PopulationConfig | None = None
+    n_workers: int,
+    seed: int,
+    config: PopulationConfig | None = None,
+    affinity_weights: AffinityWeights | None = None,
 ) -> Crowd4U:
     """A fresh platform with a generated worker population."""
-    platform = Crowd4U(seed=seed)
+    platform = Crowd4U(seed=seed, affinity_weights=affinity_weights)
     populate(platform, n_workers, seed=seed, config=config)
     return platform
 
@@ -52,14 +68,115 @@ def drive(
     seed: int,
     answer_fn=None,
     max_steps: int = 300,
+    delta: bool = True,
+    behavior: BehaviorModel | None = None,
+    revisit_period: float | None = None,
 ) -> SimulationDriver:
-    """Run a standard simulation driver to quiescence."""
+    """Run a standard simulation driver to quiescence.
+
+    ``delta=False`` selects snapshot mode — the lockstep oracle the
+    sim-diff CI job compares against.
+    """
     driver = SimulationDriver(
         platform,
-        behavior=BehaviorModel(seed=seed),
+        behavior=behavior or BehaviorModel(seed=seed),
         outcome_model=OutcomeModel(seed=seed),
         answer_fn=answer_fn,
         seed=seed,
+        delta=delta,
+        revisit_period=revisit_period,
     )
     driver.run(max_steps=max_steps)
     return driver
+
+
+# ---------------------------------------------------------------------------
+# Scenario-pack plumbing (E15: delta-stream packs at large populations)
+# ---------------------------------------------------------------------------
+
+def pack_platform(
+    n_workers: int,
+    seed: int,
+    config: PopulationConfig | None = None,
+    max_neighbors: int | None = 8,
+) -> Crowd4U:
+    """A platform sized for large populations.
+
+    Exact affinity registration is O(n²); the packs bound it to the most
+    recent ``max_neighbors`` registrations (0 disables affinity edges
+    entirely), which keeps registration linear at 10^5+ workers.
+    """
+    return build_crowd(
+        n_workers,
+        seed,
+        config=config,
+        affinity_weights=AffinityWeights(max_neighbors=max_neighbors),
+    )
+
+
+def pack_behavior(
+    n_workers: int,
+    seed: int,
+    interested_per_task: float = 50.0,
+    latency_skew: float = 1.3,
+) -> BehaviorModel:
+    """Behaviour knobs that scale with the crowd size.
+
+    A constant *per-task audience* (not a constant per-worker rate) keeps
+    team formation cost flat as the population grows: with 10^5 workers
+    and ``interested_per_task=50`` each task still draws ~50 interested
+    workers.  ``latency_skew`` gives the heavy-tailed responder mix real
+    crowds show.
+    """
+    base = min(0.5, interested_per_task / max(n_workers, 1))
+    return BehaviorModel(
+        BehaviorConfig(
+            base_interest=base,
+            skill_interest_boost=base * 0.5,
+            latency_skew=latency_skew,
+        ),
+        seed=seed,
+    )
+
+
+def run_ticks(
+    driver: SimulationDriver,
+    ticks: int,
+    inject: Callable[[Crowd4U, int], None] | None = None,
+    dt: float = 1.0,
+) -> TickTimer:
+    """Advance ``ticks`` rounds, calling ``inject(platform, tick)`` first.
+
+    The injection hook is where packs stream facts, churn workers and
+    replay serving traffic *between* rounds — the driver then reacts to
+    whatever demand the platform derives.  Returns a timer over the
+    driver's per-tick wall clock.
+    """
+    for tick in range(ticks):
+        if inject is not None:
+            inject(driver.platform, tick)
+        driver.tick(dt)
+    return TickTimer(driver.tick_seconds)
+
+
+def timing_metrics(driver: SimulationDriver) -> dict[str, float]:
+    """Trajectory metrics for one pack run.
+
+    ``steady_tick_ms`` excludes revisit-boundary ticks (full interest
+    scans, identical work in delta and snapshot modes); the headline
+    delta-vs-snapshot speedup is the ratio of the two modes'
+    ``steady_tick_ms``.
+    """
+    timer = TickTimer(driver.tick_seconds)
+    boundaries = set(driver.boundary_ticks)
+    steady = [
+        s for i, s in enumerate(driver.tick_seconds) if i not in boundaries
+    ]
+    steady_ms = 1000.0 * sum(steady) / len(steady) if steady else 0.0
+    return {
+        "ticks": float(len(driver.tick_seconds)),
+        "ticks_per_s": round(timer.ticks_per_second(), 3),
+        "mean_tick_ms": round(timer.mean_ms(), 4),
+        "p99_tick_ms": round(timer.p99_ms(), 4),
+        "steady_tick_ms": round(steady_ms, 4),
+    }

@@ -1,0 +1,165 @@
+"""Scenario pack E15b: disaster-mapping traffic surges under backpressure.
+
+After an event, a damage-assessment grid grows tick by tick as new cells
+are reported, while *field reports* — crowd submissions answering cells
+directly — arrive as write traffic through the serving admission path.
+Surges are heavy-tailed: most ticks carry the base rate, a Zipf-weighted
+few carry multiples of it (the flash-crowd minutes).  The pack replays
+that traffic through :class:`~repro.serving.AdmissionGate` — the same
+bounded queue + burst drain the HTTP server enforces — so overload shows
+up as counted backpressure rejections instead of unbounded queues.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.common import (
+    ScenarioResult,
+    pack_behavior,
+    pack_platform,
+    run_ticks,
+    timing_metrics,
+)
+from repro.core import Crowd4U, TeamConstraints
+from repro.core.projects import Project, SchemeKind
+from repro.serving import AdmissionGate, ServingConfig, WriteOp
+from repro.sim import SimulationDriver, zipf_weights
+from repro.util.rng import make_rng
+
+
+def disaster_cylog(seed_cells: list[str], skill_floor: float = 0.05) -> str:
+    """``skill_floor`` bounds the per-cell audience at large populations
+    (see :func:`repro.apps.moderation.moderation_cylog`)."""
+    lines = [
+        "% disaster mapping: damage assessment over a growing grid",
+        "open assess(cell: text, status: text) key (cell) "
+        'asking "Assess damage in grid cell {cell}".',
+    ]
+    lines.extend(f"cell({json.dumps(cell)})." for cell in seed_cells)
+    lines.extend(
+        [
+            "damage(C, S) :- cell(C), assess(C, S).",
+            f'eligible(W) :- worker_skill(W, "observation", L), L >= {skill_floor}.',
+            "n_assessed(count<C>) :- damage(C, S).",
+        ]
+    )
+    return "\n".join(lines) + "\n"
+
+
+def default_constraints() -> TeamConstraints:
+    return TeamConstraints(
+        min_size=1,
+        critical_mass=3,
+        quality_threshold=0.0,
+        confirmation_window=10.0,
+    )
+
+
+def build_disaster_project(
+    platform: Crowd4U,
+    seed_cells: list[str],
+    constraints: TeamConstraints | None = None,
+    skill_floor: float = 0.05,
+) -> Project:
+    return platform.register_project(
+        name="disaster-mapping",
+        requester="crisis-desk",
+        cylog_source=disaster_cylog(seed_cells, skill_floor),
+        scheme=SchemeKind.SEQUENTIAL,
+        constraints=constraints or default_constraints(),
+    )
+
+
+def run_disaster_pack(
+    n_workers: int = 300,
+    ticks: int = 60,
+    seed: int = 0,
+    delta: bool = True,
+    cells_per_tick: int = 3,
+    reports_per_tick: int = 6,
+    surge_skew: float = 1.1,
+    surge_levels: int = 8,
+    serving: ServingConfig | None = None,
+    revisit_period: float = 25.0,
+    skill_floor: float = 0.05,
+) -> ScenarioResult:
+    """One seeded disaster-mapping run.
+
+    Each tick draws a Zipf-weighted surge multiplier; that many base
+    units of traffic (new cells + field-report write ops) arrive.  Field
+    reports go through the admission gate; whatever the queue bound
+    rejects is the tick's backpressure.  All draws are keyed on
+    ``(seed, tick)`` so delta and snapshot runs replay identical traffic.
+    """
+    platform = pack_platform(n_workers, seed)
+    seed_cells = [f"cell-seed-{i:02d}" for i in range(cells_per_tick)]
+    project = build_disaster_project(platform, seed_cells, skill_floor=skill_floor)
+    processor = platform.processor(project.id)
+    # A deliberately tight queue: surges must visibly push back.
+    gate = AdmissionGate(
+        serving
+        or ServingConfig(
+            max_batch=reports_per_tick * 2, queue_depth=reports_per_tick * 4
+        )
+    )
+
+    levels = list(range(1, surge_levels + 1))
+    weights = zipf_weights(len(levels), surge_skew)
+    next_cell = [len(seed_cells)]
+    known_cells: list[str] = list(seed_cells)
+
+    def inject(platform: Crowd4U, tick: int) -> None:
+        rng = make_rng(seed, "disaster", tick)
+        surge = rng.choices(levels, weights=weights)[0]
+        fresh = [
+            f"cell-{next_cell[0] + i:05d}" for i in range(cells_per_tick * surge)
+        ]
+        next_cell[0] += len(fresh)
+        known_cells.extend(fresh)
+        processor.add_facts("cell", [(cell,) for cell in fresh])
+        ops = [
+            WriteOp(
+                "supply_answer",
+                {
+                    "project_id": project.id,
+                    "predicate": "assess",
+                    "key_values": {"cell": rng.choice(known_cells)},
+                    "fill_values": {
+                        "status": rng.choice(
+                            ("intact", "minor", "major", "destroyed")
+                        )
+                    },
+                },
+            )
+            for _ in range(reports_per_tick * surge)
+        ]
+        gate.offer(ops)
+        gate.drain(platform)
+
+    driver = SimulationDriver(
+        platform,
+        behavior=pack_behavior(n_workers, seed),
+        seed=seed,
+        delta=delta,
+        revisit_period=revisit_period,
+    )
+    run_ticks(driver, ticks, inject=inject)
+
+    facts = {
+        "cells": len(processor.facts("cell")),
+        "assessed": len(processor.facts("damage")),
+        "reports_admitted": gate.admitted,
+        "reports_rejected": gate.rejected,
+    }
+    return ScenarioResult(
+        platform=platform,
+        project_id=project.id,
+        report=driver.report,
+        facts=facts,
+        extras={
+            "driver": driver,
+            "timing": timing_metrics(driver),
+            "queue_depth_final": gate.depth,
+        },
+    )

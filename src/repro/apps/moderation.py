@@ -1,0 +1,150 @@
+"""Scenario pack E15a: streaming content moderation with revocation storms.
+
+A stream of reported items flows into an ``incoming`` relation; every
+item demands a ``moderate`` verdict (a true/false choice task).  The
+adversarial part is the *revocation storm*: uploaders periodically delete
+recent items in bulk (``retract_facts``), which kills the demand — the
+platform's revocation listeners cancel the now-pointless pending tasks,
+and the delta-stream driver must drop its wake state for them without a
+full rescan.
+
+The pack runs on the explicit :func:`~repro.apps.common.run_ticks` loop:
+injection happens *between* platform rounds, exactly like live traffic
+arriving between scheduler passes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.common import (
+    ScenarioResult,
+    pack_behavior,
+    pack_platform,
+    run_ticks,
+    timing_metrics,
+)
+from repro.core import Crowd4U, TeamConstraints
+from repro.core.projects import Project, SchemeKind
+from repro.sim import SimulationDriver
+from repro.util.rng import make_rng
+
+
+def moderation_cylog(seed_items: list[str], skill_floor: float = 0.05) -> str:
+    """``skill_floor`` bounds the per-task audience: at 10^5+ workers a
+    permissive floor would make everyone eligible for everything, which
+    floods the ledger identically in both driver modes — large-scale runs
+    raise it so each task draws a few hundred qualified moderators."""
+    lines = [
+        "% streaming content moderation",
+        "open moderate(item: text, verdict: bool) key (item) "
+        'asking "Review reported item {item}" choices (true, false).',
+    ]
+    lines.extend(f"incoming({json.dumps(item)})." for item in seed_items)
+    lines.extend(
+        [
+            "verdicts(I, V) :- incoming(I), moderate(I, V).",
+            f'eligible(W) :- worker_skill(W, "observation", L), L >= {skill_floor}.',
+            "n_reviewed(count<I>) :- verdicts(I, V).",
+        ]
+    )
+    return "\n".join(lines) + "\n"
+
+
+def default_constraints() -> TeamConstraints:
+    """Moderation is lightweight: one reviewer suffices, two at most."""
+    return TeamConstraints(
+        min_size=1,
+        critical_mass=2,
+        quality_threshold=0.0,
+        confirmation_window=10.0,
+    )
+
+
+def build_moderation_project(
+    platform: Crowd4U,
+    seed_items: list[str],
+    constraints: TeamConstraints | None = None,
+    skill_floor: float = 0.05,
+) -> Project:
+    return platform.register_project(
+        name="content-moderation",
+        requester="trust-and-safety",
+        cylog_source=moderation_cylog(seed_items, skill_floor),
+        scheme=SchemeKind.SEQUENTIAL,
+        constraints=constraints or default_constraints(),
+    )
+
+
+def run_moderation_pack(
+    n_workers: int = 300,
+    ticks: int = 60,
+    seed: int = 0,
+    delta: bool = True,
+    items_per_tick: int = 4,
+    storm_every: int = 12,
+    storm_span: int = 6,
+    revisit_period: float = 25.0,
+    skill_floor: float = 0.05,
+) -> ScenarioResult:
+    """One seeded moderation run.
+
+    Every ``storm_every`` ticks the items injected over the last
+    ``storm_span`` ticks are retracted in one storm.  Injection draws
+    only from ``(seed, tick)``-keyed rngs, so a delta and a snapshot run
+    see byte-identical traffic.
+    """
+    platform = pack_platform(n_workers, seed)
+    seed_items = [f"item-seed-{i:02d}" for i in range(items_per_tick)]
+    project = build_moderation_project(platform, seed_items, skill_floor=skill_floor)
+    processor = platform.processor(project.id)
+
+    cancelled = [0]
+    platform.events.subscribe(
+        "task.cancelled", lambda event: cancelled.__setitem__(0, cancelled[0] + 1)
+    )
+
+    injected: list[list[str]] = []  # per-tick item batches, for storms
+    retracted = [0]
+
+    def inject(platform: Crowd4U, tick: int) -> None:
+        rng = make_rng(seed, "moderation", tick)
+        batch = [
+            f"item-{tick:04d}-{i:02d}"
+            for i in range(max(0, items_per_tick + rng.randint(-1, 1)))
+        ]
+        injected.append(batch)
+        if batch:
+            processor.add_facts("incoming", [(item,) for item in batch])
+        if tick and tick % storm_every == 0:
+            storm = [
+                item
+                for batch in injected[-storm_span:]
+                for item in batch
+            ]
+            retracted[0] += processor.retract_facts(
+                "incoming", [(item,) for item in storm]
+            )
+
+    driver = SimulationDriver(
+        platform,
+        behavior=pack_behavior(n_workers, seed),
+        seed=seed,
+        delta=delta,
+        revisit_period=revisit_period,
+    )
+    run_ticks(driver, ticks, inject=inject)
+
+    facts = {
+        "items_injected": len(seed_items) + sum(len(b) for b in injected),
+        "items_retracted": retracted[0],
+        "reviewed": len(processor.facts("verdicts")),
+        "tasks_cancelled": cancelled[0],
+    }
+    return ScenarioResult(
+        platform=platform,
+        project_id=project.id,
+        report=driver.report,
+        facts=facts,
+        extras={"driver": driver, "timing": timing_metrics(driver)},
+    )

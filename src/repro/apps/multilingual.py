@@ -1,0 +1,198 @@
+"""Scenario pack E15c: multilingual pipelines under worker attrition.
+
+A stream of content segments must be translated into several languages
+at once; each target language is its own open predicate with its own
+``eligible_<predicate>`` rule (only speakers qualify).  The crowd is a
+living one: a :class:`~repro.sim.ChurnProcess` plays skewed arrival
+bursts and departures every tick.  Departures bite twice — the departed
+stop acting (:meth:`SimulationDriver.deactivate_worker`), and their most
+recent accepted translation is withdrawn (``revoke_answer``), which
+*resurrects* the demand: the platform re-emits the task and the delta
+driver must pick it up from the change feed alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.common import (
+    ScenarioResult,
+    pack_behavior,
+    pack_platform,
+    run_ticks,
+    timing_metrics,
+)
+from repro.core import Crowd4U, SkillRequirement, TeamConstraints
+from repro.core.projects import Project, SchemeKind
+from repro.sim import (
+    ChurnConfig,
+    ChurnProcess,
+    PopulationConfig,
+    SimulationDriver,
+    generate_factors,
+)
+from repro.util.rng import make_rng
+
+DEFAULT_TARGETS = ("en", "ja", "fr")
+
+
+def multilingual_cylog(
+    targets: tuple[str, ...],
+    seed_segments: list[str],
+    skill_floor: float = 0.0,
+) -> str:
+    """``skill_floor > 0`` additionally requires translation skill, which
+    bounds the per-task audience at large populations (a whole language
+    community is far too many candidates per segment at 10^5+ workers)."""
+    guard = (
+        f', worker_skill(W, "translation", S), S >= {skill_floor}'
+        if skill_floor > 0
+        else ""
+    )
+    lines = ["% multilingual content pipeline"]
+    for lang in targets:
+        lines.append(
+            f"open translate_{lang}(seg: text, out: text) key (seg) "
+            f'asking "Translate segment {{seg}} into {lang}".'
+        )
+    lines.extend(f"segment({json.dumps(seg)})." for seg in seed_segments)
+    for lang in targets:
+        lines.append(f"done_{lang}(S, T) :- segment(S), translate_{lang}(S, T).")
+        lines.append(
+            f'eligible_translate_{lang}(W) :- worker_language(W, "{lang}", P), '
+            f"P >= 0.05{guard}."
+        )
+        lines.append(
+            f'eligible_translate_{lang}(W) :- worker_native(W, "{lang}"){guard}.'
+        )
+    return "\n".join(lines) + "\n"
+
+
+def default_constraints() -> TeamConstraints:
+    return TeamConstraints(
+        min_size=1,
+        critical_mass=3,
+        skills=(SkillRequirement("translation", 0.2, aggregator="max"),),
+        quality_threshold=0.0,
+        confirmation_window=10.0,
+    )
+
+
+def build_multilingual_project(
+    platform: Crowd4U,
+    seed_segments: list[str],
+    targets: tuple[str, ...] = DEFAULT_TARGETS,
+    constraints: TeamConstraints | None = None,
+    skill_floor: float = 0.0,
+) -> Project:
+    return platform.register_project(
+        name="multilingual-pipeline",
+        requester="localisation-desk",
+        cylog_source=multilingual_cylog(targets, seed_segments, skill_floor),
+        scheme=SchemeKind.SEQUENTIAL,
+        constraints=constraints or default_constraints(),
+    )
+
+
+def run_multilingual_pack(
+    n_workers: int = 300,
+    ticks: int = 60,
+    seed: int = 0,
+    delta: bool = True,
+    segments_per_tick: int = 2,
+    targets: tuple[str, ...] = DEFAULT_TARGETS,
+    churn: ChurnConfig | None = None,
+    language_skew: float = 0.8,
+    revisit_period: float = 25.0,
+    skill_floor: float = 0.0,
+) -> ScenarioResult:
+    """One seeded multilingual run with churn.
+
+    Arrivals register brand-new generated workers mid-run; departures
+    deactivate existing ones and revoke one of their language's answered
+    segments, resurrecting its demand.  All churn and injection draws are
+    keyed on ``(seed, tick)``, so delta and snapshot replays coincide.
+    """
+    population = PopulationConfig(
+        languages=tuple(targets), language_skew=language_skew
+    )
+    platform = pack_platform(n_workers, seed, config=population)
+    seed_segments = [f"seg-seed-{i:02d}" for i in range(segments_per_tick)]
+    project = build_multilingual_project(
+        platform, seed_segments, targets, skill_floor=skill_floor
+    )
+    processor = platform.processor(project.id)
+    churn_process = ChurnProcess(
+        seed, churn or ChurnConfig(arrival_rate=1.0, departure_rate=0.01)
+    )
+
+    generated = [0]
+    platform.events.subscribe(
+        "task.generated", lambda event: generated.__setitem__(0, generated[0] + 1)
+    )
+
+    driver = SimulationDriver(
+        platform,
+        behavior=pack_behavior(n_workers, seed),
+        seed=seed,
+        delta=delta,
+        revisit_period=revisit_period,
+    )
+
+    next_index = [n_workers]
+    next_segment = [len(seed_segments)]
+    counters = {"arrived": 0, "departed": 0, "revoked": 0}
+
+    def inject(platform: Crowd4U, tick: int) -> None:
+        batch = [
+            f"seg-{next_segment[0] + i:05d}" for i in range(segments_per_tick)
+        ]
+        next_segment[0] += len(batch)
+        processor.add_facts("segment", [(seg,) for seg in batch])
+        for _ in range(churn_process.arrivals(tick)):
+            index = next_index[0]
+            next_index[0] += 1
+            platform.register_worker(
+                f"worker{index:04d}", generate_factors(seed, index, population)
+            )
+            counters["arrived"] += 1
+        active = sorted(
+            set(w.id for w in platform.workers.all()) - driver.inactive_workers
+        )
+        departures = churn_process.departures(tick, active)
+        for worker_id in departures:
+            driver.deactivate_worker(worker_id)
+        counters["departed"] += len(departures)
+        if departures:
+            # The departed take their latest contribution with them: one
+            # answered segment per departure tick loses its translation
+            # and its demand resurrects.
+            rng = make_rng(seed, "multilingual", "revoke", tick)
+            lang = rng.choice(sorted(targets))
+            answered = sorted(processor.facts(f"done_{lang}"))
+            if answered:
+                segment = rng.choice(answered)[0]
+                counters["revoked"] += processor.revoke_answer(
+                    f"translate_{lang}", (segment,)
+                )
+
+    run_ticks(driver, ticks, inject=inject)
+
+    facts = {
+        "segments": len(processor.facts("segment")),
+        **{
+            f"done_{lang}": len(processor.facts(f"done_{lang}"))
+            for lang in targets
+        },
+        "workers_arrived": counters["arrived"],
+        "workers_departed": counters["departed"],
+        "answers_revoked": counters["revoked"],
+        "tasks_generated": generated[0],
+    }
+    return ScenarioResult(
+        platform=platform,
+        project_id=project.id,
+        report=driver.report,
+        facts=facts,
+        extras={"driver": driver, "timing": timing_metrics(driver)},
+    )

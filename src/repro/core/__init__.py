@@ -10,7 +10,7 @@ the :class:`~repro.core.platform.Crowd4U` facade tying them together.
 from repro.core.affinity import AffinityMatrix, AffinityWeights, affinity_from_factors
 from repro.core.constraints import SkillRequirement, TeamConstraints
 from repro.core.human_factors import HumanFactors
-from repro.core.platform import Crowd4U
+from repro.core.platform import Crowd4U, RoundDeltas
 from repro.core.projects import Project, ProjectManager
 from repro.core.relationships import RelationshipLedger, RelationshipStatus
 from repro.core.tasks import Task, TaskKind, TaskPool, TaskStatus
@@ -26,6 +26,7 @@ __all__ = [
     "ProjectManager",
     "RelationshipLedger",
     "RelationshipStatus",
+    "RoundDeltas",
     "SkillRequirement",
     "Task",
     "TaskKind",

@@ -120,12 +120,23 @@ class AffinityWeights:
     region: float = 1.0
     skill_complementarity: float = 1.0
     geo_scale_km: float = 500.0
+    #: Bound on incremental matrix extension: a newly registered worker is
+    #: compared against at most this many of the most recently registered
+    #: workers (``None`` = all of them, the exact quadratic construction;
+    #: ``0`` disables factor-based initial affinity entirely).  Million-
+    #: worker populations need a bound — the full pairwise extension is
+    #: O(n²) over registrations — and team scoring degrades gracefully:
+    #: unseen pairs fall back to the matrix default and learned
+    #: reinforcement still applies.
+    max_neighbors: int | None = None
 
     def __post_init__(self) -> None:
         if min(self.language, self.region, self.skill_complementarity) < 0:
             raise PlatformError("affinity weights must be non-negative")
         if self.language + self.region + self.skill_complementarity <= 0:
             raise PlatformError("at least one affinity weight must be positive")
+        if self.max_neighbors is not None and self.max_neighbors < 0:
+            raise PlatformError("max_neighbors must be None or >= 0")
 
 
 def language_overlap(a: Worker, b: Worker) -> float:

@@ -49,8 +49,9 @@ with ``exchange=False``) instead of chaining every shard.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
-from typing import Any, Iterator
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
 
 from repro.config import RuntimeConfig
 
@@ -142,6 +143,44 @@ class PlatformStats:
             collector.count(f"{prefix}.{name}", value)
 
 
+@dataclass(frozen=True)
+class RoundDeltas:
+    """What one platform round changed in the eligibility surface.
+
+    Published to :meth:`Crowd4U.subscribe_round_deltas` listeners at the
+    end of every round's eligibility refresh, so consumers (the delta-mode
+    simulation driver, dashboards) can react to exactly what changed
+    instead of re-scanning the worker × task product each tick.
+
+    ``eligible_added`` / ``eligible_removed`` map task ids to the workers
+    whose *pure Eligible* rows were inserted / revoked this round by the
+    incremental maintenance paths.  Tasks in ``full_tasks`` had their whole
+    eligible set re-derived (new task, constraints changed, task returned
+    to the pending pool, or a ``full=True`` round) — their per-worker
+    changes are deliberately *not* enumerated, so subscribers must treat
+    every worker of those tasks as potentially changed.  ``dirty_workers``
+    is the round's consumed dirty set (factor edits / registrations).
+    """
+
+    round_no: int
+    time: float
+    eligible_added: dict[str, frozenset[str]] = field(default_factory=dict)
+    eligible_removed: dict[str, frozenset[str]] = field(default_factory=dict)
+    dirty_workers: frozenset[str] = frozenset()
+    full_tasks: frozenset[str] = frozenset()
+
+
+class _RoundRecording:
+    """Mutable per-round accumulator behind :class:`RoundDeltas`."""
+
+    __slots__ = ("added", "removed", "full")
+
+    def __init__(self) -> None:
+        self.added: dict[str, set[str]] = {}
+        self.removed: dict[str, set[str]] = {}
+        self.full: set[str] = set()
+
+
 class Crowd4U:
     """One in-process Crowd4U deployment."""
 
@@ -211,6 +250,19 @@ class Crowd4U:
         #: absent for a round (parked in PROPOSED/ACTIVE, or freshly
         #: created) missed the drained change feeds and re-derives in full.
         self._task_round: dict[str, int] = {}
+        #: Round-delta subscription surface (see :meth:`subscribe_round_deltas`).
+        #: Recording only happens while at least one listener is registered,
+        #: so snapshot-style consumers pay nothing.
+        self._round_delta_listeners: list[Callable[[RoundDeltas], None]] = []
+        self._recording: _RoundRecording | None = None
+        #: Bounded affinity extension: the most recently registered worker
+        #: ids, compared against each new registration when
+        #: ``AffinityWeights.max_neighbors`` caps the quadratic extension.
+        limit = self.affinity_weights.max_neighbors
+        self._recent_workers: deque[str] | None = (
+            deque(maxlen=limit) if limit else None
+        )
+        self.pool.on_create = self._publish_task_created
         self.events.subscribe("task.active", self._on_task_active)
 
     # ------------------------------------------------------------------
@@ -548,10 +600,37 @@ class Crowd4U:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def subscribe_round_deltas(self, listener: Callable[[RoundDeltas], None]) -> None:
+        """Receive a :class:`RoundDeltas` after every round's eligibility
+        refresh.  Registering the first listener turns recording on; with no
+        listeners the incremental paths skip all bookkeeping."""
+        self._round_delta_listeners.append(listener)
+
+    def _publish_task_created(self, task: Task) -> None:
+        """Pool creation hook → ``task.created`` event.
+
+        Unlike ``task.posted`` / ``task.generated`` (root tasks only), this
+        fires for *every* task including scheme-generated micro-tasks, so a
+        subscriber can maintain an addressed-task index without scanning."""
+        self.events.publish(
+            "task.created", self.now,
+            task_id=task.id, task_kind=task.kind.value,
+            assignee=task.assignee, parent_task_id=task.parent_task_id,
+        )
+
     def _extend_affinity(self, new_worker: Worker) -> None:
         weights = self.affinity_weights
+        if weights.max_neighbors == 0:
+            return
+        if self._recent_workers is not None:
+            others: list[Worker] = [
+                self.workers.get(wid) for wid in self._recent_workers
+            ]
+            self._recent_workers.append(new_worker.id)
+        else:
+            others = self.workers.all()
         total = weights.language + weights.region + weights.skill_complementarity
-        for other in self.workers.all():
+        for other in others:
             if other.id == new_worker.id:
                 continue
             score = (
@@ -661,6 +740,8 @@ class Crowd4U:
         pending = self.pool.pending_root_tasks()
         n_workers = len(self.workers)
         round_no = self.stats.rounds
+        recording = _RoundRecording() if self._round_delta_listeners else None
+        self._recording = recording
         # Drain every project's change feed exactly once per round, whether
         # or not the round consumes it incrementally — the feed is per-run
         # state, not per-task state.
@@ -673,8 +754,11 @@ class Crowd4U:
                 self._ensure_eligibility(task)
                 self._task_needs_full.discard(task.id)
                 self._task_round[task.id] = round_no
+                if recording is not None:
+                    recording.full.add(task.id)
                 self.stats.eligibility_tasks_full += 1
                 self.stats.eligibility_pairs_checked += n_workers
+            self._notify_round_deltas(recording, round_no)
             self._dirty_workers.clear()
             return
         for task in pending:
@@ -687,6 +771,8 @@ class Crowd4U:
                 # the whole eligible set must be re-derived.
                 self._task_needs_full.discard(task.id)
                 self._ensure_eligibility(task)
+                if recording is not None:
+                    recording.full.add(task.id)
                 self.stats.eligibility_tasks_full += 1
                 self.stats.eligibility_pairs_checked += n_workers
             else:
@@ -694,7 +780,31 @@ class Crowd4U:
                     task, deltas.get(task.project_id, {}), n_workers
                 )
             self._task_round[task.id] = round_no
+        self._notify_round_deltas(recording, round_no)
         self._dirty_workers.clear()
+
+    def _notify_round_deltas(
+        self, recording: _RoundRecording | None, round_no: int
+    ) -> None:
+        self._recording = None
+        if recording is None:
+            return
+        payload = RoundDeltas(
+            round_no=round_no,
+            time=self.now,
+            eligible_added={
+                task_id: frozenset(workers)
+                for task_id, workers in recording.added.items()
+            },
+            eligible_removed={
+                task_id: frozenset(workers)
+                for task_id, workers in recording.removed.items()
+            },
+            dirty_workers=frozenset(self._dirty_workers),
+            full_tasks=frozenset(recording.full),
+        )
+        for listener in self._round_delta_listeners:
+            listener(payload)
 
     def _apply_incremental_eligibility(
         self,
@@ -703,6 +813,7 @@ class Crowd4U:
         n_workers: int,
     ) -> None:
         """Apply one round's change sets to one task's Eligible rows."""
+        recording = self._recording
         processor = self._processors.get(task.project_id)
         name = self._eligible_predicate(processor, task)
         if name is None:
@@ -716,9 +827,15 @@ class Crowd4U:
             for worker_id in sorted(dirty):
                 worker = self.workers.maybe(worker_id)
                 if worker is not None and project.constraints.member_eligible(worker):
-                    self.ledger.mark_eligible(worker_id, task.id, self.now)
+                    if (
+                        self.ledger.mark_eligible(worker_id, task.id, self.now)
+                        and recording is not None
+                    ):
+                        recording.added.setdefault(task.id, set()).add(worker_id)
                 elif self.ledger.revoke_eligibility(worker_id, task.id):
                     self.stats.eligibility_revoked += 1
+                    if recording is not None:
+                        recording.removed.setdefault(task.id, set()).add(worker_id)
             self.stats.eligibility_tasks_partial += 1
             self.stats.eligibility_pairs_checked += len(dirty)
             self.stats.eligibility_pairs_skipped += max(0, n_workers - len(dirty))
@@ -734,10 +851,16 @@ class Crowd4U:
             self.stats.eligibility_pairs_skipped += n_workers
             return
         for worker_id in sorted(added):
-            self.ledger.mark_eligible(worker_id, task.id, self.now)
+            if (
+                self.ledger.mark_eligible(worker_id, task.id, self.now)
+                and recording is not None
+            ):
+                recording.added.setdefault(task.id, set()).add(worker_id)
         for worker_id in sorted(removed):
             if self.ledger.revoke_eligibility(worker_id, task.id):
                 self.stats.eligibility_revoked += 1
+                if recording is not None:
+                    recording.removed.setdefault(task.id, set()).add(worker_id)
         if stale:
             relation = processor.engine.store.maybe(name)
             for worker_id in sorted(stale):
@@ -745,9 +868,15 @@ class Crowd4U:
                     relation.lookup((0,), (worker_id,))
                 )
                 if present:
-                    self.ledger.mark_eligible(worker_id, task.id, self.now)
+                    if (
+                        self.ledger.mark_eligible(worker_id, task.id, self.now)
+                        and recording is not None
+                    ):
+                        recording.added.setdefault(task.id, set()).add(worker_id)
                 elif self.ledger.revoke_eligibility(worker_id, task.id):
                     self.stats.eligibility_revoked += 1
+                    if recording is not None:
+                        recording.removed.setdefault(task.id, set()).add(worker_id)
         self.stats.eligibility_tasks_partial += 1
         self.stats.eligibility_pairs_checked += changed
         self.stats.eligibility_pairs_skipped += max(0, n_workers - changed)

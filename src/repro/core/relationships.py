@@ -129,10 +129,18 @@ class RelationshipLedger:
         self._cache[(worker_id, task_id)] = target
 
     # -- the three paper relationships ------------------------------------------
-    def mark_eligible(self, worker_id: str, task_id: str, now: float = 0.0) -> None:
-        """Record that the CyLog processor judged the worker eligible."""
+    def mark_eligible(self, worker_id: str, task_id: str, now: float = 0.0) -> bool:
+        """Record that the CyLog processor judged the worker eligible.
+
+        Returns True when a new row was inserted (the worker had no
+        relationship with the task before); a worker already in any state
+        is left untouched and False is returned — the signal the platform's
+        round-delta recording uses to report genuinely new eligibility.
+        """
         if self.status(worker_id, task_id) is None:
             self._transition(worker_id, task_id, RelationshipStatus.ELIGIBLE, now)
+            return True
+        return False
 
     def revoke_eligibility(self, worker_id: str, task_id: str) -> bool:
         """Forget a *pure* Eligible relationship whose inputs no longer hold.

@@ -17,6 +17,8 @@ accreted:
   :func:`repro.metrics.format_stats_table`.
 * :class:`WriteOp` / :func:`apply_ops` — the write vocabulary shared by
   the server's drainer and the serving-diff oracle's direct replay.
+* :class:`AdmissionGate` — the same bounded-queue backpressure as the
+  server, synchronously, for scenario packs replaying traffic surges.
 * :func:`http_request` — the minimal matching client (tests, benches,
   examples).
 
@@ -31,12 +33,14 @@ from typing import TYPE_CHECKING
 from repro.serving.config import ServingConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.gate import AdmissionGate
     from repro.serving.http import http_request
     from repro.serving.ops import OpOutcome, WriteOp, apply_ops
     from repro.serving.server import PlatformServer, ServerClosed
     from repro.serving.stats import ServingStats
 
 __all__ = [
+    "AdmissionGate",
     "OpOutcome",
     "PlatformServer",
     "ServerClosed",
@@ -49,6 +53,7 @@ __all__ = [
 
 #: attribute -> defining submodule, resolved on first touch.
 _LAZY = {
+    "AdmissionGate": "repro.serving.gate",
     "OpOutcome": "repro.serving.ops",
     "PlatformServer": "repro.serving.server",
     "ServerClosed": "repro.serving.server",

@@ -1,0 +1,56 @@
+"""A synchronous admission gate: the server's backpressure, sans sockets.
+
+Scenario packs and benches replay traffic surges against the very same
+admission semantics :class:`~repro.serving.server.PlatformServer`
+enforces — a bounded queue (``queue_depth``) drained in bursts of at most
+``max_batch`` per tick through :func:`~repro.serving.ops.apply_ops` —
+without standing up an asyncio server.  Offers beyond the queue bound are
+rejected, exactly as the HTTP surface answers ``429 Retry-After``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.serving.config import ServingConfig
+from repro.serving.ops import OpOutcome, WriteOp, apply_ops
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """Bounded write admission with per-tick burst draining."""
+
+    def __init__(self, config: ServingConfig | None = None) -> None:
+        self.config = config or ServingConfig()
+        self.queue: deque[WriteOp] = deque()
+        self.admitted = 0
+        self.rejected = 0
+        self.applied = 0
+
+    def offer(self, ops: Iterable[WriteOp]) -> int:
+        """Queue what fits; count the overflow.  Returns #rejected."""
+        rejected = 0
+        for op in ops:
+            if len(self.queue) >= self.config.queue_depth:
+                rejected += 1
+            else:
+                self.queue.append(op)
+                self.admitted += 1
+        self.rejected += rejected
+        return rejected
+
+    def drain(self, platform) -> list[OpOutcome]:
+        """Apply one burst (up to ``max_batch`` queued ops) to ``platform``."""
+        burst_size = min(len(self.queue), self.config.max_batch)
+        if not burst_size:
+            return []
+        burst = [self.queue.popleft() for _ in range(burst_size)]
+        outcomes = apply_ops(platform, burst)
+        self.applied += burst_size
+        return outcomes
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)

@@ -20,22 +20,33 @@ runs are exactly reproducible.
 """
 
 from repro.sim.behavior import BehaviorConfig, BehaviorModel
-from repro.sim.clock import VirtualClock
+from repro.sim.clock import TickTimer, VirtualClock
 from repro.sim.driver import SimulationDriver, SimulationReport
 from repro.sim.outcomes import OutcomeModel, OutcomeConfig
-from repro.sim.population import PopulationConfig, generate_factors, populate
+from repro.sim.population import (
+    ChurnConfig,
+    ChurnProcess,
+    PopulationConfig,
+    generate_factors,
+    populate,
+    zipf_weights,
+)
 from repro.sim.skill_estimation import BetaSkillEstimator
 
 __all__ = [
     "BehaviorConfig",
     "BehaviorModel",
     "BetaSkillEstimator",
+    "ChurnConfig",
+    "ChurnProcess",
     "OutcomeConfig",
     "OutcomeModel",
     "PopulationConfig",
     "SimulationDriver",
     "SimulationReport",
+    "TickTimer",
     "VirtualClock",
     "generate_factors",
     "populate",
+    "zipf_weights",
 ]

@@ -28,6 +28,11 @@ class BehaviorConfig:
     accept_rate: float = 0.9
     #: Mean simulated steps before a worker acts on a micro-task.
     mean_latency: float = 1.5
+    #: Pareto shape for a per-draw heavy-tail latency multiplier; 0 keeps
+    #: the pure exponential (historical behaviour).  Smaller positive
+    #: values mean heavier tails — real crowds have a skewed minority of
+    #: very slow responders.
+    latency_skew: float = 0.0
     #: Probability a worker improves (rather than rubber-stamps) in reviews.
     improve_rate: float = 0.8
 
@@ -61,7 +66,12 @@ class BehaviorModel:
     def response_delay(self, worker: Worker, task: Task) -> float:
         """Steps before the worker acts on an addressed micro-task."""
         rng = make_rng(self.seed, "latency", worker.id, task.id)
-        return rng.expovariate(1.0 / max(self.config.mean_latency, 1e-9))
+        delay = rng.expovariate(1.0 / max(self.config.mean_latency, 1e-9))
+        if self.config.latency_skew > 0:
+            # Heavy-tailed multiplier >= 1: most workers are unaffected, a
+            # Zipf-like minority responds much later.
+            delay *= rng.paretovariate(self.config.latency_skew)
+        return delay
 
     # -- task answers -----------------------------------------------------------
     def answer_quality(self, worker: Worker, skill: str | None) -> float:

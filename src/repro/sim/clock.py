@@ -1,4 +1,4 @@
-"""A trivially simple virtual clock for discrete-event simulation."""
+"""A trivially simple virtual clock, plus wall-clock tick statistics."""
 
 from __future__ import annotations
 
@@ -24,3 +24,45 @@ class VirtualClock:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<VirtualClock now={self._now:.2f}>"
+
+
+class TickTimer:
+    """Summarise per-tick wall-clock samples into trajectory metrics.
+
+    Scenario packs feed :attr:`SimulationDriver.tick_seconds` in and
+    report ticks/s and tail latency in their ``BENCH_E15*`` records.
+    """
+
+    def __init__(self, samples: list[float] | None = None) -> None:
+        self.samples: list[float] = list(samples or [])
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.samples)
+
+    def mean_ms(self) -> float:
+        if not self.samples:
+            return 0.0
+        return 1000.0 * self.total_seconds / len(self.samples)
+
+    def percentile_ms(self, q: float) -> float:
+        """Nearest-rank percentile of the tick latency, in milliseconds."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 < q <= 100.0:
+            raise SimulationError(f"percentile must be in (0, 100], got {q!r}")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+        return 1000.0 * ordered[rank]
+
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99.0)
+
+    def ticks_per_second(self) -> float:
+        total = self.total_seconds
+        if total <= 0.0:
+            return 0.0
+        return len(self.samples) / total

@@ -12,6 +12,32 @@ quiescent:
 5. optionally auto-apply the platform's requester suggestions when team
    formation is infeasible (so unattended experiments converge).
 
+Two execution modes share every decision helper:
+
+* **delta mode** (the default) rides the platform's change feeds instead
+  of re-scanning the worker × task product each tick.  Interest rolls are
+  driven by :class:`~repro.core.platform.RoundDeltas` (newly eligible
+  workers wake exactly the pairs whose outcome could change), membership
+  answers by ``team.proposed`` events, and micro-task work by a
+  ``task.created``-fed addressed index.  Per-tick cost is proportional to
+  what changed, not to the population — the property that makes
+  10^5–10^6-worker scenario packs tractable.
+* **snapshot mode** (``delta=False``) is the original full-scan loop,
+  kept as the lockstep oracle: the ``sim-diff`` CI job runs randomized
+  scenarios in both modes and requires identical reports and
+  byte-identical storage dumps.
+
+Equivalence rests on two facts.  First, every stochastic decision derives
+from :func:`repro.util.rng.make_rng` labels — (seed, worker, task, visit)
+— so an outcome depends only on *which* rolls happen, never on engine
+scan order; both modes consume each roll key at most once and iterate
+candidates in sorted order, so the platform-mutation sequences coincide.
+Second, delta mode's wake sets always *cover* the pairs snapshot mode
+would net-process (over-waking is filtered by the shared status checks;
+the danger is only under-waking, guarded by the revisit-boundary full
+scan, the platform's ``full_tasks`` re-derive reporting, and self-wakes
+on the driver's own declines).
+
 Final micro-task results carry a team-level ``quality`` computed by the
 :class:`~repro.sim.outcomes.OutcomeModel`, which then drives affinity
 reinforcement and skill estimation — closing the paper's learning loops.
@@ -19,9 +45,11 @@ reinforcement and skill estimation — closing the paper's learning loops.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.core.relationships import RelationshipStatus
 from repro.core.tasks import Task, TaskKind, TaskStatus
 from repro.core.teams import TeamStatus
 from repro.sim.behavior import BehaviorModel
@@ -30,6 +58,13 @@ from repro.sim.skill_estimation import BetaSkillEstimator
 
 #: Optional scenario hook: (worker, task) -> result dict or None for default.
 AnswerFn = Callable[[Any, Task], dict[str, Any] | None]
+
+#: Interest-roll statuses that never re-roll (worker already committed).
+_SETTLED = (
+    RelationshipStatus.INTERESTED,
+    RelationshipStatus.UNDERTAKES,
+    RelationshipStatus.COMPLETED,
+)
 
 
 @dataclass
@@ -58,6 +93,11 @@ class SimulationReport:
 class SimulationDriver:
     """Drives one platform instance with simulated workers."""
 
+    #: Steps between repeated visits to the user page (a worker who passed
+    #: on a task earlier may pick it up on a later visit).  Delta mode
+    #: performs its one full interest scan per window at each boundary.
+    revisit_period: float = 8.0
+
     def __init__(
         self,
         platform,
@@ -67,6 +107,8 @@ class SimulationDriver:
         answer_fn: AnswerFn | None = None,
         auto_relax: bool = True,
         seed: int = 0,
+        delta: bool = True,
+        revisit_period: float | None = None,
     ) -> None:
         self.platform = platform
         self.behavior = behavior or BehaviorModel(seed=seed)
@@ -74,13 +116,46 @@ class SimulationDriver:
         self.skills = skill_estimator or BetaSkillEstimator()
         self.answer_fn = answer_fn
         self.auto_relax = auto_relax
+        self.delta = delta
+        if revisit_period is not None:
+            self.revisit_period = float(revisit_period)
         self.report = SimulationReport()
+        #: Wall-clock seconds per tick (for scenario-pack trajectories).
+        self.tick_seconds: list[float] = []
+        #: Indexes into :attr:`tick_seconds` that were revisit boundaries
+        #: (full interest scans) — benches exclude them when comparing
+        #: steady-state delta vs snapshot cost, since the boundary scan is
+        #: identical work in both modes.
+        self.boundary_ticks: list[int] = []
         self._ready_at: dict[tuple[str, str], float] = {}
         self._joint_contributed: dict[str, set[str]] = {}
-        self._interest_rolled: set[tuple[str, str]] = set()
+        self._interest_rolled: set[tuple[str, str, int]] = set()
         self._confirm_rolled: set[tuple[str, str]] = set()
+        #: Workers who left the crowd (attrition): they stop browsing,
+        #: answering proposals and performing tasks — in both modes.
+        self._inactive: set[str] = set()
+        self._last_visit: int | None = None
         platform.events.subscribe("task.completed", self._on_completed)
         platform.events.subscribe("task.expired", self._on_expired)
+        if delta:
+            # -- change-feed state (delta mode only) ----------------------
+            #: task -> workers whose interest roll may have a fresh outcome.
+            #: Entries persist until consumed while the task is pending.
+            self._interest_wake: dict[str, set[str]] = {}
+            #: tasks whose whole candidate set must be re-scanned (platform
+            #: full re-derives, driver-side declines/dissolutions).
+            self._full_scan: set[str] = set()
+            #: live team proposals awaiting member answers.
+            self._proposed: set[str] = set()
+            #: worker -> addressed open micro-task candidates (superset of
+            #: the worker page; lazily pruned as tasks close).
+            self._addressed: dict[str, set[str]] = {}
+            platform.subscribe_round_deltas(self._on_round_deltas)
+            platform.events.subscribe("task.created", self._on_created)
+            platform.events.subscribe("team.proposed", self._on_team_proposed)
+            platform.events.subscribe("task.active", self._on_task_active)
+            platform.events.subscribe("team.dissolved", self._on_team_dissolved)
+            self._bootstrap_indexes()
 
     # -- event hooks ----------------------------------------------------------
     def _on_completed(self, event) -> None:
@@ -100,17 +175,96 @@ class SimulationDriver:
     def _on_expired(self, event) -> None:
         self.report.tasks_expired += 1
 
+    def _on_round_deltas(self, deltas) -> None:
+        for task_id, workers in deltas.eligible_added.items():
+            self._interest_wake.setdefault(task_id, set()).update(workers)
+        self._full_scan.update(deltas.full_tasks)
+
+    def _on_created(self, event) -> None:
+        task_id = event["task_id"]
+        assignee = event.payload.get("assignee")
+        if assignee is not None:
+            self._addressed.setdefault(assignee, set()).add(task_id)
+        if event.payload.get("task_kind") == TaskKind.JOINT.value:
+            task = self.platform.pool.get(task_id)
+            for member in task.payload.get("addressed_to", ()):
+                self._addressed.setdefault(member, set()).add(task_id)
+
+    def _on_team_proposed(self, event) -> None:
+        self._proposed.add(event["task_id"])
+
+    def _on_task_active(self, event) -> None:
+        self._proposed.discard(event["task_id"])
+
+    def _on_team_dissolved(self, event) -> None:
+        # The root task returned to the pending pool; candidates whose roll
+        # keys went unconsumed while it was parked must be re-scanned.
+        task_id = event["task_id"]
+        self._proposed.discard(task_id)
+        self._full_scan.add(task_id)
+
+    def _bootstrap_indexes(self) -> None:
+        """Seed the delta indexes from current platform state, so a driver
+        attached to a warm platform doesn't miss pre-existing work."""
+        for task in self.platform.pool.all():
+            if not task.is_open:
+                continue
+            if task.status is TaskStatus.PROPOSED and task.team_id is not None:
+                self._proposed.add(task.id)
+            if task.assignee is not None:
+                self._addressed.setdefault(task.assignee, set()).add(task.id)
+            if task.kind is TaskKind.JOINT:
+                for member in task.payload.get("addressed_to", ()):
+                    self._addressed.setdefault(member, set()).add(task.id)
+
+    # -- attrition -------------------------------------------------------------
+    def deactivate_worker(self, worker_id: str) -> None:
+        """Model churn: the worker stops acting from the next phase on.
+
+        The platform keeps her registration and relationships (she may
+        still be listed as eligible); she simply never rolls again.
+        """
+        self._inactive.add(worker_id)
+
+    @property
+    def inactive_workers(self) -> frozenset[str]:
+        return frozenset(self._inactive)
+
     # -- main loop -----------------------------------------------------------
+    def tick(self, dt: float = 1.0) -> None:
+        """One platform round plus all four worker phases.
+
+        Scenario packs call this directly so they can interleave fact
+        injection, churn and serving traffic between rounds; :meth:`run`
+        is the plain repeat-until-quiescent loop on top.
+        """
+        started = time.perf_counter()
+        self.platform.step(dt)
+        visit = int(self.platform.now // self.revisit_period)
+        boundary = visit != self._last_visit
+        if boundary:
+            self._last_visit = visit
+            self.boundary_ticks.append(len(self.tick_seconds))
+            # Roll keys embed the visit number and time only moves forward:
+            # keys from earlier visits are never consulted again.
+            self._interest_rolled.clear()
+        if self.delta:
+            self._declare_interests_delta(visit, boundary)
+            self._answer_membership_proposals_delta()
+            self._perform_micro_tasks_delta()
+        else:
+            self._declare_interests(visit)
+            self._answer_membership_proposals()
+            self._perform_micro_tasks()
+        if self.auto_relax:
+            self._apply_suggestions()
+        self.report.steps += 1
+        self.tick_seconds.append(time.perf_counter() - started)
+
     def run(self, max_steps: int = 300, dt: float = 1.0) -> SimulationReport:
         """Run until quiescence or the step budget is exhausted."""
         for _ in range(max_steps):
-            self.platform.step(dt)
-            self._declare_interests()
-            self._answer_membership_proposals()
-            self._perform_micro_tasks()
-            if self.auto_relax:
-                self._apply_suggestions()
-            self.report.steps += 1
+            self.tick(dt)
             if self._quiet():
                 self.report.quiescent = True
                 break
@@ -120,77 +274,182 @@ class SimulationDriver:
         return not self.platform.pool.open_tasks()
 
     # -- phase 1: interest ------------------------------------------------------
-    #: Steps between repeated visits to the user page (a worker who passed
-    #: on a task earlier may pick it up on a later visit).
-    revisit_period: float = 8.0
+    def _roll_interest(self, task: Task, worker_ids: list[str], visit: int) -> None:
+        """Roll the interest decision for each candidate (sorted by caller).
 
-    def _declare_interests(self) -> None:
-        from repro.core.relationships import RelationshipStatus
+        The status screen makes over-waking harmless: a woken worker whose
+        pair cannot act (already interested/undertaking, revoked, declined
+        inside the current visit window) is skipped exactly as the full
+        scan would skip her.
+        """
+        ledger = self.platform.ledger
+        for worker_id in worker_ids:
+            if worker_id in self._inactive:
+                continue
+            status = ledger.status(worker_id, task.id)
+            if status is None or status in _SETTLED:
+                continue
+            if status is RelationshipStatus.DECLINED and visit == 0:
+                continue
+            roll_key = (worker_id, task.id, visit)
+            if roll_key in self._interest_rolled:
+                continue
+            self._interest_rolled.add(roll_key)
+            worker = self.platform.workers.get(worker_id)
+            if self.behavior.wants_task(worker, task, visit):
+                self.platform.declare_interest(worker_id, task.id)
+                self.report.interest_declared += 1
 
-        visit = int(self.platform.now // self.revisit_period)
-        for task in self.platform.pool.pending_root_tasks():
-            candidates = set(self.platform.ledger.eligible_workers(task.id))
-            if visit > 0:
-                # Declined workers may change their mind on a later visit.
-                candidates.update(
-                    self.platform.ledger.workers_with_status(
-                        task.id, RelationshipStatus.DECLINED
-                    )
+    def _scan_task_interest(self, task: Task, visit: int) -> None:
+        """Full candidate scan for one task (snapshot mode and delta-mode
+        boundaries/full re-derives)."""
+        candidates = set(self.platform.ledger.eligible_workers(task.id))
+        if visit > 0:
+            # Declined workers may change their mind on a later visit.
+            candidates.update(
+                self.platform.ledger.workers_with_status(
+                    task.id, RelationshipStatus.DECLINED
                 )
-            for worker_id in sorted(candidates):
-                status = self.platform.ledger.status(worker_id, task.id)
-                if status in (
-                    RelationshipStatus.INTERESTED,
-                    RelationshipStatus.UNDERTAKES,
-                    RelationshipStatus.COMPLETED,
-                ):
-                    continue
-                roll_key = (worker_id, task.id, visit)
-                if roll_key in self._interest_rolled:
-                    continue
-                self._interest_rolled.add(roll_key)
-                worker = self.platform.workers.get(worker_id)
-                if self.behavior.wants_task(worker, task, visit):
-                    self.platform.declare_interest(worker_id, task.id)
-                    self.report.interest_declared += 1
+            )
+        self._roll_interest(task, sorted(candidates), visit)
+
+    def _declare_interests(self, visit: int) -> None:
+        for task in self.platform.pool.pending_root_tasks():
+            self._scan_task_interest(task, visit)
+
+    def _declare_interests_delta(self, visit: int, boundary: bool) -> None:
+        if boundary:
+            # Every (worker, task, visit) roll key is fresh: one full scan,
+            # identical to snapshot mode's boundary tick, then the wake
+            # backlog is moot.
+            self._declare_interests(visit)
+            self._interest_wake.clear()
+            self._full_scan.clear()
+            return
+        if not self._interest_wake and not self._full_scan:
+            return
+        pending = {t.id: t for t in self.platform.pool.pending_root_tasks()}
+        for task_id in sorted(set(self._interest_wake) | self._full_scan):
+            task = pending.get(task_id)
+            if task is None:
+                # Parked (proposed/active) tasks keep their wakes until
+                # they return to the pending pool; closed tasks drop them.
+                known = self.platform.pool.maybe(task_id)
+                if known is None or not known.is_open:
+                    self._interest_wake.pop(task_id, None)
+                    self._full_scan.discard(task_id)
+                continue
+            if task_id in self._full_scan:
+                self._full_scan.discard(task_id)
+                self._interest_wake.pop(task_id, None)
+                self._scan_task_interest(task, visit)
+            else:
+                woken = self._interest_wake.pop(task_id)
+                self._roll_interest(task, sorted(woken), visit)
 
     # -- phase 2: confirmations -------------------------------------------------
+    def _answer_team(self, task: Task) -> None:
+        team = self.platform.teams.get(task.team_id)
+        if team.status is not TeamStatus.PROPOSED:
+            return
+        for member in team.members:
+            if member in self._inactive:
+                continue
+            roll_key = (member, team.id)
+            if member in team.confirmed or roll_key in self._confirm_rolled:
+                continue
+            self._confirm_rolled.add(roll_key)
+            worker = self.platform.workers.get(member)
+            if self.behavior.accepts_membership(worker, task):
+                self.platform.confirm_membership(member, task.id)
+                self.report.confirmations += 1
+            else:
+                self.platform.decline_membership(member, task.id)
+                self.report.declines += 1
+                if self.delta:
+                    # The dissolution event already queued a full re-scan;
+                    # belt and braces for platforms without the event.
+                    self._full_scan.add(task.id)
+                break  # the team dissolved; stop processing it
+
     def _answer_membership_proposals(self) -> None:
         for task in self.platform.pool.by_status(TaskStatus.PROPOSED):
             if task.team_id is None:
                 continue
-            team = self.platform.teams.get(task.team_id)
-            if team.status is not TeamStatus.PROPOSED:
+            self._answer_team(task)
+
+    def _answer_membership_proposals_delta(self) -> None:
+        for task_id in sorted(self._proposed):
+            task = self.platform.pool.maybe(task_id)
+            if (
+                task is None
+                or task.status is not TaskStatus.PROPOSED
+                or task.team_id is None
+            ):
+                self._proposed.discard(task_id)
                 continue
-            for member in team.members:
-                roll_key = (member, team.id)
-                if member in team.confirmed or roll_key in self._confirm_rolled:
-                    continue
-                self._confirm_rolled.add(roll_key)
-                worker = self.platform.workers.get(member)
-                if self.behavior.accepts_membership(worker, task):
-                    self.platform.confirm_membership(member, task.id)
-                    self.report.confirmations += 1
-                else:
-                    self.platform.decline_membership(member, task.id)
-                    self.report.declines += 1
-                    break  # the team dissolved; stop processing it
+            self._answer_team(task)
 
     # -- phase 3: micro-tasks ---------------------------------------------------
+    def _act_on_task(self, worker, task: Task, now: float) -> None:
+        ready_key = (worker.id, task.id)
+        if ready_key not in self._ready_at:
+            delay = self.behavior.response_delay(worker, task)
+            self._ready_at[ready_key] = task.created_at + delay
+        if now < self._ready_at[ready_key]:
+            return
+        if task.kind is TaskKind.JOINT:
+            self._handle_joint(worker, task)
+        else:
+            self._submit_micro(worker, task)
+
     def _perform_micro_tasks(self) -> None:
         now = self.platform.now
         for worker in self.platform.workers.all():
+            if worker.id in self._inactive:
+                continue
             for task in self.platform.tasks_for_worker(worker.id):
-                ready_key = (worker.id, task.id)
-                if ready_key not in self._ready_at:
-                    delay = self.behavior.response_delay(worker, task)
-                    self._ready_at[ready_key] = task.created_at + delay
-                if now < self._ready_at[ready_key]:
+                self._act_on_task(worker, task, now)
+
+    def _is_listed(self, worker_id: str, task: Task) -> bool:
+        """Mirror of :meth:`Crowd4U.tasks_for_worker` membership."""
+        if task.assignee == worker_id and task.is_open:
+            return True
+        return (
+            task.kind is TaskKind.JOINT
+            and task.status is TaskStatus.PENDING
+            and worker_id in task.payload.get("addressed_to", ())
+        )
+
+    def _perform_micro_tasks_delta(self) -> None:
+        now = self.platform.now
+        pool = self.platform.pool
+        # Single increasing-id pass, like snapshot mode's workers.all()
+        # sweep — but only over workers that hold addressed candidates.
+        # Submitting can create follow-up tasks for *later* workers (the
+        # scheme's next stage); re-selecting the minimum unprocessed key
+        # each round picks those up exactly as the full sweep would.
+        cursor = ""
+        while True:
+            remaining = [w for w in self._addressed if w > cursor]
+            if not remaining:
+                break
+            worker_id = min(remaining)
+            cursor = worker_id
+            task_ids = self._addressed[worker_id]
+            if worker_id in self._inactive:
+                continue
+            worker = self.platform.workers.get(worker_id)
+            for task_id in sorted(task_ids):
+                task = pool.maybe(task_id)
+                if task is None or not task.is_open:
+                    task_ids.discard(task_id)
                     continue
-                if task.kind is TaskKind.JOINT:
-                    self._handle_joint(worker, task)
-                else:
-                    self._submit_micro(worker, task)
+                if not self._is_listed(worker_id, task):
+                    continue
+                self._act_on_task(worker, task, now)
+            if not task_ids:
+                del self._addressed[worker_id]
 
     def _submit_micro(self, worker, task: Task) -> None:
         result = None

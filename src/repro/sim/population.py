@@ -1,20 +1,46 @@
-"""Worker population generation.
+"""Worker population generation and churn.
 
 Profiles mirror the human factors the real platform records (Figure 4):
 native language, other languages with proficiencies, region (with
 coordinates for geo affinity), per-skill levels, reliability, and an SNS
 id.  Distributions are configurable; defaults give a plausibly diverse
 multilingual volunteer crowd.
+
+Real crowds are *skewed*: a few languages/regions dominate, arrivals come
+in bursts, and participation follows heavy tails.  ``region_skew`` /
+``language_skew`` put Zipf weights on the categorical draws, and
+:class:`ChurnProcess` generates seeded per-tick arrival cohorts and
+departure sets so scenario packs can play million-worker populations with
+realistic turnover.  Everything remains a pure function of (seed, labels)
+— the property the sim-diff oracle's reproducibility rests on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.human_factors import HumanFactors
 from repro.core.workers import Worker
 from repro.util.rng import make_rng
 from repro.util.text import clamp
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Normalised Zipf weights ``rank^-s`` for ranks 1..n.
+
+    ``s = 0`` degenerates to the uniform distribution.  (The generators
+    below only take the weighted path when a skew is actually set, so the
+    default configuration keeps the historical rng call sequence and stays
+    bit-identical for existing seeds.)
+    """
+    if n <= 0:
+        return []
+    if s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s!r}")
+    raw = [(rank + 1) ** -s for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
 
 #: region name -> (latitude, longitude)
 _DEFAULT_REGIONS: dict[str, tuple[float, float]] = {
@@ -48,6 +74,12 @@ class PopulationConfig:
     #: Probability a worker volunteers for free (cost 0).
     volunteer_fraction: float = 0.8
     max_cost: float = 2.0
+    #: Zipf exponents for the categorical draws (0 = uniform, the
+    #: historical behaviour).  With a positive exponent the first
+    #: language / the alphabetically-first region dominate, as in real
+    #: crowds where a handful of locales hold most of the workers.
+    language_skew: float = 0.0
+    region_skew: float = 0.0
 
 
 def generate_factors(
@@ -56,7 +88,13 @@ def generate_factors(
     """Deterministically generate one worker's human factors."""
     config = config or PopulationConfig()
     rng = make_rng(seed, "population", index)
-    native = rng.choice(config.languages)
+    if config.language_skew > 0:
+        native = rng.choices(
+            config.languages,
+            weights=zipf_weights(len(config.languages), config.language_skew),
+        )[0]
+    else:
+        native = rng.choice(config.languages)
     languages: dict[str, float] = {}
     n_extra = min(
         len(config.languages) - 1,
@@ -65,7 +103,14 @@ def generate_factors(
     others = [lang for lang in config.languages if lang != native]
     for lang in rng.sample(others, n_extra):
         languages[lang] = round(clamp(rng.betavariate(2.0, 3.0), 0.05, 1.0), 3)
-    region = rng.choice(sorted(config.regions))
+    region_names = sorted(config.regions)
+    if config.region_skew > 0:
+        region = rng.choices(
+            region_names,
+            weights=zipf_weights(len(region_names), config.region_skew),
+        )[0]
+    else:
+        region = rng.choice(region_names)
     coordinates = config.regions[region]
     skills = {
         skill: round(
@@ -103,3 +148,85 @@ def populate(
         )
         for index in range(count)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Churn: skewed arrivals and departures
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Per-tick arrival/departure process for a living crowd."""
+
+    #: Mean new workers per tick (Poisson).
+    arrival_rate: float = 0.0
+    #: Zipf exponent over burst multipliers: most ticks draw the 1x rate,
+    #: a heavy-tailed few draw up to ``burst_levels``x (flash crowds).
+    #: 0 disables bursting.
+    arrival_burst_skew: float = 0.0
+    burst_levels: int = 5
+    #: Per-tick fraction of the active crowd that departs (1.0 = everyone).
+    departure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0 or not 0.0 <= self.departure_rate <= 1.0:
+            raise ValueError(
+                "arrival_rate must be >= 0 and departure_rate in [0, 1]"
+            )
+        if self.burst_levels < 1:
+            raise ValueError("burst_levels must be >= 1")
+
+
+def _poisson(rng, lam: float) -> int:
+    """Seeded Poisson draw (Knuth for small rates, normal approx above)."""
+    if lam <= 0:
+        return 0
+    if lam > 30:
+        return max(0, round(rng.gauss(lam, lam ** 0.5)))
+    import math
+
+    threshold = math.exp(-lam)
+    k, p = 0, 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+class ChurnProcess:
+    """Seeded arrival cohorts and departure sets, one draw bundle per tick.
+
+    Draws depend only on ``(seed, "churn", kind, tick)`` — never on call
+    order — so a delta-mode and a snapshot-mode run of the same scenario
+    see the exact same churn schedule.
+    """
+
+    def __init__(self, seed: int, config: ChurnConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or ChurnConfig()
+
+    def arrivals(self, tick: int) -> int:
+        """How many workers join at ``tick``."""
+        cfg = self.config
+        if cfg.arrival_rate <= 0:
+            return 0
+        rng = make_rng(self.seed, "churn", "arrive", tick)
+        multiplier = 1
+        if cfg.arrival_burst_skew > 0 and cfg.burst_levels > 1:
+            levels = list(range(1, cfg.burst_levels + 1))
+            weights = zipf_weights(len(levels), cfg.arrival_burst_skew)
+            multiplier = rng.choices(levels, weights=weights)[0]
+        return _poisson(rng, cfg.arrival_rate * multiplier)
+
+    def departures(self, tick: int, active_ids: Sequence[str]) -> list[str]:
+        """Which of ``active_ids`` leave at ``tick`` (sorted)."""
+        cfg = self.config
+        roster = sorted(active_ids)
+        if not roster or cfg.departure_rate <= 0:
+            return []
+        if cfg.departure_rate >= 1.0:
+            return roster
+        rng = make_rng(self.seed, "churn", "depart", tick)
+        count = min(len(roster), _poisson(rng, cfg.departure_rate * len(roster)))
+        return sorted(rng.sample(roster, count))

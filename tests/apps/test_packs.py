@@ -1,0 +1,90 @@
+"""The E15 scenario packs: small seeded runs with the delta driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    run_disaster_pack,
+    run_moderation_pack,
+    run_multilingual_pack,
+)
+from repro.sim import ChurnConfig, TickTimer
+
+TIMING_KEYS = {"ticks", "ticks_per_s", "mean_tick_ms", "p99_tick_ms", "steady_tick_ms"}
+
+
+class TestModerationPack:
+    def test_storms_cancel_pending_tasks(self):
+        result = run_moderation_pack(n_workers=50, ticks=26, seed=1)
+        assert result.facts["items_injected"] > 0
+        assert result.facts["items_retracted"] > 0
+        assert result.facts["tasks_cancelled"] > 0
+        assert result.facts["reviewed"] > 0
+        assert TIMING_KEYS <= set(result.extras["timing"])
+
+    def test_deterministic_across_runs(self):
+        a = run_moderation_pack(n_workers=40, ticks=16, seed=4)
+        b = run_moderation_pack(n_workers=40, ticks=16, seed=4)
+        assert a.facts == b.facts
+        assert a.report == b.report
+
+
+class TestDisasterPack:
+    def test_surges_hit_backpressure(self):
+        result = run_disaster_pack(n_workers=50, ticks=26, seed=3)
+        assert result.facts["cells"] > 0
+        assert result.facts["assessed"] > 0
+        assert result.facts["reports_admitted"] > 0
+        # The tight default queue must visibly push back under surges.
+        assert result.facts["reports_rejected"] > 0
+
+    def test_wider_queue_rejects_less(self):
+        from repro.serving import ServingConfig
+
+        tight = run_disaster_pack(n_workers=40, ticks=16, seed=3)
+        wide = run_disaster_pack(
+            n_workers=40, ticks=16, seed=3,
+            serving=ServingConfig(queue_depth=100_000, max_batch=100_000),
+        )
+        assert wide.facts["reports_rejected"] < tight.facts["reports_rejected"]
+
+
+class TestMultilingualPack:
+    def test_churn_and_resurrection(self):
+        result = run_multilingual_pack(
+            n_workers=50, ticks=26, seed=5,
+            churn=ChurnConfig(arrival_rate=1.5, departure_rate=0.02),
+        )
+        assert result.facts["workers_arrived"] > 0
+        assert result.facts["workers_departed"] > 0
+        assert result.facts["answers_revoked"] > 0
+        assert result.facts["tasks_generated"] > 0
+        driver = result.extras["driver"]
+        assert len(driver.inactive_workers) == result.facts["workers_departed"]
+
+    def test_all_targets_progress(self):
+        result = run_multilingual_pack(n_workers=60, ticks=24, seed=6)
+        for lang in ("en", "ja", "fr"):
+            assert result.facts[f"done_{lang}"] > 0
+
+
+class TestTickTimer:
+    def test_empty_timer(self):
+        timer = TickTimer()
+        assert timer.mean_ms() == 0.0
+        assert timer.p99_ms() == 0.0
+        assert timer.ticks_per_second() == 0.0
+
+    def test_percentiles_and_throughput(self):
+        timer = TickTimer([0.01] * 99 + [0.1])
+        assert timer.mean_ms() == pytest.approx(10.9)
+        assert timer.p99_ms() == pytest.approx(10.0)
+        assert timer.percentile_ms(100.0) == pytest.approx(100.0)
+        assert timer.ticks_per_second() == pytest.approx(100 / 1.09)
+
+    def test_bad_percentile_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            TickTimer([0.01]).percentile_ms(0.0)

@@ -1,0 +1,137 @@
+"""The platform's round-delta subscription surface (`RoundDeltas`).
+
+The delta-stream simulation driver rides this feed instead of rescanning
+eligibility snapshots; these tests pin its contract: full re-derives are
+reported as ``full_tasks`` (per-worker changes not enumerated), incremental
+rounds report exact per-task added/removed worker sets, and recording only
+happens while a listener is subscribed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import Crowd4U, HumanFactors, RoundDeltas, TeamConstraints
+from repro.core.projects import SchemeKind
+
+_CYLOG = """
+open translate(seg: text, out: text) key (seg) asking "Translate {seg}".
+segment("s1"). segment("s2").
+translated(S, T) :- segment(S), translate(S, T).
+eligible(W) :- worker_language(W, "fr", P), P >= 0.5.
+"""
+
+
+def _factors(fr: float) -> HumanFactors:
+    return HumanFactors(
+        native_languages=frozenset({"en"}),
+        languages={"fr": fr},
+        region="paris",
+        skills={"translation": 0.8},
+        reliability=0.9,
+    )
+
+
+def _platform() -> tuple[Crowd4U, str]:
+    """Returns the platform and the initially-ineligible worker's id."""
+    platform = Crowd4U(seed=0)
+    platform.register_worker("able", _factors(0.9))
+    novice = platform.register_worker("novice", _factors(0.2))
+    platform.register_project(
+        "subs", "req", _CYLOG,
+        scheme=SchemeKind.SEQUENTIAL,
+        constraints=TeamConstraints(min_size=1, critical_mass=2),
+    )
+    return platform, novice.id
+
+
+class TestRoundDeltas:
+    def test_first_round_reports_new_tasks_as_full(self):
+        platform, novice = _platform()
+        received: list[RoundDeltas] = []
+        platform.subscribe_round_deltas(received.append)
+        platform.step()
+        assert len(received) == 1
+        deltas = received[0]
+        assert deltas.round_no == 1
+        # Newly generated tasks miss the round cursor -> full re-derive;
+        # subscribers treat every worker as potentially changed there.
+        task_ids = {t.id for t in platform.pool.all()}
+        assert deltas.full_tasks
+        assert deltas.full_tasks <= frozenset(task_ids)
+
+    def test_incremental_round_reports_exact_worker_sets(self):
+        platform, novice = _platform()
+        platform.step()
+        platform.step()  # settle: tasks now ride the incremental path
+        received: list[RoundDeltas] = []
+        platform.subscribe_round_deltas(received.append)
+        platform.update_worker_factors(novice, _factors(0.8))
+        platform.step()
+        (deltas,) = received
+        assert novice in deltas.dirty_workers
+        added = set().union(*deltas.eligible_added.values())
+        assert added == {novice}
+
+    def test_constraint_screen_revocation_reported_as_removed(self):
+        # Constraint-screened projects (no CyLog eligible rule) re-screen
+        # dirty workers every round; a failing screen revokes eligibility
+        # and the revocation must surface in ``eligible_removed``.
+        platform = Crowd4U(seed=0)
+        worker = platform.register_worker("polyglot", _factors(0.9))
+        platform.register_project(
+            "survey", "req",
+            'open rate(item: text, verdict: text) key (item).\n'
+            'item("i1").\nrated(I, V) :- item(I), rate(I, V).',
+            scheme=SchemeKind.SEQUENTIAL,
+            constraints=TeamConstraints(
+                min_size=1,
+                critical_mass=2,
+                required_languages=frozenset({"fr"}),
+                language_proficiency=0.5,
+            ),
+        )
+        platform.step()
+        platform.step()
+        received: list[RoundDeltas] = []
+        platform.subscribe_round_deltas(received.append)
+        platform.update_worker_factors(worker.id, _factors(0.1))
+        platform.step()
+        (deltas,) = received
+        assert worker.id in deltas.dirty_workers
+        removed = set().union(set(), *deltas.eligible_removed.values())
+        assert removed == {worker.id}
+
+    def test_deltas_are_frozen(self):
+        platform, novice = _platform()
+        received: list[RoundDeltas] = []
+        platform.subscribe_round_deltas(received.append)
+        platform.step()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            received[0].round_no = 99
+
+    def test_no_recording_without_listeners(self):
+        platform, novice = _platform()
+        platform.step()
+        assert platform._recording is None
+
+    def test_every_listener_notified(self):
+        platform, novice = _platform()
+        first: list[RoundDeltas] = []
+        second: list[RoundDeltas] = []
+        platform.subscribe_round_deltas(first.append)
+        platform.subscribe_round_deltas(second.append)
+        platform.step()
+        assert first == second
+        assert len(first) == 1
+
+
+class TestMarkEligibleSignal:
+    def test_insert_returns_true_then_false(self):
+        platform, novice = _platform()
+        platform.step()
+        task = platform.pool.all()[0]
+        assert platform.ledger.mark_eligible(novice, task.id) is True
+        assert platform.ledger.mark_eligible(novice, task.id) is False

@@ -1,0 +1,54 @@
+"""The synchronous admission gate mirrors the server's backpressure."""
+
+from __future__ import annotations
+
+from repro.core import Crowd4U
+from repro.serving import AdmissionGate, ServingConfig, WriteOp
+
+
+def _register_op(i: int) -> WriteOp:
+    return WriteOp("register_worker", {"name": f"gate-w{i}"})
+
+
+class TestAdmissionGate:
+    def test_offers_beyond_depth_are_rejected(self):
+        gate = AdmissionGate(ServingConfig(queue_depth=3))
+        rejected = gate.offer([_register_op(i) for i in range(5)])
+        assert rejected == 2
+        assert gate.admitted == 3
+        assert gate.rejected == 2
+        assert gate.depth == 3
+
+    def test_drain_applies_at_most_max_batch(self):
+        platform = Crowd4U(seed=0)
+        gate = AdmissionGate(ServingConfig(queue_depth=10, max_batch=4))
+        gate.offer([_register_op(i) for i in range(7)])
+        outcomes = gate.drain(platform)
+        assert len(outcomes) == 4
+        assert all(o.ok for o in outcomes)
+        assert gate.depth == 3
+        assert len(platform.workers) == 4
+        gate.drain(platform)
+        assert gate.depth == 0
+        assert len(platform.workers) == 7
+        assert gate.applied == 7
+
+    def test_drain_empty_queue_is_noop(self):
+        gate = AdmissionGate()
+        assert gate.drain(Crowd4U(seed=0)) == []
+
+    def test_queue_frees_up_after_drain(self):
+        platform = Crowd4U(seed=0)
+        gate = AdmissionGate(ServingConfig(queue_depth=2, max_batch=2))
+        assert gate.offer([_register_op(0), _register_op(1), _register_op(2)]) == 1
+        gate.drain(platform)
+        assert gate.offer([_register_op(3)]) == 0
+
+    def test_failed_ops_still_count_as_applied(self):
+        platform = Crowd4U(seed=0)
+        gate = AdmissionGate()
+        gate.offer([WriteOp("declare_interest", {"worker_id": "nope", "task_id": "t"})])
+        outcomes = gate.drain(platform)
+        assert len(outcomes) == 1
+        assert not outcomes[0].ok
+        assert gate.applied == 1

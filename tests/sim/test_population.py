@@ -1,0 +1,140 @@
+"""Distribution sampling for ``sim.population``: Zipf skew and churn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    ChurnConfig,
+    ChurnProcess,
+    PopulationConfig,
+    generate_factors,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert weights == [0.25, 0.25, 0.25, 0.25]
+
+    def test_weights_normalise_and_decay(self):
+        weights = zipf_weights(6, 1.2)
+        assert abs(sum(weights) - 1.0) < 1e-12
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_higher_exponent_concentrates_head(self):
+        mild = zipf_weights(10, 0.5)
+        steep = zipf_weights(10, 2.0)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_degenerate_sizes(self):
+        assert zipf_weights(0, 1.0) == []
+        assert zipf_weights(-3, 1.0) == []
+        assert zipf_weights(1, 3.0) == [1.0]
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+
+class TestSkewedGeneration:
+    def test_seeded_determinism(self):
+        config = PopulationConfig(language_skew=1.1, region_skew=0.7)
+        a = [generate_factors(9, i, config) for i in range(20)]
+        b = [generate_factors(9, i, config) for i in range(20)]
+        assert a == b
+
+    def test_zero_skew_matches_default_config(self):
+        """skew=0 must take the historical rng path bit-for-bit."""
+        explicit = PopulationConfig(language_skew=0.0, region_skew=0.0)
+        for i in range(15):
+            assert generate_factors(4, i, explicit) == generate_factors(4, i)
+
+    def test_language_skew_concentrates_first_language(self):
+        config = PopulationConfig(language_skew=2.5)
+        natives = [
+            next(iter(generate_factors(2, i, config).native_languages))
+            for i in range(120)
+        ]
+        head = config.languages[0]
+        head_share = natives.count(head) / len(natives)
+        assert head_share > 0.5  # zipf(5, 2.5) gives the head ~84%
+
+    def test_region_skew_concentrates_first_region(self):
+        config = PopulationConfig(region_skew=2.5)
+        regions = [generate_factors(3, i, config).region for i in range(120)]
+        head = sorted(config.regions)[0]
+        assert regions.count(head) / len(regions) > 0.5
+
+
+class TestChurnConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(departure_rate=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(burst_levels=0)
+
+    def test_defaults_are_quiet(self):
+        process = ChurnProcess(0)
+        assert process.arrivals(3) == 0
+        assert process.departures(3, ["w1", "w2"]) == []
+
+
+class TestChurnProcess:
+    def test_seeded_and_call_order_independent(self):
+        config = ChurnConfig(arrival_rate=2.0, departure_rate=0.3)
+        a = ChurnProcess(7, config)
+        b = ChurnProcess(7, config)
+        # Query b's ticks in reverse: draws key on the tick, not call order.
+        forward = [
+            (a.arrivals(t), a.departures(t, ["w1", "w2", "w3"])) for t in range(6)
+        ]
+        backward = [
+            (b.arrivals(t), b.departures(t, ["w1", "w2", "w3"]))
+            for t in reversed(range(6))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_zero_workers_edge(self):
+        process = ChurnProcess(1, ChurnConfig(departure_rate=0.9))
+        assert process.departures(5, []) == []
+
+    def test_single_cohort(self):
+        process = ChurnProcess(1, ChurnConfig(departure_rate=0.5))
+        for tick in range(10):
+            departed = process.departures(tick, ["only-worker"])
+            assert departed in ([], ["only-worker"])
+
+    def test_all_churned_tick(self):
+        process = ChurnProcess(2, ChurnConfig(departure_rate=1.0))
+        roster = [f"w{i}" for i in range(9, -1, -1)]  # unsorted on purpose
+        assert process.departures(0, roster) == sorted(roster)
+
+    def test_departures_bounded_by_roster(self):
+        process = ChurnProcess(3, ChurnConfig(departure_rate=0.95))
+        roster = ["w1", "w2", "w3"]
+        for tick in range(20):
+            departed = process.departures(tick, roster)
+            assert len(departed) <= len(roster)
+            assert set(departed) <= set(roster)
+
+    def test_burst_skew_raises_arrival_mass(self):
+        calm = ChurnProcess(5, ChurnConfig(arrival_rate=2.0))
+        bursty = ChurnProcess(
+            5,
+            ChurnConfig(arrival_rate=2.0, arrival_burst_skew=1.0, burst_levels=8),
+        )
+        calm_total = sum(calm.arrivals(t) for t in range(80))
+        bursty_total = sum(bursty.arrivals(t) for t in range(80))
+        assert bursty_total > calm_total
+
+    def test_large_rate_uses_normal_approximation(self):
+        process = ChurnProcess(6, ChurnConfig(arrival_rate=200.0))
+        draws = [process.arrivals(t) for t in range(12)]
+        assert all(d >= 0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 120 < mean < 280  # loose: right order of magnitude

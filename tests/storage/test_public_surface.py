@@ -49,6 +49,7 @@ EXPECTED_STORAGE_ALL = {
 }
 
 EXPECTED_SERVING_ALL = {
+    "AdmissionGate",
     "OpOutcome",
     "PlatformServer",
     "ServerClosed",
